@@ -1,0 +1,84 @@
+"""Benchmark: the design-choice ablations of DESIGN.md.
+
+Each timed call also prints its ablation table, so a benchmark run
+leaves the full evidence trail in the log.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    build_method_comparison,
+    hierarchy_tradeoff,
+    monitor_noise_sensitivity,
+    predictor_fidelity,
+    threshold_sweep,
+    update_mode_comparison,
+)
+
+SMALL = AblationConfig(
+    arrival_rate=100.0,
+    n_nodes=12,
+    n_intervals=5,
+    warmup_intervals=1,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_threshold_sweep(benchmark):
+    out = benchmark.pedantic(
+        threshold_sweep, args=(SMALL,), kwargs={"epsilons_ms": (0.3, 1.0, 5.0)},
+        rounds=1, iterations=1,
+    )
+    print("\n" + out)
+    assert "Basic" in out
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_update_mode(benchmark):
+    out = benchmark.pedantic(
+        update_mode_comparison, kwargs={"sizes": ((80, 16), (160, 32))},
+        rounds=1, iterations=1,
+    )
+    print("\n" + out)
+    assert "Algorithm 2" in out
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_build_method(benchmark):
+    out = benchmark.pedantic(build_method_comparison, rounds=1, iterations=1)
+    print("\n" + out)
+    assert "speedup" in out
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_predictor_fidelity(benchmark):
+    out = benchmark.pedantic(
+        predictor_fidelity, args=(SMALL,), rounds=1, iterations=1
+    )
+    print("\n" + out)
+    assert "oracle" in out
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_hierarchy(benchmark):
+    out = benchmark.pedantic(
+        hierarchy_tradeoff,
+        kwargs={"m": 480, "k": 32, "group_sizes": (120, 480)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + out)
+    assert "group size" in out
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_monitor_noise(benchmark):
+    out = benchmark.pedantic(
+        monitor_noise_sensitivity,
+        kwargs={"noise_scales": (0.0, 1.0, 5.0), "cfg": SMALL},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + out)
+    assert "noise" in out

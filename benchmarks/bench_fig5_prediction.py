@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 5 (prediction accuracy of Eq. 1).
+
+Prints the per-workload error table and checks the paper-shape bounds
+while timing the full profiling + training + evaluation campaign.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import PAPER_FIG5, Fig5Config, run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_prediction_accuracy(benchmark):
+    result = benchmark.pedantic(
+        run_fig5, args=(Fig5Config(seed=0),), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    # Paper-shape assertions: error magnitude and bucket ordering.
+    assert result.mape < 2 * PAPER_FIG5["mape"]
+    buckets = result.buckets
+    assert buckets[3.0] <= buckets[5.0] <= buckets[8.0]
+    assert buckets[8.0] >= 0.9
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_reduced_grid(benchmark):
+    """A smaller grid for quick runs; same pipeline."""
+    result = benchmark.pedantic(
+        run_fig5,
+        args=(Fig5Config(n_hadoop_sizes=8, n_spark_sizes=5, seed=3),),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.cases) == 3 * 8 + 3 * 5

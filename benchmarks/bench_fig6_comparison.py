@@ -1,0 +1,79 @@
+"""Benchmark: regenerate Fig. 6 (six-policy latency comparison).
+
+Default scale: a reduced sweep (3 rates, 16 nodes) that preserves every
+qualitative feature of the paper's figure — PCS best at moderate/heavy
+load, the RED crossover, RED-5 worst, RI conservative.  Run with
+``--paper-scale`` for the full 6-rate, 30-node, 100-searching-VM sweep
+(about half a minute).
+"""
+
+import pytest
+
+from repro.baselines.policies import BasicPolicy, REDPolicy, ReissuePolicy
+from repro.experiments.fig6 import Fig6Config, paper_pcs_policy, run_fig6
+from repro.service.nutch import NutchConfig
+
+
+def _config(paper: bool) -> Fig6Config:
+    if paper:
+        return Fig6Config()
+    return Fig6Config(
+        arrival_rates=(20.0, 100.0, 300.0),
+        n_nodes=16,
+        n_intervals=6,
+        warmup_intervals=1,
+        seed=7,
+        nutch=NutchConfig(n_search_groups=10, replicas_per_group=4),
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_policy_comparison(benchmark, paper_scale):
+    result = benchmark.pedantic(
+        run_fig6, args=(_config(paper_scale),), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    rates = sorted(result.results)
+    heavy = result.results[rates[-1]]
+    light = result.results[rates[0]]
+    # Paper-shape assertions.
+    # (1) PCS beats Basic and every mitigation technique at heavy load.
+    for name in heavy:
+        if name != "PCS":
+            assert heavy["PCS"].overall_mean_s < heavy[name].overall_mean_s, name
+    # (2) redundancy helps at light load but hurts at heavy load.
+    assert light["RED-3"].overall_mean_s < light["Basic"].overall_mean_s
+    assert heavy["RED-3"].overall_mean_s > heavy["Basic"].overall_mean_s
+    # (3) RED-5 is the worst technique at heavy load.
+    assert heavy["RED-5"].overall_mean_s == max(
+        r.overall_mean_s for r in heavy.values()
+    )
+    # (4) reissue degrades more gracefully than redundancy.
+    assert heavy["RI-90"].overall_mean_s < heavy["RED-3"].overall_mean_s
+    # (5) the headline aggregation favours PCS.
+    head = result.headline_reduction()
+    assert head["tail"] > 0 and head["mean"] > 0
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_single_heavy_rate(benchmark):
+    """One heavy-load cell — the regime the paper's argument lives in."""
+    cfg = Fig6Config(
+        arrival_rates=(200.0,),
+        n_nodes=16,
+        n_intervals=6,
+        warmup_intervals=1,
+        seed=11,
+        nutch=NutchConfig(n_search_groups=10, replicas_per_group=4),
+        policies=(
+            BasicPolicy(),
+            REDPolicy(replicas=3),
+            ReissuePolicy(quantile=0.90),
+            paper_pcs_policy(),
+        ),
+    )
+    result = benchmark.pedantic(run_fig6, args=(cfg,), rounds=1, iterations=1)
+    cell = result.results[200.0]
+    assert cell["PCS"].component_p99_s < cell["Basic"].component_p99_s
+    assert cell["PCS"].n_migrations > 0

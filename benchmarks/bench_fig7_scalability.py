@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Fig. 7 (scheduler scalability).
+
+Times one full scheduling interval (matrix construction + greedy
+search) per (m, k) grid point, exactly the quantity the paper plots;
+the (640, 128) point is the paper's quoted 551 ms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import PAPER_INTERVAL_S, make_instance, _oracle
+from repro.scheduler.hierarchical import HierarchicalScheduler
+from repro.scheduler.pcs import PCSScheduler, SchedulerConfig
+from repro.scheduler.threshold import StaticThreshold
+from repro.units import ms
+
+GRID = [(40, 8), (80, 16), (160, 32), (320, 64), (640, 128)]
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("m,k", GRID, ids=[f"{m}x{k}" for m, k in GRID])
+def test_fig7_schedule_interval(benchmark, m, k):
+    predictor = _oracle()
+    config = SchedulerConfig(threshold=StaticThreshold(ms(1)))
+
+    def run():
+        inputs = make_instance(m, k, np.random.default_rng(0))
+        return PCSScheduler(predictor, config).schedule(inputs)
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    # The paper's scalability claim: far below the scheduling interval.
+    assert outcome.total_time_s < 0.02 * PAPER_INTERVAL_S
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("m", [1280, 2560])
+def test_fig7_hierarchical(benchmark, m):
+    """§VI-D's grouped strategy beyond 640 components."""
+    predictor = _oracle()
+    config = SchedulerConfig(threshold=StaticThreshold(ms(1)))
+
+    def run():
+        inputs = make_instance(m, 128, np.random.default_rng(0))
+        return HierarchicalScheduler(predictor, config, group_size=640).schedule(
+            inputs
+        )
+
+    outcome = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert outcome.n_migrations > 0

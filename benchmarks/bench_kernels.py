@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the numerical kernels everything rests on.
+
+Guards the vectorisation wins the HPC guides call for: the Lindley
+max-prefix-scan form must stay an order of magnitude faster than the
+reference loop, and the fast matrix build must dominate the reference
+build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import make_instance, _oracle
+from repro.model.matrix import PerformanceMatrix
+from repro.model.queueing import mg1_latency_array
+from repro.simcore.lindley import lindley_waits, lindley_waits_reference
+
+
+@pytest.fixture(scope="module")
+def queue_sample():
+    rng = np.random.default_rng(0)
+    n = 200_000
+    arrivals = np.cumsum(rng.exponential(0.01, n))
+    services = rng.exponential(0.008, n)
+    return arrivals, services
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_lindley_vectorised(benchmark, queue_sample):
+    arrivals, services = queue_sample
+    waits = benchmark(lindley_waits, arrivals, services)
+    assert waits.shape == arrivals.shape
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_lindley_reference_small(benchmark, queue_sample):
+    # The reference loop is only benchmarked on a slice — it exists as
+    # the specification, not the production kernel.
+    arrivals, services = queue_sample
+    benchmark(lindley_waits_reference, arrivals[:5_000], services[:5_000])
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_mg1_latency_array(benchmark):
+    rng = np.random.default_rng(1)
+    means = rng.uniform(0.002, 0.02, 10_000)
+    scv = rng.uniform(0.2, 2.0, 10_000)
+    lam = rng.uniform(1.0, 100.0, 10_000)
+    out = benchmark(mg1_latency_array, means, scv, lam)
+    assert np.all(np.isfinite(out))
+
+
+@pytest.mark.benchmark(group="kernels")
+@pytest.mark.parametrize("method", ["fast", "reference"])
+def test_matrix_build(benchmark, method):
+    size = (60, 10) if method == "reference" else (160, 32)
+    inputs = make_instance(*size, np.random.default_rng(2))
+    predictor = _oracle()
+
+    def build():
+        return PerformanceMatrix(inputs.copy(), predictor).build(method)
+
+    pm = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert pm.L is not None

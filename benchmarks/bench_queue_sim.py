@@ -1,0 +1,69 @@
+"""Benchmark: the vectorised interval simulator per policy.
+
+One scheduling interval of the full Nutch-like service at a moderate
+rate — the inner loop of every Fig. 6 cell — timed per routing policy,
+plus the event-driven reference for contrast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import (
+    BasicPolicy,
+    PCSPolicy,
+    REDPolicy,
+    ReissuePolicy,
+)
+from repro.service.nutch import build_nutch_service
+from repro.sim.des_service import DESServiceSimulator
+from repro.sim.queue_sim import simulate_service_interval
+
+POLICIES = [
+    BasicPolicy(),
+    REDPolicy(replicas=3),
+    REDPolicy(replicas=5),
+    ReissuePolicy(quantile=0.90),
+    PCSPolicy(),
+]
+
+
+@pytest.fixture(scope="module")
+def service_and_dists():
+    service = build_nutch_service()
+    dists = {c.name: c.base_service for c in service.components}
+    return service, dists
+
+
+@pytest.mark.benchmark(group="queue-sim")
+@pytest.mark.parametrize("policy", POLICIES, ids=[p.name for p in POLICIES])
+def test_interval_simulation(benchmark, policy, service_and_dists):
+    service, dists = service_and_dists
+
+    def run():
+        return simulate_service_interval(
+            service.topology,
+            policy,
+            arrival_rate=100.0,
+            duration_s=30.0,
+            service_dists=dists,
+            rng=np.random.default_rng(0),
+        )
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.n_requests > 0
+
+
+@pytest.mark.benchmark(group="queue-sim")
+def test_des_reference_simulation(benchmark, service_and_dists):
+    """The per-event reference — orders of magnitude slower, kept for
+    validation; benchmarked at a reduced load."""
+    service, dists = service_and_dists
+
+    def run():
+        sim = DESServiceSimulator(
+            service.topology, dists, np.random.default_rng(0)
+        )
+        return sim.run(arrival_rate=20.0, duration_s=10.0)
+
+    outcome = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert outcome.completed > 0

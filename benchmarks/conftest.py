@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates (a scaled version of) one of the paper's
+evaluation artifacts and prints the same rows/series the paper reports;
+``pytest benchmarks/ --benchmark-only`` is the reproduction driver.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the Fig. 6 benchmark at the paper's full scale "
+        "(30 nodes, 100 searching components, six arrival rates)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    """Whether to use the full paper-scale configurations."""
+    return request.config.getoption("--paper-scale")

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""The Fig. 6 experiment at explorable scale.
+
+Sweeps arrival rates over all six compared techniques (Basic, RED-3,
+RED-5, RI-90, RI-99, PCS) on a reduced cluster and prints the paper's
+two metrics per cell, the log-scale bar 'panels', and both headline
+aggregations.
+
+Usage::
+
+    python examples/policy_comparison.py [rate1 rate2 ...]
+"""
+
+import sys
+
+from repro.experiments.fig6 import Fig6Config, run_fig6
+from repro.service.nutch import NutchConfig
+
+
+def main() -> None:
+    rates = tuple(float(a) for a in sys.argv[1:]) or (20.0, 100.0, 300.0)
+    cfg = Fig6Config(
+        arrival_rates=rates,
+        n_nodes=16,
+        n_intervals=6,
+        warmup_intervals=1,
+        seed=7,
+        nutch=NutchConfig(n_search_groups=10, replicas_per_group=4),
+    )
+    print(
+        f"Sweeping {len(rates)} arrival rates x 6 policies on "
+        f"{cfg.n_nodes} nodes ({cfg.nutch.n_searching} searching "
+        "components) ...\n"
+    )
+    result = run_fig6(cfg)
+    print(result.render())
+    print(f"\n(wall time: {result.wall_time_s:.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The Fig. 5 experiment: how well Eq. 1 predicts service times.
+
+Profiles a searching component against each of the six BigDataBench
+workloads across the paper's input-size grids, trains the per-resource
+regression combination, and reports held-out prediction errors in the
+paper's format — then shows what the *weights* learned, i.e. which
+shared resource each co-runner actually stresses.
+"""
+
+import numpy as np
+
+from repro.experiments.fig5 import Fig5Config, run_fig5
+from repro.experiments.report import render_table
+from repro.interference import default_interference_model
+from repro.model.training import TrainingSet, train_combined_model
+from repro.service.component import Component, ComponentClass
+from repro.sim.profiling import ProfilingConfig, observe_condition
+from repro.simcore.distributions import LogNormal
+from repro.units import gb, mb, ms
+from repro.workloads.batch import BatchJobSpec
+
+
+def learned_weights_table() -> str:
+    """Show Eq. 1's relevance weights in the two training regimes.
+
+    Within one workload's campaign all four contention scalars co-move
+    with the job's input size, so every single-resource model is near
+    perfectly correlated with the target and the weights equalise —
+    which is exactly why per-type models predict so well.  Pooling
+    heterogeneous workloads breaks the co-movement and the weights
+    spread to reflect which resources actually carry signal.
+    """
+    rng = np.random.default_rng(5)
+    interference = default_interference_model(0.02)
+    cfg = ProfilingConfig(window_s=60.0, repetitions=2)
+    rows = []
+
+    def weights_for(tag, conditions):
+        rep = Component(
+            name=f"rep-{tag}",
+            cls=ComponentClass.SEARCHING,
+            base_service=LogNormal(ms(3.5), 0.5),
+        )
+        training = TrainingSet()
+        for i, specs in enumerate(conditions):
+            for u, x_bar, _ in observe_condition(
+                rep, specs, interference, cfg, rng, condition_tag=f"{tag}-{i}"
+            ):
+                training.add(u, x_bar)
+        model, _ = train_combined_model(training)
+        return model.normalised_weights()
+
+    sizes = np.geomspace(mb(100), gb(4), 12)
+    for workload in ("hadoop.bayes", "spark.sort"):
+        w = weights_for(
+            workload,
+            [[BatchJobSpec.of(workload, float(s))] for s in sizes],
+        )
+        rows.append([f"single type: {workload}"] + [f"{v:.2f}" for v in w.values()])
+    from repro.sim.profiling import mixed_conditions
+
+    w = weights_for("pooled", mixed_conditions(60, rng))
+    rows.append(["pooled multi-job mixes"] + [f"{v:.2f}" for v in w.values()])
+    return render_table(
+        ["training regime", "w_core", "w_cache", "w_diskBW", "w_netBW"],
+        rows,
+        title="Eq. 1 relevance weights by training regime",
+    )
+
+
+def main() -> None:
+    print("Running the Fig. 5 prediction-accuracy campaign ...\n")
+    result = run_fig5(Fig5Config(seed=0))
+    print(result.render())
+    print()
+    print(learned_weights_table())
+    print(
+        "\nWithin a single workload type all four contention scalars "
+        "co-move with input size, so Eq. 1 weights them equally; over "
+        "heterogeneous mixes the weights spread toward the resources "
+        "that actually explain the slowdown."
+    )
+
+
+if __name__ == "__main__":
+    main()

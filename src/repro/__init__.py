@@ -1,0 +1,76 @@
+"""repro — a full reproduction of *PCS: Predictive Component-level
+Scheduling for Reducing Tail Latency in Cloud Online Services*
+(Han et al., ICPP 2015).
+
+Layering (bottom-up):
+
+- :mod:`repro.simcore` — discrete-event engine, distributions, queues.
+- :mod:`repro.cluster` — nodes, machines, shared resources.
+- :mod:`repro.workloads` — batch-job profiles, churn, traces.
+- :mod:`repro.service` — multi-stage online-service model (Nutch-like).
+- :mod:`repro.interference` — ground-truth service-time inflation.
+- :mod:`repro.monitoring` — online contention/arrival-rate monitors.
+- :mod:`repro.model` — the performance predictor (paper Eqs. 1–5).
+- :mod:`repro.scheduler` — PCS (paper Algorithms 1–2) and extensions.
+- :mod:`repro.baselines` — Basic, RED-k, RI-p comparison policies.
+- :mod:`repro.sim` — full-system simulation harness.
+- :mod:`repro.experiments` — drivers for the paper's Figures 5–7.
+
+Quickstart::
+
+    from repro import quickstart_comparison
+    result = quickstart_comparison(arrival_rate=100.0, seed=1)
+    print(result.render())
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+from repro.rng import RngRegistry
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "RngRegistry",
+    "quickstart_comparison",
+    # convenience re-exports of the most-used entry points; the full
+    # API lives in the subpackages.
+    "build_nutch_service",
+    "standard_policies",
+    "PCSScheduler",
+    "ExperimentRunner",
+    "RunnerConfig",
+]
+
+
+def __getattr__(name):  # lazy re-exports keep `import repro` light
+    if name == "build_nutch_service":
+        from repro.service.nutch import build_nutch_service
+
+        return build_nutch_service
+    if name == "standard_policies":
+        from repro.baselines.policies import standard_policies
+
+        return standard_policies
+    if name == "PCSScheduler":
+        from repro.scheduler.pcs import PCSScheduler
+
+        return PCSScheduler
+    if name in ("ExperimentRunner", "RunnerConfig"):
+        from repro.sim import runner as _runner
+
+        return getattr(_runner, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def quickstart_comparison(arrival_rate: float = 100.0, seed: int = 0, **kwargs):
+    """Run a small Basic-vs-PCS comparison and return its result table.
+
+    A convenience wrapper around the Fig. 6 experiment driver with small
+    defaults suitable for a laptop; see ``examples/quickstart.py``.
+    """
+    from repro.experiments.fig6 import run_quick_comparison
+
+    return run_quick_comparison(arrival_rate=arrival_rate, seed=seed, **kwargs)

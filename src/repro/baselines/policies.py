@@ -1,0 +1,127 @@
+"""Policy descriptors for the six compared techniques."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.scheduler.pcs import SchedulerConfig
+
+__all__ = [
+    "Policy",
+    "BasicPolicy",
+    "REDPolicy",
+    "ReissuePolicy",
+    "PCSPolicy",
+    "standard_policies",
+]
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Base descriptor: how sub-requests are routed inside a replica group."""
+
+    name: str = "policy"
+
+    @property
+    def schedules(self) -> bool:
+        """Whether the policy runs the PCS scheduler between intervals."""
+        return False
+
+    @property
+    def copies(self) -> int:
+        """Simultaneous copies of each sub-request sent to a group."""
+        return 1
+
+    @property
+    def load_multiplier(self) -> float:
+        """Expected executed copies per sub-request — the factor by
+        which the policy multiplies each replica's request load (and
+        therefore its resource consumption)."""
+        return float(self.copies)
+
+
+@dataclass(frozen=True)
+class BasicPolicy(Policy):
+    """No redundancy, no reissue, static placement."""
+
+    name: str = "Basic"
+
+
+@dataclass(frozen=True)
+class REDPolicy(Policy):
+    """Request redundancy with ``replicas`` simultaneous copies.
+
+    The paper tests RED-3 and RED-5.  ``cancel_delay_s`` is the network
+    message delay of the cancellation mechanism — the reason two
+    replicas may both execute a request (§VI-C's discussion of why
+    cancellation is imperfect).
+    """
+
+    name: str = "RED"
+    replicas: int = 3
+    cancel_delay_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.replicas < 2:
+            raise ConfigurationError(
+                f"RED needs >= 2 replicas, got {self.replicas}"
+            )
+        if self.cancel_delay_s < 0:
+            raise ConfigurationError("cancel_delay_s must be >= 0")
+        object.__setattr__(self, "name", f"RED-{self.replicas}")
+
+    @property
+    def copies(self) -> int:
+        return self.replicas
+
+
+@dataclass(frozen=True)
+class ReissuePolicy(Policy):
+    """Request reissue at the ``quantile`` of expected latency.
+
+    The paper tests RI-90 (reissue after the 90th percentile of the
+    expected latency for the request class) and RI-99.
+    """
+
+    name: str = "RI"
+    quantile: float = 0.90
+
+    def __post_init__(self) -> None:
+        if not 0 < self.quantile < 1:
+            raise ConfigurationError(
+                f"quantile must be in (0, 1), got {self.quantile}"
+            )
+        object.__setattr__(self, "name", f"RI-{int(round(self.quantile * 100))}")
+
+    @property
+    def load_multiplier(self) -> float:
+        # A fraction (1 - q) of sub-requests is reissued once.
+        return 1.0 + (1.0 - self.quantile)
+
+
+@dataclass(frozen=True)
+class PCSPolicy(Policy):
+    """Basic routing + predictive component-level scheduling."""
+
+    name: str = "PCS"
+    scheduler_config: SchedulerConfig = field(default_factory=SchedulerConfig)
+    use_oracle: bool = False  # ablation: ground-truth predictor
+    hierarchical_group_size: Optional[int] = None
+
+    @property
+    def schedules(self) -> bool:
+        return True
+
+
+def standard_policies() -> List[Policy]:
+    """The paper's six compared techniques, in Fig. 6 legend order."""
+    return [
+        BasicPolicy(),
+        REDPolicy(replicas=3),
+        REDPolicy(replicas=5),
+        ReissuePolicy(quantile=0.90),
+        ReissuePolicy(quantile=0.99),
+        PCSPolicy(),
+    ]

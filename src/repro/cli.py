@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Subcommands regenerate the paper's evaluation artifacts:
+
+- ``fig5`` — prediction accuracy of the performance model;
+- ``fig6`` — the six-policy latency comparison (``--scale quick`` for a
+  minutes-scale subset, ``--scale paper`` for the full sweep);
+- ``fig7`` — scheduler scalability;
+- ``ablations`` — the design-choice ablations;
+- ``quick`` — a Basic-vs-PCS taste at one arrival rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (separate for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pcs",
+        description=(
+            "Reproduction of 'PCS: Predictive Component-level Scheduling "
+            "for Reducing Tail Latency in Cloud Online Services' (ICPP 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p5 = sub.add_parser("fig5", help="prediction-accuracy experiment")
+    p5.add_argument("--seed", type=int, default=0)
+
+    p6 = sub.add_parser("fig6", help="six-policy latency comparison")
+    p6.add_argument(
+        "--scale",
+        choices=["quick", "paper"],
+        default="quick",
+        help="quick = 3 rates / small cluster; paper = full sweep",
+    )
+    p6.add_argument("--seed", type=int, default=7)
+    p6.add_argument("--verbose", action="store_true")
+
+    p7 = sub.add_parser("fig7", help="scheduler scalability")
+    p7.add_argument("--seed", type=int, default=0)
+
+    pa = sub.add_parser("ablations", help="design-choice ablations")
+    pa.add_argument("--seed", type=int, default=11)
+
+    pq = sub.add_parser("quick", help="Basic-vs-PCS at one arrival rate")
+    pq.add_argument("--rate", type=float, default=100.0)
+    pq.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig5":
+        from repro.experiments.fig5 import Fig5Config, run_fig5
+
+        print(run_fig5(Fig5Config(seed=args.seed)).render())
+    elif args.command == "fig6":
+        from repro.experiments.fig6 import Fig6Config, run_fig6
+        from repro.service.nutch import NutchConfig
+
+        if args.scale == "paper":
+            cfg = Fig6Config(seed=args.seed)
+        else:
+            cfg = Fig6Config(
+                arrival_rates=(10.0, 50.0, 200.0),
+                n_nodes=16,
+                n_intervals=6,
+                warmup_intervals=1,
+                seed=args.seed,
+                nutch=NutchConfig(n_search_groups=10, replicas_per_group=4),
+            )
+        result = run_fig6(cfg, verbose=args.verbose)
+        print(result.render())
+        print(f"\n(wall time: {result.wall_time_s:.1f} s)")
+    elif args.command == "fig7":
+        from repro.experiments.fig7 import Fig7Config, run_fig7
+
+        print(run_fig7(Fig7Config(seed=args.seed)).render())
+    elif args.command == "ablations":
+        from repro.experiments.ablations import AblationConfig, run_all_ablations
+
+        print(run_all_ablations(AblationConfig(seed=args.seed)))
+    elif args.command == "quick":
+        from repro.experiments.fig6 import run_quick_comparison
+
+        result = run_quick_comparison(arrival_rate=args.rate, seed=args.seed)
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

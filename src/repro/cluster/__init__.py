@@ -1,0 +1,39 @@
+"""Cluster substrate: nodes, machines (VMs/LXCs) and shared resources.
+
+Models the paper's experiment platform (§VI-A: 30 nodes, two 6-core Xeon
+E5645 processors each, 1 GbE, Xen VMs) at the level of detail PCS
+consumes: each node has capacities for the four shared-resource classes
+of Table II (processing units, shared caches, disk bandwidth, network
+bandwidth), hosts a bounded number of machines, and exposes, for every
+resident program, the *contention vector* ``U`` imposed by its
+co-runners plus the node's own hardware/software background activity
+(§II-A).
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import Machine, MachineKind
+from repro.cluster.node import Node, NodeCapacity
+from repro.cluster.placement import (
+    least_loaded_placement,
+    random_placement,
+    round_robin_placement,
+)
+from repro.cluster.resources import (
+    RESOURCE_KINDS,
+    ResourceKind,
+    ResourceVector,
+)
+
+__all__ = [
+    "ResourceKind",
+    "RESOURCE_KINDS",
+    "ResourceVector",
+    "Machine",
+    "MachineKind",
+    "Node",
+    "NodeCapacity",
+    "Cluster",
+    "round_robin_placement",
+    "random_placement",
+    "least_loaded_placement",
+]

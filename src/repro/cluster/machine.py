@@ -1,0 +1,103 @@
+"""Machines (Xen VMs / LinuX Containers) — the placement granules.
+
+In the paper each service component runs inside its own dedicated VM and
+batch jobs run in separate VMs on the same node (§I, §VI-B).  A
+:class:`Machine` therefore wraps exactly one *resident* program — an
+object exposing ``name`` and ``demand`` (a
+:class:`~repro.cluster.resources.ResourceVector`) — and nodes count
+machines against their slot capacity.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import PlacementError
+
+__all__ = ["MachineKind", "Machine", "Resident"]
+
+
+@runtime_checkable
+class Resident(Protocol):
+    """Anything that can occupy a machine: a component or a batch job."""
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def demand(self) -> ResourceVector:  # pragma: no cover - protocol
+        ...
+
+
+class MachineKind(enum.Enum):
+    """Whether a machine hosts a latency-critical component or batch work."""
+
+    SERVICE = "service"
+    BATCH = "batch"
+
+
+class Machine:
+    """A VM/LXC hosting at most one resident program.
+
+    Parameters
+    ----------
+    name:
+        Unique machine identifier (e.g. ``"vm-searching-17"``).
+    kind:
+        :class:`MachineKind` — service machines host components, batch
+        machines host batch jobs.
+    """
+
+    __slots__ = ("name", "kind", "_occupant")
+
+    def __init__(self, name: str, kind: MachineKind = MachineKind.SERVICE) -> None:
+        if not name:
+            raise PlacementError("machine name must be non-empty")
+        self.name = name
+        self.kind = kind
+        self._occupant: Optional[Resident] = None
+
+    @property
+    def occupant(self) -> Optional[Resident]:
+        """The resident currently running here, or ``None``."""
+        return self._occupant
+
+    @property
+    def busy(self) -> bool:
+        """Whether the machine hosts a resident."""
+        return self._occupant is not None
+
+    @property
+    def demand(self) -> ResourceVector:
+        """The occupant's resource demand (zero when idle)."""
+        if self._occupant is None:
+            return ResourceVector.zero()
+        return self._occupant.demand
+
+    def assign(self, resident: Resident) -> None:
+        """Place ``resident`` on this machine.
+
+        Raises :class:`~repro.errors.PlacementError` if already busy.
+        """
+        if self._occupant is not None:
+            raise PlacementError(
+                f"machine {self.name} already hosts {self._occupant.name}"
+            )
+        self._occupant = resident
+
+    def release(self) -> Resident:
+        """Evict and return the occupant.
+
+        Raises :class:`~repro.errors.PlacementError` when idle.
+        """
+        if self._occupant is None:
+            raise PlacementError(f"machine {self.name} is idle")
+        resident, self._occupant = self._occupant, None
+        return resident
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        who = self._occupant.name if self._occupant else "<idle>"
+        return f"Machine({self.name}, {self.kind.value}, occupant={who})"

@@ -1,0 +1,73 @@
+"""Initial placement policies.
+
+PCS starts from whatever allocation the provisioning layer produced
+(§III: "component-level scheduling is enforced only after the machines
+have been allocated to the service"); these helpers produce the starting
+allocations used by the experiments — round-robin (the realistic
+default), uniform random (worst case for stragglers) and least-loaded
+(greedy by current node pressure).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineKind, Resident
+from repro.cluster.node import Node
+from repro.errors import PlacementError
+
+__all__ = [
+    "round_robin_placement",
+    "random_placement",
+    "least_loaded_placement",
+]
+
+
+def round_robin_placement(
+    cluster: Cluster,
+    residents: Sequence[Resident],
+    kind: MachineKind = MachineKind.SERVICE,
+) -> List[Node]:
+    """Place residents cyclically over the nodes; returns hosting nodes."""
+    nodes = cluster.nodes
+    placed = []
+    for i, resident in enumerate(residents):
+        placed.append(cluster.place(resident, nodes[i % len(nodes)], kind))
+    return placed
+
+
+def random_placement(
+    cluster: Cluster,
+    residents: Sequence[Resident],
+    rng: np.random.Generator,
+    kind: MachineKind = MachineKind.SERVICE,
+) -> List[Node]:
+    """Place residents uniformly at random; returns hosting nodes."""
+    nodes = cluster.nodes
+    placed = []
+    for resident in residents:
+        placed.append(cluster.place(resident, nodes[rng.integers(len(nodes))], kind))
+    return placed
+
+
+def least_loaded_placement(
+    cluster: Cluster,
+    residents: Sequence[Resident],
+    kind: MachineKind = MachineKind.SERVICE,
+) -> List[Node]:
+    """Greedy: each resident goes to the node with the lowest pressure.
+
+    Pressure is the Euclidean norm of the node's total demand vector, so
+    the policy balances all four shared resources rather than just CPU.
+    """
+    placed = []
+    for resident in residents:
+        candidates = [n for n in cluster.nodes if n.free_slots > 0]
+        if not candidates:
+            raise PlacementError("no node has a free machine slot")
+        target = min(candidates, key=lambda n: n.total_demand().norm())
+        placed.append(cluster.place(resident, target, kind))
+    return placed

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the PCS reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+downstream caller can catch the whole family with one ``except`` clause.
+Subclasses are grouped by the subsystem that raises them; modules should
+raise the most specific class that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value or combination of values."""
+
+
+class SimulationError(ReproError):
+    """A violation of the discrete-event simulation contract.
+
+    Raised, e.g., when an event is scheduled in the past or the engine is
+    driven after it has been stopped.
+    """
+
+
+class TopologyError(ReproError, ValueError):
+    """An invalid service topology (empty stages, duplicate components...)."""
+
+
+class PlacementError(ReproError):
+    """An invalid component/job placement request on the cluster."""
+
+
+class CapacityError(PlacementError):
+    """A placement that would exceed a node's machine slots."""
+
+
+class ModelError(ReproError):
+    """A performance-model failure (untrained model, singular fit...)."""
+
+
+class NotFittedError(ModelError):
+    """A regression model was used before :meth:`fit` was called."""
+
+
+class UnstableQueueError(ModelError, ValueError):
+    """A queueing computation was requested for utilisation >= 1.
+
+    The M/G/1 expected-latency formula (paper Eq. 2) diverges as the
+    server utilisation ``rho`` approaches 1; callers that can tolerate
+    saturation should clip the arrival rate instead of catching this.
+    """
+
+
+class SchedulingError(ReproError):
+    """An error inside the component-level scheduling algorithm."""
+
+
+class MonitoringError(ReproError):
+    """An error in the online monitor (e.g. empty sampling window)."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """An invalid batch-workload specification."""
+
+
+class ExperimentError(ReproError):
+    """A failure while driving one of the paper's experiments."""

@@ -1,0 +1,39 @@
+"""Experiment drivers regenerating the paper's evaluation artifacts.
+
+- :mod:`repro.experiments.fig5` — prediction accuracy of the Eq. 1
+  performance model (paper Fig. 5).
+- :mod:`repro.experiments.fig6` — the six-policy latency comparison
+  over the arrival-rate sweep (paper Fig. 6(a)–(f)) plus the headline
+  reduction percentages.
+- :mod:`repro.experiments.fig7` — scheduler scalability up to 640
+  components × 128 nodes (paper Fig. 7).
+- :mod:`repro.experiments.ablations` — design-choice ablations
+  (threshold, matrix update mode, predictor fidelity, hierarchy,
+  monitor noise) that the paper mentions but does not evaluate.
+- :mod:`repro.experiments.report` — plain-text tables/series renderers
+  shared by the drivers, examples and benchmarks.
+"""
+
+from repro.experiments.fig5 import Fig5Config, Fig5Result, run_fig5
+from repro.experiments.fig6 import (
+    Fig6Config,
+    Fig6Result,
+    paper_pcs_policy,
+    run_fig6,
+    run_quick_comparison,
+)
+from repro.experiments.fig7 import Fig7Config, Fig7Result, run_fig7
+
+__all__ = [
+    "Fig5Config",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Config",
+    "Fig6Result",
+    "run_fig6",
+    "run_quick_comparison",
+    "paper_pcs_policy",
+    "Fig7Config",
+    "Fig7Result",
+    "run_fig7",
+]

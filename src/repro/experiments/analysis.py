@@ -1,0 +1,115 @@
+"""Analysis helpers over Fig. 6-style sweep results.
+
+Quantifies the qualitative claims the paper makes in prose:
+
+- :func:`crossover_rate` — the arrival rate at which a mitigation
+  technique flips from helping to hurting relative to Basic ("when the
+  arrival rate gradually increases ... this technique adversely causes
+  longer latencies compared to those of Basic");
+- :func:`dominance_table` — who is best at each rate;
+- :func:`pcs_convergence` — how PCS's per-interval latency series
+  settles as migrations accumulate within one run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.report import render_table
+from repro.sim.runner import PolicyResult
+
+__all__ = ["crossover_rate", "dominance_table", "pcs_convergence"]
+
+
+def crossover_rate(
+    results: Dict[float, Dict[str, PolicyResult]],
+    technique: str,
+    baseline: str = "Basic",
+    metric: str = "overall_mean_s",
+) -> Optional[float]:
+    """Estimate where ``technique`` starts losing to ``baseline``.
+
+    Scans the sweep in rate order; at the first transition from
+    better-than-baseline to worse-than-baseline, interpolates the
+    crossing geometrically (latency ratios move multiplicatively with
+    load).  Returns ``None`` when no crossover exists in the sweep, and
+    the lowest rate when the technique never helps.
+    """
+    rates = sorted(results)
+    if not rates:
+        raise ExperimentError("empty sweep")
+    ratios = []
+    for rate in rates:
+        per_policy = results[rate]
+        if technique not in per_policy or baseline not in per_policy:
+            raise ExperimentError(
+                f"sweep is missing {technique!r} or {baseline!r} at {rate}"
+            )
+        ratios.append(
+            getattr(per_policy[technique], metric)
+            / getattr(per_policy[baseline], metric)
+        )
+    if ratios[0] >= 1.0:
+        return rates[0]  # never helped
+    for i in range(1, len(rates)):
+        if ratios[i] >= 1.0:
+            # Geometric interpolation of log(ratio) crossing zero.
+            lo, hi = rates[i - 1], rates[i]
+            a, b = math.log(ratios[i - 1]), math.log(ratios[i])
+            t = -a / (b - a)
+            return float(math.exp(
+                math.log(lo) + t * (math.log(hi) - math.log(lo))
+            ))
+    return None
+
+
+def dominance_table(
+    results: Dict[float, Dict[str, PolicyResult]],
+    metric: str = "component_p99_s",
+) -> str:
+    """Which policy wins at each arrival rate, and by how much."""
+    if not results:
+        raise ExperimentError("empty sweep")
+    rows = []
+    for rate in sorted(results):
+        per_policy = results[rate]
+        ranked = sorted(per_policy.items(), key=lambda kv: getattr(kv[1], metric))
+        best_name, best = ranked[0]
+        runner_up_name, runner_up = ranked[1] if len(ranked) > 1 else ranked[0]
+        margin = getattr(runner_up, metric) / getattr(best, metric)
+        rows.append(
+            [
+                f"{rate:g}",
+                best_name,
+                f"{getattr(best, metric) * 1e3:.1f}",
+                runner_up_name,
+                f"{margin:.2f}x",
+            ]
+        )
+    return render_table(
+        ["rate (req/s)", "best", "best (ms)", "runner-up", "margin"],
+        rows,
+        title=f"Policy dominance by arrival rate ({metric})",
+    )
+
+
+def pcs_convergence(result: PolicyResult) -> Dict[str, float]:
+    """How much PCS improved between its first and last measured interval.
+
+    Returns the first/last per-interval overall means and the relative
+    improvement; a positive improvement shows the scheduler adapting
+    within the run (beyond what the pooled numbers reveal).
+    """
+    series = result.per_interval_overall_mean
+    if len(series) < 2:
+        raise ExperimentError("need at least two measured intervals")
+    first, last = float(series[0]), float(series[-1])
+    return {
+        "first_interval_mean_s": first,
+        "last_interval_mean_s": last,
+        "relative_improvement": 1.0 - last / first if first > 0 else 0.0,
+    }

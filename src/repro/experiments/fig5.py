@@ -1,0 +1,184 @@
+"""Fig. 5 — prediction accuracy of the performance model (§VI-B).
+
+The paper's campaign: a searching component co-located with one Hadoop
+or Spark job per test; Hadoop jobs at 20 input sizes (50 MB–4 GB),
+Spark jobs at 10 sizes (200 MB–7 GB).  *"In each test, we trained the
+regression models based on the historical running information and
+predicted the component's service [time] using the constructed
+models"* — i.e. one Eq. 1 model per workload type, trained on that
+type's history and evaluated on held-out observations of each size.
+
+Reported exactly like the paper: the per-(workload, size) percentage
+error, the fraction of cases under 3 %/5 %/8 %, and the overall mean
+error (paper: 63.33 %, 82.22 %, 96.67 % and 2.68 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.interference.ground_truth import default_interference_model
+from repro.model.combined import CombinedServiceTimeModel
+from repro.model.training import TrainingSet, error_buckets
+from repro.service.component import Component, ComponentClass
+from repro.sim.profiling import ProfilingConfig, observe_condition
+from repro.simcore.distributions import LogNormal
+from repro.units import gb, mb, ms
+from repro.workloads.batch import BatchJobSpec
+from repro.experiments.report import render_table
+
+__all__ = ["Fig5Config", "Fig5Case", "Fig5Result", "run_fig5", "PAPER_FIG5"]
+
+#: The paper's reported numbers for the same experiment.
+PAPER_FIG5 = {
+    "mape": 2.68,
+    "buckets": {3.0: 0.6333, 5.0: 0.8222, 8.0: 0.9667},
+}
+
+HADOOP_WORKLOADS = ("hadoop.bayes", "hadoop.wordcount", "hadoop.pageindex")
+SPARK_WORKLOADS = ("spark.bayes", "spark.wordcount", "spark.sort")
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """Shape of the prediction-accuracy campaign."""
+
+    n_hadoop_sizes: int = 20
+    n_spark_sizes: int = 10
+    train_windows: int = 3
+    test_windows: int = 1
+    window_s: float = 60.0
+    request_rate: float = 50.0
+    interference_noise: float = 0.02
+    search_mean_s: float = ms(3.5)
+    search_scv: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_hadoop_sizes < 2 or self.n_spark_sizes < 2:
+            raise ExperimentError("need at least 2 sizes per framework")
+        if self.train_windows < 1 or self.test_windows < 1:
+            raise ExperimentError("train/test windows must be >= 1")
+
+
+@dataclass(frozen=True)
+class Fig5Case:
+    """One bar of Fig. 5: a (workload, input size) evaluation case."""
+
+    workload: str
+    input_mb: float
+    percent_error: float
+
+
+@dataclass
+class Fig5Result:
+    """All cases plus the paper-comparison summary."""
+
+    cases: List[Fig5Case]
+    config: Fig5Config
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Per-case percentage errors."""
+        return np.array([c.percent_error for c in self.cases])
+
+    @property
+    def mape(self) -> float:
+        """Mean prediction error over all cases (paper: 2.68 %)."""
+        return float(self.errors.mean())
+
+    @property
+    def buckets(self) -> Dict[float, float]:
+        """Fractions below 3 %/5 %/8 % (paper: 63 %/82 %/97 %)."""
+        return error_buckets(self.errors)
+
+    def per_workload_mape(self) -> Dict[str, float]:
+        """Mean error per workload type."""
+        out: Dict[str, List[float]] = {}
+        for case in self.cases:
+            out.setdefault(case.workload, []).append(case.percent_error)
+        return {k: float(np.mean(v)) for k, v in out.items()}
+
+    def render(self) -> str:
+        """Fig. 5 as a text table plus the headline comparison."""
+        rows = [
+            [w, f"{e:.2f}%"] for w, e in sorted(self.per_workload_mape().items())
+        ]
+        table = render_table(
+            ["co-runner workload", "mean error"],
+            rows,
+            title="Fig. 5 — prediction error of the performance model",
+        )
+        b = self.buckets
+        summary = (
+            f"\ncases: {len(self.cases)} | mean error {self.mape:.2f}% "
+            f"(paper {PAPER_FIG5['mape']:.2f}%)\n"
+            f"< 3%: {b[3.0]:.1%} (paper {PAPER_FIG5['buckets'][3.0]:.1%}) | "
+            f"< 5%: {b[5.0]:.1%} (paper {PAPER_FIG5['buckets'][5.0]:.1%}) | "
+            f"< 8%: {b[8.0]:.1%} (paper {PAPER_FIG5['buckets'][8.0]:.1%})"
+        )
+        return table + summary
+
+
+def _conditions_for(workload: str, cfg: Fig5Config) -> List[BatchJobSpec]:
+    if workload.startswith("hadoop"):
+        sizes = np.geomspace(mb(50), gb(4), cfg.n_hadoop_sizes)
+    else:
+        sizes = np.geomspace(mb(200), gb(7), cfg.n_spark_sizes)
+    return [BatchJobSpec.of(workload, float(s)) for s in sizes]
+
+
+def run_fig5(config: Fig5Config | None = None) -> Fig5Result:
+    """Run the whole Fig. 5 campaign."""
+    cfg = config or Fig5Config()
+    rng = np.random.default_rng(cfg.seed)
+    interference = default_interference_model(cfg.interference_noise)
+    prof_cfg = ProfilingConfig(
+        window_s=cfg.window_s,
+        request_rate=cfg.request_rate,
+        repetitions=cfg.train_windows + cfg.test_windows,
+    )
+    cases: List[Fig5Case] = []
+    for workload in HADOOP_WORKLOADS + SPARK_WORKLOADS:
+        representative = Component(
+            name=f"searching-rep-{workload}",
+            cls=ComponentClass.SEARCHING,
+            base_service=LogNormal(cfg.search_mean_s, cfg.search_scv),
+        )
+        specs = _conditions_for(workload, cfg)
+        training = TrainingSet()
+        held_out = []  # (input_mb, [(u, x_bar), ...])
+        for spec in specs:
+            windows = observe_condition(
+                representative,
+                [spec],
+                interference,
+                prof_cfg,
+                rng,
+                condition_tag=f"{workload}-{spec.input_mb:.0f}",
+            )
+            for u, x_bar, _scv in windows[: cfg.train_windows]:
+                training.add(u, x_bar)
+            held_out.append((spec.input_mb, windows[cfg.train_windows :]))
+        # "In each test": one model per workload type, trained on that
+        # type's history.
+        model = CombinedServiceTimeModel().fit(
+            training.contention, training.service_times
+        )
+        for input_mb, windows in held_out:
+            errors = []
+            for u, x_bar, _scv in windows:
+                predicted = model.predict_one(u)
+                errors.append(abs(predicted - x_bar) / x_bar * 100.0)
+            cases.append(
+                Fig5Case(
+                    workload=workload,
+                    input_mb=float(input_mb),
+                    percent_error=float(np.mean(errors)),
+                )
+            )
+    return Fig5Result(cases=cases, config=cfg)

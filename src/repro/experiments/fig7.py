@@ -1,0 +1,212 @@
+"""Fig. 7 — scalability of the scheduling algorithm (§VI-D).
+
+The paper measures the scheduler's *analysis* time (constructing the
+performance matrix from monitored information) and *search* time (the
+greedy loop) for growing services, up to 640 components on 128 nodes,
+reporting 551 ms at the top of the range — under 0.1 % of the 600 s
+scheduling interval.
+
+This driver times our implementation on synthetic-but-realistic
+instances of the same sizes: random component demands, random batch
+contention per node, the ground-truth oracle predictor (so timing
+measures the scheduler, not profiling).  It also times the §VI-D
+hierarchical strategy beyond 640 components.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.report import render_table
+from repro.interference.ground_truth import default_interference_model
+from repro.model.matrix import MatrixInputs
+from repro.model.predictor import OraclePredictor
+from repro.scheduler.hierarchical import HierarchicalScheduler
+from repro.scheduler.pcs import PCSScheduler, SchedulerConfig
+from repro.scheduler.threshold import StaticThreshold
+from repro.service.component import Component, ComponentClass
+from repro.simcore.distributions import LogNormal
+from repro.units import ms
+
+__all__ = ["Fig7Config", "Fig7Point", "Fig7Result", "run_fig7", "make_instance"]
+
+#: Paper's wall-clock at the largest point (640 components, 128 nodes).
+PAPER_TOP_TIME_S = 0.551
+
+#: Paper's scheduling interval — the budget the time is compared against.
+PAPER_INTERVAL_S = 600.0
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """The (m, k) grid and measurement repetitions."""
+
+    sizes: Tuple[Tuple[int, int], ...] = (
+        (40, 8),
+        (80, 16),
+        (160, 32),
+        (320, 64),
+        (640, 128),
+    )
+    repeats: int = 3
+    seed: int = 0
+    hierarchical_sizes: Tuple[Tuple[int, int], ...] = ((1280, 128), (2560, 128))
+    hierarchical_group_size: int = 640
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ExperimentError("need at least one (m, k) point")
+        if any(m < 1 or k < 1 for m, k in self.sizes):
+            raise ExperimentError("sizes must be positive")
+        if self.repeats < 1:
+            raise ExperimentError("repeats must be >= 1")
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    """One measured grid point."""
+
+    m: int
+    k: int
+    analysis_time_s: float
+    search_time_s: float
+    n_migrations: int
+    hierarchical: bool = False
+
+    @property
+    def total_time_s(self) -> float:
+        """Analysis + search (the quantity Fig. 7 plots)."""
+        return self.analysis_time_s + self.search_time_s
+
+
+@dataclass
+class Fig7Result:
+    """All measured points."""
+
+    points: List[Fig7Point]
+    config: Fig7Config
+
+    def top_point(self) -> Fig7Point:
+        """The (640, 128) point the paper quotes 551 ms for."""
+        flat = [p for p in self.points if not p.hierarchical]
+        return max(flat, key=lambda p: p.m)
+
+    def render(self) -> str:
+        """Fig. 7 as a table plus the paper comparison."""
+        rows = [
+            [
+                p.m,
+                p.k,
+                "hier" if p.hierarchical else "flat",
+                f"{p.analysis_time_s * 1e3:.1f}",
+                f"{p.search_time_s * 1e3:.1f}",
+                f"{p.total_time_s * 1e3:.1f}",
+                p.n_migrations,
+            ]
+            for p in self.points
+        ]
+        table = render_table(
+            ["m", "k", "mode", "analysis (ms)", "search (ms)", "total (ms)", "migrations"],
+            rows,
+            title="Fig. 7 — scheduling algorithm scalability",
+        )
+        top = self.top_point()
+        frac = top.total_time_s / PAPER_INTERVAL_S
+        return table + (
+            f"\ntop point ({top.m} comps, {top.k} nodes): "
+            f"{top.total_time_s * 1e3:.0f} ms "
+            f"(paper: {PAPER_TOP_TIME_S * 1e3:.0f} ms); "
+            f"{frac:.3%} of the 600 s scheduling interval"
+        )
+
+
+def make_instance(
+    m: int, k: int, rng: np.random.Generator, n_stages: int = 3
+) -> MatrixInputs:
+    """A synthetic scheduling instance with realistic magnitudes.
+
+    Components carry searching-like demands; nodes carry random batch
+    contention; a third of the nodes are 'hot' so the greedy has real
+    work to do (timings on an instance with nothing to migrate would
+    flatter the search loop).
+    """
+    if m < n_stages:
+        raise ExperimentError(f"need m >= {n_stages}")
+    stage_of = np.sort(rng.integers(0, n_stages, m))
+    demands = rng.uniform(0.5, 1.5, (m, 4)) * np.array([0.04, 1.0, 4.0, 1.5])
+    assignment = rng.integers(0, k, m)
+    node_totals = np.zeros((k, 4))
+    for i in range(m):
+        node_totals[assignment[i]] += demands[i]
+    hot = rng.random(k) < 0.33
+    batch = rng.uniform(0.0, 1.0, (k, 4)) * np.array([0.9, 40.0, 250.0, 90.0])
+    node_totals += batch * hot[:, None]
+    arrival = rng.uniform(5.0, 40.0, m)
+    return MatrixInputs(
+        stage_of=stage_of,
+        classes=[ComponentClass.SEARCHING] * m,
+        demands=demands,
+        assignment=assignment,
+        node_totals=node_totals,
+        arrival_rates=arrival,
+    )
+
+
+def _oracle() -> OraclePredictor:
+    rep = Component(
+        name="fig7-rep",
+        cls=ComponentClass.SEARCHING,
+        base_service=LogNormal(ms(3.5), 0.5),
+    )
+    return OraclePredictor(
+        default_interference_model(noise_sigma=0.0),
+        {ComponentClass.SEARCHING: rep},
+    )
+
+
+def run_fig7(config: Fig7Config | None = None) -> Fig7Result:
+    """Measure analysis + search times over the (m, k) grid."""
+    cfg = config or Fig7Config()
+    predictor = _oracle()
+    sched_cfg = SchedulerConfig(threshold=StaticThreshold(ms(1)))
+    points: List[Fig7Point] = []
+    for m, k in cfg.sizes:
+        best: Optional[Fig7Point] = None
+        for rep in range(cfg.repeats):
+            rng = np.random.default_rng(cfg.seed + rep)
+            inputs = make_instance(m, k, rng)
+            scheduler = PCSScheduler(predictor, sched_cfg)
+            outcome = scheduler.schedule(inputs)
+            point = Fig7Point(
+                m=m,
+                k=k,
+                analysis_time_s=outcome.analysis_time_s,
+                search_time_s=outcome.search_time_s,
+                n_migrations=outcome.n_migrations,
+            )
+            if best is None or point.total_time_s < best.total_time_s:
+                best = point
+        points.append(best)
+    for m, k in cfg.hierarchical_sizes:
+        rng = np.random.default_rng(cfg.seed)
+        inputs = make_instance(m, k, rng)
+        scheduler = HierarchicalScheduler(
+            predictor, sched_cfg, group_size=cfg.hierarchical_group_size
+        )
+        outcome = scheduler.schedule(inputs)
+        points.append(
+            Fig7Point(
+                m=m,
+                k=k,
+                analysis_time_s=outcome.analysis_time_s,
+                search_time_s=outcome.search_time_s,
+                n_migrations=outcome.n_migrations,
+                hierarchical=True,
+            )
+        )
+    return Fig7Result(points=points, config=cfg)

@@ -1,0 +1,21 @@
+"""Ground-truth interference: how contention inflates service times.
+
+On the authors' testbed this relationship is physical (cache misses,
+bandwidth saturation); here it is an explicit model the *predictor never
+sees* — the regressions of paper Eq. 1 must learn it from monitored
+samples, exactly as they learn real hardware.  Keeping it explicit gives
+the reproduction a controlled notion of "true" latency against which
+prediction error (Fig. 5) is measured.
+"""
+
+from repro.interference.ground_truth import (
+    InterferenceCoefficients,
+    InterferenceModel,
+    default_interference_model,
+)
+
+__all__ = [
+    "InterferenceCoefficients",
+    "InterferenceModel",
+    "default_interference_model",
+]

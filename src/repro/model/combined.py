@@ -1,0 +1,129 @@
+"""The combined service-time model ``RG_ST(U)`` — paper Eq. 1.
+
+Training fits one single-resource regressor per shared-resource class
+and computes each model's *relevance* weight ``w_sr`` — the paper's
+"relevance between the contention information of shared resource sr and
+c's service time", which we realise as the absolute Pearson correlation
+on the training set.  Prediction is the weight-normalised combination::
+
+    RG_ST(U) = (Σ_sr w_sr · RG_sr(U_sr)) / (Σ_sr w_sr)          (Eq. 1)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.cluster.resources import RESOURCE_KINDS, ResourceKind, ResourceVector
+from repro.errors import ModelError, NotFittedError
+from repro.model.regression import PolynomialRegressor, Regressor
+
+__all__ = ["CombinedServiceTimeModel"]
+
+
+def _pearson_abs(u: np.ndarray, x: np.ndarray) -> float:
+    """|Pearson correlation|, defined as 0 for constant inputs."""
+    if u.std() == 0 or x.std() == 0:
+        return 0.0
+    return float(abs(np.corrcoef(u, x)[0, 1]))
+
+
+class CombinedServiceTimeModel:
+    """Eq. 1: relevance-weighted combination of four per-resource models.
+
+    Parameters
+    ----------
+    regressor_factory:
+        Callable producing a fresh :class:`Regressor` per resource;
+        defaults to degree-2 :class:`PolynomialRegressor`.
+    """
+
+    def __init__(
+        self, regressor_factory: Optional[Callable[[], Regressor]] = None
+    ) -> None:
+        self._factory = regressor_factory or (lambda: PolynomialRegressor(degree=2))
+        self.regressors: Dict[ResourceKind, Regressor] = {}
+        self.weights: Dict[ResourceKind, float] = {}
+        self.n_samples = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has succeeded."""
+        return bool(self.regressors)
+
+    def fit(self, contention: np.ndarray, service_times: np.ndarray) -> "CombinedServiceTimeModel":
+        """Fit on ``(n, 4)`` contention vectors and ``(n,)`` service times.
+
+        Column order must match :data:`repro.cluster.resources.RESOURCE_KINDS`
+        (core, cache, diskBW, networkBW).
+        """
+        u = np.asarray(contention, dtype=np.float64)
+        x = np.asarray(service_times, dtype=np.float64).ravel()
+        if u.ndim != 2 or u.shape[1] != len(RESOURCE_KINDS):
+            raise ModelError(f"contention must be (n, 4), got {u.shape}")
+        if u.shape[0] != x.size:
+            raise ModelError(
+                f"sample mismatch: {u.shape[0]} vectors vs {x.size} times"
+            )
+        if np.any(x <= 0):
+            raise ModelError("service times must be positive")
+        regressors: Dict[ResourceKind, Regressor] = {}
+        weights: Dict[ResourceKind, float] = {}
+        for kind in RESOURCE_KINDS:
+            col = u[:, kind.index]
+            reg = self._factory()
+            reg.fit(col, x)
+            regressors[kind] = reg
+            weights[kind] = _pearson_abs(col, x)
+        if all(w == 0.0 for w in weights.values()):
+            # Degenerate profiling run (no contention varied at all):
+            # fall back to equal weights so Eq. 1 stays defined.
+            weights = {kind: 1.0 for kind in RESOURCE_KINDS}
+        self.regressors = regressors
+        self.weights = weights
+        self.n_samples = int(x.size)
+        return self
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(self, contention: np.ndarray) -> np.ndarray:
+        """Eq. 1 prediction for ``(n, 4)`` contention vectors → ``(n,)``.
+
+        Predictions are floored at a small positive value: a service
+        time can never be negative, but an extrapolating polynomial
+        could produce one.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("combined model has not been fitted")
+        u = np.asarray(contention, dtype=np.float64)
+        if u.ndim != 2 or u.shape[1] != len(RESOURCE_KINDS):
+            raise ModelError(f"contention must be (n, 4), got {u.shape}")
+        total_weight = sum(self.weights.values())
+        acc = np.zeros(u.shape[0])
+        for kind in RESOURCE_KINDS:
+            w = self.weights[kind]
+            if w == 0.0:
+                continue
+            acc += w * self.regressors[kind].predict(u[:, kind.index])
+        return np.maximum(acc / total_weight, 1e-9)
+
+    def predict_one(self, contention: ResourceVector) -> float:
+        """Scalar convenience wrapper over :meth:`predict`."""
+        return float(self.predict(contention.as_array()[np.newaxis, :])[0])
+
+    def normalised_weights(self) -> Dict[ResourceKind, float]:
+        """Weights scaled to sum to 1 (for reporting/tests)."""
+        if not self.is_fitted:
+            raise NotFittedError("combined model has not been fitted")
+        total = sum(self.weights.values())
+        return {k: w / total for k, w in self.weights.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.is_fitted:
+            return "CombinedServiceTimeModel(unfitted)"
+        ws = ", ".join(
+            f"{k.value}={w:.2f}" for k, w in self.normalised_weights().items()
+        )
+        return f"CombinedServiceTimeModel(n={self.n_samples}, weights: {ws})"

@@ -1,0 +1,78 @@
+"""Topology latency — paper Eqs. 3 and 4.
+
+Given per-component expected latencies ``l_i``, a stage's latency is the
+max over its parallel components (Eq. 3) and the service's overall
+latency is the sum over its sequential stages (Eq. 4).  The hot path
+works on a flat ``(m,)`` latency array plus a ``(m,)`` stage-index array
+(matrix row order), so the segment-max reduces in one
+``np.maximum.reduceat`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["stage_latencies", "overall_latency", "stage_offsets"]
+
+
+def stage_offsets(stage_of: np.ndarray) -> np.ndarray:
+    """Start offset of each stage inside a stage-major component array.
+
+    ``stage_of`` must be non-decreasing (matrix row order guarantees
+    it); returns the offsets usable with ``np.maximum.reduceat``.
+    """
+    stage_of = np.asarray(stage_of)
+    if stage_of.ndim != 1 or stage_of.size == 0:
+        raise ModelError("stage_of must be a non-empty 1-D array")
+    if np.any(np.diff(stage_of) < 0):
+        raise ModelError("stage_of must be non-decreasing (stage-major order)")
+    changes = np.flatnonzero(np.diff(stage_of)) + 1
+    return np.concatenate([[0], changes])
+
+
+def stage_latencies(latencies: np.ndarray, stage_of: np.ndarray) -> np.ndarray:
+    """Eq. 3 per stage: ``l_stage = max_i l_i`` over the stage's components."""
+    l = np.asarray(latencies, dtype=np.float64)
+    stage_of = np.asarray(stage_of)
+    if l.shape != stage_of.shape:
+        raise ModelError(
+            f"shape mismatch: latencies {l.shape} vs stage_of {stage_of.shape}"
+        )
+    offsets = stage_offsets(stage_of)
+    return np.maximum.reduceat(l, offsets)
+
+
+def overall_latency(latencies: np.ndarray, stage_of: np.ndarray) -> float:
+    """Eq. 4: sum of the per-stage maxima."""
+    return float(stage_latencies(latencies, stage_of).sum())
+
+
+def grouped_overall_latency(
+    latencies: np.ndarray, group_of: np.ndarray, stage_of: np.ndarray
+) -> float:
+    """Eqs. 3–4 generalised to replica groups.
+
+    In the paper every component of a stage serves every request, so
+    Eq. 3 is a plain max over components.  In a topology with replica
+    *groups* (interchangeable servers sharing one shard), a request is
+    served by **one** replica per group, so the group's expected
+    request latency is the *mean* over its replicas; Eq. 3's max then
+    ranges over groups.  With one component per group
+    (``group_of = arange(m)``) this reduces exactly to the paper's
+    formula — property-tested in ``tests/model``.
+    """
+    l = np.asarray(latencies, dtype=np.float64)
+    group_of = np.asarray(group_of)
+    stage_of = np.asarray(stage_of)
+    if not (l.shape == group_of.shape == stage_of.shape):
+        raise ModelError("latencies, group_of and stage_of must align")
+    g_offsets = stage_offsets(group_of)  # group ids are non-decreasing too
+    sizes = np.diff(np.append(g_offsets, l.size))
+    means = np.add.reduceat(l, g_offsets) / sizes
+    stage_of_group = stage_of[g_offsets]
+    s_offsets = stage_offsets(stage_of_group)
+    return float(np.maximum.reduceat(means, s_offsets).sum())

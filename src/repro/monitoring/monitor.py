@@ -1,0 +1,219 @@
+"""The online contention monitor.
+
+Reads each component's ground-truth contention from the cluster and
+reports it with relative measurement noise, at the paper's two cadences
+(§VI-A: system-level counters once per second via /proc, micro-
+architectural counters once per minute via Perf/Oprofile).
+
+Two driving modes:
+
+- ``attach(engine)`` — periodic sampling events on a simulation engine;
+- ``observe(component)`` / ``observe_window(component, n_samples)`` —
+  immediate one-shot / averaged readings for interval-driven harnesses
+  that do not run a fine-grained event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import ResourceVector
+from repro.errors import MonitoringError
+from repro.monitoring.samples import ContentionSample, SampleWindow
+from repro.service.component import Component
+from repro.simcore.engine import SimulationEngine
+
+__all__ = ["MonitorConfig", "OnlineMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Cadences and noise levels of the monitor.
+
+    Noise values are relative standard deviations of unbiased Gaussian
+    multiplicative noise (a 0.03 core noise means a true 50 % core usage
+    is reported as N(0.50, 0.015²), floored at zero).
+    """
+
+    system_period_s: float = 1.0
+    micro_period_s: float = 60.0
+    core_noise: float = 0.03
+    bw_noise: float = 0.05
+    cache_noise: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.system_period_s <= 0 or self.micro_period_s <= 0:
+            raise MonitoringError("monitor periods must be positive")
+        if self.micro_period_s < self.system_period_s:
+            raise MonitoringError(
+                "micro-architectural sampling must not be faster than "
+                "system-level sampling"
+            )
+        for name in ("core_noise", "bw_noise", "cache_noise"):
+            if getattr(self, name) < 0:
+                raise MonitoringError(f"{name} must be >= 0")
+
+
+class OnlineMonitor:
+    """Per-component contention windows with realistic sampling noise."""
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        cluster: Cluster,
+        components: Sequence[Component],
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.cluster = cluster
+        self.components = list(components)
+        if not self.components:
+            raise MonitoringError("monitor needs at least one component")
+        self._rng = rng
+        self.windows: Dict[str, SampleWindow] = {
+            c.name: SampleWindow() for c in self.components
+        }
+        self._stops: List[Callable[[], None]] = []
+        self.samples_taken = 0
+
+    # ------------------------------------------------------------------
+    # noise
+    # ------------------------------------------------------------------
+    def _noisy(self, truth: ResourceVector, fresh_cache: bool) -> ResourceVector:
+        cfg = self.config
+        t = truth.as_array()
+        sigmas = np.array([cfg.core_noise, cfg.cache_noise, cfg.bw_noise, cfg.bw_noise])
+        noisy = t * (1.0 + sigmas * self._rng.standard_normal(4))
+        if not fresh_cache:
+            noisy[1] = t[1]  # carried-over value, replaced by window logic
+        return ResourceVector(*np.maximum(noisy, 0.0))
+
+    # ------------------------------------------------------------------
+    # one-shot observation (interval-driven harness)
+    # ------------------------------------------------------------------
+    def observe(self, component: Component, time: float = 0.0) -> ContentionSample:
+        """One noisy reading of a component's current contention."""
+        truth = self.cluster.contention_for(component)
+        sample = ContentionSample(
+            time=time, vector=self._noisy(truth, fresh_cache=True)
+        )
+        self.samples_taken += 1
+        return sample
+
+    def observe_window(
+        self, component: Component, duration_s: float, start_time: float = 0.0
+    ) -> ResourceVector:
+        """Average of the readings one scheduling interval would collect.
+
+        ``duration_s / system_period_s`` system samples and
+        ``duration_s / micro_period_s`` micro samples — i.e. the
+        variance reduction a real interval of monitoring provides,
+        without paying for the event loop.
+        """
+        if duration_s <= 0:
+            raise MonitoringError(f"duration must be positive, got {duration_s}")
+        cfg = self.config
+        n_sys = max(1, int(duration_s / cfg.system_period_s))
+        n_micro = max(1, int(duration_s / cfg.micro_period_s))
+        truth = self.cluster.contention_for(component).as_array()
+        scaled_sigmas = np.array(
+            [
+                cfg.core_noise / np.sqrt(n_sys),
+                cfg.cache_noise / np.sqrt(n_micro),
+                cfg.bw_noise / np.sqrt(n_sys),
+                cfg.bw_noise / np.sqrt(n_sys),
+            ]
+        )
+        noisy = truth * (1.0 + scaled_sigmas * self._rng.standard_normal(4))
+        self.samples_taken += n_sys
+        return ResourceVector(*np.maximum(noisy, 0.0))
+
+    def observe_node_window(self, node, duration_s: float) -> ResourceVector:
+        """Windowed noisy estimate of a node's *total* resource use.
+
+        The node view the performance matrix needs (Table III's
+        ``U_nj``): all residents plus background, before capacity
+        clipping.
+        """
+        if duration_s <= 0:
+            raise MonitoringError(f"duration must be positive, got {duration_s}")
+        cfg = self.config
+        n_sys = max(1, int(duration_s / cfg.system_period_s))
+        n_micro = max(1, int(duration_s / cfg.micro_period_s))
+        truth = node.total_demand().as_array()
+        scaled_sigmas = np.array(
+            [
+                cfg.core_noise / np.sqrt(n_sys),
+                cfg.cache_noise / np.sqrt(n_micro),
+                cfg.bw_noise / np.sqrt(n_sys),
+                cfg.bw_noise / np.sqrt(n_sys),
+            ]
+        )
+        noisy = truth * (1.0 + scaled_sigmas * self._rng.standard_normal(4))
+        self.samples_taken += n_sys
+        return ResourceVector(*np.maximum(noisy, 0.0))
+
+    # ------------------------------------------------------------------
+    # event-driven sampling
+    # ------------------------------------------------------------------
+    def attach(self, engine: SimulationEngine) -> None:
+        """Start periodic sampling on ``engine`` (idempotent per call)."""
+        cfg = self.config
+        self._stops.append(
+            engine.every(
+                cfg.system_period_s,
+                lambda: self._sample_all(engine.now, fresh_cache=False),
+                label="monitor-system",
+            )
+        )
+        self._stops.append(
+            engine.every(
+                cfg.micro_period_s,
+                lambda: self._sample_all(engine.now, fresh_cache=True),
+                label="monitor-micro",
+            )
+        )
+
+    def detach(self) -> None:
+        """Stop all periodic sampling."""
+        for stop in self._stops:
+            stop()
+        self._stops.clear()
+
+    def _sample_all(self, now: float, fresh_cache: bool) -> None:
+        for component in self.components:
+            truth = self.cluster.contention_for(component)
+            window = self.windows[component.name]
+            carried = window.last_fresh_cache()
+            sample_vec = self._noisy(truth, fresh_cache)
+            if not fresh_cache and carried is not None:
+                arr = sample_vec.as_array().copy()
+                arr[1] = carried
+                sample_vec = ResourceVector(*arr)
+            window.append(
+                ContentionSample(
+                    time=now, vector=sample_vec, cache_valid=fresh_cache
+                )
+            )
+            self.samples_taken += 1
+
+    # ------------------------------------------------------------------
+    # window access
+    # ------------------------------------------------------------------
+    def window_mean(self, component: Component) -> ResourceVector:
+        """Estimated contention vector over the current window."""
+        window = self.windows[component.name]
+        if window.empty:
+            raise MonitoringError(
+                f"no samples for {component.name}; monitor not attached?"
+            )
+        return window.mean()
+
+    def reset_windows(self) -> None:
+        """Clear all windows at a scheduling-interval boundary."""
+        for window in self.windows.values():
+            window.clear()

@@ -1,0 +1,86 @@
+"""Contention samples and per-component sampling windows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import MonitoringError
+
+__all__ = ["ContentionSample", "SampleWindow"]
+
+
+@dataclass(frozen=True)
+class ContentionSample:
+    """One monitor reading for one component.
+
+    ``cache_valid`` distinguishes the 1 Hz system-level readings (core,
+    disk, net — cache carried over from the last micro sample) from the
+    1/60 Hz micro-architectural readings that refresh the cache MPKI.
+    """
+
+    time: float
+    vector: ResourceVector
+    cache_valid: bool = True
+
+
+class SampleWindow:
+    """Samples accumulated over one scheduling interval for one component.
+
+    The window mean weights the two cadences correctly: core/disk/net
+    are averaged over *all* samples, cache MPKI only over samples whose
+    cache reading was fresh.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[ContentionSample] = []
+
+    def append(self, sample: ContentionSample) -> None:
+        """Record one reading (times must be non-decreasing)."""
+        if self._samples and sample.time < self._samples[-1].time:
+            raise MonitoringError(
+                f"sample at t={sample.time} precedes last at "
+                f"t={self._samples[-1].time}"
+            )
+        self._samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no sample has been recorded since the last clear."""
+        return not self._samples
+
+    def clear(self) -> None:
+        """Reset at a scheduling-interval boundary."""
+        self._samples.clear()
+
+    def mean(self) -> ResourceVector:
+        """Cadence-aware mean contention vector over the window."""
+        if not self._samples:
+            raise MonitoringError("cannot average an empty sample window")
+        arr = np.stack([s.vector.as_array() for s in self._samples])
+        mean = arr.mean(axis=0)
+        fresh = [s for s in self._samples if s.cache_valid]
+        if fresh:
+            mean[1] = float(
+                np.mean([s.vector.cache_mpki for s in fresh])
+            )
+        return ResourceVector(*np.maximum(mean, 0.0))
+
+    def last(self) -> ContentionSample:
+        """Most recent sample."""
+        if not self._samples:
+            raise MonitoringError("sample window is empty")
+        return self._samples[-1]
+
+    def last_fresh_cache(self) -> Optional[float]:
+        """Most recent fresh cache MPKI reading, if any."""
+        for s in reversed(self._samples):
+            if s.cache_valid:
+                return s.vector.cache_mpki
+        return None

@@ -1,0 +1,204 @@
+"""Streaming statistics for online latency monitoring.
+
+A production PCS deployment cannot buffer every request latency to
+compute tail percentiles at each scheduling interval; it needs constant
+-memory estimators.  This module provides the two standard tools:
+
+- :class:`StreamingMoments` — Welford's online mean/variance (exact),
+  which is how a monitor maintains the ``x̄`` and ``var(x)`` that
+  Eq. 2 consumes over a window;
+- :class:`P2Quantile` — the Jain & Chlamtac (1985) P² algorithm: a
+  five-marker parabolic estimator of an arbitrary quantile in O(1)
+  memory and O(1) per observation, used for the 99th-percentile
+  component-latency metric.
+
+Both are deterministic, mergeable into the interval loop, and
+property-tested against exact NumPy computations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MonitoringError
+
+__all__ = ["StreamingMoments", "P2Quantile"]
+
+
+class StreamingMoments:
+    """Welford's numerically stable online mean and variance."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one observation in."""
+        if not math.isfinite(x):
+            raise MonitoringError(f"observation must be finite, got {x}")
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+
+    def add_many(self, xs) -> None:
+        """Fold a batch in (loops internally; order-independent result
+        up to floating point)."""
+        for x in np.asarray(xs, dtype=np.float64).ravel():
+            self.add(float(x))
+
+    @property
+    def n(self) -> int:
+        """Number of observations."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Running mean."""
+        if self._n == 0:
+            raise MonitoringError("no observations yet")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Population variance (matches ``numpy.var``)."""
+        if self._n == 0:
+            raise MonitoringError("no observations yet")
+        return self._m2 / self._n
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation — Eq. 2's C²ₓ."""
+        m = self.mean
+        if m <= 0:
+            raise MonitoringError("scv undefined for non-positive mean")
+        return self.variance / (m * m)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Combine two windows (Chan et al. parallel update)."""
+        if other._n == 0:
+            return self
+        if self._n == 0:
+            self._n, self._mean, self._m2 = other._n, other._mean, other._m2
+            return self
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._n * other._n / n
+        self._mean += delta * other._n / n
+        self._n = n
+        return self
+
+
+class P2Quantile:
+    """The P² single-quantile estimator (Jain & Chlamtac, CACM 1985).
+
+    Maintains five markers whose heights track the quantile's position
+    using piecewise-parabolic adjustment.  Exact for the first five
+    observations; O(1) memory afterwards.
+
+    Parameters
+    ----------
+    q:
+        Target quantile in (0, 1), e.g. ``0.99`` for the paper's tail
+        metric.
+    """
+
+    def __init__(self, q: float = 0.99) -> None:
+        if not 0.0 < q < 1.0:
+            raise MonitoringError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [
+            1.0,
+            1.0 + 2.0 * q,
+            1.0 + 4.0 * q,
+            3.0 + 2.0 * q,
+            5.0,
+        ]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """Number of observations."""
+        return self._n
+
+    def add(self, x: float) -> None:
+        """Fold one observation in."""
+        if not math.isfinite(x):
+            raise MonitoringError(f"observation must be finite, got {x}")
+        self._n += 1
+        h = self._heights
+        if self._n <= 5:
+            h.append(float(x))
+            h.sort()
+            return
+        # Locate the cell and bump the marker positions.
+        if x < h[0]:
+            h[0] = float(x)
+            cell = 0
+        elif x >= h[4]:
+            h[4] = float(x)
+            cell = 3
+        else:
+            cell = 0
+            while x >= h[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three interior markers.
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            if (d >= 1.0 and self._positions[i + 1] - self._positions[i] > 1.0) or (
+                d <= -1.0 and self._positions[i - 1] - self._positions[i] < -1.0
+            ):
+                sign = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, sign)
+                self._positions[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, p = self._heights, self._positions
+        return h[i] + sign / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + sign)
+            * (h[i + 1] - h[i])
+            / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - sign)
+            * (h[i] - h[i - 1])
+            / (p[i] - p[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        h, p = self._heights, self._positions
+        j = i + int(sign)
+        return h[i] + sign * (h[j] - h[i]) / (p[j] - p[i])
+
+    def add_many(self, xs) -> None:
+        """Fold a batch in."""
+        for x in np.asarray(xs, dtype=np.float64).ravel():
+            self.add(float(x))
+
+    @property
+    def estimate(self) -> float:
+        """Current quantile estimate.
+
+        Before five observations have arrived, falls back to the exact
+        small-sample quantile.
+        """
+        if self._n == 0:
+            raise MonitoringError("no observations yet")
+        if self._n <= 5:
+            return float(
+                np.percentile(self._heights, self.q * 100.0, method="higher")
+            )
+        return self._heights[2]

@@ -1,0 +1,105 @@
+"""Named, reproducible random-number streams.
+
+Every stochastic part of the simulator (batch-job churn, service-time
+noise, monitor sampling noise, request arrivals, ...) draws from its own
+named :class:`numpy.random.Generator` stream.  Streams are derived from a
+single root seed with :class:`numpy.random.SeedSequence` spawning keyed
+by a stable hash of the stream name, so
+
+* two runs with the same root seed are bit-identical,
+* adding a *new* stream never perturbs existing ones, and
+* parallel subsystems cannot accidentally share a generator.
+
+This mirrors the common MPI/HPC practice of per-rank independent
+streams (cf. the mpi4py guide): independence comes from the seed
+derivation, not from luck.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator
+
+import numpy as np
+
+__all__ = ["RngRegistry", "stable_name_key"]
+
+
+def stable_name_key(name: str) -> int:
+    """Map a stream name to a stable 64-bit integer key.
+
+    Uses BLAKE2 rather than :func:`hash` because the latter is salted
+    per process and would break cross-run reproducibility.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RngRegistry:
+    """A registry of named random streams derived from one root seed.
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  Identical seeds yield identical streams for
+        identical names, regardless of creation order.
+
+    Examples
+    --------
+    >>> rngs = RngRegistry(seed=7)
+    >>> arrivals = rngs.get("service.arrivals")
+    >>> noise = rngs.get("monitor.noise")
+    >>> arrivals is rngs.get("service.arrivals")
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this registry was created with."""
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        gen = self._streams.get(name)
+        if gen is None:
+            seq = np.random.SeedSequence(
+                entropy=self._seed, spawn_key=(stable_name_key(name),)
+            )
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, name: str, index: int) -> np.random.Generator:
+        """Return an indexed sub-stream, e.g. one per component replica.
+
+        ``fork("comp", 3)`` is equivalent to ``get("comp[3]")`` but makes
+        the intent explicit at call sites that loop over entities.
+        """
+        if index < 0:
+            raise ValueError(f"fork index must be >= 0, got {index}")
+        return self.get(f"{name}[{index}]")
+
+    def names(self) -> Iterator[str]:
+        """Iterate over the names of the streams created so far."""
+        return iter(sorted(self._streams))
+
+    def reset(self) -> None:
+        """Drop all streams; subsequent ``get`` calls restart each stream."""
+        self._streams.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(seed={self._seed}, streams={len(self._streams)})"

@@ -1,0 +1,35 @@
+"""The PCS component-level scheduler — paper §V.
+
+- :mod:`repro.scheduler.pcs` — Algorithm 1: the greedy migration loop
+  over the performance matrix, with the paper's tie-breaking rule and
+  migration threshold ε.
+- :mod:`repro.scheduler.threshold` — static ε (the paper's 5 ms =
+  5 % of the accepted 100 ms overall latency) and the adaptive variant
+  the paper flags as possible future work.
+- :mod:`repro.scheduler.hierarchical` — §VI-D's grouped strategy for
+  services beyond ~640 components.
+- :mod:`repro.scheduler.migration` — enforcement of the allocation
+  array on a cluster, with the paper's migration-cost model.
+"""
+
+from repro.scheduler.hierarchical import HierarchicalScheduler
+from repro.scheduler.migration import MigrationCostModel, MigrationExecutor
+from repro.scheduler.pcs import (
+    Migration,
+    PCSScheduler,
+    SchedulerConfig,
+    SchedulingOutcome,
+)
+from repro.scheduler.threshold import AdaptiveThreshold, StaticThreshold
+
+__all__ = [
+    "SchedulerConfig",
+    "Migration",
+    "SchedulingOutcome",
+    "PCSScheduler",
+    "StaticThreshold",
+    "AdaptiveThreshold",
+    "HierarchicalScheduler",
+    "MigrationExecutor",
+    "MigrationCostModel",
+]

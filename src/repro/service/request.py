@@ -1,0 +1,79 @@
+"""Request records for the fine-grained event-driven simulator.
+
+The vectorised interval simulator never materialises these (it works on
+NumPy arrays); the DES reference simulator uses them to track each
+request's journey through the topology so integration tests can compare
+both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["SubRequestOutcome", "Request"]
+
+
+@dataclass
+class SubRequestOutcome:
+    """One copy of a request at one component."""
+
+    component_name: str
+    arrival_time: float
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    cancelled: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Sojourn time (queueing + service), or None if unfinished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    @property
+    def wait(self) -> Optional[float]:
+        """Queueing delay, or None if not started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.arrival_time
+
+
+@dataclass
+class Request:
+    """A user request traversing the whole service."""
+
+    request_id: int
+    arrival_time: float
+    stage_arrivals: Dict[int, float] = field(default_factory=dict)
+    stage_finishes: Dict[int, float] = field(default_factory=dict)
+    outcomes: Dict[str, SubRequestOutcome] = field(default_factory=dict)
+    finish_time: Optional[float] = None
+
+    @property
+    def overall_latency(self) -> float:
+        """End-to-end latency; raises if the request is still in flight."""
+        if self.finish_time is None:
+            raise SimulationError(
+                f"request {self.request_id} has not finished"
+            )
+        return self.finish_time - self.arrival_time
+
+    def stage_latency(self, stage_index: int) -> float:
+        """Latency of one stage for this request."""
+        if (
+            stage_index not in self.stage_arrivals
+            or stage_index not in self.stage_finishes
+        ):
+            raise SimulationError(
+                f"request {self.request_id} has no completed stage {stage_index}"
+            )
+        return self.stage_finishes[stage_index] - self.stage_arrivals[stage_index]
+
+    def record_outcome(self, key: str, outcome: SubRequestOutcome) -> None:
+        """Attach a sub-request outcome under a unique key."""
+        if key in self.outcomes:
+            raise SimulationError(f"duplicate outcome key {key!r}")
+        self.outcomes[key] = outcome

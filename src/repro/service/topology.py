@@ -1,0 +1,194 @@
+"""Service topology: stages of replica groups (paper Eqs. 3–4 shape).
+
+Semantics
+---------
+- A request traverses the stages **sequentially**; the overall latency
+  is the sum of stage latencies (Eq. 4).
+- Within a stage, the request fans out to **every replica group**
+  (search shards all hold different index partitions) and the stage
+  completes when the slowest group responds (Eq. 3's max).
+- Within a group, replicas are interchangeable; which replica(s)
+  receive a copy of the request is the *policy's* decision (Basic sends
+  to one, RED-k to k, RI-p reissues conditionally).  Load-sharing a
+  stage over several equivalent servers is therefore modeled as one
+  group with several replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.service.component import Component
+
+__all__ = ["ReplicaGroup", "Stage", "ServiceTopology"]
+
+
+@dataclass
+class ReplicaGroup:
+    """Interchangeable replicas of one shard/partition."""
+
+    name: str
+    components: List[Component]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("group name must be non-empty")
+        if not self.components:
+            raise TopologyError(f"group {self.name} must have >= 1 replica")
+
+    @property
+    def n_replicas(self) -> int:
+        """Number of interchangeable replicas in this group."""
+        return len(self.components)
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+
+@dataclass
+class Stage:
+    """One sequential stage: a set of groups the request fans out to."""
+
+    name: str
+    groups: List[ReplicaGroup]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("stage name must be non-empty")
+        if not self.groups:
+            raise TopologyError(f"stage {self.name} must have >= 1 group")
+
+    @property
+    def components(self) -> List[Component]:
+        """All components of the stage, group-major order."""
+        return [c for g in self.groups for c in g.components]
+
+    @property
+    def n_groups(self) -> int:
+        """Fan-out width of the stage."""
+        return len(self.groups)
+
+    @property
+    def max_replicas(self) -> int:
+        """Largest replica count over the stage's groups."""
+        return max(g.n_replicas for g in self.groups)
+
+    def __iter__(self) -> Iterator[ReplicaGroup]:
+        return iter(self.groups)
+
+
+class ServiceTopology:
+    """A validated chain of stages.
+
+    Construction assigns every component its
+    ``(stage_index, group_index, replica_index)`` coordinates and
+    checks name uniqueness — the invariants everything downstream
+    (performance matrix rows, scheduler candidate sets) relies on.
+    """
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise TopologyError("a service needs at least one stage")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise TopologyError(f"duplicate stage names in {names}")
+        self._stages = list(stages)
+        seen: set[str] = set()
+        for si, stage in enumerate(self._stages):
+            for gi, group in enumerate(stage.groups):
+                for ri, comp in enumerate(group.components):
+                    if comp.name in seen:
+                        raise TopologyError(
+                            f"duplicate component name {comp.name!r}"
+                        )
+                    seen.add(comp.name)
+                    comp.positioned(si, gi, ri)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> List[Stage]:
+        """Stages in request-traversal order."""
+        return list(self._stages)
+
+    @property
+    def n_stages(self) -> int:
+        """Number of sequential stages (paper's S)."""
+        return len(self._stages)
+
+    @property
+    def components(self) -> List[Component]:
+        """All components, stage-major order — the matrix row order."""
+        return [c for s in self._stages for c in s.components]
+
+    @property
+    def n_components(self) -> int:
+        """Total number of components (paper's m)."""
+        return len(self.components)
+
+    def stage(self, name: str) -> Stage:
+        """Look a stage up by name."""
+        for s in self._stages:
+            if s.name == name:
+                return s
+        raise TopologyError(f"no stage named {name!r}")
+
+    def component(self, name: str) -> Component:
+        """Look a component up by name."""
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise TopologyError(f"no component named {name!r}")
+
+    def component_index(self, component: Component) -> int:
+        """Performance-matrix row index of ``component``."""
+        for i, c in enumerate(self.components):
+            if c is component:
+                return i
+        raise TopologyError(f"{component.name} is not part of this topology")
+
+    # ------------------------------------------------------------------
+    # graph view
+    # ------------------------------------------------------------------
+    def to_graph(self) -> nx.DiGraph:
+        """Request-flow DAG: entry → stage fan-outs → exit.
+
+        Useful for visualisation and for asserting structural properties
+        in tests; nodes are component names plus ``__entry__`` and
+        ``__exit__`` sentinels.
+        """
+        g = nx.DiGraph()
+        prev_layer = ["__entry__"]
+        g.add_node("__entry__", kind="sentinel")
+        for stage in self._stages:
+            layer = []
+            for comp in stage.components:
+                g.add_node(comp.name, kind="component", stage=stage.name)
+                for p in prev_layer:
+                    g.add_edge(p, comp.name)
+                layer.append(comp.name)
+            prev_layer = layer
+        g.add_node("__exit__", kind="sentinel")
+        for p in prev_layer:
+            g.add_edge(p, "__exit__")
+        return g
+
+    def describe(self) -> str:
+        """Human-readable ``stage(name): groups x replicas`` summary."""
+        parts = []
+        for s in self._stages:
+            reps = {g.n_replicas for g in s.groups}
+            reps_s = str(reps.pop()) if len(reps) == 1 else "var"
+            parts.append(f"{s.name}[{s.n_groups}x{reps_s}]")
+        return " -> ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceTopology({self.describe()})"

@@ -1,0 +1,33 @@
+"""Full-system simulation harness.
+
+- :mod:`repro.sim.metrics` — latency summaries (mean, tail percentiles)
+  in the paper's two report currencies: pooled 99th-percentile
+  *component* latency and mean *overall service* latency.
+- :mod:`repro.sim.queue_sim` — the vectorised per-interval sample-path
+  simulator: exact Lindley queues per component, with the Basic, RED-k
+  (two-pass imperfect cancellation) and RI-p (conditional reissue)
+  routing mechanics.
+- :mod:`repro.sim.des_service` — a fine-grained event-driven reference
+  simulator used to bound the vectorised path's stage-alignment
+  approximation in integration tests.
+- :mod:`repro.sim.profiling` — the §VI-B profiling runs that produce
+  predictor training data.
+- :mod:`repro.sim.runner` — the interval loop tying everything
+  together: batch churn → monitoring → prediction → scheduling →
+  request simulation (the Fig. 6 engine).
+"""
+
+from repro.sim.metrics import LatencySummary, percentile, summarize
+from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
+from repro.sim.runner import PolicyResult, RunnerConfig, ExperimentRunner
+
+__all__ = [
+    "LatencySummary",
+    "percentile",
+    "summarize",
+    "IntervalOutcome",
+    "simulate_service_interval",
+    "RunnerConfig",
+    "PolicyResult",
+    "ExperimentRunner",
+]

@@ -1,0 +1,85 @@
+"""Latency metrics (paper §VI-A "Metrics").
+
+Two currencies:
+
+1. the 99th-percentile latency of individual components over all
+   requests (sub-request sojourns pooled across components);
+2. the average overall service latency over all requests.
+
+Percentiles use the *nearest-rank on the empirical sample* convention
+(``numpy``'s ``'higher'`` interpolation) so a reported p99 is always an
+actually observed latency — the convention tail-latency papers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["percentile", "LatencySummary", "summarize", "pool"]
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise SimulationError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise SimulationError(f"q must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q, method="higher"))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of one latency sample (seconds)."""
+
+    n: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def render(self, label: str = "", unit_ms: bool = True) -> str:
+        """One-line human-readable summary."""
+        f = 1e3 if unit_ms else 1.0
+        u = "ms" if unit_ms else "s"
+        head = f"{label}: " if label else ""
+        return (
+            f"{head}n={self.n} mean={self.mean * f:.2f}{u} "
+            f"p50={self.p50 * f:.2f}{u} p95={self.p95 * f:.2f}{u} "
+            f"p99={self.p99 * f:.2f}{u} max={self.max * f:.2f}{u}"
+        )
+
+
+def summarize(values) -> LatencySummary:
+    """Build a :class:`LatencySummary` from raw latencies."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise SimulationError("cannot summarise an empty latency sample")
+    if np.any(arr < 0):
+        raise SimulationError("latencies must be non-negative")
+    return LatencySummary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        p50=percentile(arr, 50),
+        p95=percentile(arr, 95),
+        p99=percentile(arr, 99),
+        max=float(arr.max()),
+    )
+
+
+def pool(samples: Mapping[str, np.ndarray] | Iterable[np.ndarray]) -> np.ndarray:
+    """Concatenate per-component latency arrays into one pooled sample."""
+    if isinstance(samples, Mapping):
+        arrays = list(samples.values())
+    else:
+        arrays = list(samples)
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays if np.size(a)]
+    if not arrays:
+        raise SimulationError("nothing to pool")
+    return np.concatenate(arrays)

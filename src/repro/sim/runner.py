@@ -1,0 +1,349 @@
+"""The interval loop: batch churn → monitor → predict → schedule → serve.
+
+One :class:`ExperimentRunner` evaluates one policy on one arrival rate:
+
+1. build a cluster and deploy the Nutch-like service;
+2. start Poisson batch-job churn on every node (the interference
+   source);
+3. per scheduling interval:
+
+   a. advance the event engine — jobs arrive/finish, contention moves;
+   b. derive every component's *true* current service distribution
+      from the ground-truth interference model (plus the migration
+      warm-up penalty where applicable);
+   c. simulate the interval's requests with the policy's routing
+      (:mod:`repro.sim.queue_sim`) and record latencies;
+   d. for PCS: read the monitor (noisy windows), estimate the arrival
+      rate from the interval's own request count, build the
+      performance matrix inputs, run Algorithm 1 and enforce the
+      migrations on the cluster.
+
+Identical seeds produce identical churn and arrival patterns across
+policies, so Fig. 6's comparisons are paired.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.baselines.policies import PCSPolicy, Policy
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeCapacity
+from repro.errors import ExperimentError
+from repro.interference.ground_truth import InterferenceModel, default_interference_model
+from repro.model.matrix import MatrixInputs
+from repro.model.predictor import LatencyPredictor, OraclePredictor
+from repro.monitoring.monitor import MonitorConfig, OnlineMonitor
+from repro.rng import RngRegistry
+from repro.scheduler.hierarchical import HierarchicalScheduler
+from repro.scheduler.migration import MigrationCostModel, MigrationExecutor
+from repro.scheduler.pcs import PCSScheduler
+from repro.service.nutch import NutchConfig, build_nutch_service
+from repro.sim.metrics import LatencySummary, pool, summarize
+from repro.sim.profiling import ProfilingConfig, train_predictor_for_service
+from repro.sim.queue_sim import simulate_service_interval
+from repro.simcore.engine import SimulationEngine
+from repro.workloads.generator import BatchJobGenerator, GeneratorConfig
+
+__all__ = ["RunnerConfig", "PolicyResult", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Shape of one Fig. 6-style experiment."""
+
+    n_nodes: int = 30
+    machine_slots: int = 16
+    arrival_rate: float = 100.0
+    interval_s: float = 60.0
+    n_intervals: int = 8
+    warmup_intervals: int = 2
+    seed: int = 0
+    nutch: NutchConfig = field(default_factory=NutchConfig)
+    generator: GeneratorConfig = field(
+        default_factory=lambda: GeneratorConfig(
+            jobs_per_node_per_s=0.01, max_batch_jobs_per_node=3
+        )
+    )
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    interference_noise: float = 0.02
+    churn_prewarm_s: float = 300.0
+    deployment: str = "random"
+    profiling: ProfilingConfig = field(default_factory=ProfilingConfig)
+    n_profiling_conditions: int = 60
+    migration_cost: MigrationCostModel = field(default_factory=MigrationCostModel)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ExperimentError("n_nodes must be >= 1")
+        if self.arrival_rate <= 0:
+            raise ExperimentError("arrival_rate must be positive")
+        if self.interval_s <= 0:
+            raise ExperimentError("interval_s must be positive")
+        if not 0 <= self.warmup_intervals < self.n_intervals:
+            raise ExperimentError(
+                "need 0 <= warmup_intervals < n_intervals "
+                f"(got {self.warmup_intervals} vs {self.n_intervals})"
+            )
+        if self.interference_noise < 0:
+            raise ExperimentError("interference_noise must be >= 0")
+        if self.churn_prewarm_s < 0:
+            raise ExperimentError("churn_prewarm_s must be >= 0")
+
+
+@dataclass
+class PolicyResult:
+    """Aggregated outcome of one (policy, arrival rate) run."""
+
+    policy_name: str
+    arrival_rate: float
+    component_latency: LatencySummary
+    overall_latency: LatencySummary
+    per_interval_component_p99: List[float]
+    per_interval_overall_mean: List[float]
+    n_requests: int
+    n_migrations: int
+    scheduling_time_s: float
+    wall_time_s: float
+
+    @property
+    def component_p99_s(self) -> float:
+        """Metric 1: pooled 99th-percentile component latency."""
+        return self.component_latency.p99
+
+    @property
+    def overall_mean_s(self) -> float:
+        """Metric 2: mean overall service latency."""
+        return self.overall_latency.mean
+
+    def render(self) -> str:
+        """One line in a Fig. 6-style table."""
+        return (
+            f"{self.policy_name:>7s} @ {self.arrival_rate:7.1f} req/s | "
+            f"component p99 = {self.component_p99_s * 1e3:8.2f} ms | "
+            f"overall mean = {self.overall_mean_s * 1e3:8.2f} ms | "
+            f"migrations = {self.n_migrations}"
+        )
+
+
+class ExperimentRunner:
+    """Evaluates policies under one :class:`RunnerConfig`.
+
+    The (expensive) predictor training is shared across ``run`` calls:
+    train once, evaluate all six policies against the same model, as
+    the paper does.
+    """
+
+    def __init__(self, config: RunnerConfig) -> None:
+        self.config = config
+        self.interference = default_interference_model(config.interference_noise)
+        self._trained: Optional[LatencyPredictor] = None
+
+    # ------------------------------------------------------------------
+    # predictor
+    # ------------------------------------------------------------------
+    def trained_predictor(self) -> LatencyPredictor:
+        """Train (once) the Eq. 1 per-class models from profiling runs."""
+        if self._trained is None:
+            cfg = self.config
+            rng = RngRegistry(cfg.seed).get("profiling")
+            service = build_nutch_service(cfg.nutch)
+            self._trained = train_predictor_for_service(
+                service,
+                self.interference,
+                rng,
+                config=cfg.profiling,
+                n_mixed_conditions=cfg.n_profiling_conditions,
+            )
+        return self._trained
+
+    def oracle_predictor(self) -> OraclePredictor:
+        """Ground-truth predictor for the oracle ablation."""
+        service = build_nutch_service(self.config.nutch)
+        reps = {cls: service.representative(cls) for cls in service.classes()}
+        return OraclePredictor(self.interference, reps)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, policy: Policy) -> PolicyResult:
+        """Evaluate one policy; deterministic given the config seed."""
+        cfg = self.config
+        t_wall = time.perf_counter()
+        rngs = RngRegistry(cfg.seed)
+        engine = SimulationEngine()
+        cluster = Cluster.homogeneous(
+            cfg.n_nodes, NodeCapacity(machine_slots=cfg.machine_slots)
+        )
+        service = build_nutch_service(cfg.nutch)
+        service.deploy(cluster, cfg.deployment, rng=rngs.get("deploy"))
+        components = service.components
+
+        # Serving requests consumes resources: set every component's
+        # effective demand from the policy's executed-copy load.  This
+        # is what makes redundancy expensive cluster-wide.
+        for comp in components:
+            group = service.topology.stages[comp.stage_index].groups[
+                comp.group_index
+            ]
+            comp.set_load(
+                policy.load_multiplier * cfg.arrival_rate / group.n_replicas
+            )
+
+        generator = BatchJobGenerator(cfg.generator, rngs.get("batch-churn"))
+        generator.start(engine, cluster)
+
+        monitor = OnlineMonitor(
+            cfg.monitor, cluster, components, rngs.get("monitor")
+        )
+        scheduler = None
+        executor = None
+        scheduling_time = 0.0
+        n_migrations = 0
+        if policy.schedules:
+            assert isinstance(policy, PCSPolicy)
+            predictor = (
+                self.oracle_predictor()
+                if policy.use_oracle
+                else self.trained_predictor()
+            )
+            if policy.hierarchical_group_size:
+                scheduler = HierarchicalScheduler(
+                    predictor,
+                    policy.scheduler_config,
+                    group_size=policy.hierarchical_group_size,
+                )
+            else:
+                scheduler = PCSScheduler(predictor, policy.scheduler_config)
+            executor = MigrationExecutor(cluster, components, cfg.migration_cost)
+
+        drift_rng = rngs.get("interference-drift")
+        request_rng = rngs.get("requests")
+        warmup_set: Set[str] = set()
+        component_pool: List[np.ndarray] = []
+        overall_pool: List[np.ndarray] = []
+        per_interval_p99: List[float] = []
+        per_interval_mean: List[float] = []
+        n_requests = 0
+
+        # Let the batch churn reach its M/G/infinity equilibrium before
+        # the first measured interval — otherwise early intervals see an
+        # artificially empty cluster.
+        engine.run_until(cfg.churn_prewarm_s)
+
+        for interval in range(cfg.n_intervals):
+            engine.run_until(cfg.churn_prewarm_s + (interval + 1) * cfg.interval_s)
+            dists = self._service_distributions(
+                cluster, components, drift_rng, warmup_set
+            )
+            outcome = simulate_service_interval(
+                service.topology,
+                policy,
+                cfg.arrival_rate,
+                cfg.interval_s,
+                dists,
+                request_rng,
+            )
+            if interval >= cfg.warmup_intervals and outcome.n_requests:
+                pooled = outcome.pooled_component_latencies()
+                component_pool.append(pooled)
+                overall_pool.append(outcome.request_latencies)
+                per_interval_p99.append(float(np.percentile(pooled, 99)))
+                per_interval_mean.append(float(outcome.request_latencies.mean()))
+                n_requests += outcome.n_requests
+            if scheduler is not None and interval + 1 < cfg.n_intervals:
+                t0 = time.perf_counter()
+                warmup_set = self._schedule_interval(
+                    cluster, service, monitor, scheduler, executor, outcome
+                )
+                scheduling_time += time.perf_counter() - t0
+                n_migrations = executor.enforced
+
+        if not component_pool:
+            raise ExperimentError("no measured intervals produced requests")
+        return PolicyResult(
+            policy_name=policy.name,
+            arrival_rate=cfg.arrival_rate,
+            component_latency=summarize(pool(component_pool)),
+            overall_latency=summarize(pool(overall_pool)),
+            per_interval_component_p99=per_interval_p99,
+            per_interval_overall_mean=per_interval_mean,
+            n_requests=n_requests,
+            n_migrations=n_migrations,
+            scheduling_time_s=scheduling_time,
+            wall_time_s=time.perf_counter() - t_wall,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _service_distributions(
+        self, cluster, components, drift_rng, warmup_set: Set[str]
+    ) -> Dict[str, object]:
+        """True per-component service distributions for this interval."""
+        cfg = self.config
+        dists = {}
+        warm_frac = min(
+            1.0, cfg.migration_cost.warmup_duration_s / cfg.interval_s
+        )
+        for comp in components:
+            truth_u = cluster.contention_for(comp)
+            infl = self.interference.noisy_inflation(comp.cls, truth_u, drift_rng)
+            if comp.name in warmup_set:
+                infl *= 1.0 + (cfg.migration_cost.warmup_penalty - 1.0) * warm_frac
+            dists[comp.name] = comp.base_service.scaled(infl)
+        return dists
+
+    @staticmethod
+    def _global_group_ids(service) -> np.ndarray:
+        """Non-decreasing global replica-group id per component."""
+        ids = []
+        next_id = 0
+        for stage in service.topology.stages:
+            for group in stage.groups:
+                ids.extend([next_id] * group.n_replicas)
+                next_id += 1
+        return np.asarray(ids, dtype=np.int64)
+
+    def _schedule_interval(
+        self, cluster, service, monitor, scheduler, executor, outcome
+    ) -> Set[str]:
+        """Monitor → matrix inputs → Algorithm 1 → enforcement."""
+        cfg = self.config
+        components = service.components
+        # Arrival rate from the interval's own request count — the
+        # paper's log-profiling (counting a Poisson stream).
+        lam_service = outcome.n_requests / cfg.interval_s
+        lam = np.empty(len(components))
+        for idx, comp in enumerate(components):
+            group = service.topology.stages[comp.stage_index].groups[
+                comp.group_index
+            ]
+            lam[idx] = lam_service / group.n_replicas
+        node_totals = np.stack(
+            [
+                monitor.observe_node_window(node, cfg.interval_s).as_array()
+                for node in cluster.nodes
+            ]
+        )
+        # Service slots left per node after reserving the batch-VM budget.
+        service_slots = max(
+            1, cfg.machine_slots - cfg.generator.max_batch_jobs_per_node
+        )
+        inputs = MatrixInputs(
+            stage_of=np.array([c.stage_index for c in components]),
+            classes=[c.cls for c in components],
+            demands=np.stack([c.demand.as_array() for c in components]),
+            assignment=np.array(cluster.placement_indices(components)),
+            node_totals=node_totals,
+            arrival_rates=lam,
+            node_limits=np.full(len(cluster), service_slots),
+            group_of=self._global_group_ids(service),
+        )
+        sched_outcome = scheduler.schedule(inputs)
+        moved = executor.enforce(sched_outcome)
+        return set(moved)

@@ -1,0 +1,101 @@
+"""Event records and the time-ordered event queue.
+
+The queue is a plain binary heap (``heapq``) of ``(time, seq, Event)``
+triples.  ``seq`` is a monotonically increasing counter that makes
+same-time events pop in schedule order, which keeps the whole simulator
+deterministic — an essential property for the reproducibility contract
+stated in :mod:`repro.rng`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which to fire.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag used in tracing and error messages.
+    """
+
+    time: float
+    callback: Callable[[], Any]
+    label: str = ""
+    _cancelled: bool = field(default=False, repr=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue will skip it when popped.
+
+        Cancellation is O(1); the record stays in the heap until its
+        time comes and is then discarded.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` records."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> Event:
+        """Insert ``event`` and return it (for later cancellation)."""
+        if not callable(event.callback):
+            raise SimulationError(
+                f"event callback must be callable, got {event.callback!r}"
+            )
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event.
+
+        Returns ``None`` when the queue holds no live events.
+        """
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        """Number of records in the heap, including cancelled ones."""
+        return len(self._heap)
+
+    def live_count(self) -> int:
+        """Number of non-cancelled events (O(n); for tests/debugging)."""
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,96 @@
+"""Batch job specs and live jobs.
+
+A :class:`BatchJob` satisfies the cluster's ``Resident`` protocol: it
+exposes a ``demand`` vector computed once from its profile and input
+size, so node contention accounting stays O(residents).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import WorkloadError
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+__all__ = ["BatchJobSpec", "BatchJob"]
+
+_job_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class BatchJobSpec:
+    """What to run: a workload profile at a given input size."""
+
+    profile: WorkloadProfile
+    input_mb: float
+
+    def __post_init__(self) -> None:
+        if self.input_mb <= 0:
+            raise WorkloadError(f"input_mb must be positive, got {self.input_mb}")
+
+    @classmethod
+    def of(cls, profile_name: str, input_mb: float) -> "BatchJobSpec":
+        """Build from a profile registry name."""
+        return cls(get_profile(profile_name), input_mb)
+
+    @property
+    def demand(self) -> ResourceVector:
+        """Resource demand implied by profile + input size."""
+        return self.profile.demand(self.input_mb)
+
+    def sample_duration(self, rng: np.random.Generator) -> float:
+        """Draw a noisy duration for one run of this spec."""
+        return self.profile.sample_duration(self.input_mb, rng)
+
+
+@dataclass
+class BatchJob:
+    """A running batch job (Resident protocol: ``name`` + ``demand``).
+
+    Attributes
+    ----------
+    spec:
+        The job's workload profile and input size.
+    arrival_time:
+        Simulation time the job started (seconds).
+    duration:
+        Sampled run length (seconds).
+    """
+
+    spec: BatchJobSpec
+    arrival_time: float
+    duration: float
+    name: str = field(default="")
+    _demand: Optional[ResourceVector] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError(f"duration must be positive, got {self.duration}")
+        if not self.name:
+            self.name = f"{self.spec.profile.name}#{next(_job_counter)}"
+        self._demand = self.spec.demand
+
+    @property
+    def demand(self) -> ResourceVector:
+        """Constant resource demand over the job's lifetime."""
+        return self._demand
+
+    @property
+    def departure_time(self) -> float:
+        """Simulation time the job finishes."""
+        return self.arrival_time + self.duration
+
+    def active_at(self, time: float) -> bool:
+        """Whether the job is running at simulation time ``time``."""
+        return self.arrival_time <= time < self.departure_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchJob({self.name}, {self.spec.input_mb:.0f} MB, "
+            f"t=[{self.arrival_time:.1f}, {self.departure_time:.1f}))"
+        )

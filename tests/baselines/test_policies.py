@@ -1,0 +1,56 @@
+"""Tests for the policy descriptors."""
+
+import pytest
+
+from repro.baselines.policies import (
+    BasicPolicy,
+    PCSPolicy,
+    REDPolicy,
+    ReissuePolicy,
+    standard_policies,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNames:
+    def test_paper_legend(self):
+        names = [p.name for p in standard_policies()]
+        assert names == ["Basic", "RED-3", "RED-5", "RI-90", "RI-99", "PCS"]
+
+    def test_red_name_tracks_replicas(self):
+        assert REDPolicy(replicas=4).name == "RED-4"
+
+    def test_reissue_name_tracks_quantile(self):
+        assert ReissuePolicy(quantile=0.95).name == "RI-95"
+
+
+class TestSemantics:
+    def test_only_pcs_schedules(self):
+        for p in standard_policies():
+            assert p.schedules == (p.name == "PCS")
+
+    def test_copies(self):
+        assert BasicPolicy().copies == 1
+        assert REDPolicy(replicas=3).copies == 3
+        assert REDPolicy(replicas=5).copies == 5
+        assert ReissuePolicy().copies == 1  # secondary is conditional
+        assert PCSPolicy().copies == 1
+
+    def test_policies_hashable(self):
+        assert len(set(standard_policies())) == 6
+
+
+class TestValidation:
+    def test_red_needs_two_replicas(self):
+        with pytest.raises(ConfigurationError):
+            REDPolicy(replicas=1)
+
+    def test_red_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            REDPolicy(replicas=3, cancel_delay_s=-0.001)
+
+    def test_reissue_quantile_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ReissuePolicy(quantile=0.0)
+        with pytest.raises(ConfigurationError):
+            ReissuePolicy(quantile=1.0)

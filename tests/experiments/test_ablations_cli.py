@@ -1,0 +1,69 @@
+"""Smoke tests for the ablation drivers and the CLI parser."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.ablations import (
+    AblationConfig,
+    build_method_comparison,
+    hierarchy_tradeoff,
+    update_mode_comparison,
+)
+
+
+TINY = AblationConfig(
+    arrival_rate=60.0,
+    n_nodes=8,
+    n_intervals=4,
+    warmup_intervals=1,
+)
+
+
+class TestAblations:
+    def test_update_mode_comparison_renders(self):
+        out = update_mode_comparison(sizes=((30, 6),), seed=1)
+        assert "Algorithm 2" in out and "30x6" in out
+
+    def test_build_method_comparison_shows_agreement(self):
+        out = build_method_comparison(sizes=((15, 4),), seed=1)
+        assert "max |diff|" in out
+        # The diff column must be floating-point-noise small.
+        diff = float(out.splitlines()[-1].split("|")[-1])
+        assert diff < 1e-8
+
+    def test_hierarchy_tradeoff_renders(self):
+        out = hierarchy_tradeoff(m=120, k=12, group_sizes=(60, 120), seed=2)
+        assert "hierarchical" in out
+        assert "(flat)" in out
+
+
+class TestCLI:
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        for cmd in ("fig5", "fig6", "fig7", "ablations", "quick"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_fig6_scale_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig6", "--scale", "paper"]).scale == "paper"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig6", "--scale", "galactic"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_main_fig5_runs(self, capsys, monkeypatch):
+        # Patch to a tiny grid so the CLI test stays fast.
+        from repro.experiments import fig5 as fig5_mod
+
+        original = fig5_mod.Fig5Config
+
+        def tiny_config(seed=0):
+            return original(n_hadoop_sizes=3, n_spark_sizes=2, seed=seed)
+
+        monkeypatch.setattr("repro.experiments.fig5.Fig5Config", tiny_config)
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction error" in out

@@ -1,0 +1,131 @@
+"""Tests for the sweep-analysis helpers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.analysis import (
+    crossover_rate,
+    dominance_table,
+    pcs_convergence,
+)
+from repro.sim.metrics import LatencySummary
+from repro.sim.runner import PolicyResult
+
+
+def _result(name, rate, p99, mean, per_interval=None):
+    summary = LatencySummary(n=100, mean=mean, p50=mean, p95=p99, p99=p99, max=p99)
+    overall = LatencySummary(n=100, mean=mean, p50=mean, p95=p99, p99=p99, max=p99)
+    return PolicyResult(
+        policy_name=name,
+        arrival_rate=rate,
+        component_latency=summary,
+        overall_latency=overall,
+        per_interval_component_p99=[p99],
+        per_interval_overall_mean=per_interval or [mean],
+        n_requests=100,
+        n_migrations=0,
+        scheduling_time_s=0.0,
+        wall_time_s=0.0,
+    )
+
+
+def _sweep():
+    # RED helps at 10, ties around 50, hurts at 200.
+    return {
+        10.0: {
+            "Basic": _result("Basic", 10, 0.030, 0.025),
+            "RED-3": _result("RED-3", 10, 0.012, 0.010),
+            "PCS": _result("PCS", 10, 0.028, 0.022),
+        },
+        50.0: {
+            "Basic": _result("Basic", 50, 0.040, 0.035),
+            "RED-3": _result("RED-3", 50, 0.030, 0.028),
+            "PCS": _result("PCS", 50, 0.033, 0.028),
+        },
+        200.0: {
+            "Basic": _result("Basic", 200, 1.2, 0.70),
+            "RED-3": _result("RED-3", 200, 9.8, 5.6),
+            "PCS": _result("PCS", 200, 0.44, 0.25),
+        },
+    }
+
+
+class TestCrossoverRate:
+    def test_finds_crossover_between_samples(self):
+        x = crossover_rate(_sweep(), "RED-3")
+        assert 50.0 < x < 200.0
+
+    def test_no_crossover_returns_none(self):
+        x = crossover_rate(_sweep(), "PCS")
+        assert x is None  # PCS always beats Basic here
+
+    def test_never_helps_returns_lowest_rate(self):
+        sweep = _sweep()
+        for rate in sweep:
+            sweep[rate]["BAD"] = _result("BAD", rate, 10.0, 9.0)
+        assert crossover_rate(sweep, "BAD") == 10.0
+
+    def test_missing_policy_rejected(self):
+        with pytest.raises(ExperimentError):
+            crossover_rate(_sweep(), "RI-90")
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ExperimentError):
+            crossover_rate({}, "RED-3")
+
+
+class TestDominanceTable:
+    def test_winners_by_rate(self):
+        out = dominance_table(_sweep())
+        lines = out.splitlines()
+        assert any("RED-3" in l for l in lines if l.startswith(" 10") or "10 " in l)
+        assert any("PCS" in l for l in lines if "200" in l)
+
+    def test_margin_at_least_one(self):
+        out = dominance_table(_sweep())
+        data_lines = [l for l in out.splitlines() if l.count("|") == 4 and "margin" not in l]
+        margins = [
+            float(line.rsplit("|", 1)[1].strip().rstrip("x"))
+            for line in data_lines
+        ]
+        assert margins and all(m >= 1.0 for m in margins)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            dominance_table({})
+
+
+class TestPCSConvergence:
+    def test_improvement_computed(self):
+        r = _result("PCS", 100, 0.05, 0.04, per_interval=[0.050, 0.040, 0.030])
+        conv = pcs_convergence(r)
+        assert conv["first_interval_mean_s"] == pytest.approx(0.050)
+        assert conv["last_interval_mean_s"] == pytest.approx(0.030)
+        assert conv["relative_improvement"] == pytest.approx(0.4)
+
+    def test_single_interval_rejected(self):
+        with pytest.raises(ExperimentError):
+            pcs_convergence(_result("PCS", 100, 0.05, 0.04))
+
+    def test_real_run_converges(self):
+        """End-to-end: PCS's own interval series should not get worse."""
+        from repro.experiments.fig6 import paper_pcs_policy
+        from repro.service.nutch import NutchConfig
+        from repro.sim.runner import ExperimentRunner, RunnerConfig
+
+        runner = ExperimentRunner(
+            RunnerConfig(
+                n_nodes=10,
+                arrival_rate=120.0,
+                interval_s=20.0,
+                n_intervals=6,
+                warmup_intervals=1,
+                seed=21,
+                nutch=NutchConfig(n_search_groups=6, replicas_per_group=3,
+                                  n_segmenters=2, n_aggregators=2),
+                n_profiling_conditions=25,
+            )
+        )
+        result = runner.run(paper_pcs_policy())
+        conv = pcs_convergence(result)
+        assert conv["relative_improvement"] > -0.5  # not diverging

@@ -1,0 +1,137 @@
+"""Tests for the Fig. 6 and Fig. 7 experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import BasicPolicy, REDPolicy, ReissuePolicy
+from repro.errors import ExperimentError
+from repro.experiments.fig6 import (
+    Fig6Config,
+    paper_pcs_policy,
+    run_fig6,
+)
+from repro.experiments.fig7 import Fig7Config, make_instance, run_fig7
+from repro.service.nutch import NutchConfig
+
+
+@pytest.fixture(scope="module")
+def small_fig6():
+    cfg = Fig6Config(
+        arrival_rates=(30.0, 150.0),
+        n_nodes=10,
+        n_intervals=5,
+        warmup_intervals=1,
+        seed=13,
+        nutch=NutchConfig(
+            n_search_groups=6, replicas_per_group=3,
+            n_segmenters=2, n_aggregators=2,
+        ),
+        policies=(
+            BasicPolicy(),
+            REDPolicy(replicas=3),
+            ReissuePolicy(quantile=0.90),
+            paper_pcs_policy(),
+        ),
+    )
+    return run_fig6(cfg)
+
+
+class TestFig6:
+    def test_all_cells_present(self, small_fig6):
+        assert set(small_fig6.results) == {30.0, 150.0}
+        for per_policy in small_fig6.results.values():
+            assert set(per_policy) == {"Basic", "RED-3", "RI-90", "PCS"}
+
+    def test_pcs_beats_basic_at_heavy_load(self, small_fig6):
+        heavy = small_fig6.results[150.0]
+        assert heavy["PCS"].overall_mean_s < heavy["Basic"].overall_mean_s
+        assert heavy["PCS"].component_p99_s < heavy["Basic"].component_p99_s
+
+    def test_red_crossover(self, small_fig6):
+        """RED helps at light load, hurts at heavy load (paper §VI-C)."""
+        light, heavy = small_fig6.results[30.0], small_fig6.results[150.0]
+        assert light["RED-3"].overall_mean_s < light["Basic"].overall_mean_s
+        assert heavy["RED-3"].overall_mean_s > heavy["Basic"].overall_mean_s
+
+    def test_reissue_milder_than_red_at_heavy_load(self, small_fig6):
+        heavy = small_fig6.results[150.0]
+        assert heavy["RI-90"].overall_mean_s < heavy["RED-3"].overall_mean_s
+
+    def test_latencies_grow_with_load(self, small_fig6):
+        for name in ("Basic", "PCS"):
+            assert (
+                small_fig6.results[150.0][name].overall_mean_s
+                > small_fig6.results[30.0][name].overall_mean_s
+            )
+
+    def test_reduction_aggregations(self, small_fig6):
+        head = small_fig6.headline_reduction()
+        pairs = small_fig6.reduction_vs_mitigation_techniques()
+        assert set(head) == set(pairs) == {"tail", "mean"}
+        # The headline aggregation (ratio of sweep-averaged latencies)
+        # must favour PCS even on this 2-point mini sweep.
+        assert head["tail"] > 0 and head["mean"] > 0
+        # At the heavy point PCS must beat every mitigation technique.
+        heavy = small_fig6.results[150.0]
+        for name in ("RED-3", "RI-90"):
+            assert heavy["PCS"].component_p99_s < heavy[name].component_p99_s
+
+    def test_render_mentions_paper_numbers(self, small_fig6):
+        out = small_fig6.render()
+        assert "67.0" in out and "64.2" in out or "64.16" in out
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ExperimentError):
+            Fig6Config(arrival_rates=())
+        with pytest.raises(ExperimentError):
+            Fig6Config(arrival_rates=(0.0,))
+
+    def test_default_policies_are_paper_legend(self):
+        cfg = Fig6Config()
+        assert [p.name for p in cfg.policies] == [
+            "Basic", "RED-3", "RED-5", "RI-90", "RI-99", "PCS",
+        ]
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(
+            Fig7Config(
+                sizes=((20, 4), (40, 8), (80, 16)),
+                repeats=2,
+                hierarchical_sizes=((160, 16),),
+                hierarchical_group_size=80,
+            )
+        )
+
+    def test_all_points_measured(self, result):
+        assert len(result.points) == 4
+        assert sum(p.hierarchical for p in result.points) == 1
+
+    def test_times_positive(self, result):
+        for p in result.points:
+            assert p.analysis_time_s > 0
+            assert p.search_time_s >= 0
+
+    def test_growth_with_size(self, result):
+        flat = [p for p in result.points if not p.hierarchical]
+        assert flat[-1].analysis_time_s > flat[0].analysis_time_s
+
+    def test_top_point_well_under_interval(self, result):
+        # Paper: scheduling is < 0.1% of the 600 s interval.
+        assert result.top_point().total_time_s < 0.01 * 600.0
+
+    def test_render(self, result):
+        out = result.render()
+        assert "scalability" in out and "paper" in out
+
+    def test_make_instance_valid(self):
+        inputs = make_instance(30, 6, np.random.default_rng(0))
+        assert inputs.m == 30 and inputs.k == 6
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ExperimentError):
+            Fig7Config(sizes=())
+        with pytest.raises(ExperimentError):
+            Fig7Config(repeats=0)

@@ -1,0 +1,63 @@
+"""Tests for the text table/chart renderers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.report import format_ms, render_bars, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(
+            ["policy", "p99"],
+            [["Basic", "10.0"], ["PCS", "3.5"]],
+            title="demo",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "policy" in lines[1] and "p99" in lines[1]
+        assert len({len(l) for l in lines[1:]}) <= 2  # header/sep/rows align
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table([], [])
+
+    def test_no_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderBars:
+    def test_bars_scale_with_values(self):
+        out = render_bars({"small": 1.0, "big": 10.0}, width=20)
+        small_line = next(l for l in out.splitlines() if l.startswith("small"))
+        big_line = next(l for l in out.splitlines() if l.startswith("big"))
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_log_scale_compresses(self):
+        out_lin = render_bars({"a": 1.0, "b": 1000.0}, width=30)
+        out_log = render_bars({"a": 1.0, "b": 1000.0}, width=30, log=True)
+        a_lin = next(l for l in out_lin.splitlines() if l.startswith("a"))
+        a_log = next(l for l in out_log.splitlines() if l.startswith("a"))
+        assert a_log.count("#") > a_lin.count("#")
+
+    def test_zero_value_gets_no_bar(self):
+        out = render_bars({"z": 0.0, "x": 5.0})
+        z_line = next(l for l in out.splitlines() if l.startswith("z"))
+        assert "#" not in z_line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_bars({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_bars({"a": -1.0})
+
+
+def test_format_ms():
+    assert format_ms(0.0123) == "12.30ms"

@@ -1,0 +1,288 @@
+"""Tests for the performance matrix (Eq. 5 + Table III).
+
+The central property: the vectorised fast build equals the literal
+reference build, elementwise, on randomised instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SchedulingError
+from repro.model.matrix import MatrixInputs, PerformanceMatrix
+from repro.model.predictor import LatencyPredictor
+from repro.service.component import ComponentClass
+
+
+class StubPredictor(LatencyPredictor):
+    """Deterministic affine service-time model for matrix tests."""
+
+    rho_max = 0.98
+
+    def __init__(self, base=0.006, scv=1.0):
+        self.base = base
+        self._scv = scv
+        self.coef = np.array([0.5, 0.01, 0.002, 0.004])
+
+    def predict_mean_service(self, cls, contention):
+        u = np.atleast_2d(np.asarray(contention, dtype=np.float64))
+        return self.base * (1.0 + u @ self.coef)
+
+    def scv(self, cls):
+        return self._scv
+
+
+def _random_inputs(rng, m=12, k=4, n_stages=3):
+    stage_of = np.sort(rng.integers(0, n_stages, m))
+    classes = [ComponentClass.GENERIC] * m
+    demands = rng.uniform(0, 0.3, (m, 4)) * np.array([1.0, 10.0, 40.0, 15.0])
+    assignment = rng.integers(0, k, m)
+    # Node totals must include at least the components' own demands.
+    node_totals = np.zeros((k, 4))
+    for i in range(m):
+        node_totals[assignment[i]] += demands[i]
+    node_totals += rng.uniform(0, 0.5, (k, 4)) * np.array([1.0, 20.0, 80.0, 30.0])
+    arrival_rates = rng.uniform(5.0, 40.0, m)
+    return MatrixInputs(
+        stage_of=stage_of,
+        classes=classes,
+        demands=demands,
+        assignment=assignment,
+        node_totals=node_totals,
+        arrival_rates=arrival_rates,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)
+
+
+class TestFastEqualsReference:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        inputs = _random_inputs(rng, m=10 + seed, k=3 + seed % 3)
+        pred = StubPredictor()
+        fast = PerformanceMatrix(inputs.copy(), pred).build("fast")
+        ref = PerformanceMatrix(inputs.copy(), pred).build("reference")
+        np.testing.assert_allclose(fast.L, ref.L, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(fast.R, ref.R, rtol=1e-10, atol=1e-12)
+
+    def test_larger_instance(self, rng):
+        inputs = _random_inputs(rng, m=40, k=8, n_stages=4)
+        pred = StubPredictor()
+        fast = PerformanceMatrix(inputs.copy(), pred).build("fast")
+        ref = PerformanceMatrix(inputs.copy(), pred).build("reference")
+        np.testing.assert_allclose(fast.L, ref.L, rtol=1e-10, atol=1e-12)
+
+    def test_unknown_method_rejected(self, rng):
+        inputs = _random_inputs(rng)
+        with pytest.raises(ModelError):
+            PerformanceMatrix(inputs, StubPredictor()).build("magic")
+
+
+class TestEntrySemantics:
+    def _two_node_setup(self, heavy_on_0=True):
+        """One component on a contended node, an idle node next door."""
+        stage_of = np.array([0])
+        classes = [ComponentClass.GENERIC]
+        demands = np.array([[0.1, 1.0, 2.0, 1.0]])
+        assignment = np.array([0])
+        node_totals = np.array(
+            [
+                [0.9, 30.0, 150.0, 50.0],  # node 0: heavy batch load
+                [0.1, 1.0, 2.0, 1.0],  # node 1: idle
+            ]
+        )
+        if not heavy_on_0:
+            node_totals = node_totals[::-1].copy()
+        node_totals[0 if heavy_on_0 else 1] += demands[0]
+        arrival = np.array([20.0])
+        return MatrixInputs(
+            stage_of, classes, demands, assignment, node_totals, arrival
+        )
+
+    def test_migration_to_idle_node_positive(self):
+        inputs = self._two_node_setup()
+        pm = PerformanceMatrix(inputs, StubPredictor())
+        l_gain, r_gain = pm.entry(0, 1)
+        assert l_gain > 0
+        assert r_gain > 0
+
+    def test_diagonal_zero(self):
+        inputs = self._two_node_setup()
+        pm = PerformanceMatrix(inputs, StubPredictor())
+        assert pm.entry(0, 0) == (0.0, 0.0)
+
+    def test_out_of_range_rejected(self):
+        pm = PerformanceMatrix(self._two_node_setup(), StubPredictor())
+        with pytest.raises(ModelError):
+            pm.entry(5, 0)
+        with pytest.raises(ModelError):
+            pm.entry(0, 9)
+
+    def test_migration_to_heavier_node_negative(self):
+        inputs = self._two_node_setup(heavy_on_0=False)
+        # Component sits on the idle node; moving to the heavy one hurts.
+        inputs.assignment[:] = 0
+        pm = PerformanceMatrix(inputs, StubPredictor())
+        l_gain, r_gain = pm.entry(0, 1)
+        assert l_gain < 0
+        assert r_gain < 0
+
+
+class TestTableIIIDirections:
+    """Paper's four qualitative claims (i)-(iv) after §IV-C."""
+
+    def _inputs(self):
+        rng = np.random.default_rng(5)
+        return _random_inputs(rng, m=10, k=3)
+
+    def test_origin_components_speed_up_target_slow_down(self):
+        inputs = self._inputs()
+        pred = StubPredictor()
+        pm = PerformanceMatrix(inputs, pred)
+        i = 0
+        origin = int(inputs.assignment[i])
+        target = (origin + 1) % inputs.k
+        base = pm.current_latencies
+        # Recompute latencies after the hypothetical migration by hand.
+        u_new = pm._contention_now().copy()
+        u_new[i] = inputs.node_totals[target]
+        d = inputs.demands[i]
+        for c in range(inputs.m):
+            if c == i:
+                continue
+            if inputs.assignment[c] == origin:
+                u_new[c] = np.maximum(u_new[c] - d, 0.0)
+            elif inputs.assignment[c] == target:
+                u_new[c] = u_new[c] + d
+        l_new = pm._latencies_full(u_new)
+        for c in range(inputs.m):
+            if c == i:
+                continue
+            if inputs.assignment[c] == origin:
+                assert l_new[c] <= base[c] + 1e-15  # (ii) decreased
+            elif inputs.assignment[c] == target:
+                assert l_new[c] >= base[c] - 1e-15  # (iii) increased
+            else:
+                assert l_new[c] == pytest.approx(base[c])  # (iv) unchanged
+
+
+class TestMigrationAndUpdate:
+    def test_apply_migration_moves_demand(self, rng):
+        inputs = _random_inputs(rng, m=8, k=3)
+        pm = PerformanceMatrix(inputs, StubPredictor())
+        i = 2
+        origin = int(inputs.assignment[i])
+        target = (origin + 1) % inputs.k
+        before_origin = inputs.node_totals[origin].copy()
+        before_target = inputs.node_totals[target].copy()
+        pm.apply_migration(i, target)
+        np.testing.assert_allclose(
+            inputs.node_totals[origin], np.maximum(before_origin - inputs.demands[i], 0)
+        )
+        np.testing.assert_allclose(
+            inputs.node_totals[target], before_target + inputs.demands[i]
+        )
+        assert inputs.assignment[i] == target
+
+    def test_noop_migration_rejected(self, rng):
+        inputs = _random_inputs(rng)
+        pm = PerformanceMatrix(inputs, StubPredictor())
+        with pytest.raises(SchedulingError):
+            pm.apply_migration(0, int(inputs.assignment[0]))
+
+    def test_migration_gain_realised(self):
+        """Predicted reduction == actual reduction in predicted overall
+        latency once the migration is applied (self-consistency)."""
+        rng = np.random.default_rng(11)
+        inputs = _random_inputs(rng, m=10, k=4)
+        pm = PerformanceMatrix(inputs, StubPredictor()).build("fast")
+        i, j = np.unravel_index(np.argmax(pm.L), pm.L.shape)
+        predicted_gain = pm.L[i, j]
+        before = pm.current_overall
+        pm.apply_migration(int(i), int(j))
+        after = pm.current_overall
+        assert before - after == pytest.approx(predicted_gain, rel=1e-9)
+
+    def test_algorithm2_update_matches_fresh_entries(self, rng):
+        inputs = _random_inputs(rng, m=10, k=4)
+        pred = StubPredictor()
+        pm = PerformanceMatrix(inputs, pred).build("fast")
+        i, j = np.unravel_index(np.argmax(pm.L), pm.L.shape)
+        i, j = int(i), int(j)
+        origin = pm.apply_migration(i, j)
+        candidates = [c for c in range(inputs.m) if c != i]
+        pm.algorithm2_update(i, origin, j, candidates)
+        # Affected columns must equal fresh exact entries.
+        for r in candidates:
+            for c in (origin, j):
+                fresh = pm.entry(r, c)
+                assert pm.L[r, c] == pytest.approx(fresh[0], abs=1e-12)
+            if int(inputs.assignment[r]) in (origin, j):
+                for c in range(inputs.k):
+                    fresh = pm.entry(r, c)
+                    assert pm.L[r, c] == pytest.approx(fresh[0], abs=1e-12)
+
+    def test_update_before_build_rejected(self, rng):
+        pm = PerformanceMatrix(_random_inputs(rng), StubPredictor())
+        with pytest.raises(SchedulingError):
+            pm.algorithm2_update(0, 0, 1, [1])
+
+    def test_rebuild_rows(self, rng):
+        inputs = _random_inputs(rng, m=8, k=3)
+        pm = PerformanceMatrix(inputs, StubPredictor()).build("fast")
+        pm.apply_migration(0, (int(inputs.assignment[0]) + 1) % inputs.k)
+        pm.rebuild_rows([1, 2])
+        for r in (1, 2):
+            for c in range(inputs.k):
+                assert pm.L[r, c] == pytest.approx(pm.entry(r, c)[0], abs=1e-12)
+
+
+class TestInputValidation:
+    def test_bad_shapes(self, rng):
+        good = _random_inputs(rng)
+        with pytest.raises(ModelError):
+            MatrixInputs(
+                stage_of=good.stage_of,
+                classes=good.classes[:-1],
+                demands=good.demands,
+                assignment=good.assignment,
+                node_totals=good.node_totals,
+                arrival_rates=good.arrival_rates,
+            )
+
+    def test_assignment_out_of_range(self, rng):
+        good = _random_inputs(rng)
+        bad = good.assignment.copy()
+        bad[0] = 99
+        with pytest.raises(ModelError):
+            MatrixInputs(
+                good.stage_of,
+                good.classes,
+                good.demands,
+                bad,
+                good.node_totals,
+                good.arrival_rates,
+            )
+
+    def test_unsorted_stage_rejected(self, rng):
+        good = _random_inputs(rng)
+        bad = good.stage_of.copy()
+        bad[0] = bad[-1] + 1
+        with pytest.raises(ModelError):
+            MatrixInputs(
+                bad,
+                good.classes,
+                good.demands,
+                good.assignment,
+                good.node_totals,
+                good.arrival_rates,
+            )
+
+    def test_copy_independent(self, rng):
+        a = _random_inputs(rng)
+        b = a.copy()
+        b.assignment[0] = (b.assignment[0] + 1) % b.k
+        assert a.assignment[0] != b.assignment[0] or a.k == 1

@@ -1,0 +1,132 @@
+"""Tests for the Eq. 2 M/G/1 latency model, cross-validated against the
+Lindley sample-path simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnstableQueueError
+from repro.model.queueing import (
+    mg1_latency,
+    mg1_latency_array,
+    mg1_waiting_time,
+    mm1_latency,
+    utilisation,
+)
+from repro.simcore.distributions import Deterministic, Exponential, LogNormal
+from repro.simcore.lindley import sojourn_times
+
+
+class TestClosedForms:
+    def test_mm1_equals_mg1_with_unit_scv(self):
+        # Paper: "when ... C^2_x = 1, the M/G/1 queueing system equals
+        # the M/M/1 queueing system and the expected latency l = 1/(mu-lambda)".
+        x, lam = 0.008, 50.0
+        assert mg1_latency(x, 1.0, lam) == pytest.approx(mm1_latency(x, lam))
+        assert mm1_latency(x, lam) == pytest.approx(1.0 / (1.0 / x - lam))
+
+    def test_md1_half_the_mm1_wait(self):
+        # Deterministic service: wait is half the exponential case.
+        x, lam = 0.005, 100.0
+        assert mg1_waiting_time(x, 0.0, lam) == pytest.approx(
+            mg1_waiting_time(x, 1.0, lam) / 2
+        )
+
+    def test_zero_arrivals_latency_is_service_time(self):
+        assert mg1_latency(0.01, 1.0, 0.0) == pytest.approx(0.01)
+
+    def test_utilisation(self):
+        assert utilisation(0.01, 50.0) == pytest.approx(0.5)
+
+    @given(
+        x=st.floats(min_value=1e-4, max_value=0.1),
+        scv=st.floats(min_value=0.0, max_value=5.0),
+        rho=st.floats(min_value=0.0, max_value=0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_latency_increasing_in_load(self, x, scv, rho):
+        lam = rho / x
+        l1 = mg1_latency(x, scv, lam)
+        l2 = mg1_latency(x, scv, lam * 0.5)
+        assert l1 >= l2 - 1e-12
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            mg1_latency(0.01, 1.0, 100.0)  # rho = 1
+        with pytest.raises(UnstableQueueError):
+            mm1_latency(0.01, 120.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            mg1_latency(0.0, 1.0, 10.0)
+        with pytest.raises(UnstableQueueError):
+            mg1_latency(0.01, -0.5, 10.0)
+        with pytest.raises(UnstableQueueError):
+            mg1_latency(0.01, 1.0, -10.0)
+
+
+class TestAgainstSamplePath:
+    """Eq. 2 must match the Lindley simulator — the core consistency
+    check between the analytic predictor and the simulated world."""
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Exponential(0.006),
+            Deterministic(0.006),
+            LogNormal(0.006, 0.8),
+            LogNormal(0.006, 2.0),
+        ],
+        ids=["M/M/1", "M/D/1", "lognormal-0.8", "lognormal-2.0"],
+    )
+    @pytest.mark.parametrize("rho", [0.3, 0.7])
+    def test_mean_sojourn_matches(self, dist, rho):
+        rng = np.random.default_rng(123)
+        lam = rho / dist.mean
+        n = 400_000
+        arrivals = np.cumsum(rng.exponential(1.0 / lam, n))
+        services = dist.sample(rng, n)
+        measured = sojourn_times(arrivals, services).mean()
+        predicted = mg1_latency(dist.mean, dist.scv, lam)
+        assert measured == pytest.approx(predicted, rel=0.04)
+
+
+class TestArrayForm:
+    def test_matches_scalar_below_cap(self):
+        x = np.array([0.005, 0.01, 0.02])
+        scv = np.array([0.5, 1.0, 2.0])
+        lam = np.array([10.0, 30.0, 20.0])
+        out = mg1_latency_array(x, scv, lam)
+        for i in range(3):
+            assert out[i] == pytest.approx(mg1_latency(x[i], scv[i], lam[i]))
+
+    def test_saturated_entries_finite_and_worst(self):
+        x = 0.01
+        out = mg1_latency_array(x, 1.0, np.array([50.0, 99.0, 150.0, 500.0]))
+        assert np.all(np.isfinite(out))
+        # Monotone non-decreasing in lambda, flat at the cap.
+        assert out[0] < out[1] <= out[2] == out[3]
+
+    def test_broadcasting(self):
+        out = mg1_latency_array(0.01, 1.0, np.array([[10.0], [20.0]]))
+        assert out.shape == (2, 1)
+
+    def test_cap_validation(self):
+        with pytest.raises(UnstableQueueError):
+            mg1_latency_array(0.01, 1.0, 10.0, rho_max=1.5)
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            mg1_latency_array(-0.01, 1.0, 10.0)
+        with pytest.raises(UnstableQueueError):
+            mg1_latency_array(0.01, -1.0, 10.0)
+        with pytest.raises(UnstableQueueError):
+            mg1_latency_array(0.01, 1.0, -10.0)
+
+    def test_rho_cap_monotone_ranking_preserved(self):
+        # A saturated placement must rank strictly worse than any
+        # non-saturated one with the same service shape.
+        stable = mg1_latency_array(0.01, 1.0, 80.0)
+        saturated = mg1_latency_array(0.01, 1.0, 120.0)
+        assert saturated > stable

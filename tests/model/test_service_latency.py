@@ -1,0 +1,77 @@
+"""Tests for Eqs. 3–4 (stage max, overall sum)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.service_latency import overall_latency, stage_latencies, stage_offsets
+
+
+class TestStageOffsets:
+    def test_simple(self):
+        np.testing.assert_array_equal(
+            stage_offsets(np.array([0, 0, 1, 1, 1, 2])), [0, 2, 5]
+        )
+
+    def test_single_stage(self):
+        np.testing.assert_array_equal(stage_offsets(np.array([0, 0, 0])), [0])
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ModelError):
+            stage_offsets(np.array([0, 1, 0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            stage_offsets(np.array([]))
+
+
+class TestEquations34:
+    def test_paper_fig3_example(self):
+        # Fig. 3: 3 stages; stage 2 has two components.  Latencies such
+        # that l_overall = 57 ms before migration.
+        stage_of = np.array([0, 1, 1, 2])
+        l = np.array([10.0, 35.0, 7.0, 12.0]) / 1e3
+        assert overall_latency(l, stage_of) == pytest.approx(0.057)
+
+    def test_stage_max(self):
+        stage_of = np.array([0, 0, 1, 1])
+        l = np.array([1.0, 5.0, 2.0, 3.0])
+        np.testing.assert_allclose(stage_latencies(l, stage_of), [5.0, 3.0])
+
+    def test_straggler_dominates(self):
+        # §I's motivating example: 99 fast components at 10 ms, one at 1 s.
+        stage_of = np.zeros(100, dtype=int)
+        l = np.full(100, 0.010)
+        l[37] = 1.0
+        assert overall_latency(l, stage_of) == pytest.approx(1.0)
+
+    @given(
+        lat=st.lists(
+            st.floats(min_value=0, max_value=10), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_single_stage_is_plain_max(self, lat):
+        l = np.array(lat)
+        assert overall_latency(l, np.zeros(l.size, dtype=int)) == pytest.approx(
+            l.max()
+        )
+
+    def test_sum_over_stages(self):
+        stage_of = np.array([0, 1, 2])
+        l = np.array([1.0, 2.0, 3.0])
+        assert overall_latency(l, stage_of) == pytest.approx(6.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            stage_latencies(np.ones(3), np.zeros(4, dtype=int))
+
+    def test_improving_any_straggler_lowers_overall(self):
+        stage_of = np.array([0, 0, 1, 1])
+        l = np.array([4.0, 9.0, 2.0, 7.0])
+        before = overall_latency(l, stage_of)
+        l2 = l.copy()
+        l2[1] = 5.0  # straggler of stage 0 improves
+        assert overall_latency(l2, stage_of) < before

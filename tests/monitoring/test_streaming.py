@@ -1,0 +1,144 @@
+"""Property tests: streaming estimators vs exact NumPy computations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MonitoringError
+from repro.monitoring.streaming import P2Quantile, StreamingMoments
+
+
+class TestStreamingMoments:
+    @given(
+        xs=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, xs):
+        sm = StreamingMoments()
+        sm.add_many(xs)
+        assert sm.n == len(xs)
+        assert sm.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-9)
+        assert sm.variance == pytest.approx(np.var(xs), rel=1e-7, abs=1e-7)
+
+    @given(
+        a=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50),
+        b=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_concatenation(self, a, b):
+        left, right = StreamingMoments(), StreamingMoments()
+        left.add_many(a)
+        right.add_many(b)
+        left.merge(right)
+        both = a + b
+        assert left.n == len(both)
+        assert left.mean == pytest.approx(np.mean(both), rel=1e-9, abs=1e-9)
+        assert left.variance == pytest.approx(np.var(both), rel=1e-7, abs=1e-7)
+
+    def test_merge_with_empty(self):
+        sm = StreamingMoments()
+        sm.add_many([1.0, 2.0])
+        sm.merge(StreamingMoments())
+        assert sm.n == 2
+        empty = StreamingMoments()
+        empty.merge(sm)
+        assert empty.mean == pytest.approx(1.5)
+
+    def test_scv_matches_definition(self):
+        sm = StreamingMoments()
+        xs = [0.004, 0.006, 0.008, 0.012]
+        sm.add_many(xs)
+        assert sm.scv == pytest.approx(np.var(xs) / np.mean(xs) ** 2)
+
+    def test_empty_access_rejected(self):
+        sm = StreamingMoments()
+        with pytest.raises(MonitoringError):
+            sm.mean
+        with pytest.raises(MonitoringError):
+            sm.variance
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(MonitoringError):
+            StreamingMoments().add(float("nan"))
+
+
+class TestP2Quantile:
+    def test_exact_for_first_five(self):
+        est = P2Quantile(0.5)
+        for x in [5.0, 1.0, 3.0]:
+            est.add(x)
+        assert est.estimate == 3.0
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    @pytest.mark.parametrize(
+        "dist",
+        ["exponential", "lognormal", "uniform"],
+    )
+    def test_converges_on_large_streams(self, q, dist):
+        rng = np.random.default_rng(hash((q, dist)) % 2**32)
+        n = 50_000
+        if dist == "exponential":
+            xs = rng.exponential(1.0, n)
+        elif dist == "lognormal":
+            xs = rng.lognormal(0.0, 1.0, n)
+        else:
+            xs = rng.uniform(0.0, 10.0, n)
+        est = P2Quantile(q)
+        est.add_many(xs)
+        exact = np.quantile(xs, q)
+        assert est.estimate == pytest.approx(exact, rel=0.08)
+
+    def test_p99_of_latency_like_stream(self):
+        # The actual use: p99 of M/G/1 sojourn times.
+        from repro.simcore.lindley import sojourn_times
+
+        rng = np.random.default_rng(42)
+        n = 100_000
+        arrivals = np.cumsum(rng.exponential(0.01, n))
+        services = rng.exponential(0.007, n)
+        lat = sojourn_times(arrivals, services)
+        est = P2Quantile(0.99)
+        est.add_many(lat)
+        assert est.estimate == pytest.approx(np.quantile(lat, 0.99), rel=0.1)
+
+    @given(
+        xs=st.lists(
+            st.floats(min_value=0, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_within_observed_range(self, xs):
+        est = P2Quantile(0.9)
+        est.add_many(xs)
+        assert min(xs) - 1e-9 <= est.estimate <= max(xs) + 1e-9
+
+    def test_constant_stream(self):
+        est = P2Quantile(0.99)
+        est.add_many([7.0] * 100)
+        assert est.estimate == pytest.approx(7.0)
+
+    def test_counts(self):
+        est = P2Quantile(0.9)
+        est.add_many(range(1, 20))
+        assert est.n == 19
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(MonitoringError):
+            P2Quantile(0.0)
+        with pytest.raises(MonitoringError):
+            P2Quantile(1.0)
+
+    def test_empty_estimate_rejected(self):
+        with pytest.raises(MonitoringError):
+            P2Quantile(0.9).estimate
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(MonitoringError):
+            P2Quantile(0.9).add(float("inf"))

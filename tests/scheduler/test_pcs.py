@@ -1,0 +1,190 @@
+"""Tests for Algorithm 1 (the greedy PCS scheduler)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.model.matrix import MatrixInputs, PerformanceMatrix
+from repro.model.predictor import LatencyPredictor
+from repro.scheduler.pcs import (
+    PCSScheduler,
+    SchedulerConfig,
+    exhaustive_best_single_migration,
+)
+from repro.scheduler.threshold import StaticThreshold
+from repro.service.component import ComponentClass
+from repro.units import ms
+
+
+class StubPredictor(LatencyPredictor):
+    rho_max = 0.98
+
+    def __init__(self):
+        self.coef = np.array([0.5, 0.01, 0.002, 0.004])
+
+    def predict_mean_service(self, cls, contention):
+        u = np.atleast_2d(np.asarray(contention, dtype=np.float64))
+        return 0.006 * (1.0 + u @ self.coef)
+
+    def scv(self, cls):
+        return 1.0
+
+
+def _skewed_inputs(rng, m=12, k=4):
+    """All components crammed on node 0; other nodes idle — plenty of
+    profitable migrations for the greedy to find."""
+    stage_of = np.sort(rng.integers(0, 3, m))
+    demands = rng.uniform(0.05, 0.2, (m, 4)) * np.array([1.0, 8.0, 30.0, 10.0])
+    assignment = np.zeros(m, dtype=np.int64)
+    node_totals = np.zeros((k, 4))
+    node_totals[0] = demands.sum(axis=0) + np.array([0.3, 10.0, 50.0, 20.0])
+    arrival = np.full(m, 30.0)
+    return MatrixInputs(
+        stage_of, [ComponentClass.GENERIC] * m, demands, assignment,
+        node_totals, arrival,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestGreedyLoop:
+    def test_migrations_reduce_predicted_overall(self, rng):
+        inputs = _skewed_inputs(rng)
+        scheduler = PCSScheduler(StubPredictor())
+        outcome = scheduler.schedule(inputs)
+        assert outcome.n_migrations > 0
+        assert outcome.final_overall_s < outcome.initial_overall_s
+        assert outcome.predicted_reduction_s > 0
+
+    def test_each_component_migrates_at_most_once(self, rng):
+        inputs = _skewed_inputs(rng)
+        outcome = PCSScheduler(StubPredictor()).schedule(inputs)
+        moved = [m.component_index for m in outcome.migrations]
+        assert len(moved) == len(set(moved))
+
+    def test_every_migration_clears_threshold(self, rng):
+        eps = ms(5)
+        inputs = _skewed_inputs(rng)
+        cfg = SchedulerConfig(threshold=StaticThreshold(eps))
+        outcome = PCSScheduler(StubPredictor(), cfg).schedule(inputs)
+        for mig in outcome.migrations:
+            assert mig.predicted_gain_s > eps
+
+    def test_high_threshold_blocks_all_migrations(self, rng):
+        inputs = _skewed_inputs(rng)
+        cfg = SchedulerConfig(threshold=StaticThreshold(10.0))  # 10 s!
+        outcome = PCSScheduler(StubPredictor(), cfg).schedule(inputs)
+        assert outcome.n_migrations == 0
+        assert outcome.final_overall_s == outcome.initial_overall_s
+
+    def test_first_migration_matches_exhaustive(self, rng):
+        inputs = _skewed_inputs(rng, m=8, k=3)
+        best = exhaustive_best_single_migration(inputs, StubPredictor())
+        outcome = PCSScheduler(StubPredictor()).schedule(inputs.copy())
+        assert outcome.migrations  # something must clear 5 ms here
+        first = outcome.migrations[0]
+        assert first.predicted_gain_s == pytest.approx(
+            best.predicted_gain_s, rel=1e-9
+        )
+
+    def test_max_migrations_cap(self, rng):
+        inputs = _skewed_inputs(rng)
+        cfg = SchedulerConfig(max_migrations=2)
+        outcome = PCSScheduler(StubPredictor(), cfg).schedule(inputs)
+        assert outcome.n_migrations <= 2
+
+    def test_assignment_consistent_with_migrations(self, rng):
+        inputs = _skewed_inputs(rng)
+        original = inputs.assignment.copy()
+        outcome = PCSScheduler(StubPredictor()).schedule(inputs)
+        expected = original.copy()
+        for mig in outcome.migrations:
+            assert expected[mig.component_index] == mig.origin
+            expected[mig.component_index] = mig.destination
+        np.testing.assert_array_equal(outcome.assignment, expected)
+
+    def test_update_modes_agree_on_quality(self, rng):
+        """Algorithm 2's partial update must land within a few percent of
+        the exact full-rebuild schedule (it is the paper's approximation)."""
+        inputs = _skewed_inputs(rng, m=10, k=4)
+        out_a2 = PCSScheduler(
+            StubPredictor(), SchedulerConfig(update_mode="algorithm2")
+        ).schedule(inputs.copy())
+        out_full = PCSScheduler(
+            StubPredictor(), SchedulerConfig(update_mode="full")
+        ).schedule(inputs.copy())
+        assert out_a2.final_overall_s == pytest.approx(
+            out_full.final_overall_s, rel=0.05
+        )
+
+    def test_times_recorded(self, rng):
+        outcome = PCSScheduler(StubPredictor()).schedule(_skewed_inputs(rng))
+        assert outcome.analysis_time_s > 0
+        assert outcome.search_time_s > 0
+        assert outcome.total_time_s == pytest.approx(
+            outcome.analysis_time_s + outcome.search_time_s
+        )
+
+    def test_balanced_cluster_no_migrations(self):
+        """Perfectly symmetric allocation: nothing clears the threshold."""
+        m, k = 8, 4
+        stage_of = np.zeros(m, dtype=np.int64)
+        demands = np.tile([0.1, 2.0, 10.0, 5.0], (m, 1))
+        assignment = np.arange(m) % k
+        node_totals = np.zeros((k, 4))
+        for i in range(m):
+            node_totals[assignment[i]] += demands[i]
+        inputs = MatrixInputs(
+            stage_of, [ComponentClass.GENERIC] * m, demands, assignment,
+            node_totals, np.full(m, 20.0),
+        )
+        outcome = PCSScheduler(StubPredictor()).schedule(inputs)
+        assert outcome.n_migrations == 0
+
+
+class TestSchedulerConfig:
+    def test_bad_update_mode(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(update_mode="psychic")
+
+    def test_bad_build_method(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(build_method="guess")
+
+    def test_negative_migration_cap(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(max_migrations=-1)
+
+    def test_negative_tie_tolerance(self):
+        with pytest.raises(SchedulingError):
+            SchedulerConfig(tie_tolerance=-1e-9)
+
+
+class TestPaperFig4Scenario:
+    """Fig. 4: two candidate migrations tie on overall reduction; the
+    one that helps the migrated component itself more wins."""
+
+    def test_tie_break_prefers_larger_self_gain(self, monkeypatch, rng):
+        inputs = _skewed_inputs(rng, m=6, k=3)
+        scheduler = PCSScheduler(StubPredictor(), SchedulerConfig(max_migrations=1))
+
+        forced_L = np.zeros((inputs.m, inputs.k))
+        forced_R = np.zeros((inputs.m, inputs.k))
+        # Entries (2, 1) and (2, 2) tie at 30 ms overall reduction;
+        # self-reduction 20 ms vs 30 ms -> node 2 must win (paper Fig. 4).
+        forced_L[2, 1] = forced_L[2, 2] = 0.030
+        forced_R[2, 1], forced_R[2, 2] = 0.020, 0.030
+
+        def fake_build(self, method="fast"):
+            self.L = forced_L.copy()
+            self.R = forced_R.copy()
+            return self
+
+        monkeypatch.setattr(PerformanceMatrix, "build", fake_build)
+        outcome = scheduler.schedule(inputs)
+        assert outcome.n_migrations == 1
+        assert outcome.migrations[0].component_index == 2
+        assert outcome.migrations[0].destination == 2

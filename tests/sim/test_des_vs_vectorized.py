@@ -1,0 +1,176 @@
+"""Integration: the event-driven reference simulator bounds the
+vectorised simulator's stage-alignment approximation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import BasicPolicy
+from repro.errors import SimulationError
+from repro.service.component import Component, ComponentClass
+from repro.service.topology import ReplicaGroup, ServiceTopology, Stage
+from repro.sim.des_service import DESServiceSimulator
+from repro.sim.queue_sim import simulate_service_interval
+from repro.simcore.distributions import Exponential, LogNormal
+from repro.units import ms
+
+
+def _mini_nutch(search_groups=4, replicas=2):
+    def comp(name, cls, mean, scv):
+        return Component(name=name, cls=cls, base_service=LogNormal(mean, scv))
+
+    return ServiceTopology(
+        [
+            Stage(
+                "segmenting",
+                [
+                    ReplicaGroup(
+                        "seg",
+                        [
+                            comp(f"seg-{r}", ComponentClass.SEGMENTING, ms(1.2), 0.4)
+                            for r in range(2)
+                        ],
+                    )
+                ],
+            ),
+            Stage(
+                "searching",
+                [
+                    ReplicaGroup(
+                        f"g{g}",
+                        [
+                            comp(
+                                f"s-{g}-{r}",
+                                ComponentClass.SEARCHING,
+                                ms(6),
+                                0.8,
+                            )
+                            for r in range(replicas)
+                        ],
+                    )
+                    for g in range(search_groups)
+                ],
+            ),
+            Stage(
+                "aggregating",
+                [
+                    ReplicaGroup(
+                        "agg",
+                        [
+                            comp(f"agg-{r}", ComponentClass.AGGREGATING, ms(1.5), 0.4)
+                            for r in range(2)
+                        ],
+                    )
+                ],
+            ),
+        ]
+    )
+
+
+def _dists(topology):
+    return {c.name: c.base_service for c in topology.components}
+
+
+class TestDESBasics:
+    def test_all_requests_complete(self):
+        topo = _mini_nutch()
+        des = DESServiceSimulator(topo, _dists(topo), np.random.default_rng(0))
+        out = des.run(arrival_rate=40.0, duration_s=60.0)
+        assert out.completed == out.request_latencies.size > 0
+        assert out.abandoned_in_flight == 0
+
+    def test_latencies_at_least_sum_of_stage_services(self):
+        # Each request visits 3 stages; latency must exceed ~0 clearly.
+        topo = _mini_nutch()
+        des = DESServiceSimulator(topo, _dists(topo), np.random.default_rng(1))
+        out = des.run(arrival_rate=10.0, duration_s=60.0)
+        assert out.request_latencies.min() > ms(2)
+
+    def test_component_sojourns_collected(self):
+        topo = _mini_nutch()
+        des = DESServiceSimulator(topo, _dists(topo), np.random.default_rng(2))
+        out = des.run(arrival_rate=30.0, duration_s=30.0)
+        assert out.pooled_component_latencies().size > 0
+
+    def test_missing_dist_rejected(self):
+        topo = _mini_nutch()
+        dists = _dists(topo)
+        dists.pop(topo.components[0].name)
+        with pytest.raises(SimulationError):
+            DESServiceSimulator(topo, dists, np.random.default_rng(0))
+
+    def test_bad_run_params_rejected(self):
+        topo = _mini_nutch()
+        des = DESServiceSimulator(topo, _dists(topo), np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            des.run(arrival_rate=0.0, duration_s=10.0)
+
+    def test_mm1_sanity(self):
+        """Single component: DES must match the M/M/1 sojourn."""
+        topo = ServiceTopology(
+            [
+                Stage(
+                    "only",
+                    [
+                        ReplicaGroup(
+                            "g",
+                            [
+                                Component(
+                                    name="c",
+                                    cls=ComponentClass.GENERIC,
+                                    base_service=Exponential(ms(5)),
+                                )
+                            ],
+                        )
+                    ],
+                )
+            ]
+        )
+        des = DESServiceSimulator(topo, _dists(topo), np.random.default_rng(3))
+        lam = 100.0  # rho = 0.5
+        out = des.run(arrival_rate=lam, duration_s=600.0)
+        expected = 1.0 / (1.0 / ms(5) - lam)
+        assert out.request_latencies.mean() == pytest.approx(expected, rel=0.06)
+
+
+class TestCrossValidation:
+    """The headline check: vectorised and DES latency distributions
+    agree within a modest tolerance at both light and moderate load."""
+
+    @pytest.mark.parametrize("lam,rel", [(20.0, 0.08), (80.0, 0.12)])
+    def test_overall_mean_agrees(self, lam, rel):
+        topo = _mini_nutch()
+        des = DESServiceSimulator(topo, _dists(topo), np.random.default_rng(10))
+        out_des = des.run(arrival_rate=lam, duration_s=400.0)
+        out_vec = simulate_service_interval(
+            topo, BasicPolicy(), lam, 400.0, _dists(topo),
+            np.random.default_rng(11),
+        )
+        assert out_vec.request_latencies.mean() == pytest.approx(
+            out_des.request_latencies.mean(), rel=rel
+        )
+
+    def test_component_p99_agrees(self):
+        topo = _mini_nutch()
+        lam = 60.0
+        des = DESServiceSimulator(topo, _dists(topo), np.random.default_rng(12))
+        out_des = des.run(arrival_rate=lam, duration_s=400.0)
+        out_vec = simulate_service_interval(
+            topo, BasicPolicy(), lam, 400.0, _dists(topo),
+            np.random.default_rng(13),
+        )
+        p99_des = np.percentile(out_des.pooled_component_latencies(), 99)
+        p99_vec = np.percentile(out_vec.pooled_component_latencies(), 99)
+        assert p99_vec == pytest.approx(p99_des, rel=0.15)
+
+    def test_overall_p99_agrees(self):
+        topo = _mini_nutch()
+        lam = 40.0
+        des = DESServiceSimulator(topo, _dists(topo), np.random.default_rng(14))
+        out_des = des.run(arrival_rate=lam, duration_s=500.0)
+        out_vec = simulate_service_interval(
+            topo, BasicPolicy(), lam, 500.0, _dists(topo),
+            np.random.default_rng(15),
+        )
+        p99_des = np.percentile(out_des.request_latencies, 99)
+        p99_vec = np.percentile(out_vec.request_latencies, 99)
+        assert p99_vec == pytest.approx(p99_des, rel=0.15)

@@ -1,0 +1,74 @@
+"""Tests for latency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import LatencySummary, percentile, pool, summarize
+
+
+class TestPercentile:
+    def test_nearest_rank_is_observed_value(self):
+        rng = np.random.default_rng(0)
+        xs = rng.exponential(1.0, 1000)
+        p99 = percentile(xs, 99)
+        assert p99 in xs
+
+    def test_p0_p100(self):
+        xs = [3.0, 1.0, 2.0]
+        assert percentile(xs, 0) == 1.0
+        assert percentile(xs, 100) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            percentile([], 99)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(SimulationError):
+            percentile([1.0], 150)
+
+
+class TestSummarize:
+    def test_fields(self):
+        xs = np.arange(1, 101, dtype=float)
+        s = summarize(xs)
+        assert s.n == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.p50 == pytest.approx(51.0)
+        assert s.p99 == pytest.approx(100.0)
+        assert s.max == 100.0
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(1)
+        s = summarize(rng.lognormal(0, 1, 5000))
+        assert s.p50 <= s.p95 <= s.p99 <= s.max
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([-1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([])
+
+    def test_render_contains_stats(self):
+        s = summarize([0.010, 0.020])
+        out = s.render("basic")
+        assert "basic" in out and "p99" in out and "ms" in out
+
+
+class TestPool:
+    def test_pool_mapping(self):
+        pooled = pool({"a": np.array([1.0]), "b": np.array([2.0, 3.0])})
+        assert sorted(pooled) == [1.0, 2.0, 3.0]
+
+    def test_pool_skips_empty(self):
+        pooled = pool({"a": np.array([]), "b": np.array([5.0])})
+        assert list(pooled) == [5.0]
+
+    def test_pool_iterable(self):
+        assert pool([np.array([1.0]), np.array([2.0])]).size == 2
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            pool({"a": np.array([])})

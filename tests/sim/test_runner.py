@@ -1,0 +1,130 @@
+"""Integration tests for the full experiment runner (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import BasicPolicy, PCSPolicy, REDPolicy
+from repro.errors import ExperimentError
+from repro.experiments.fig6 import paper_pcs_policy
+from repro.service.nutch import NutchConfig
+from repro.sim.runner import ExperimentRunner, RunnerConfig
+from repro.workloads.generator import GeneratorConfig
+
+
+def _small_config(arrival_rate=80.0, seed=5, **overrides):
+    kwargs = dict(
+        n_nodes=10,
+        arrival_rate=arrival_rate,
+        interval_s=20.0,
+        n_intervals=5,
+        warmup_intervals=1,
+        seed=seed,
+        nutch=NutchConfig(
+            n_search_groups=6, replicas_per_group=3,
+            n_segmenters=2, n_aggregators=2,
+        ),
+        generator=GeneratorConfig(
+            jobs_per_node_per_s=0.02, max_batch_jobs_per_node=3
+        ),
+        n_profiling_conditions=25,
+    )
+    kwargs.update(overrides)
+    return RunnerConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(_small_config())
+
+
+@pytest.fixture(scope="module")
+def basic_result(runner):
+    return runner.run(BasicPolicy())
+
+
+@pytest.fixture(scope="module")
+def pcs_result(runner):
+    return runner.run(paper_pcs_policy())
+
+
+class TestBasicRun:
+    def test_metrics_populated(self, basic_result):
+        r = basic_result
+        assert r.n_requests > 0
+        assert r.component_p99_s > 0
+        assert r.overall_mean_s > 0
+        assert r.component_latency.p99 >= r.component_latency.p50
+        assert len(r.per_interval_overall_mean) == 4  # 5 intervals - 1 warmup
+
+    def test_basic_never_migrates(self, basic_result):
+        assert basic_result.n_migrations == 0
+        assert basic_result.scheduling_time_s == 0.0
+
+    def test_overall_exceeds_component_latency(self, basic_result):
+        # Overall = sum over 3 stages of group maxima.
+        assert basic_result.overall_mean_s > basic_result.component_latency.mean
+
+    def test_deterministic_given_seed(self):
+        a = ExperimentRunner(_small_config(seed=42)).run(BasicPolicy())
+        b = ExperimentRunner(_small_config(seed=42)).run(BasicPolicy())
+        assert a.component_p99_s == b.component_p99_s
+        assert a.overall_mean_s == b.overall_mean_s
+
+    def test_seeds_change_outcome(self):
+        a = ExperimentRunner(_small_config(seed=42)).run(BasicPolicy())
+        b = ExperimentRunner(_small_config(seed=43)).run(BasicPolicy())
+        assert a.component_p99_s != b.component_p99_s
+
+    def test_render_mentions_policy(self, basic_result):
+        assert "Basic" in basic_result.render()
+
+
+class TestPCSRun:
+    def test_pcs_migrates_and_improves(self, basic_result, pcs_result):
+        assert pcs_result.n_migrations > 0
+        assert pcs_result.overall_mean_s < basic_result.overall_mean_s
+        assert pcs_result.component_p99_s < basic_result.component_p99_s
+
+    def test_scheduling_time_recorded(self, pcs_result):
+        assert pcs_result.scheduling_time_s > 0
+
+    def test_oracle_at_least_as_good_as_trained(self, runner, basic_result):
+        oracle = runner.run(
+            PCSPolicy(
+                scheduler_config=paper_pcs_policy().scheduler_config,
+                use_oracle=True,
+            )
+        )
+        assert oracle.overall_mean_s < basic_result.overall_mean_s
+
+    def test_predictor_trained_once_and_cached(self, runner):
+        p1 = runner.trained_predictor()
+        p2 = runner.trained_predictor()
+        assert p1 is p2
+
+
+class TestLoadFeedback:
+    def test_red_load_raises_interference(self):
+        """RED-5's executed copies must consume more resources than
+        Basic's — visible as higher latency at moderate load."""
+        runner = ExperimentRunner(_small_config(arrival_rate=120.0))
+        basic = runner.run(BasicPolicy())
+        red5 = runner.run(REDPolicy(replicas=5))
+        assert red5.overall_mean_s > basic.overall_mean_s
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_nodes": 0},
+            {"arrival_rate": 0.0},
+            {"interval_s": 0.0},
+            {"warmup_intervals": 9, "n_intervals": 5},
+            {"interference_noise": -0.1},
+            {"churn_prewarm_s": -1.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            _small_config(**kwargs)

@@ -1,0 +1,200 @@
+"""Unit + property tests for service-time distributions.
+
+Each distribution's analytic moments are checked against large-sample
+Monte-Carlo estimates, and the scaling algebra (used by the interference
+model) is property-tested.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.simcore.distributions import (
+    Deterministic,
+    Empirical,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    ShiftedExponential,
+    Uniform,
+    Weibull,
+)
+
+N_SAMPLES = 200_000
+
+
+def _check_moments(dist, rng, rel_tol=0.05):
+    xs = dist.sample(rng, N_SAMPLES)
+    assert xs.shape == (N_SAMPLES,)
+    assert np.all(xs >= 0)
+    assert dist.mean == pytest.approx(float(xs.mean()), rel=rel_tol)
+    if dist.var > 0:
+        assert dist.var == pytest.approx(float(xs.var()), rel=3 * rel_tol)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+ALL_DISTS = [
+    Deterministic(0.01),
+    Exponential(0.02),
+    ShiftedExponential(0.005, 0.01),
+    HyperExponential(probs=(0.9, 0.1), means=(0.01, 0.1)),
+    LogNormal(0.02, 0.5),
+    Pareto(0.01, 3.0),
+    Uniform(0.0, 0.04),
+    Weibull(0.02, 2.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+def test_analytic_moments_match_samples(dist, rng):
+    _check_moments(dist, rng)
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+def test_scalar_sample(dist, rng):
+    x = dist.sample(rng)
+    assert np.isscalar(x) or np.ndim(x) == 0
+    assert float(x) >= 0.0
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: type(d).__name__)
+def test_scv_definition(dist):
+    if dist.mean > 0:
+        assert dist.scv == pytest.approx(dist.var / dist.mean**2)
+
+
+class TestSpecificShapes:
+    def test_deterministic_has_zero_scv(self):
+        assert Deterministic(0.5).scv == 0.0
+
+    def test_exponential_has_unit_scv(self):
+        assert Exponential(0.123).scv == pytest.approx(1.0)
+
+    def test_exponential_rate(self):
+        assert Exponential(0.02).rate == pytest.approx(50.0)
+
+    def test_hyperexponential_scv_above_one(self):
+        h = HyperExponential(probs=(0.9, 0.1), means=(0.01, 0.1))
+        assert h.scv > 1.0
+
+    def test_weibull_shape_above_one_scv_below_one(self):
+        assert Weibull(1.0, 2.0).scv < 1.0
+
+    def test_lognormal_moments_exact_by_construction(self):
+        d = LogNormal(0.05, 0.7)
+        assert d.mean == pytest.approx(0.05)
+        assert d.scv == pytest.approx(0.7)
+
+    def test_shifted_exponential_floor(self, rng):
+        d = ShiftedExponential(0.01, 0.005)
+        xs = d.sample(rng, 1000)
+        assert np.all(xs >= 0.01)
+
+    def test_pareto_minimum(self, rng):
+        d = Pareto(0.02, 3.5)
+        xs = d.sample(rng, 1000)
+        assert np.all(xs >= 0.02)
+
+
+class TestValidation:
+    def test_deterministic_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deterministic(-1.0)
+
+    def test_exponential_nonpositive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(0.0)
+
+    def test_hyperexponential_bad_probs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HyperExponential(probs=(0.5, 0.6), means=(1.0, 2.0))
+
+    def test_hyperexponential_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HyperExponential(probs=(1.0,), means=(1.0, 2.0))
+
+    def test_pareto_infinite_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Pareto(1.0, 2.0)
+
+    def test_uniform_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(2.0, 1.0)
+
+    def test_weibull_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Weibull(0.0, 1.0)
+
+    def test_empirical_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([])
+
+    def test_empirical_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([0.1, -0.2])
+
+
+class TestEmpirical:
+    def test_moments_are_sample_moments(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        d = Empirical(values)
+        assert d.mean == pytest.approx(2.5)
+        assert d.var == pytest.approx(np.var(values))
+
+    def test_samples_drawn_from_support(self, rng):
+        d = Empirical([0.1, 0.2, 0.3])
+        xs = d.sample(rng, 500)
+        assert set(np.unique(xs)) <= {0.1, 0.2, 0.3}
+
+    def test_values_view_is_readonly(self):
+        d = Empirical([1.0, 2.0])
+        with pytest.raises(ValueError):
+            d.values[0] = 9.0
+
+
+class TestScaling:
+    @given(
+        factor=st.floats(min_value=0.01, max_value=100.0),
+        mean=st.floats(min_value=1e-4, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_moments(self, factor, mean):
+        d = Exponential(mean).scaled(factor)
+        assert d.mean == pytest.approx(factor * mean, rel=1e-9)
+        assert d.var == pytest.approx((factor * mean) ** 2, rel=1e-9)
+        assert d.scv == pytest.approx(1.0, rel=1e-9)
+
+    def test_scale_by_one_returns_self(self):
+        d = Exponential(1.0)
+        assert d.scaled(1.0) is d
+
+    def test_nested_scaling_collapses(self):
+        d = Exponential(1.0).scaled(2.0).scaled(3.0)
+        assert d.factor == pytest.approx(6.0)
+        assert isinstance(d.base, Exponential)
+
+    def test_with_mean_hits_target(self):
+        d = LogNormal(0.02, 0.5).with_mean(0.08)
+        assert d.mean == pytest.approx(0.08)
+        assert d.scv == pytest.approx(0.5)
+
+    def test_scaled_samples_match_factor(self, rng):
+        base = Deterministic(2.0)
+        assert float(base.scaled(3.0).sample(rng)) == pytest.approx(6.0)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(1.0).scaled(0.0)
+
+    def test_with_mean_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(1.0).with_mean(-1.0)

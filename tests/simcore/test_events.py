@@ -1,0 +1,85 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.events import Event, EventQueue
+
+
+def _noop():
+    pass
+
+
+class TestEvent:
+    def test_cancel_marks_event(self):
+        ev = Event(time=1.0, callback=_noop)
+        assert not ev.cancelled
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_label_default_empty(self):
+        assert Event(time=0.0, callback=_noop).label == ""
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(time=3.0, callback=_noop, label="c"))
+        q.push(Event(time=1.0, callback=_noop, label="a"))
+        q.push(Event(time=2.0, callback=_noop, label="b"))
+        assert [q.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_pop_in_insertion_order(self):
+        q = EventQueue()
+        for name in "abcde":
+            q.push(Event(time=5.0, callback=_noop, label=name))
+        assert [q.pop().label for _ in range(5)] == list("abcde")
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_pop_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(Event(time=1.0, callback=_noop, label="first"))
+        q.push(Event(time=2.0, callback=_noop, label="second"))
+        first.cancel()
+        assert q.pop().label == "second"
+        assert q.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(Event(time=1.0, callback=_noop))
+        q.push(Event(time=4.0, callback=_noop))
+        first.cancel()
+        assert q.peek_time() == 4.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_live_count_excludes_cancelled(self):
+        q = EventQueue()
+        events = [q.push(Event(time=float(i), callback=_noop)) for i in range(4)]
+        events[1].cancel()
+        events[3].cancel()
+        assert q.live_count() == 2
+        assert len(q) == 4
+
+    def test_bool_reflects_live_events(self):
+        q = EventQueue()
+        assert not q
+        ev = q.push(Event(time=0.0, callback=_noop))
+        assert q
+        ev.cancel()
+        assert not q
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        q.push(Event(time=0.0, callback=_noop))
+        q.clear()
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_non_callable_callback_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(Event(time=0.0, callback="not callable"))

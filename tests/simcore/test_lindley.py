@@ -1,0 +1,148 @@
+"""Property tests: vectorised Lindley kernel == textbook recursion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import SimulationError
+from repro.simcore.lindley import (
+    busy_fraction,
+    fifo_departures,
+    lindley_waits,
+    lindley_waits_reference,
+    sojourn_times,
+)
+
+
+def _arrivals_and_services(draw_sizes=st.integers(min_value=0, max_value=200)):
+    @st.composite
+    def strat(draw):
+        n = draw(draw_sizes)
+        gaps = draw(
+            arrays(
+                np.float64,
+                n,
+                elements=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            )
+        )
+        services = draw(
+            arrays(
+                np.float64,
+                n,
+                elements=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            )
+        )
+        w0 = draw(st.floats(min_value=0.0, max_value=10.0))
+        return np.cumsum(gaps), services, w0
+
+    return strat()
+
+
+class TestVectorisedMatchesReference:
+    @given(_arrivals_and_services())
+    @settings(max_examples=200, deadline=None)
+    def test_waits_equal(self, case):
+        arrivals, services, w0 = case
+        fast = lindley_waits(arrivals, services, w0)
+        ref = lindley_waits_reference(arrivals, services, w0)
+        np.testing.assert_allclose(fast, ref, rtol=1e-12, atol=1e-9)
+
+    @given(_arrivals_and_services())
+    @settings(max_examples=100, deadline=None)
+    def test_waits_nonnegative(self, case):
+        arrivals, services, w0 = case
+        assert np.all(lindley_waits(arrivals, services, w0) >= -1e-12)
+
+    def test_random_poisson_stream(self):
+        rng = np.random.default_rng(7)
+        arrivals = np.cumsum(rng.exponential(0.01, 5000))
+        services = rng.exponential(0.008, 5000)
+        np.testing.assert_allclose(
+            lindley_waits(arrivals, services),
+            lindley_waits_reference(arrivals, services),
+            rtol=1e-10,
+            atol=1e-12,
+        )
+
+
+class TestHandComputedCases:
+    def test_empty(self):
+        assert lindley_waits([], []).size == 0
+
+    def test_single_request_waits_initial_work(self):
+        assert lindley_waits([0.0], [1.0], initial_work=0.7)[0] == pytest.approx(0.7)
+
+    def test_back_to_back_queueing(self):
+        # Arrivals every 1s, each service takes 2s: waits grow by 1s each.
+        arrivals = [0.0, 1.0, 2.0, 3.0]
+        services = [2.0, 2.0, 2.0, 2.0]
+        np.testing.assert_allclose(
+            lindley_waits(arrivals, services), [0.0, 1.0, 2.0, 3.0]
+        )
+
+    def test_idle_server_never_waits(self):
+        arrivals = [0.0, 10.0, 20.0]
+        services = [1.0, 1.0, 1.0]
+        np.testing.assert_allclose(lindley_waits(arrivals, services), [0.0, 0.0, 0.0])
+
+    def test_queue_drains_after_gap(self):
+        # Burst then long gap: the 3rd request finds an empty server.
+        arrivals = [0.0, 0.0, 100.0]
+        services = [5.0, 5.0, 5.0]
+        np.testing.assert_allclose(lindley_waits(arrivals, services), [0.0, 5.0, 0.0])
+
+    def test_sojourn_is_wait_plus_service(self):
+        arrivals = [0.0, 1.0]
+        services = [3.0, 2.0]
+        np.testing.assert_allclose(sojourn_times(arrivals, services), [3.0, 4.0])
+
+    def test_departures_monotone_fifo(self):
+        rng = np.random.default_rng(1)
+        arrivals = np.cumsum(rng.exponential(1.0, 500))
+        services = rng.exponential(0.8, 500)
+        dep = fifo_departures(arrivals, services)
+        assert np.all(np.diff(dep) >= -1e-12)
+        assert np.all(dep >= arrivals + services - 1e-12)
+
+
+class TestBusyFraction:
+    def test_matches_utilisation_mm1(self):
+        rng = np.random.default_rng(3)
+        lam, mu = 50.0, 100.0
+        n = 60_000
+        arrivals = np.cumsum(rng.exponential(1.0 / lam, n))
+        services = rng.exponential(1.0 / mu, n)
+        horizon = arrivals[-1] - arrivals[0]
+        rho_hat = busy_fraction(arrivals, services, horizon)
+        assert rho_hat == pytest.approx(lam / mu, rel=0.05)
+
+    def test_empty_stream_zero(self):
+        assert busy_fraction([], [], 1.0) == 0.0
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(SimulationError):
+            busy_fraction([0.0], [1.0], 0.0)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            lindley_waits([0.0, 1.0], [1.0])
+
+    def test_decreasing_arrivals_rejected(self):
+        with pytest.raises(SimulationError):
+            lindley_waits([1.0, 0.5], [1.0, 1.0])
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(SimulationError):
+            lindley_waits([0.0, 1.0], [1.0, -0.1])
+
+    def test_negative_initial_work_rejected(self):
+        with pytest.raises(SimulationError):
+            lindley_waits([0.0], [1.0], initial_work=-1.0)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(SimulationError):
+            lindley_waits(np.zeros((2, 2)), np.zeros((2, 2)))

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.SimulationError,
+    errors.TopologyError,
+    errors.PlacementError,
+    errors.CapacityError,
+    errors.ModelError,
+    errors.NotFittedError,
+    errors.UnstableQueueError,
+    errors.SchedulingError,
+    errors.MonitoringError,
+    errors.WorkloadError,
+    errors.ExperimentError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_value_error_compatibility():
+    # Errors that reject bad values double as ValueError for idiomatic
+    # caller-side handling.
+    for exc in (
+        errors.ConfigurationError,
+        errors.TopologyError,
+        errors.WorkloadError,
+        errors.UnstableQueueError,
+    ):
+        assert issubclass(exc, ValueError)
+
+
+def test_capacity_is_placement():
+    assert issubclass(errors.CapacityError, errors.PlacementError)
+
+
+def test_not_fitted_is_model_error():
+    assert issubclass(errors.NotFittedError, errors.ModelError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.SchedulingError("boom")

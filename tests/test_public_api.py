@@ -1,0 +1,61 @@
+"""The public API surface: everything README documents must import."""
+
+import importlib
+
+import pytest
+
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.simcore",
+    "repro.cluster",
+    "repro.workloads",
+    "repro.service",
+    "repro.interference",
+    "repro.monitoring",
+    "repro.model",
+    "repro.scheduler",
+    "repro.baselines",
+    "repro.sim",
+    "repro.experiments",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module", PUBLIC_MODULES)
+def test_module_imports(module):
+    importlib.import_module(module)
+
+
+@pytest.mark.parametrize("module", PUBLIC_MODULES)
+def test_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name) is not None, f"{module}.{name}"
+
+
+def test_top_level_lazy_exports():
+    import repro
+
+    assert callable(repro.build_nutch_service)
+    assert callable(repro.standard_policies)
+    assert repro.PCSScheduler.__name__ == "PCSScheduler"
+    assert repro.ExperimentRunner is not None
+    assert repro.RunnerConfig is not None
+    with pytest.raises(AttributeError):
+        repro.does_not_exist
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_readme_quickstart_snippet_runs():
+    """The exact snippet from README must work (tiny scale)."""
+    from repro.experiments.fig6 import run_quick_comparison
+
+    result = run_quick_comparison(arrival_rate=60.0, seed=2, n_intervals=4)
+    out = result.render()
+    assert "Basic" in out and "PCS" in out

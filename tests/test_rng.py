@@ -1,0 +1,83 @@
+"""Tests for the named RNG stream registry."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngRegistry, stable_name_key
+
+
+class TestStableNameKey:
+    def test_deterministic(self):
+        assert stable_name_key("abc") == stable_name_key("abc")
+
+    def test_distinct_names_distinct_keys(self):
+        names = [f"stream-{i}" for i in range(100)]
+        keys = {stable_name_key(n) for n in names}
+        assert len(keys) == 100
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= stable_name_key("x") < 2**64
+
+
+class TestRngRegistry:
+    def test_same_name_same_generator_object(self):
+        reg = RngRegistry(seed=1)
+        assert reg.get("a") is reg.get("a")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(seed=99).get("arrivals").random(10)
+        b = RngRegistry(seed=99).get("arrivals").random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(seed=0)
+        a = reg.get("a").random(1000)
+        b = reg.get("b").random(1000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+    def test_creation_order_does_not_matter(self):
+        r1 = RngRegistry(seed=5)
+        r1.get("x")
+        x_then_y = r1.get("y").random(5)
+        r2 = RngRegistry(seed=5)
+        y_only = r2.get("y").random(5)
+        np.testing.assert_array_equal(x_then_y, y_only)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).get("s").random(20)
+        b = RngRegistry(seed=2).get("s").random(20)
+        assert not np.array_equal(a, b)
+
+    def test_fork_equivalent_to_indexed_name(self):
+        reg1 = RngRegistry(seed=3)
+        reg2 = RngRegistry(seed=3)
+        np.testing.assert_array_equal(
+            reg1.fork("comp", 4).random(8), reg2.get("comp[4]").random(8)
+        )
+
+    def test_fork_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(seed=0).fork("comp", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(seed=0).get("")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry(seed="zero")
+
+    def test_reset_restarts_streams(self):
+        reg = RngRegistry(seed=7)
+        first = reg.get("s").random(4)
+        reg.reset()
+        second = reg.get("s").random(4)
+        np.testing.assert_array_equal(first, second)
+
+    def test_contains_len_names(self):
+        reg = RngRegistry(seed=0)
+        reg.get("b")
+        reg.get("a")
+        assert "a" in reg and "b" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert list(reg.names()) == ["a", "b"]

@@ -1,0 +1,158 @@
+"""Tests for the batch-job churn generator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.errors import WorkloadError
+from repro.simcore.engine import SimulationEngine
+from repro.units import gb, mb
+from repro.workloads.generator import BatchJobGenerator, GeneratorConfig
+from repro.workloads.traces import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.homogeneous(3)
+
+
+class TestGeneratorConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    def test_weights_normalised(self):
+        cfg = GeneratorConfig(mix={"spark.sort": 2.0, "hadoop.bayes": 2.0})
+        np.testing.assert_allclose(cfg.profile_weights(), [0.5, 0.5])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(mix={"nope": 1.0})
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            GeneratorConfig(jobs_per_node_per_s=0.0)
+
+    def test_mean_duration_positive(self):
+        assert GeneratorConfig().mean_duration_s() > 0
+
+
+class TestChurn:
+    def test_jobs_arrive_and_depart(self, rng, cluster):
+        engine = SimulationEngine()
+        gen = BatchJobGenerator(
+            GeneratorConfig(jobs_per_node_per_s=0.05, size_range_mb=(mb(10), gb(1))),
+            rng,
+        )
+        gen.start(engine, cluster)
+        engine.run_until(3_000.0)
+        assert gen.arrived > 0
+        assert gen.completed > 0
+        # Conservation: everything arrived is running, done, or dropped.
+        active = sum(len(v) for v in gen.active_jobs.values())
+        assert gen.arrived == gen.completed + gen.dropped + active
+
+    def test_active_jobs_respect_slot_cap(self, rng, cluster):
+        engine = SimulationEngine()
+        cfg = GeneratorConfig(jobs_per_node_per_s=1.0, max_batch_jobs_per_node=2)
+        gen = BatchJobGenerator(cfg, rng)
+        gen.start(engine, cluster)
+        engine.run_until(200.0)
+        for jobs in gen.active_jobs.values():
+            assert len(jobs) <= 2
+        assert gen.dropped > 0  # at that rate the cap must bind
+
+    def test_active_jobs_impose_contention(self, rng, cluster):
+        engine = SimulationEngine()
+        gen = BatchJobGenerator(GeneratorConfig(jobs_per_node_per_s=0.5), rng)
+        gen.start(engine, cluster)
+        engine.run_until(120.0)
+        total = sum(
+            cluster.contention_on(node, None).core for node in cluster
+        )
+        assert total > 0.0
+
+    def test_stop_halts_arrivals(self, rng, cluster):
+        engine = SimulationEngine()
+        gen = BatchJobGenerator(GeneratorConfig(jobs_per_node_per_s=0.5), rng)
+        gen.start(engine, cluster)
+        engine.run_until(60.0)
+        arrived = gen.arrived
+        gen.stop()
+        engine.run_until(600.0)
+        assert gen.arrived == arrived
+        # All in-flight jobs eventually leave.
+        assert sum(len(v) for v in gen.active_jobs.values()) == 0
+
+    def test_deterministic_given_seed(self, cluster):
+        def run(seed):
+            engine = SimulationEngine()
+            gen = BatchJobGenerator(
+                GeneratorConfig(jobs_per_node_per_s=0.2),
+                np.random.default_rng(seed),
+            )
+            gen.start(engine, Cluster.homogeneous(3))
+            engine.run_until(500.0)
+            return (gen.arrived, gen.completed, gen.dropped)
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+
+class TestStationarySnapshot:
+    def test_snapshot_respects_cap(self, rng):
+        cfg = GeneratorConfig(jobs_per_node_per_s=5.0, max_batch_jobs_per_node=3)
+        gen = BatchJobGenerator(cfg, rng)
+        for _ in range(50):
+            assert len(gen.sample_stationary_jobs()) <= 3
+
+    def test_snapshot_jobs_active_now(self, rng):
+        gen = BatchJobGenerator(GeneratorConfig(jobs_per_node_per_s=2.0), rng)
+        for job in gen.sample_stationary_jobs(at_time=100.0):
+            assert job.active_at(100.0)
+
+    def test_snapshot_mean_matches_mg_infinity(self, rng):
+        cfg = GeneratorConfig(
+            jobs_per_node_per_s=0.01, max_batch_jobs_per_node=100
+        )
+        gen = BatchJobGenerator(cfg, rng)
+        counts = [len(gen.sample_stationary_jobs()) for _ in range(3000)]
+        expected = cfg.jobs_per_node_per_s * cfg.mean_duration_s()
+        assert np.mean(counts) == pytest.approx(expected, rel=0.25)
+
+
+class TestReplay:
+    def test_replay_runs_trace_jobs(self, rng, cluster):
+        engine = SimulationEngine()
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                horizon_s=500.0, jobs_per_s=0.05, duration_mode="profile"
+            ),
+            rng,
+        )
+        gen = BatchJobGenerator(GeneratorConfig(), rng)
+        gen.replay(engine, cluster, trace)
+        engine.run()
+        assert gen.arrived == len(trace)
+        assert gen.completed + gen.dropped == len(trace)
+
+    def test_replay_with_explicit_assignment(self, rng, cluster):
+        engine = SimulationEngine()
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                horizon_s=100.0, jobs_per_s=0.1, duration_mode="profile"
+            ),
+            rng,
+        )
+        gen = BatchJobGenerator(GeneratorConfig(max_batch_jobs_per_node=100), rng)
+        gen.replay(engine, cluster, trace, node_assignment=[0] * len(trace))
+        engine.run_until(50.0)
+        assert all(
+            len(jobs) == 0
+            for name, jobs in gen.active_jobs.items()
+            if name != "node-0"
+        )

@@ -1,0 +1,142 @@
+"""Tests for the workload demand profiles and their paper calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resources import ResourceKind
+from repro.errors import WorkloadError
+from repro.units import gb, mb
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    HADOOP_PROFILES,
+    SPARK_PROFILES,
+    Framework,
+    SaturatingCurve,
+    Semantics,
+    get_profile,
+)
+
+
+class TestSaturatingCurve:
+    def test_zero_at_zero(self):
+        assert SaturatingCurve(1.0, 100.0)(0.0) == 0.0
+
+    def test_half_at_half_size(self):
+        curve = SaturatingCurve(0.8, 500.0)
+        assert curve(500.0) == pytest.approx(0.4)
+
+    def test_asymptote(self):
+        curve = SaturatingCurve(0.9, 100.0)
+        assert curve(1e9) == pytest.approx(0.9, rel=1e-3)
+
+    @given(
+        s1=st.floats(min_value=0.0, max_value=1e5),
+        s2=st.floats(min_value=0.0, max_value=1e5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, s1, s2):
+        curve = SaturatingCurve(1.0, 300.0)
+        lo, hi = sorted([s1, s2])
+        assert curve(lo) <= curve(hi) + 1e-12
+
+    def test_vectorised(self):
+        curve = SaturatingCurve(1.0, 100.0)
+        out = curve(np.array([0.0, 100.0, 300.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 0.75])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            SaturatingCurve(1.0, 100.0)(-5.0)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            SaturatingCurve(-0.1, 100.0)
+        with pytest.raises(WorkloadError):
+            SaturatingCurve(1.0, 0.0)
+
+
+class TestPaperCalibration:
+    """WordCount CPU anchors from §II-B: 31 %/61 %/79 % at 0.5/2/8 GB."""
+
+    @pytest.mark.parametrize(
+        "size_mb,expected",
+        [(mb(500), 0.31), (gb(2), 0.61), (gb(8), 0.79)],
+    )
+    def test_wordcount_cpu_anchor(self, size_mb, expected):
+        profile = get_profile("hadoop.wordcount")
+        u = profile.curves[ResourceKind.CORE](size_mb)
+        assert u == pytest.approx(expected, abs=0.035)
+
+    def test_all_six_paper_workloads_present(self):
+        assert set(ALL_PROFILES) == {
+            "hadoop.bayes",
+            "hadoop.wordcount",
+            "hadoop.pageindex",
+            "spark.bayes",
+            "spark.wordcount",
+            "spark.sort",
+        }
+
+    def test_framework_split(self):
+        assert all(p.framework is Framework.HADOOP for p in HADOOP_PROFILES.values())
+        assert all(p.framework is Framework.SPARK for p in SPARK_PROFILES.values())
+
+    def test_software_stack_changes_bottleneck(self):
+        # §II-B: "Hadoop Bayes is a CPU-intensive workload but Spark
+        # Bayes is an I/O-intensive workload".
+        assert get_profile("hadoop.bayes").semantics is Semantics.CPU_INTENSIVE
+        assert get_profile("spark.bayes").semantics is Semantics.IO_INTENSIVE
+
+    def test_sort_is_io_intensive(self):
+        assert get_profile("spark.sort").semantics is Semantics.IO_INTENSIVE
+
+    def test_pageindex_balanced(self):
+        assert get_profile("hadoop.pageindex").semantics is Semantics.BALANCED
+
+    def test_dominant_resource_consistent_with_semantics(self):
+        for profile in ALL_PROFILES.values():
+            dom = profile.dominant_resource
+            if profile.semantics is Semantics.CPU_INTENSIVE:
+                assert dom is ResourceKind.CORE
+            elif profile.semantics is Semantics.IO_INTENSIVE:
+                assert dom in (ResourceKind.DISK_BW, ResourceKind.NET_BW)
+
+
+class TestDemandAndDuration:
+    def test_demand_grows_with_size(self):
+        p = get_profile("spark.sort")
+        small, large = p.demand(mb(100)), p.demand(gb(4))
+        assert large.disk_bw > small.disk_bw
+        assert large.core > small.core
+
+    def test_durations_seconds_to_minutes(self):
+        # §VI-A: jobs run "from a few seconds to several minutes".
+        for p in ALL_PROFILES.values():
+            assert 1.0 <= p.mean_duration(mb(50)) <= 120.0
+            assert p.mean_duration(gb(4)) <= 900.0
+
+    def test_sample_duration_positive_and_noisy(self):
+        rng = np.random.default_rng(0)
+        p = get_profile("hadoop.bayes")
+        samples = np.array([p.sample_duration(gb(1), rng) for _ in range(200)])
+        assert np.all(samples > 0)
+        assert samples.std() > 0
+
+    def test_sample_duration_mean_preserved(self):
+        rng = np.random.default_rng(1)
+        p = get_profile("hadoop.wordcount")
+        samples = np.array([p.sample_duration(gb(1), rng) for _ in range(5000)])
+        assert samples.mean() == pytest.approx(p.mean_duration(gb(1)), rel=0.05)
+
+    def test_zero_sigma_is_deterministic(self):
+        from dataclasses import replace
+
+        rng = np.random.default_rng(2)
+        p = replace(get_profile("hadoop.bayes"), duration_sigma=0.0)
+        assert p.sample_duration(gb(1), rng) == p.mean_duration(gb(1))
+
+    def test_get_profile_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_profile("flink.sort")
