@@ -22,6 +22,7 @@ from repro.experiments.report import render_table
 from repro.interference import default_interference_model
 from repro.service.nutch import NutchConfig, build_nutch_service
 from repro.sim.des_service import DESServiceSimulator
+from repro.sim.metrics import percentile
 from repro.units import gb
 from repro.workloads.batch import BatchJob, BatchJobSpec
 
@@ -32,8 +33,8 @@ def latency_table(title, outcome):
     return render_table(
         ["metric", "p50", "p95", "p99", "max"],
         [
-            ["overall (ms)"] + [f"{np.percentile(lat, q):.1f}" for q in (50, 95, 99, 100)],
-            ["component (ms)"] + [f"{np.percentile(comp, q):.1f}" for q in (50, 95, 99, 100)],
+            ["overall (ms)"] + [f"{percentile(lat, q):.1f}" for q in (50, 95, 99, 100)],
+            ["component (ms)"] + [f"{percentile(comp, q):.1f}" for q in (50, 95, 99, 100)],
         ],
         title=title,
     )

@@ -13,8 +13,15 @@ Layering (bottom-up):
 - :mod:`repro.model` — the performance predictor (paper Eqs. 1–5).
 - :mod:`repro.scheduler` — PCS (paper Algorithms 1–2) and extensions.
 - :mod:`repro.baselines` — Basic, RED-k, RI-p comparison policies.
-- :mod:`repro.sim` — full-system simulation harness.
-- :mod:`repro.experiments` — drivers for the paper's Figures 5–7.
+- :mod:`repro.sim` — full-system simulation harness, including the
+  shared latency-metric kernel (:mod:`repro.sim.metrics`, nearest-rank
+  percentiles) and the parallel sweep-execution subsystem
+  (:mod:`repro.sim.sweep`: policies × rates × seeds grids over
+  multiprocessing workers with an on-disk resume cache).
+- :mod:`repro.experiments` — drivers for the paper's Figures 5–7; all
+  three route their independent grid points through
+  :mod:`repro.sim.sweep`, so ``workers=N`` parallelises any figure
+  without changing a single reported number.
 
 Quickstart::
 
@@ -42,6 +49,8 @@ __all__ = [
     "PCSScheduler",
     "ExperimentRunner",
     "RunnerConfig",
+    "SweepSpec",
+    "ParallelSweepRunner",
 ]
 
 
@@ -62,6 +71,10 @@ def __getattr__(name):  # lazy re-exports keep `import repro` light
         from repro.sim import runner as _runner
 
         return getattr(_runner, name)
+    if name in ("SweepSpec", "ParallelSweepRunner"):
+        from repro.sim import sweep as _sweep
+
+        return getattr(_sweep, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 

@@ -7,7 +7,14 @@ Subcommands regenerate the paper's evaluation artifacts:
   minutes-scale subset, ``--scale paper`` for the full sweep);
 - ``fig7`` — scheduler scalability;
 - ``ablations`` — the design-choice ablations;
-- ``quick`` — a Basic-vs-PCS taste at one arrival rate.
+- ``quick`` — a Basic-vs-PCS taste at one arrival rate;
+- ``sweep`` — an arbitrary policies × rates × seeds grid through the
+  parallel sweep subsystem (:mod:`repro.sim.sweep`).
+
+``fig5``/``fig6``/``fig7``/``sweep`` accept ``--workers N`` to fan
+independent points out over processes (results are identical to the
+serial path); ``fig6``/``sweep`` accept ``--cache-dir`` to memoize
+completed points on disk so interrupted runs resume.
 """
 
 from __future__ import annotations
@@ -32,6 +39,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p5 = sub.add_parser("fig5", help="prediction-accuracy experiment")
     p5.add_argument("--seed", type=int, default=0)
+    p5.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the per-workload campaigns (same numbers "
+        "for any value)",
+    )
 
     p6 = sub.add_parser("fig6", help="six-policy latency comparison")
     p6.add_argument(
@@ -42,9 +54,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p6.add_argument("--seed", type=int, default=7)
     p6.add_argument("--verbose", action="store_true")
+    p6.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the (policy, rate) grid (bit-identical "
+        "results for any value)",
+    )
+    p6.add_argument(
+        "--cache-dir", default=None,
+        help="memoize completed sweep points here; rerunning resumes",
+    )
 
     p7 = sub.add_parser("fig7", help="scheduler scalability")
     p7.add_argument("--seed", type=int, default=0)
+    p7.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for grid points (keep 1 for faithful timings)",
+    )
 
     pa = sub.add_parser("ablations", help="design-choice ablations")
     pa.add_argument("--seed", type=int, default=11)
@@ -52,7 +77,89 @@ def build_parser() -> argparse.ArgumentParser:
     pq = sub.add_parser("quick", help="Basic-vs-PCS at one arrival rate")
     pq.add_argument("--rate", type=float, default=100.0)
     pq.add_argument("--seed", type=int, default=0)
+
+    ps = sub.add_parser(
+        "sweep",
+        help="custom policies x rates x seeds grid via the parallel "
+        "sweep subsystem",
+    )
+    ps.add_argument(
+        "--policies", default="Basic,PCS",
+        help="comma-separated legend names (Basic, RED-3, RED-5, "
+        "RI-90, RI-99, PCS)",
+    )
+    ps.add_argument(
+        "--rates", default="50,200",
+        help="comma-separated arrival rates (req/s)",
+    )
+    ps.add_argument(
+        "--seeds", default="0", help="comma-separated root seeds"
+    )
+    ps.add_argument("--nodes", type=int, default=16)
+    ps.add_argument(
+        "--search-groups", type=int, default=10,
+        help="searching-stage replica groups (the fig6 quick preset; "
+        "the paper-scale 20x5 topology needs ~30 nodes)",
+    )
+    ps.add_argument("--replicas-per-group", type=int, default=4)
+    ps.add_argument("--intervals", type=int, default=6)
+    ps.add_argument("--interval-s", type=float, default=30.0)
+    ps.add_argument("--warmup-intervals", type=int, default=1)
+    ps.add_argument("--workers", type=int, default=1)
+    ps.add_argument("--cache-dir", default=None)
+    ps.add_argument("--verbose", action="store_true")
     return parser
+
+
+def _run_sweep(args) -> int:
+    from repro.service.nutch import NutchConfig
+    from repro.sim.runner import RunnerConfig
+    from repro.sim.sweep import (
+        ParallelSweepRunner,
+        SweepSpec,
+        policy_from_name,
+    )
+
+    policies = tuple(
+        policy_from_name(name) for name in args.policies.split(",") if name
+    )
+    rates = tuple(float(r) for r in args.rates.split(",") if r)
+    seeds = tuple(int(s) for s in args.seeds.split(",") if s)
+    for label, values in (
+        ("--policies", policies), ("--rates", rates), ("--seeds", seeds)
+    ):
+        if not values:
+            print(f"error: {label} must name at least one value", file=sys.stderr)
+            return 2
+    spec = SweepSpec(
+        base=RunnerConfig(
+            n_nodes=args.nodes,
+            arrival_rate=rates[0],
+            interval_s=args.interval_s,
+            n_intervals=args.intervals,
+            warmup_intervals=args.warmup_intervals,
+            seed=seeds[0],
+            nutch=NutchConfig(
+                n_search_groups=args.search_groups,
+                replicas_per_group=args.replicas_per_group,
+            ),
+        ),
+        policies=policies,
+        arrival_rates=rates,
+        seeds=seeds,
+    )
+    runner = ParallelSweepRunner(
+        spec,
+        workers=args.workers,
+        cache=args.cache_dir,
+        progress=(lambda p: print(p.render())) if args.verbose else None,
+    )
+    result = runner.run()
+    if not args.verbose:
+        print(result.render())
+    else:
+        print(result.render().splitlines()[-1])
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -61,7 +168,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fig5":
         from repro.experiments.fig5 import Fig5Config, run_fig5
 
-        print(run_fig5(Fig5Config(seed=args.seed)).render())
+        print(run_fig5(Fig5Config(seed=args.seed), workers=args.workers).render())
     elif args.command == "fig6":
         from repro.experiments.fig6 import Fig6Config, run_fig6
         from repro.service.nutch import NutchConfig
@@ -77,13 +184,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 seed=args.seed,
                 nutch=NutchConfig(n_search_groups=10, replicas_per_group=4),
             )
-        result = run_fig6(cfg, verbose=args.verbose)
+        result = run_fig6(
+            cfg,
+            verbose=args.verbose,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
         print(result.render())
         print(f"\n(wall time: {result.wall_time_s:.1f} s)")
     elif args.command == "fig7":
         from repro.experiments.fig7 import Fig7Config, run_fig7
 
-        print(run_fig7(Fig7Config(seed=args.seed)).render())
+        print(run_fig7(Fig7Config(seed=args.seed), workers=args.workers).render())
     elif args.command == "ablations":
         from repro.experiments.ablations import AblationConfig, run_all_ablations
 
@@ -93,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         result = run_quick_comparison(arrival_rate=args.rate, seed=args.seed)
         print(result.render())
+    elif args.command == "sweep":
+        return _run_sweep(args)
     return 0
 
 

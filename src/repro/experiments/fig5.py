@@ -11,12 +11,18 @@ type's history and evaluated on held-out observations of each size.
 Reported exactly like the paper: the per-(workload, size) percentage
 error, the fraction of cases under 3 %/5 %/8 %, and the overall mean
 error (paper: 63.33 %, 82.22 %, 96.67 % and 2.68 %).
+
+The six per-workload campaigns are independent, each drawing from its
+own named :class:`~repro.rng.RngRegistry` stream, and run through
+:func:`repro.sim.sweep.parallel_map` — so ``workers=N`` parallelises
+the campaign without changing a single number (results are
+worker-count-independent by construction).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -24,8 +30,10 @@ from repro.errors import ExperimentError
 from repro.interference.ground_truth import default_interference_model
 from repro.model.combined import CombinedServiceTimeModel
 from repro.model.training import TrainingSet, error_buckets
+from repro.rng import RngRegistry
 from repro.service.component import Component, ComponentClass
 from repro.sim.profiling import ProfilingConfig, observe_condition
+from repro.sim.sweep import parallel_map
 from repro.simcore.distributions import LogNormal
 from repro.units import gb, mb, ms
 from repro.workloads.batch import BatchJobSpec
@@ -132,53 +140,74 @@ def _conditions_for(workload: str, cfg: Fig5Config) -> List[BatchJobSpec]:
     return [BatchJobSpec.of(workload, float(s)) for s in sizes]
 
 
-def run_fig5(config: Fig5Config | None = None) -> Fig5Result:
-    """Run the whole Fig. 5 campaign."""
-    cfg = config or Fig5Config()
-    rng = np.random.default_rng(cfg.seed)
+def _run_workload_campaign(args: Tuple[str, Fig5Config]) -> List[Fig5Case]:
+    """One workload's whole train/evaluate campaign (one sweep point).
+
+    Module-level and picklable so :func:`parallel_map` can ship it to a
+    spawn worker; draws from a workload-named RNG stream so the result
+    does not depend on which process (or in which order) it runs.
+    """
+    workload, cfg = args
+    rng = RngRegistry(cfg.seed).get(f"fig5.{workload}")
     interference = default_interference_model(cfg.interference_noise)
     prof_cfg = ProfilingConfig(
         window_s=cfg.window_s,
         request_rate=cfg.request_rate,
         repetitions=cfg.train_windows + cfg.test_windows,
     )
+    representative = Component(
+        name=f"searching-rep-{workload}",
+        cls=ComponentClass.SEARCHING,
+        base_service=LogNormal(cfg.search_mean_s, cfg.search_scv),
+    )
+    specs = _conditions_for(workload, cfg)
+    training = TrainingSet()
+    held_out = []  # (input_mb, [(u, x_bar), ...])
+    for spec in specs:
+        windows = observe_condition(
+            representative,
+            [spec],
+            interference,
+            prof_cfg,
+            rng,
+            condition_tag=f"{workload}-{spec.input_mb:.0f}",
+        )
+        for u, x_bar, _scv in windows[: cfg.train_windows]:
+            training.add(u, x_bar)
+        held_out.append((spec.input_mb, windows[cfg.train_windows :]))
+    # "In each test": one model per workload type, trained on that
+    # type's history.
+    model = CombinedServiceTimeModel().fit(
+        training.contention, training.service_times
+    )
     cases: List[Fig5Case] = []
-    for workload in HADOOP_WORKLOADS + SPARK_WORKLOADS:
-        representative = Component(
-            name=f"searching-rep-{workload}",
-            cls=ComponentClass.SEARCHING,
-            base_service=LogNormal(cfg.search_mean_s, cfg.search_scv),
-        )
-        specs = _conditions_for(workload, cfg)
-        training = TrainingSet()
-        held_out = []  # (input_mb, [(u, x_bar), ...])
-        for spec in specs:
-            windows = observe_condition(
-                representative,
-                [spec],
-                interference,
-                prof_cfg,
-                rng,
-                condition_tag=f"{workload}-{spec.input_mb:.0f}",
+    for input_mb, windows in held_out:
+        errors = []
+        for u, x_bar, _scv in windows:
+            predicted = model.predict_one(u)
+            errors.append(abs(predicted - x_bar) / x_bar * 100.0)
+        cases.append(
+            Fig5Case(
+                workload=workload,
+                input_mb=float(input_mb),
+                percent_error=float(np.mean(errors)),
             )
-            for u, x_bar, _scv in windows[: cfg.train_windows]:
-                training.add(u, x_bar)
-            held_out.append((spec.input_mb, windows[cfg.train_windows :]))
-        # "In each test": one model per workload type, trained on that
-        # type's history.
-        model = CombinedServiceTimeModel().fit(
-            training.contention, training.service_times
         )
-        for input_mb, windows in held_out:
-            errors = []
-            for u, x_bar, _scv in windows:
-                predicted = model.predict_one(u)
-                errors.append(abs(predicted - x_bar) / x_bar * 100.0)
-            cases.append(
-                Fig5Case(
-                    workload=workload,
-                    input_mb=float(input_mb),
-                    percent_error=float(np.mean(errors)),
-                )
-            )
+    return cases
+
+
+def run_fig5(config: Fig5Config | None = None, workers: int = 1) -> Fig5Result:
+    """Run the whole Fig. 5 campaign.
+
+    ``workers`` fans the six per-workload campaigns out over processes;
+    the per-workload RNG streams make the numbers identical for any
+    worker count.
+    """
+    cfg = config or Fig5Config()
+    per_workload = parallel_map(
+        _run_workload_campaign,
+        [(w, cfg) for w in HADOOP_WORKLOADS + SPARK_WORKLOADS],
+        workers=workers,
+    )
+    cases = [case for campaign in per_workload for case in campaign]
     return Fig5Result(cases=cases, config=cfg)

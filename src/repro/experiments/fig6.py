@@ -11,13 +11,17 @@ This driver reruns exactly that sweep on the simulated cluster and
 computes the same headline aggregation.  The scale knobs default to a
 laptop-sized but faithful configuration; ``Fig6Config(paper_scale=True)``
 uses the paper's full 30-node / 100-searching-VM setup.
+
+Execution routes through :mod:`repro.sim.sweep`: every (policy, rate)
+cell is one independent sweep point, so ``workers=N`` fans the grid out
+over processes (bit-identical to the serial path) and ``cache_dir``
+memoizes completed cells so an interrupted sweep resumes for free.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,7 +36,8 @@ from repro.experiments.report import render_bars, render_table
 from repro.scheduler.pcs import SchedulerConfig
 from repro.scheduler.threshold import AdaptiveThreshold
 from repro.service.nutch import NutchConfig
-from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
+from repro.sim.runner import PolicyResult, RunnerConfig
+from repro.sim.sweep import ParallelSweepRunner, SweepCache, SweepSpec
 from repro.units import ms
 from repro.workloads.generator import GeneratorConfig
 
@@ -107,6 +112,15 @@ class Fig6Config:
             seed=self.seed,
             nutch=self.nutch,
             generator=self.generator,
+        )
+
+    def sweep_spec(self) -> SweepSpec:
+        """The policies × rates grid as a :class:`SweepSpec`."""
+        return SweepSpec(
+            base=self.runner_config(self.arrival_rates[0]),
+            policies=tuple(self.policies),
+            arrival_rates=tuple(self.arrival_rates),
+            seeds=(self.seed,),
         )
 
 
@@ -232,22 +246,32 @@ class Fig6Result:
         return "\n\n".join(blocks)
 
 
-def run_fig6(config: Fig6Config | None = None, verbose: bool = False) -> Fig6Result:
-    """Run the whole Fig. 6 sweep (shared seeds across policies)."""
+def run_fig6(
+    config: Fig6Config | None = None,
+    verbose: bool = False,
+    workers: int = 1,
+    cache_dir: Union[str, SweepCache, None] = None,
+) -> Fig6Result:
+    """Run the whole Fig. 6 sweep (shared seeds across policies).
+
+    ``workers`` fans the (policy, rate) grid out over processes via
+    :class:`~repro.sim.sweep.ParallelSweepRunner`; results are
+    bit-identical to ``workers=1``.  ``cache_dir`` memoizes completed
+    cells on disk so an interrupted or repeated sweep resumes instead
+    of recomputing.
+    """
     cfg = config or Fig6Config()
-    t0 = time.perf_counter()
-    results: Dict[float, Dict[str, PolicyResult]] = {}
-    for rate in cfg.arrival_rates:
-        runner = ExperimentRunner(cfg.runner_config(rate))
-        per_policy: Dict[str, PolicyResult] = {}
-        for policy in cfg.policies:
-            result = runner.run(policy)
-            per_policy[policy.name] = result
-            if verbose:
-                print(result.render())
-        results[rate] = per_policy
+    sweep = ParallelSweepRunner(
+        cfg.sweep_spec(),
+        workers=workers,
+        cache=cache_dir,
+        progress=(lambda p: print(p.render())) if verbose else None,
+    )
+    outcome = sweep.run()
     return Fig6Result(
-        results=results, config=cfg, wall_time_s=time.perf_counter() - t0
+        results=outcome.by_rate(seed=cfg.seed),
+        config=cfg,
+        wall_time_s=outcome.wall_time_s,
     )
 
 

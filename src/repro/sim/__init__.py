@@ -15,19 +15,36 @@
 - :mod:`repro.sim.runner` — the interval loop tying everything
   together: batch churn → monitoring → prediction → scheduling →
   request simulation (the Fig. 6 engine).
+- :mod:`repro.sim.sweep` — parallel sweep execution: policies × rates ×
+  seeds grids fanned out over spawn-safe multiprocessing workers, with
+  an on-disk JSON memo so interrupted sweeps resume (bit-identical to
+  the serial path for any worker count).
 """
 
-from repro.sim.metrics import LatencySummary, percentile, summarize
+from repro.sim.metrics import LatencySummary, percentile, pool, summarize
 from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
 from repro.sim.runner import PolicyResult, RunnerConfig, ExperimentRunner
+from repro.sim.sweep import (
+    ParallelSweepRunner,
+    SweepCache,
+    SweepResult,
+    SweepSpec,
+    parallel_map,
+)
 
 __all__ = [
     "LatencySummary",
     "percentile",
+    "pool",
     "summarize",
     "IntervalOutcome",
     "simulate_service_interval",
     "RunnerConfig",
     "PolicyResult",
     "ExperimentRunner",
+    "SweepSpec",
+    "SweepResult",
+    "SweepCache",
+    "ParallelSweepRunner",
+    "parallel_map",
 ]

@@ -9,6 +9,15 @@ Two currencies:
 Percentiles use the *nearest-rank on the empirical sample* convention
 (``numpy``'s ``'higher'`` interpolation) so a reported p99 is always an
 actually observed latency — the convention tail-latency papers use.
+
+This module is the **shared metric kernel**: every reported percentile
+in the package must go through :func:`percentile` (or
+:func:`summarize`) so that all drivers, benchmarks and examples agree
+on the convention.  The only sanctioned raw ``np.percentile`` calls
+outside this module live in :mod:`repro.monitoring.streaming` (which
+documents its own estimator) and in policy-internal mechanics that are
+not reported metrics (e.g. the reissue timer in
+:mod:`repro.sim.queue_sim`).
 """
 
 from __future__ import annotations
@@ -23,11 +32,21 @@ from repro.errors import SimulationError
 __all__ = ["percentile", "LatencySummary", "summarize", "pool"]
 
 
-def percentile(values, q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample."""
+def _ctx(label: str) -> str:
+    """Render an optional context label for error messages."""
+    return f" ({label})" if label else ""
+
+
+def percentile(values, q: float, *, label: str = "") -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample.
+
+    ``label`` names the sample in error messages (e.g. ``"interval 3
+    pooled component latencies"``) so an empty sample fails
+    diagnosably instead of with a bare "empty sample".
+    """
     arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
-        raise SimulationError("percentile of an empty sample")
+        raise SimulationError(f"percentile of an empty sample{_ctx(label)}")
     if not 0 <= q <= 100:
         raise SimulationError(f"q must be in [0, 100], got {q}")
     return float(np.percentile(arr, q, method="higher"))
@@ -55,31 +74,78 @@ class LatencySummary:
             f"p99={self.p99 * f:.2f}{u} max={self.max * f:.2f}{u}"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (exact float round-trip via ``repr``)."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
 
-def summarize(values) -> LatencySummary:
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "LatencySummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            n=int(d["n"]),
+            mean=float(d["mean"]),
+            p50=float(d["p50"]),
+            p95=float(d["p95"]),
+            p99=float(d["p99"]),
+            max=float(d["max"]),
+        )
+
+
+def summarize(values, *, label: str = "") -> LatencySummary:
     """Build a :class:`LatencySummary` from raw latencies."""
     arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
-        raise SimulationError("cannot summarise an empty latency sample")
+        raise SimulationError(
+            f"cannot summarise an empty latency sample{_ctx(label)}"
+        )
     if np.any(arr < 0):
-        raise SimulationError("latencies must be non-negative")
+        raise SimulationError(f"latencies must be non-negative{_ctx(label)}")
     return LatencySummary(
         n=int(arr.size),
         mean=float(arr.mean()),
-        p50=percentile(arr, 50),
-        p95=percentile(arr, 95),
-        p99=percentile(arr, 99),
+        p50=percentile(arr, 50, label=label),
+        p95=percentile(arr, 95, label=label),
+        p99=percentile(arr, 99, label=label),
         max=float(arr.max()),
     )
 
 
-def pool(samples: Mapping[str, np.ndarray] | Iterable[np.ndarray]) -> np.ndarray:
-    """Concatenate per-component latency arrays into one pooled sample."""
+def pool(
+    samples: Mapping[str, np.ndarray] | Iterable[np.ndarray],
+    *,
+    label: str = "",
+) -> np.ndarray:
+    """Concatenate per-component latency arrays into one pooled sample.
+
+    Empty per-component arrays are dropped (a component may simply not
+    have been routed to this interval); if *every* array is empty the
+    pool is meaningless and an error is raised that names the empty
+    components (for mappings) and the caller's context, so an all-idle
+    interval fails diagnosably rather than with a bare "nothing to
+    pool".
+    """
     if isinstance(samples, Mapping):
-        arrays = list(samples.values())
+        named = [(name, np.asarray(a, dtype=np.float64)) for name, a in samples.items()]
     else:
-        arrays = list(samples)
-    arrays = [np.asarray(a, dtype=np.float64) for a in arrays if np.size(a)]
+        named = [
+            (f"[{i}]", np.asarray(a, dtype=np.float64))
+            for i, a in enumerate(samples)
+        ]
+    arrays = [a for _, a in named if a.size]
     if not arrays:
-        raise SimulationError("nothing to pool")
+        if not named:
+            raise SimulationError(f"nothing to pool{_ctx(label)}: no samples given")
+        empties = [name for name, _ in named]
+        shown = ", ".join(empties[:8]) + (", ..." if len(empties) > 8 else "")
+        raise SimulationError(
+            f"nothing to pool{_ctx(label)}: all {len(named)} samples are "
+            f"empty ({shown})"
+        )
     return np.concatenate(arrays)

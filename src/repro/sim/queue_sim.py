@@ -236,6 +236,10 @@ def _group_reissue(
         s = np.asarray(dists[comp.name].sample(rng, t.size))
         soj1[mask] = lindley_waits(t, s, validate=False) + s
         svc1[mask] = s
+    # Policy-internal reissue timer, not a reported metric: the real
+    # system's timer interpolates its latency estimate, so this
+    # intentionally stays raw np.percentile rather than the
+    # nearest-rank kernel in repro.sim.metrics.
     threshold = float(np.percentile(soj1, quantile * 100.0)) if n else 0.0
     reissue = soj1 > threshold
     secondary_replica = (primary + 1) % r_count

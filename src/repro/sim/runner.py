@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set
 
 import numpy as np
 
@@ -43,7 +43,7 @@ from repro.scheduler.hierarchical import HierarchicalScheduler
 from repro.scheduler.migration import MigrationCostModel, MigrationExecutor
 from repro.scheduler.pcs import PCSScheduler
 from repro.service.nutch import NutchConfig, build_nutch_service
-from repro.sim.metrics import LatencySummary, pool, summarize
+from repro.sim.metrics import LatencySummary, percentile, pool, summarize
 from repro.sim.profiling import ProfilingConfig, train_predictor_for_service
 from repro.sim.queue_sim import simulate_service_interval
 from repro.simcore.engine import SimulationEngine
@@ -129,6 +129,56 @@ class PolicyResult:
             f"migrations = {self.n_migrations}"
         )
 
+    def metrics_dict(self) -> dict:
+        """Every *deterministic* field — :meth:`to_dict` minus the
+        measured wall-clock timings.  Two runs of the same (config,
+        policy) point must agree on this exactly, whatever the worker
+        count or host; it is the byte-identity the sweep tests pin.
+        """
+        d = self.to_dict()
+        del d["scheduling_time_s"], d["wall_time_s"]
+        return d
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form used by the on-disk sweep cache.
+
+        Floats round-trip exactly (``json`` serialises them via
+        ``repr``, the shortest exact representation), so a cache hit
+        reproduces the original result byte-for-byte.
+        """
+        return {
+            "policy_name": self.policy_name,
+            "arrival_rate": self.arrival_rate,
+            "component_latency": self.component_latency.to_dict(),
+            "overall_latency": self.overall_latency.to_dict(),
+            "per_interval_component_p99": list(self.per_interval_component_p99),
+            "per_interval_overall_mean": list(self.per_interval_overall_mean),
+            "n_requests": self.n_requests,
+            "n_migrations": self.n_migrations,
+            "scheduling_time_s": self.scheduling_time_s,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "PolicyResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            policy_name=str(d["policy_name"]),
+            arrival_rate=float(d["arrival_rate"]),
+            component_latency=LatencySummary.from_dict(d["component_latency"]),
+            overall_latency=LatencySummary.from_dict(d["overall_latency"]),
+            per_interval_component_p99=[
+                float(x) for x in d["per_interval_component_p99"]
+            ],
+            per_interval_overall_mean=[
+                float(x) for x in d["per_interval_overall_mean"]
+            ],
+            n_requests=int(d["n_requests"]),
+            n_migrations=int(d["n_migrations"]),
+            scheduling_time_s=float(d["scheduling_time_s"]),
+            wall_time_s=float(d["wall_time_s"]),
+        )
+
 
 class ExperimentRunner:
     """Evaluates policies under one :class:`RunnerConfig`.
@@ -138,10 +188,23 @@ class ExperimentRunner:
     the paper does.
     """
 
-    def __init__(self, config: RunnerConfig) -> None:
+    def __init__(
+        self,
+        config: RunnerConfig,
+        trained: Optional[LatencyPredictor] = None,
+    ) -> None:
         self.config = config
         self.interference = default_interference_model(config.interference_noise)
-        self._trained: Optional[LatencyPredictor] = None
+        # Training is deterministic given the config seed, so a caller
+        # that already holds the trained predictor for this seed (e.g. a
+        # sweep worker evaluating several policies) may inject it to
+        # skip retraining without changing any result.
+        self._trained: Optional[LatencyPredictor] = trained
+
+    @property
+    def trained(self) -> Optional[LatencyPredictor]:
+        """The trained predictor, if training has happened (or was injected)."""
+        return self._trained
 
     # ------------------------------------------------------------------
     # predictor
@@ -252,7 +315,15 @@ class ExperimentRunner:
                 pooled = outcome.pooled_component_latencies()
                 component_pool.append(pooled)
                 overall_pool.append(outcome.request_latencies)
-                per_interval_p99.append(float(np.percentile(pooled, 99)))
+                # Shared metric kernel: nearest-rank, never interpolated
+                # (must match the pooled LatencySummary convention).
+                per_interval_p99.append(
+                    percentile(
+                        pooled,
+                        99,
+                        label=f"interval {interval} pooled component latencies",
+                    )
+                )
                 per_interval_mean.append(float(outcome.request_latencies.mean()))
                 n_requests += outcome.n_requests
             if scheduler is not None and interval + 1 < cfg.n_intervals:
@@ -264,12 +335,22 @@ class ExperimentRunner:
                 n_migrations = executor.enforced
 
         if not component_pool:
-            raise ExperimentError("no measured intervals produced requests")
+            raise ExperimentError(
+                f"no measured intervals produced requests "
+                f"({policy.name} @ {cfg.arrival_rate:g} req/s, seed {cfg.seed})"
+            )
+        run_label = f"{policy.name} @ {cfg.arrival_rate:g} req/s"
         return PolicyResult(
             policy_name=policy.name,
             arrival_rate=cfg.arrival_rate,
-            component_latency=summarize(pool(component_pool)),
-            overall_latency=summarize(pool(overall_pool)),
+            component_latency=summarize(
+                pool(component_pool, label=f"{run_label} component latencies"),
+                label=f"{run_label} component latencies",
+            ),
+            overall_latency=summarize(
+                pool(overall_pool, label=f"{run_label} overall latencies"),
+                label=f"{run_label} overall latencies",
+            ),
             per_interval_component_p99=per_interval_p99,
             per_interval_overall_mean=per_interval_mean,
             n_requests=n_requests,

@@ -1,0 +1,584 @@
+"""Parallel sweep execution: policies × arrival rates × seeds grids.
+
+The paper's headline artifacts (Figs. 5–7) are sweeps, and every point
+of a sweep is independent of every other point: one
+:class:`~repro.sim.runner.ExperimentRunner` evaluating one policy at
+one arrival rate under one seed.  This module turns that independence
+into wall-clock speed and resumability:
+
+- :class:`SweepSpec` names a grid (a base :class:`RunnerConfig` plus
+  the policies, arrival rates and seeds to cross);
+- :class:`ParallelSweepRunner` fans the grid points out over
+  ``multiprocessing`` workers (spawn-safe: the worker function is a
+  module-level callable and every argument is a picklable frozen
+  dataclass), with per-point deterministic seeding via
+  :class:`~repro.rng.RngRegistry` — **results are bit-identical to the
+  serial path regardless of worker count or completion order**;
+- :class:`SweepCache` memoizes completed points in an on-disk JSON
+  store keyed by a stable hash of (runner config, policy) — which
+  embeds the arrival rate and seed — so an interrupted sweep resumes
+  instead of recomputing, and repeated figure regenerations are free.
+
+Determinism contract
+--------------------
+A sweep point's result depends only on its :class:`RunnerConfig` and
+policy: the runner builds all of its random streams from
+``RngRegistry(config.seed)``, and predictor training draws from the
+dedicated ``"profiling"`` stream, so training in one process and
+evaluating in another (or retraining per point) cannot change any
+number.  Workers additionally memoize the trained predictor per
+profiling signature, so evaluating six policies at one seed trains
+once — exactly like the serial :class:`ExperimentRunner` sharing.
+
+JSON float round-trips are exact (``repr`` is the shortest exact
+representation), so cache hits are byte-identical to fresh runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.baselines.policies import (
+    BasicPolicy,
+    PCSPolicy,
+    Policy,
+    REDPolicy,
+    ReissuePolicy,
+)
+from repro.errors import ConfigurationError, ExperimentError
+from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "SweepProgress",
+    "SweepResult",
+    "SweepCache",
+    "ParallelSweepRunner",
+    "parallel_map",
+    "point_cache_key",
+    "policy_from_name",
+]
+
+#: Bump when the cached payload layout (or anything that invalidates
+#: old results, e.g. a metric-convention fix) changes.
+CACHE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# grid specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the grid: (policy, arrival rate, seed)."""
+
+    policy: Policy
+    arrival_rate: float
+    seed: int
+
+    def describe(self) -> str:
+        """Short human-readable cell name."""
+        return f"{self.policy.name} @ {self.arrival_rate:g} req/s, seed {self.seed}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A policies × arrival rates × seeds grid over one base config.
+
+    The base config's own ``arrival_rate`` and ``seed`` are placeholders
+    — each point replaces them with its grid coordinates.
+    """
+
+    base: RunnerConfig
+    policies: Tuple[Policy, ...]
+    arrival_rates: Tuple[float, ...]
+    seeds: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ExperimentError("sweep needs at least one policy")
+        if not self.arrival_rates:
+            raise ExperimentError("sweep needs at least one arrival rate")
+        if not self.seeds:
+            raise ExperimentError("sweep needs at least one seed")
+        if any(r <= 0 for r in self.arrival_rates):
+            raise ExperimentError("arrival rates must be positive")
+        names = [p.name for p in self.policies]
+        if len(set(names)) != len(names):
+            raise ExperimentError(f"duplicate policy names in sweep: {names}")
+        if len(set(self.arrival_rates)) != len(self.arrival_rates):
+            raise ExperimentError(
+                f"duplicate arrival rates in sweep: {self.arrival_rates}"
+            )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ExperimentError(f"duplicate seeds in sweep: {self.seeds}")
+
+    @property
+    def n_points(self) -> int:
+        """Grid size."""
+        return len(self.policies) * len(self.arrival_rates) * len(self.seeds)
+
+    def points(self) -> List[SweepPoint]:
+        """All grid cells, rate-major (the Fig. 6 presentation order)."""
+        return [
+            SweepPoint(policy=p, arrival_rate=r, seed=s)
+            for r in self.arrival_rates
+            for p in self.policies
+            for s in self.seeds
+        ]
+
+    def runner_config(self, point: SweepPoint) -> RunnerConfig:
+        """The fully resolved :class:`RunnerConfig` for one cell."""
+        return replace(
+            self.base, arrival_rate=point.arrival_rate, seed=point.seed
+        )
+
+
+# ----------------------------------------------------------------------
+# stable hashing of configs and policies
+# ----------------------------------------------------------------------
+def _canonical(obj):
+    """Recursively convert configs/policies to canonical JSON-able form.
+
+    Dataclass instances carry their class name so that, e.g., a
+    ``StaticThreshold`` and an ``AdaptiveThreshold`` with coincidentally
+    equal field values hash differently.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, bool) or obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, (int, float)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    # numpy scalars and anything else with .item()
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return _canonical(item())
+    raise ConfigurationError(
+        f"cannot canonicalise {type(obj).__name__!r} for sweep hashing"
+    )
+
+
+def point_cache_key(config: RunnerConfig, policy: Policy) -> str:
+    """Stable cache key for one sweep point.
+
+    Hashes the *full* runner config (which embeds the point's arrival
+    rate and seed) together with the policy descriptor — i.e. the
+    (config hash, policy, rate, seed) identity of the point.  Any knob
+    change produces a different key, so stale results are never served.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "config": _canonical(config),
+        "policy": _canonical(policy),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# on-disk results cache
+# ----------------------------------------------------------------------
+class SweepCache:
+    """On-disk JSON memo of completed sweep points.
+
+    One file per point (``<key>.json``), written atomically (temp file
+    + ``os.replace``) so a crash mid-write can never corrupt a
+    completed entry, and concurrent sweeps over overlapping grids are
+    safe.  Corrupt or stale-version entries read as misses.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Location of one entry."""
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[PolicyResult]:
+        """Return the memoized result for ``key``, or ``None`` on miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        try:
+            return PolicyResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(
+        self, key: str, point: SweepPoint, result: PolicyResult
+    ) -> Path:
+        """Atomically persist one completed point."""
+        path = self.path_for(key)
+        payload = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "policy": point.policy.name,
+            "arrival_rate": point.arrival_rate,
+            "seed": point.seed,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            n += 1
+        return n
+
+
+# ----------------------------------------------------------------------
+# worker side (must be module-level and picklable for spawn)
+# ----------------------------------------------------------------------
+#: Per-process memo of trained predictors, keyed by profiling signature.
+#: Lives in the worker process; evaluating many policies that share a
+#: seed trains once per worker instead of once per point.  Bounded
+#: (FIFO) because on the ``workers=1`` path it lives in the caller's
+#: process for the interpreter's lifetime.
+_PREDICTOR_MEMO: Dict[tuple, object] = {}
+_PREDICTOR_MEMO_LIMIT = 8
+
+
+def _profiling_signature(config: RunnerConfig) -> tuple:
+    """The config fields predictor training depends on (not the rate)."""
+    return (
+        config.seed,
+        config.nutch,
+        config.profiling,
+        config.n_profiling_conditions,
+        config.interference_noise,
+    )
+
+
+def _execute_point(config: RunnerConfig, policy: Policy) -> PolicyResult:
+    """Run one sweep point (in a worker or inline for ``workers=1``)."""
+    signature = _profiling_signature(config)
+    runner = ExperimentRunner(config, trained=_PREDICTOR_MEMO.get(signature))
+    result = runner.run(policy)
+    if runner.trained is not None and signature not in _PREDICTOR_MEMO:
+        while len(_PREDICTOR_MEMO) >= _PREDICTOR_MEMO_LIMIT:
+            _PREDICTOR_MEMO.pop(next(iter(_PREDICTOR_MEMO)))
+        _PREDICTOR_MEMO[signature] = runner.trained
+    return result
+
+
+def _call(fn_and_item):
+    """Tiny trampoline so :func:`parallel_map` ships one picklable arg."""
+    fn, item = fn_and_item
+    return fn(item)
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    workers: int = 1,
+    mp_context: str = "spawn",
+) -> list:
+    """Order-preserving map, fanned out over processes when asked.
+
+    ``fn`` must be a module-level function and every item picklable
+    (the spawn start method re-imports the module in each worker).
+    ``workers=1`` runs inline — no processes, no pickling — which keeps
+    the serial path exactly the serial path.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    items = list(items)
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    ctx = multiprocessing.get_context(mp_context)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(items)), mp_context=ctx
+    ) as pool:
+        return list(pool.map(_call, [(fn, item) for item in items]))
+
+
+# ----------------------------------------------------------------------
+# progress + results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress tick: a point finished (freshly or from cache)."""
+
+    done: int
+    total: int
+    point: SweepPoint
+    result: PolicyResult
+    from_cache: bool
+    elapsed_s: float
+
+    def render(self) -> str:
+        """One status line, e.g. for a verbose console."""
+        source = "cache" if self.from_cache else "run"
+        return (
+            f"[{self.done:>{len(str(self.total))}d}/{self.total}] "
+            f"({source:>5s}, {self.elapsed_s:6.1f}s) {self.result.render()}"
+        )
+
+
+@dataclass
+class SweepResult:
+    """Every grid cell's :class:`PolicyResult`, in grid order."""
+
+    spec: SweepSpec
+    results: Dict[SweepPoint, PolicyResult]
+    wall_time_s: float
+    cache_hits: int = 0
+
+    def get(
+        self, policy_name: str, arrival_rate: float, seed: Optional[int] = None
+    ) -> PolicyResult:
+        """Look one cell up by coordinates."""
+        seeds = self.spec.seeds if seed is None else (seed,)
+        for point, result in self.results.items():
+            if (
+                point.policy.name == policy_name
+                and point.arrival_rate == arrival_rate
+                and point.seed in seeds
+            ):
+                return result
+        raise ExperimentError(
+            f"no sweep cell ({policy_name}, {arrival_rate:g}, seed {seed})"
+        )
+
+    def by_rate(
+        self, seed: Optional[int] = None
+    ) -> Dict[float, Dict[str, PolicyResult]]:
+        """The Fig. 6 shape: ``{rate: {policy name: result}}``.
+
+        With multiple seeds in the grid, ``seed`` selects which slice;
+        with one seed it may be omitted.
+        """
+        if seed is None:
+            if len(self.spec.seeds) != 1:
+                raise ExperimentError(
+                    f"grid has seeds {self.spec.seeds}; pass seed= to by_rate"
+                )
+            seed = self.spec.seeds[0]
+        if seed not in self.spec.seeds:
+            raise ExperimentError(f"seed {seed} not in grid {self.spec.seeds}")
+        out: Dict[float, Dict[str, PolicyResult]] = {
+            r: {} for r in self.spec.arrival_rates
+        }
+        for point, result in self.results.items():
+            if point.seed == seed:
+                out[point.arrival_rate][point.policy.name] = result
+        return out
+
+    def render(self) -> str:
+        """Per-cell one-liners plus a footer."""
+        lines = [
+            f"seed {point.seed} | {result.render()}"
+            for point, result in self.results.items()
+        ]
+        lines.append(
+            f"{len(self.results)} points "
+            f"({self.cache_hits} from cache) in {self.wall_time_s:.1f} s"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class ParallelSweepRunner:
+    """Executes a :class:`SweepSpec`, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    workers:
+        Process count.  ``1`` (default) runs everything inline in this
+        process — the exact serial path.  ``>1`` fans points out over a
+        spawn-context :class:`~concurrent.futures.ProcessPoolExecutor`;
+        results are identical either way (see the module docstring's
+        determinism contract).
+    cache:
+        ``None`` (no memoization), a directory path, or a ready
+        :class:`SweepCache`.  Completed points are persisted as they
+        finish, so an interrupted sweep resumes where it stopped.
+    progress:
+        Optional callback invoked with a :class:`SweepProgress` after
+        every point (cache hits included), in completion order.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        workers: int = 1,
+        cache: Union[SweepCache, str, Path, None] = None,
+        progress: Optional[Callable[[SweepProgress], None]] = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        if cache is not None and not isinstance(cache, SweepCache):
+            cache = SweepCache(cache)
+        self.cache = cache
+        self.progress = progress
+        self.mp_context = mp_context
+
+    # -- internals ------------------------------------------------------
+    def _emit(
+        self,
+        done: int,
+        total: int,
+        point: SweepPoint,
+        result: PolicyResult,
+        from_cache: bool,
+        t0: float,
+    ) -> None:
+        if self.progress is not None:
+            self.progress(
+                SweepProgress(
+                    done=done,
+                    total=total,
+                    point=point,
+                    result=result,
+                    from_cache=from_cache,
+                    elapsed_s=time.perf_counter() - t0,
+                )
+            )
+
+    def _finish(
+        self,
+        point: SweepPoint,
+        key: str,
+        result: PolicyResult,
+        results: Dict[SweepPoint, PolicyResult],
+    ) -> None:
+        results[point] = result
+        if self.cache is not None:
+            self.cache.store(key, point, result)
+
+    # -- public API -----------------------------------------------------
+    def run(self) -> SweepResult:
+        """Execute every grid point; returns all results in grid order."""
+        t0 = time.perf_counter()
+        points = self.spec.points()
+        total = len(points)
+        results: Dict[SweepPoint, PolicyResult] = {}
+        cache_hits = 0
+        pending: List[Tuple[SweepPoint, RunnerConfig, str]] = []
+
+        for point in points:
+            config = self.spec.runner_config(point)
+            key = point_cache_key(config, point.policy)
+            cached = self.cache.load(key) if self.cache is not None else None
+            if cached is not None:
+                results[point] = cached
+                cache_hits += 1
+                self._emit(len(results), total, point, cached, True, t0)
+            else:
+                pending.append((point, config, key))
+
+        # A single pending point (e.g. resuming an almost-complete
+        # sweep) runs inline: a spawn worker would pay an interpreter +
+        # numpy import and a cold predictor memo for nothing.
+        if pending and (self.workers == 1 or len(pending) == 1):
+            for point, config, key in pending:
+                result = _execute_point(config, point.policy)
+                self._finish(point, key, result, results)
+                self._emit(len(results), total, point, result, False, t0)
+        elif pending:
+            ctx = multiprocessing.get_context(self.mp_context)
+            n_workers = min(self.workers, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=ctx
+            ) as pool:
+                futures = {
+                    pool.submit(_execute_point, config, point.policy): (
+                        point,
+                        key,
+                    )
+                    for point, config, key in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        point, key = futures[future]
+                        result = future.result()
+                        self._finish(point, key, result, results)
+                        self._emit(
+                            len(results), total, point, result, False, t0
+                        )
+
+        # Grid order, whatever the completion order was.
+        ordered = {point: results[point] for point in points}
+        return SweepResult(
+            spec=self.spec,
+            results=ordered,
+            wall_time_s=time.perf_counter() - t0,
+            cache_hits=cache_hits,
+        )
+
+
+# ----------------------------------------------------------------------
+# policy-name parsing (CLI / config files)
+# ----------------------------------------------------------------------
+def policy_from_name(name: str) -> Policy:
+    """Map a Fig. 6 legend name to its policy descriptor.
+
+    Accepts ``Basic``, ``RED-<k>`` (k >= 2), ``RI-<p>`` (percent in
+    (0, 100)), and ``PCS`` (the adaptive-threshold configuration the
+    Fig. 6 reproduction uses).
+    """
+    label = name.strip()
+    if label.lower() == "basic":
+        return BasicPolicy()
+    if label.lower() == "pcs":
+        # Late import: experiments sits above sim in the layering.
+        from repro.experiments.fig6 import paper_pcs_policy
+
+        return paper_pcs_policy()
+    head, sep, tail = label.partition("-")
+    if sep and head.upper() == "RED":
+        try:
+            return REDPolicy(replicas=int(tail))
+        except ValueError as exc:
+            raise ConfigurationError(f"bad RED policy {name!r}") from exc
+    if sep and head.upper() == "RI":
+        try:
+            return ReissuePolicy(quantile=int(tail) / 100.0)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad RI policy {name!r}") from exc
+    raise ConfigurationError(
+        f"unknown policy {name!r} (expected Basic, RED-<k>, RI-<p> or PCS)"
+    )

@@ -40,9 +40,25 @@ class TestAblations:
 class TestCLI:
     def test_parser_has_all_subcommands(self):
         parser = build_parser()
-        for cmd in ("fig5", "fig6", "fig7", "ablations", "quick"):
+        for cmd in ("fig5", "fig6", "fig7", "ablations", "quick", "sweep"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
+
+    def test_workers_and_cache_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fig6", "--workers", "4", "--cache-dir", "/tmp/sweep-cache"]
+        )
+        assert args.workers == 4 and args.cache_dir == "/tmp/sweep-cache"
+        assert parser.parse_args(["fig5", "--workers", "2"]).workers == 2
+        assert parser.parse_args(["fig7", "--workers", "2"]).workers == 2
+
+    def test_sweep_subcommand_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.policies == "Basic,PCS"
+        assert args.rates == "50,200"
+        assert args.seeds == "0"
+        assert args.workers == 1 and args.cache_dir is None
 
     def test_fig6_scale_choices(self):
         parser = build_parser()

@@ -93,6 +93,44 @@ class TestFig6:
         ]
 
 
+class TestFig6SweepRouting:
+    """run_fig6 goes through the sweep subsystem: cached and resumable."""
+
+    def _tiny_cfg(self):
+        return Fig6Config(
+            arrival_rates=(40.0,),
+            n_nodes=8,
+            n_intervals=4,
+            warmup_intervals=1,
+            seed=3,
+            nutch=NutchConfig(
+                n_search_groups=4, replicas_per_group=2,
+                n_segmenters=1, n_aggregators=1,
+            ),
+            policies=(BasicPolicy(), REDPolicy(replicas=2)),
+        )
+
+    def test_sweep_spec_mirrors_config(self):
+        cfg = self._tiny_cfg()
+        spec = cfg.sweep_spec()
+        assert spec.arrival_rates == cfg.arrival_rates
+        assert spec.seeds == (cfg.seed,)
+        assert [p.name for p in spec.policies] == ["Basic", "RED-2"]
+
+    def test_cache_dir_resumes_identically(self, tmp_path):
+        cfg = self._tiny_cfg()
+        first = run_fig6(cfg, cache_dir=tmp_path)
+        again = run_fig6(cfg, cache_dir=tmp_path)
+        for rate in first.results:
+            for name in first.results[rate]:
+                assert (
+                    again.results[rate][name].metrics_dict()
+                    == first.results[rate][name].metrics_dict()
+                )
+        # Second run served everything from the memo.
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+
 class TestFig7:
     @pytest.fixture(scope="class")
     def result(self):

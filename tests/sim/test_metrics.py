@@ -72,3 +72,66 @@ class TestPool:
     def test_all_empty_rejected(self):
         with pytest.raises(SimulationError):
             pool({"a": np.array([])})
+
+
+class TestDiagnosableErrors:
+    """Empty-sample failures must name the offending context, not fail
+    with a bare "nothing to pool"."""
+
+    def test_pool_all_empty_names_components(self):
+        with pytest.raises(SimulationError) as exc:
+            pool(
+                {"searching-3": np.array([]), "aggregate-0": np.array([])},
+                label="interval 4",
+            )
+        msg = str(exc.value)
+        assert "interval 4" in msg
+        assert "searching-3" in msg and "aggregate-0" in msg
+        assert "all 2 samples are empty" in msg
+
+    def test_pool_all_empty_truncates_long_component_lists(self):
+        samples = {f"comp-{i}": np.array([]) for i in range(20)}
+        with pytest.raises(SimulationError) as exc:
+            pool(samples)
+        msg = str(exc.value)
+        assert "all 20 samples are empty" in msg
+        assert "..." in msg and "comp-19" not in msg
+
+    def test_pool_iterable_all_empty_names_positions(self):
+        with pytest.raises(SimulationError) as exc:
+            pool([np.array([]), np.array([])], label="overall latencies")
+        msg = str(exc.value)
+        assert "overall latencies" in msg and "[0]" in msg
+
+    def test_pool_no_samples_at_all(self):
+        with pytest.raises(SimulationError) as exc:
+            pool({}, label="interval 0")
+        assert "no samples given" in str(exc.value)
+        assert "interval 0" in str(exc.value)
+
+    def test_percentile_empty_names_context(self):
+        with pytest.raises(SimulationError) as exc:
+            percentile([], 99, label="interval 7 pooled component latencies")
+        assert "interval 7" in str(exc.value)
+
+    def test_summarize_empty_names_context(self):
+        with pytest.raises(SimulationError) as exc:
+            summarize([], label="Basic @ 50 req/s overall latencies")
+        assert "Basic @ 50 req/s" in str(exc.value)
+
+    def test_unlabelled_errors_still_clean(self):
+        with pytest.raises(SimulationError) as exc:
+            percentile([], 99)
+        assert "(" not in str(exc.value)
+
+
+class TestLatencySummaryRoundtrip:
+    def test_to_from_dict_exact(self):
+        s = summarize(np.random.default_rng(3).lognormal(0, 1, 500))
+        assert LatencySummary.from_dict(s.to_dict()) == s
+
+    def test_json_roundtrip_exact(self):
+        import json
+
+        s = summarize([0.1, 0.25, 1.0 / 3.0])
+        assert LatencySummary.from_dict(json.loads(json.dumps(s.to_dict()))) == s

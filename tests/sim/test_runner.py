@@ -113,6 +113,44 @@ class TestLoadFeedback:
         assert red5.overall_mean_s > basic.overall_mean_s
 
 
+class TestPerIntervalP99Convention:
+    """Regression: per-interval p99 must use the shared nearest-rank
+    kernel, not numpy's default linear interpolation (which reports a
+    never-observed latency and disagrees with the pooled summaries)."""
+
+    #: Ten latencies for which the two conventions visibly disagree:
+    #: linear p99 = 9.91, nearest-rank ("higher") p99 = 10.0.
+    LATENCIES = np.arange(1.0, 11.0)
+
+    def test_per_interval_p99_is_nearest_rank(self, monkeypatch):
+        from repro.sim import runner as runner_mod
+        from repro.sim.metrics import percentile
+        from repro.sim.queue_sim import IntervalOutcome
+
+        lat = self.LATENCIES
+        assert float(np.percentile(lat, 99)) != percentile(lat, 99)
+
+        def crafted_interval(topology, policy, rate, duration_s, dists, rng):
+            return IntervalOutcome(
+                request_latencies=lat.copy(),
+                component_sojourns={"comp": lat.copy()},
+                component_service_samples={"comp": lat.copy()},
+                duration_s=duration_s,
+                arrival_rate=rate,
+            )
+
+        monkeypatch.setattr(
+            runner_mod, "simulate_service_interval", crafted_interval
+        )
+        cfg = _small_config(n_intervals=2, warmup_intervals=1)
+        result = ExperimentRunner(cfg).run(BasicPolicy())
+        assert result.per_interval_component_p99 == [percentile(lat, 99)]
+        assert result.per_interval_component_p99 == [10.0]
+        # The per-interval series and the pooled summary now agree on
+        # the convention (here one measured interval == the pool).
+        assert result.per_interval_component_p99[0] == result.component_p99_s
+
+
 class TestConfigValidation:
     @pytest.mark.parametrize(
         "kwargs",

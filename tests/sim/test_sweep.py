@@ -1,0 +1,334 @@
+"""Tests for the parallel sweep-execution subsystem."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import (
+    BasicPolicy,
+    PCSPolicy,
+    REDPolicy,
+    ReissuePolicy,
+)
+from repro.errors import ConfigurationError, ExperimentError
+from repro.service.nutch import NutchConfig
+from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
+from repro.sim.sweep import (
+    ParallelSweepRunner,
+    SweepCache,
+    SweepSpec,
+    parallel_map,
+    point_cache_key,
+    policy_from_name,
+)
+from repro.workloads.generator import GeneratorConfig
+
+
+def _tiny_base(**overrides) -> RunnerConfig:
+    kwargs = dict(
+        n_nodes=6,
+        arrival_rate=40.0,
+        interval_s=8.0,
+        n_intervals=3,
+        warmup_intervals=1,
+        seed=0,
+        nutch=NutchConfig(
+            n_search_groups=3, replicas_per_group=2,
+            n_segmenters=1, n_aggregators=1,
+        ),
+        generator=GeneratorConfig(
+            jobs_per_node_per_s=0.02, max_batch_jobs_per_node=3
+        ),
+        n_profiling_conditions=8,
+    )
+    kwargs.update(overrides)
+    return RunnerConfig(**kwargs)
+
+
+def _tiny_spec(**overrides) -> SweepSpec:
+    kwargs = dict(
+        base=_tiny_base(),
+        policies=(BasicPolicy(), REDPolicy(replicas=2)),
+        arrival_rates=(30.0, 70.0),
+        seeds=(0, 1),
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+class TestSweepSpec:
+    def test_grid_size_and_order(self):
+        spec = _tiny_spec()
+        points = spec.points()
+        assert len(points) == spec.n_points == 2 * 2 * 2
+        # Rate-major order, then policy, then seed.
+        assert [p.arrival_rate for p in points[:4]] == [30.0] * 4
+        assert points[0].policy.name == "Basic" and points[0].seed == 0
+        assert points[1].seed == 1
+        assert points[2].policy.name == "RED-2"
+
+    def test_runner_config_overrides_rate_and_seed(self):
+        spec = _tiny_spec()
+        point = spec.points()[-1]
+        cfg = spec.runner_config(point)
+        assert cfg.arrival_rate == point.arrival_rate == 70.0
+        assert cfg.seed == point.seed == 1
+        assert cfg.n_nodes == spec.base.n_nodes
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policies": ()},
+            {"arrival_rates": ()},
+            {"seeds": ()},
+            {"arrival_rates": (0.0,)},
+            {"arrival_rates": (50.0, 50.0)},
+            {"seeds": (3, 3)},
+            {"policies": (BasicPolicy(), BasicPolicy())},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            _tiny_spec(**kwargs)
+
+
+class TestCacheKey:
+    def test_identity_is_config_policy_rate_seed(self):
+        spec = _tiny_spec()
+        a, b = spec.points()[0], spec.points()[1]
+        key_a = point_cache_key(spec.runner_config(a), a.policy)
+        key_a2 = point_cache_key(spec.runner_config(a), a.policy)
+        key_b = point_cache_key(spec.runner_config(b), b.policy)
+        assert key_a == key_a2
+        assert key_a != key_b  # differs by seed only
+
+    def test_policy_parameters_change_key(self):
+        cfg = _tiny_base()
+        assert point_cache_key(cfg, REDPolicy(replicas=3)) != point_cache_key(
+            cfg, REDPolicy(replicas=5)
+        )
+        assert point_cache_key(cfg, BasicPolicy()) != point_cache_key(
+            cfg, PCSPolicy()
+        )
+
+    def test_config_knobs_change_key(self):
+        key1 = point_cache_key(_tiny_base(), BasicPolicy())
+        key2 = point_cache_key(_tiny_base(n_intervals=4), BasicPolicy())
+        assert key1 != key2
+
+
+class TestSerialSweep:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        spec = _tiny_spec()
+        ticks = []
+        result = ParallelSweepRunner(spec, workers=1, progress=ticks.append).run()
+        return spec, result, ticks
+
+    def test_all_points_present_in_grid_order(self, outcome):
+        spec, result, _ = outcome
+        assert list(result.results) == spec.points()
+
+    def test_matches_direct_runner(self, outcome):
+        spec, result, _ = outcome
+        point = spec.points()[0]
+        direct = ExperimentRunner(spec.runner_config(point)).run(point.policy)
+        assert result.results[point].metrics_dict() == direct.metrics_dict()
+
+    def test_progress_ticks_every_point(self, outcome):
+        spec, _, ticks = outcome
+        assert len(ticks) == spec.n_points
+        assert [t.done for t in ticks] == list(range(1, spec.n_points + 1))
+        assert all(t.total == spec.n_points for t in ticks)
+        assert not any(t.from_cache for t in ticks)
+        assert "req/s" in ticks[0].render()
+
+    def test_by_rate_slices_one_seed(self, outcome):
+        spec, result, _ = outcome
+        per_rate = result.by_rate(seed=1)
+        assert set(per_rate) == {30.0, 70.0}
+        assert list(per_rate[30.0]) == ["Basic", "RED-2"]
+        # Multi-seed grid: seed selection is mandatory.
+        with pytest.raises(ExperimentError):
+            result.by_rate()
+        with pytest.raises(ExperimentError):
+            result.by_rate(seed=99)
+
+    def test_get_by_coordinates(self, outcome):
+        spec, result, _ = outcome
+        r = result.get("RED-2", 70.0, seed=0)
+        assert r.policy_name == "RED-2" and r.arrival_rate == 70.0
+        with pytest.raises(ExperimentError):
+            result.get("PCS", 70.0, seed=0)
+
+    def test_render_summarises(self, outcome):
+        spec, result, _ = outcome
+        out = result.render()
+        assert f"{spec.n_points} points" in out
+        assert "0 from cache" in out
+
+    def test_seeds_differentiate_results(self, outcome):
+        spec, result, _ = outcome
+        a = result.get("Basic", 30.0, seed=0)
+        b = result.get("Basic", 30.0, seed=1)
+        assert a.component_p99_s != b.component_p99_s
+
+
+class TestPolicyResultRoundtrip:
+    def test_json_roundtrip_is_exact(self):
+        spec = _tiny_spec()
+        point = spec.points()[0]
+        result = ExperimentRunner(spec.runner_config(point)).run(point.policy)
+        blob = json.dumps(result.to_dict())
+        back = PolicyResult.from_dict(json.loads(blob))
+        assert back == result  # includes the timing fields
+
+    def test_metrics_dict_drops_timings(self):
+        spec = _tiny_spec()
+        point = spec.points()[0]
+        result = ExperimentRunner(spec.runner_config(point)).run(point.policy)
+        d = result.metrics_dict()
+        assert "wall_time_s" not in d and "scheduling_time_s" not in d
+        assert d["n_requests"] == result.n_requests
+
+
+class TestSweepCache:
+    def test_full_rerun_hits_every_point(self, tmp_path):
+        spec = _tiny_spec(seeds=(0,))
+        first = ParallelSweepRunner(spec, workers=1, cache=tmp_path).run()
+        assert first.cache_hits == 0
+        again = ParallelSweepRunner(spec, workers=1, cache=tmp_path).run()
+        assert again.cache_hits == spec.n_points
+        for point in spec.points():
+            assert (
+                again.results[point].metrics_dict()
+                == first.results[point].metrics_dict()
+            )
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        spec = _tiny_spec(seeds=(0,))
+        cache = SweepCache(tmp_path)
+        full = ParallelSweepRunner(spec, workers=1, cache=cache).run()
+        # Simulate an interruption that lost one point.
+        victim = spec.points()[-1]
+        cache.path_for(
+            point_cache_key(spec.runner_config(victim), victim.policy)
+        ).unlink()
+        assert len(cache) == spec.n_points - 1
+        resumed = ParallelSweepRunner(spec, workers=1, cache=cache).run()
+        assert resumed.cache_hits == spec.n_points - 1
+        assert (
+            resumed.results[victim].metrics_dict()
+            == full.results[victim].metrics_dict()
+        )
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        spec = _tiny_spec(seeds=(0,), arrival_rates=(30.0,))
+        cache = SweepCache(tmp_path)
+        ParallelSweepRunner(spec, workers=1, cache=cache).run()
+        point = spec.points()[0]
+        key = point_cache_key(spec.runner_config(point), point.policy)
+        cache.path_for(key).write_text("{not json")
+        assert cache.load(key) is None
+        rerun = ParallelSweepRunner(spec, workers=1, cache=cache).run()
+        assert rerun.cache_hits == spec.n_points - 1
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        spec = _tiny_spec(seeds=(0,), arrival_rates=(30.0,))
+        cache = SweepCache(tmp_path)
+        ParallelSweepRunner(spec, workers=1, cache=cache).run()
+        point = spec.points()[0]
+        key = point_cache_key(spec.runner_config(point), point.policy)
+        payload = json.loads(cache.path_for(key).read_text())
+        payload["version"] = -1
+        cache.path_for(key).write_text(json.dumps(payload))
+        assert cache.load(key) is None
+
+    def test_progress_reports_cache_hits(self, tmp_path):
+        spec = _tiny_spec(seeds=(0,), arrival_rates=(30.0,))
+        ParallelSweepRunner(spec, workers=1, cache=tmp_path).run()
+        ticks = []
+        ParallelSweepRunner(
+            spec, workers=1, cache=tmp_path, progress=ticks.append
+        ).run()
+        assert all(t.from_cache for t in ticks)
+        assert "cache" in ticks[0].render()
+
+    def test_clear(self, tmp_path):
+        spec = _tiny_spec(seeds=(0,), arrival_rates=(30.0,))
+        cache = SweepCache(tmp_path)
+        ParallelSweepRunner(spec, workers=1, cache=cache).run()
+        assert len(cache) == spec.n_points
+        assert cache.clear() == spec.n_points
+        assert len(cache) == 0
+
+
+class TestParallelExecution:
+    """Parallel fan-out must be metric-identical to the serial path.
+
+    Kept small: the spawn start method pays an interpreter+numpy import
+    per worker, so this is the slowest test in the module.
+    """
+
+    def test_parallel_matches_serial_bit_for_bit(self, tmp_path):
+        spec = _tiny_spec(arrival_rates=(40.0,), seeds=(0, 1))
+        serial = ParallelSweepRunner(spec, workers=1).run()
+        parallel = ParallelSweepRunner(spec, workers=2, cache=tmp_path).run()
+        for point in spec.points():
+            assert (
+                parallel.results[point].metrics_dict()
+                == serial.results[point].metrics_dict()
+            ), point.describe()
+        # And the parallel run populated the resume cache.
+        assert len(SweepCache(tmp_path)) == spec.n_points
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ParallelSweepRunner(_tiny_spec(), workers=0)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelMap:
+    def test_inline_path_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(_square, [], workers=4) == []
+        assert parallel_map(_square, [5], workers=4) == [25]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(_square, [1], workers=0)
+
+    def test_process_path_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], workers=2) == [9, 1, 4]
+
+
+class TestPolicyFromName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("Basic", BasicPolicy()),
+            ("basic", BasicPolicy()),
+            ("RED-3", REDPolicy(replicas=3)),
+            ("red-5", REDPolicy(replicas=5)),
+            ("RI-90", ReissuePolicy(quantile=0.90)),
+            ("RI-99", ReissuePolicy(quantile=0.99)),
+        ],
+    )
+    def test_legend_names(self, name, expected):
+        assert policy_from_name(name) == expected
+
+    def test_pcs_uses_fig6_configuration(self):
+        from repro.experiments.fig6 import paper_pcs_policy
+
+        assert policy_from_name("PCS") == paper_pcs_policy()
+
+    @pytest.mark.parametrize("name", ["FANCY", "RED-x", "RI-", "RED"])
+    def test_unknown_rejected(self, name):
+        with pytest.raises(ConfigurationError):
+            policy_from_name(name)
