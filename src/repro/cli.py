@@ -9,12 +9,17 @@ Subcommands regenerate the paper's evaluation artifacts:
 - ``ablations`` — the design-choice ablations;
 - ``quick`` — a Basic-vs-PCS taste at one arrival rate;
 - ``sweep`` — an arbitrary policies × rates × seeds grid through the
-  parallel sweep subsystem (:mod:`repro.sim.sweep`).
+  parallel sweep subsystem (:mod:`repro.sim.sweep`);
+- ``aggregate`` — seed-level statistics (mean ± CI per metric, via
+  :mod:`repro.sim.aggregate`) over a sweep cache directory's
+  ``manifest.json``, with ``--gc`` to drop orphaned point files.
 
 ``fig5``/``fig6``/``fig7``/``sweep`` accept ``--workers N`` to fan
 independent points out over processes (results are identical to the
 serial path); ``fig6``/``sweep`` accept ``--cache-dir`` to memoize
-completed points on disk so interrupted runs resume.
+completed points on disk so interrupted runs resume, and
+``--seeds``/``sweep --aggregate`` to repeat cells across seeds and
+reduce them through the shared aggregate layer.
 """
 
 from __future__ import annotations
@@ -53,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="quick = 3 rates / small cluster; paper = full sweep",
     )
     p6.add_argument("--seed", type=int, default=7)
+    p6.add_argument(
+        "--seeds", default=None,
+        help="comma-separated seeds to repeat every cell under "
+        "(default: just --seed); multi-seed runs report mean ± CI",
+    )
     p6.add_argument("--verbose", action="store_true")
     p6.add_argument(
         "--workers", type=int, default=1,
@@ -108,6 +118,40 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--workers", type=int, default=1)
     ps.add_argument("--cache-dir", default=None)
     ps.add_argument("--verbose", action="store_true")
+    ps.add_argument(
+        "--aggregate", action="store_true",
+        help="also print the seed-level aggregate table "
+        "(mean ± CI across --seeds per policy and rate)",
+    )
+
+    pg = sub.add_parser(
+        "aggregate",
+        help="seed-level statistics over a sweep cache directory "
+        "(reads its manifest.json)",
+    )
+    pg.add_argument(
+        "--cache-dir", required=True,
+        help="cache directory of a completed sweep (must hold a manifest)",
+    )
+    pg.add_argument(
+        "--metrics", default=None,
+        help="comma-separated flattened metric names to tabulate "
+        "(default: the two paper currencies, component p99 and "
+        "overall mean)",
+    )
+    pg.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="confidence level for the t and bootstrap intervals",
+    )
+    pg.add_argument(
+        "--json", action="store_true",
+        help="emit the full summary as JSON instead of a table",
+    )
+    pg.add_argument(
+        "--gc", action="store_true",
+        help="first remove point files not named by the manifest "
+        "(orphans from older grids) and leftover temp files",
+    )
     return parser
 
 
@@ -159,6 +203,54 @@ def _run_sweep(args) -> int:
         print(result.render())
     else:
         print(result.render().splitlines()[-1])
+    if args.aggregate:
+        print()
+        print(result.summary().render_table())
+    return 0
+
+
+def _run_aggregate(args) -> int:
+    import os
+
+    from repro.errors import ExperimentError
+    from repro.sim.aggregate import (
+        DEFAULT_TABLE_METRICS,
+        AggregateConfig,
+        SweepSummary,
+    )
+    from repro.sim.sweep import SweepCache
+
+    # A reporting command must not mkdir its target as a side effect
+    # (SweepCache's constructor creates missing roots for writers).
+    if not os.path.isdir(args.cache_dir):
+        print(f"error: no such cache directory: {args.cache_dir}", file=sys.stderr)
+        return 2
+    cache = SweepCache(args.cache_dir)
+    try:
+        if args.gc:
+            removed = cache.gc()
+            # stderr: stdout must stay parseable (tables / --json).
+            print(
+                f"gc: removed {len(removed)} orphaned/temp file(s)",
+                file=sys.stderr,
+            )
+        summary = SweepSummary.from_cache(
+            cache, AggregateConfig(confidence=args.confidence)
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(summary.to_dict(), sort_keys=True, indent=2))
+        else:
+            metrics = (
+                [m for m in args.metrics.split(",") if m]
+                if args.metrics
+                else list(DEFAULT_TABLE_METRICS)
+            )
+            print(summary.render_table(metrics=metrics))
+    except ExperimentError as exc:  # includes the SweepCacheError family
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -173,8 +265,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.fig6 import Fig6Config, run_fig6
         from repro.service.nutch import NutchConfig
 
+        seeds = (
+            tuple(int(s) for s in args.seeds.split(",") if s)
+            if args.seeds
+            else ()
+        )
         if args.scale == "paper":
-            cfg = Fig6Config(seed=args.seed)
+            cfg = Fig6Config(seed=args.seed, seeds=seeds)
         else:
             cfg = Fig6Config(
                 arrival_rates=(10.0, 50.0, 200.0),
@@ -182,6 +279,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 n_intervals=6,
                 warmup_intervals=1,
                 seed=args.seed,
+                seeds=seeds,
                 nutch=NutchConfig(n_search_groups=10, replicas_per_group=4),
             )
         result = run_fig6(
@@ -207,6 +305,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(result.render())
     elif args.command == "sweep":
         return _run_sweep(args)
+    elif args.command == "aggregate":
+        return _run_aggregate(args)
     return 0
 
 

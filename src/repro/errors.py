@@ -68,3 +68,27 @@ class WorkloadError(ReproError, ValueError):
 
 class ExperimentError(ReproError):
     """A failure while driving one of the paper's experiments."""
+
+
+class SweepCacheError(ExperimentError):
+    """An error in the on-disk sweep cache / provenance layer."""
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        #: Filesystem path of the offending cache file, when known.
+        self.path = path
+
+
+class CacheCorruptionError(SweepCacheError):
+    """A cache file holds truncated or garbage content.
+
+    Raised instead of a bare :class:`json.JSONDecodeError` so the
+    message (and the ``path`` attribute) identify the offending file.
+    A half-written file cannot be produced by an interrupted sweep —
+    point files are written atomically — so corruption indicates real
+    external damage and is never silently recomputed over.
+    """
+
+
+class StaleManifestError(SweepCacheError):
+    """A ``manifest.json`` was written under a different schema version."""

@@ -9,6 +9,10 @@ Quantifies the qualitative claims the paper makes in prose:
 - :func:`dominance_table` — who is best at each rate;
 - :func:`pcs_convergence` — how PCS's per-interval latency series
   settles as migrations accumulate within one run.
+
+The ``summary_*`` variants run the same analyses over a multi-seed
+:class:`~repro.sim.aggregate.SweepSummary`, so per-seed reduction goes
+through the shared aggregate layer instead of a private loop.
 """
 
 from __future__ import annotations
@@ -19,10 +23,46 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ExperimentError
-from repro.experiments.report import render_table
+from repro.experiments.report import format_ci, render_table
+from repro.sim.aggregate import SweepSummary
 from repro.sim.runner import PolicyResult
 
-__all__ = ["crossover_rate", "dominance_table", "pcs_convergence"]
+__all__ = [
+    "crossover_rate",
+    "dominance_table",
+    "pcs_convergence",
+    "summary_crossover_rate",
+    "summary_dominance_table",
+]
+
+
+def _crossover_from_values(
+    values: Dict[float, Dict[str, float]], technique: str, baseline: str
+) -> Optional[float]:
+    """Shared crossover scan over ``{rate: {policy: metric value}}``."""
+    rates = sorted(values)
+    if not rates:
+        raise ExperimentError("empty sweep")
+    ratios = []
+    for rate in rates:
+        per_policy = values[rate]
+        if technique not in per_policy or baseline not in per_policy:
+            raise ExperimentError(
+                f"sweep is missing {technique!r} or {baseline!r} at {rate}"
+            )
+        ratios.append(per_policy[technique] / per_policy[baseline])
+    if ratios[0] >= 1.0:
+        return rates[0]  # never helped
+    for i in range(1, len(rates)):
+        if ratios[i] >= 1.0:
+            # Geometric interpolation of log(ratio) crossing zero.
+            lo, hi = rates[i - 1], rates[i]
+            a, b = math.log(ratios[i - 1]), math.log(ratios[i])
+            t = -a / (b - a)
+            return float(math.exp(
+                math.log(lo) + t * (math.log(hi) - math.log(lo))
+            ))
+    return None
 
 
 def crossover_rate(
@@ -39,32 +79,34 @@ def crossover_rate(
     load).  Returns ``None`` when no crossover exists in the sweep, and
     the lowest rate when the technique never helps.
     """
-    rates = sorted(results)
-    if not rates:
-        raise ExperimentError("empty sweep")
-    ratios = []
-    for rate in rates:
-        per_policy = results[rate]
-        if technique not in per_policy or baseline not in per_policy:
-            raise ExperimentError(
-                f"sweep is missing {technique!r} or {baseline!r} at {rate}"
-            )
-        ratios.append(
-            getattr(per_policy[technique], metric)
-            / getattr(per_policy[baseline], metric)
-        )
-    if ratios[0] >= 1.0:
-        return rates[0]  # never helped
-    for i in range(1, len(rates)):
-        if ratios[i] >= 1.0:
-            # Geometric interpolation of log(ratio) crossing zero.
-            lo, hi = rates[i - 1], rates[i]
-            a, b = math.log(ratios[i - 1]), math.log(ratios[i])
-            t = -a / (b - a)
-            return float(math.exp(
-                math.log(lo) + t * (math.log(hi) - math.log(lo))
-            ))
-    return None
+    return _crossover_from_values(
+        {
+            rate: {name: getattr(r, metric) for name, r in per_policy.items()}
+            for rate, per_policy in results.items()
+        },
+        technique,
+        baseline,
+    )
+
+
+def summary_crossover_rate(
+    summary: SweepSummary,
+    technique: str,
+    baseline: str = "Basic",
+    metric: str = "overall_latency.mean",
+) -> Optional[float]:
+    """:func:`crossover_rate` over seed-mean metrics of a summary."""
+    return _crossover_from_values(
+        {
+            rate: {
+                name: summary.seed_mean(name, rate, metric)
+                for name in summary.policies()
+            }
+            for rate in summary.rates()
+        },
+        technique,
+        baseline,
+    )
 
 
 def dominance_table(
@@ -94,6 +136,51 @@ def dominance_table(
         ["rate (req/s)", "best", "best (ms)", "runner-up", "margin"],
         rows,
         title=f"Policy dominance by arrival rate ({metric})",
+    )
+
+
+def summary_dominance_table(
+    summary: SweepSummary, metric: str = "component_latency.p99"
+) -> str:
+    """Who wins at each rate on seed-mean metrics, with the winner's CI.
+
+    The multi-seed sibling of :func:`dominance_table`: ranks by the
+    aggregate layer's seed-means and shows the winner's Student-t
+    interval so a photo-finish is visible as overlapping CIs.
+    """
+    rates = summary.rates()
+    if not rates:
+        raise ExperimentError("empty summary")
+    rows = []
+    for rate in rates:
+        ranked = sorted(
+            ((name, summary.get(name, rate)[metric]) for name in summary.policies()),
+            key=lambda kv: kv[1].mean,
+        )
+        best_name, best = ranked[0]
+        runner_up_name, runner_up = ranked[1] if len(ranked) > 1 else ranked[0]
+        margin = runner_up.mean / best.mean
+        rows.append(
+            [
+                f"{rate:g}",
+                best_name,
+                f"{best.mean * 1e3:.1f}",
+                format_ci(best.t_lo * 1e3, best.t_hi * 1e3, digits=1),
+                runner_up_name,
+                f"{margin:.2f}x",
+            ]
+        )
+    return render_table(
+        [
+            "rate (req/s)",
+            "best",
+            "mean (ms)",
+            f"{summary.config.confidence:.0%} CI (ms)",
+            "runner-up",
+            "margin",
+        ],
+        rows,
+        title=f"Policy dominance by arrival rate ({metric}, seed-mean)",
     )
 
 

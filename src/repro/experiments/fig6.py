@@ -36,6 +36,7 @@ from repro.experiments.report import render_bars, render_table
 from repro.scheduler.pcs import SchedulerConfig
 from repro.scheduler.threshold import AdaptiveThreshold
 from repro.service.nutch import NutchConfig
+from repro.sim.aggregate import AggregateConfig, SweepSummary
 from repro.sim.runner import PolicyResult, RunnerConfig
 from repro.sim.sweep import ParallelSweepRunner, SweepCache, SweepSpec
 from repro.units import ms
@@ -90,6 +91,10 @@ class Fig6Config:
         )
     )
     policies: Tuple[Policy, ...] = ()
+    #: Seeds to repeat every (policy, rate) cell under; defaults to
+    #: ``(seed,)``.  With several seeds the driver reports mean ± CI
+    #: per cell through :mod:`repro.sim.aggregate`.
+    seeds: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.arrival_rates:
@@ -100,6 +105,10 @@ class Fig6Config:
             object.__setattr__(
                 self, "policies", tuple(standard_policies()[:-1]) + (paper_pcs_policy(),)
             )
+        if not self.seeds:
+            object.__setattr__(self, "seeds", (self.seed,))
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ExperimentError(f"duplicate seeds: {self.seeds}")
 
     def runner_config(self, arrival_rate: float) -> RunnerConfig:
         """Runner configuration for one sweep point."""
@@ -115,22 +124,42 @@ class Fig6Config:
         )
 
     def sweep_spec(self) -> SweepSpec:
-        """The policies × rates grid as a :class:`SweepSpec`."""
+        """The policies × rates × seeds grid as a :class:`SweepSpec`."""
         return SweepSpec(
             base=self.runner_config(self.arrival_rates[0]),
             policies=tuple(self.policies),
             arrival_rates=tuple(self.arrival_rates),
-            seeds=(self.seed,),
+            seeds=tuple(self.seeds),
         )
 
 
 @dataclass
 class Fig6Result:
-    """The full sweep: one PolicyResult per (rate, policy)."""
+    """The full sweep: one PolicyResult per (rate, policy).
+
+    ``results`` is one seed's slice (``config.seeds[0]``) — the shape
+    the per-rate panels and the analysis helpers consume.  ``summary``
+    is the seed-level reduction over *all* seeds
+    (:class:`~repro.sim.aggregate.SweepSummary`); every headline number
+    reads from it, so single- and multi-seed runs share one code path.
+    """
 
     results: Dict[float, Dict[str, PolicyResult]]
     config: Fig6Config
     wall_time_s: float = 0.0
+    summary: Optional[SweepSummary] = None
+
+    def seed_summary(self) -> SweepSummary:
+        """The seed-level aggregate (built lazily for hand-made results)."""
+        if self.summary is None:
+            self.summary = SweepSummary.from_grouped(
+                {
+                    (name, rate): {self.config.seeds[0]: result}
+                    for rate, per_policy in self.results.items()
+                    for name, result in per_policy.items()
+                }
+            )
+        return self.summary
 
     def policies(self) -> List[str]:
         """Policy names in legend order."""
@@ -154,20 +183,33 @@ class Fig6Result:
         (Averaging latencies before taking the ratio is the only
         reading under which a single percentage can summarise a sweep
         whose heavy-load points differ by orders of magnitude.)
+
+        Per-cell values are the seed-means from the shared
+        :mod:`repro.sim.aggregate` reduction; with one seed they are
+        exactly the single run's numbers.
         """
         baselines = self._mitigation_baselines()
+        summary = self.seed_summary()
         rates = sorted(self.results)
-        pcs_tail = np.mean([self.results[r]["PCS"].component_p99_s for r in rates])
-        pcs_mean = np.mean([self.results[r]["PCS"].overall_mean_s for r in rates])
+        pcs_tail = np.mean(
+            [summary.seed_mean("PCS", r, "component_latency.p99") for r in rates]
+        )
+        pcs_mean = np.mean(
+            [summary.seed_mean("PCS", r, "overall_latency.mean") for r in rates]
+        )
         other_tail = np.mean(
             [
-                self.results[r][b].component_p99_s
+                summary.seed_mean(b, r, "component_latency.p99")
                 for r in rates
                 for b in baselines
             ]
         )
         other_mean = np.mean(
-            [self.results[r][b].overall_mean_s for r in rates for b in baselines]
+            [
+                summary.seed_mean(b, r, "overall_latency.mean")
+                for r in rates
+                for b in baselines
+            ]
         )
         return {
             "tail": float(100.0 * (1.0 - pcs_tail / other_tail)),
@@ -185,16 +227,27 @@ class Fig6Result:
         transparency.
         """
         baselines = self._mitigation_baselines()
+        summary = self.seed_summary()
         tail_reductions, mean_reductions = [], []
-        for rate, per_policy in self.results.items():
-            pcs = per_policy["PCS"]
+        for rate in self.results:
+            pcs_tail = summary.seed_mean("PCS", rate, "component_latency.p99")
+            pcs_mean = summary.seed_mean("PCS", rate, "overall_latency.mean")
             for name in baselines:
-                other = per_policy[name]
                 tail_reductions.append(
-                    100.0 * (1.0 - pcs.component_p99_s / other.component_p99_s)
+                    100.0
+                    * (
+                        1.0
+                        - pcs_tail
+                        / summary.seed_mean(name, rate, "component_latency.p99")
+                    )
                 )
                 mean_reductions.append(
-                    100.0 * (1.0 - pcs.overall_mean_s / other.overall_mean_s)
+                    100.0
+                    * (
+                        1.0
+                        - pcs_mean
+                        / summary.seed_mean(name, rate, "overall_latency.mean")
+                    )
                 )
         return {
             "tail": float(np.mean(tail_reductions)),
@@ -230,6 +283,7 @@ class Fig6Result:
                     log=True,
                 )
             )
+        blocks.append(self.seed_summary().render_table())
         has_mitigation = any(
             p.startswith(("RED", "RI")) for p in self.policies()
         )
@@ -269,9 +323,10 @@ def run_fig6(
     )
     outcome = sweep.run()
     return Fig6Result(
-        results=outcome.by_rate(seed=cfg.seed),
+        results=outcome.by_rate(seed=cfg.seeds[0]),
         config=cfg,
         wall_time_s=outcome.wall_time_s,
+        summary=outcome.summary(AggregateConfig()),
     )
 
 

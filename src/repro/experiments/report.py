@@ -11,12 +11,19 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ExperimentError
 
-__all__ = ["render_table", "render_bars", "format_ms"]
+__all__ = ["render_table", "render_bars", "format_ms", "format_ci"]
 
 
 def format_ms(seconds: float, digits: int = 2) -> str:
     """Format a latency in milliseconds with a unit suffix."""
     return f"{seconds * 1e3:.{digits}f}ms"
+
+
+def format_ci(lo: float, hi: float, digits: int = 2) -> str:
+    """Format a confidence interval as ``[lo, hi]`` (pre-scaled values)."""
+    if hi < lo:
+        raise ExperimentError(f"interval upper bound {hi} below lower {lo}")
+    return f"[{lo:.{digits}f}, {hi:.{digits}f}]"
 
 
 def render_table(

@@ -17,10 +17,21 @@
   request simulation (the Fig. 6 engine).
 - :mod:`repro.sim.sweep` — parallel sweep execution: policies × rates ×
   seeds grids fanned out over spawn-safe multiprocessing workers, with
-  an on-disk JSON memo so interrupted sweeps resume (bit-identical to
-  the serial path for any worker count).
+  an on-disk JSON memo (plus a human-readable ``manifest.json``) so
+  interrupted sweeps resume (bit-identical to the serial path for any
+  worker count).
+- :mod:`repro.sim.aggregate` — the shared seed-level reduction:
+  mean/std/min/max plus Student-t and nearest-rank bootstrap confidence
+  intervals over every reported metric, grouped per (policy, rate).
 """
 
+from repro.sim.aggregate import (
+    AggregateConfig,
+    MetricStats,
+    SeedAggregate,
+    SweepSummary,
+    flatten_metrics,
+)
 from repro.sim.metrics import LatencySummary, percentile, pool, summarize
 from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
 from repro.sim.runner import PolicyResult, RunnerConfig, ExperimentRunner
@@ -47,4 +58,9 @@ __all__ = [
     "SweepCache",
     "ParallelSweepRunner",
     "parallel_map",
+    "AggregateConfig",
+    "MetricStats",
+    "SeedAggregate",
+    "SweepSummary",
+    "flatten_metrics",
 ]

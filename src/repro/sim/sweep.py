@@ -32,6 +32,40 @@ once — exactly like the serial :class:`ExperimentRunner` sharing.
 
 JSON float round-trips are exact (``repr`` is the shortest exact
 representation), so cache hits are byte-identical to fresh runs.
+
+Manifest schema (``manifest.json``, version 1)
+----------------------------------------------
+Alongside the opaque ``<key>.json`` point files, a cached sweep keeps a
+human-readable ``manifest.json`` describing *what* the hashes are:
+
+``schema_version``
+    Integer, currently ``1``.  A manifest written under a different
+    schema raises :class:`repro.errors.StaleManifestError` naming the
+    file (never a silent misread).
+``cache_version``
+    The point-payload :data:`CACHE_VERSION` the sweep wrote under.
+``created`` / ``completed``
+    UTC ISO-8601 timestamps; ``completed`` is ``null`` until the sweep
+    finishes, so an interrupted run is recognisable at a glance.
+``spec``
+    The grid in canonical form: ``base`` (the full
+    :class:`~repro.sim.runner.RunnerConfig`), ``policies``,
+    ``arrival_rates`` and ``seeds``.
+``base_config_diff``
+    The base config's deviations from a default
+    :class:`~repro.sim.runner.RunnerConfig` as ``{dotted.field:
+    [default, actual]}`` — provenance you can read without diffing
+    JSON blobs (the per-point ``arrival_rate``/``seed`` placeholders
+    are excluded).
+``points``
+    The point → key map: ``{cache_key: {policy, arrival_rate, seed}}``
+    for every grid cell, so any ``<key>.json`` can be traced back to
+    its coordinates (and orphaned keys can be garbage-collected with
+    :meth:`SweepCache.gc`).
+
+:meth:`SweepCache.manifest` reads and validates it;
+:meth:`SweepCache.diff` compares two cache directories' specs field by
+field (cross-run provenance: *which knob changed between these runs?*).
 """
 
 from __future__ import annotations
@@ -54,7 +88,13 @@ from repro.baselines.policies import (
     REDPolicy,
     ReissuePolicy,
 )
-from repro.errors import ConfigurationError, ExperimentError
+from repro.errors import (
+    CacheCorruptionError,
+    ConfigurationError,
+    ExperimentError,
+    StaleManifestError,
+    SweepCacheError,
+)
 from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
 
 __all__ = [
@@ -67,11 +107,20 @@ __all__ = [
     "parallel_map",
     "point_cache_key",
     "policy_from_name",
+    "CACHE_VERSION",
+    "MANIFEST_VERSION",
 ]
 
 #: Bump when the cached payload layout (or anything that invalidates
 #: old results, e.g. a metric-convention fix) changes.
 CACHE_VERSION = 1
+
+#: Bump when the ``manifest.json`` layout changes (see the module
+#: docstring for the schema).
+MANIFEST_VERSION = 1
+
+#: The manifest's filename inside a cache directory.
+MANIFEST_NAME = "manifest.json"
 
 
 # ----------------------------------------------------------------------
@@ -142,6 +191,21 @@ class SweepSpec:
             self.base, arrival_rate=point.arrival_rate, seed=point.seed
         )
 
+    def point_keys(self) -> Dict[str, dict]:
+        """The manifest's point → key map, in grid order.
+
+        ``{cache_key: {"policy": ..., "arrival_rate": ..., "seed": ...}}``
+        for every cell — the readable inverse of the opaque filenames.
+        """
+        return {
+            point_cache_key(self.runner_config(p), p.policy): {
+                "policy": p.policy.name,
+                "arrival_rate": p.arrival_rate,
+                "seed": p.seed,
+            }
+            for p in self.points()
+        }
+
 
 # ----------------------------------------------------------------------
 # stable hashing of configs and policies
@@ -195,13 +259,79 @@ def point_cache_key(config: RunnerConfig, policy: Policy) -> str:
 # ----------------------------------------------------------------------
 # on-disk results cache
 # ----------------------------------------------------------------------
+def _utc_now() -> str:
+    """UTC ISO-8601 timestamp for manifest provenance."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def _atomic_write_json(path: Path, payload: dict, indent=None) -> None:
+    """Write JSON via temp-file-then-rename so readers never see a
+    half-written file.
+
+    The temp file lives in the target directory (``os.replace`` must
+    not cross filesystems) and is flushed + fsynced before the rename,
+    so even a hard kill mid-write leaves either the old content or the
+    new — never a truncated hybrid.
+    """
+    tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}")
+    with tmp.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=indent)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but is not ours
+    except OverflowError:
+        return False  # not a representable pid on this system
+    return True
+
+
+def _config_diff(a, b, prefix: str = "") -> Dict[str, tuple]:
+    """Recursive diff of two canonical config trees.
+
+    Returns ``{dotted.path: (a_value, b_value)}`` for every leaf where
+    the trees disagree (including paths present on only one side).
+    """
+    if isinstance(a, dict) and isinstance(b, dict):
+        out: Dict[str, tuple] = {}
+        for key in sorted(set(a) | set(b)):
+            sub_prefix = f"{prefix}{key}" if not prefix else f"{prefix}.{key}"
+            if key not in a:
+                out[sub_prefix] = (None, b[key])
+            elif key not in b:
+                out[sub_prefix] = (a[key], None)
+            else:
+                out.update(_config_diff(a[key], b[key], sub_prefix))
+        return out
+    if a != b:
+        return {prefix or "<root>": (a, b)}
+    return {}
+
+
 class SweepCache:
-    """On-disk JSON memo of completed sweep points.
+    """On-disk JSON memo of completed sweep points, plus provenance.
 
     One file per point (``<key>.json``), written atomically (temp file
-    + ``os.replace``) so a crash mid-write can never corrupt a
-    completed entry, and concurrent sweeps over overlapping grids are
-    safe.  Corrupt or stale-version entries read as misses.
+    + rename + fsync) so a crash mid-write can never leave a
+    half-written entry, and concurrent sweeps over overlapping grids
+    are safe.  A *stale-version* entry (valid JSON, older
+    :data:`CACHE_VERSION`) reads as a miss and is recomputed; a
+    *corrupt* entry (truncated/garbage content) raises
+    :class:`~repro.errors.CacheCorruptionError` naming the file —
+    atomic writes make corruption impossible to self-inflict, so it is
+    never silently papered over.
+
+    A ``manifest.json`` (see the module docstring for the schema)
+    records what grid the keys belong to; :meth:`manifest`,
+    :meth:`diff` and :meth:`gc` are the provenance APIs over it.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -212,20 +342,53 @@ class SweepCache:
         """Location of one entry."""
         return self.root / f"{key}.json"
 
-    def load(self, key: str) -> Optional[PolicyResult]:
-        """Return the memoized result for ``key``, or ``None`` on miss."""
-        path = self.path_for(key)
+    @property
+    def manifest_path(self) -> Path:
+        """Location of the manifest."""
+        return self.root / MANIFEST_NAME
+
+    def _point_paths(self):
+        """Point-entry files (the manifest is not a point)."""
+        return (
+            p for p in self.root.glob("*.json") if p.name != MANIFEST_NAME
+        )
+
+    def _read_json(self, path: Path) -> Optional[dict]:
+        """Parse one cache file; missing → ``None``, garbage → raise."""
         try:
             with path.open("r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+                return json.load(fh)
+        except FileNotFoundError:
             return None
-        if payload.get("version") != CACHE_VERSION:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CacheCorruptionError(
+                f"sweep cache file {path} is corrupt ({exc.__class__.__name__}: "
+                f"{exc}); delete that file (the sweep will recompute the "
+                "point, or rebuild the manifest) to recover",
+                path=path,
+            ) from exc
+
+    def load(self, key: str) -> Optional[PolicyResult]:
+        """Return the memoized result for ``key``, or ``None`` on miss.
+
+        Raises :class:`~repro.errors.CacheCorruptionError` (naming the
+        file) if the entry exists but is not valid JSON or its result
+        payload cannot be decoded; a version mismatch is a plain miss.
+        """
+        path = self.path_for(key)
+        payload = self._read_json(path)
+        if payload is None:
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
             return None
         try:
             return PolicyResult.from_dict(payload["result"])
-        except (KeyError, TypeError, ValueError):
-            return None
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CacheCorruptionError(
+                f"sweep cache file {path} has an undecodable result payload "
+                f"({exc.__class__.__name__}: {exc})",
+                path=path,
+            ) from exc
 
     def store(
         self, key: str, point: SweepPoint, result: PolicyResult
@@ -240,21 +403,179 @@ class SweepCache:
             "seed": point.seed,
             "result": result.to_dict(),
         }
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as fh:
-            json.dump(payload, fh, sort_keys=True)
-        os.replace(tmp, path)
+        _atomic_write_json(path, payload)
         return path
 
+    # -- manifest / provenance -----------------------------------------
+    @staticmethod
+    def _spec_payload(spec: SweepSpec) -> dict:
+        """The manifest's canonical description of a grid."""
+        return {
+            "base": _canonical(spec.base),
+            "policies": [_canonical(p) for p in spec.policies],
+            "arrival_rates": list(spec.arrival_rates),
+            "seeds": list(spec.seeds),
+        }
+
+    def begin_manifest(self, spec: SweepSpec) -> dict:
+        """Write (or refresh) the manifest for ``spec`` at sweep start.
+
+        Re-running the *same* grid keeps the original ``created``
+        timestamp (the cache's age is real provenance); a different
+        grid over the same directory rewrites the manifest from
+        scratch.  ``completed`` is reset to ``null`` until
+        :meth:`complete_manifest`.
+        """
+        spec_payload = self._spec_payload(spec)
+        created = _utc_now()
+        try:
+            existing = self.manifest()
+        except StaleManifestError:
+            # An older-schema manifest is legitimately superseded here;
+            # *corruption* still propagates — damage is never silently
+            # overwritten.
+            existing = None
+        if existing is not None and existing.get("spec") == spec_payload:
+            created = existing.get("created", created)
+        manifest = {
+            "schema_version": MANIFEST_VERSION,
+            "cache_version": CACHE_VERSION,
+            "created": created,
+            "completed": None,
+            "spec": spec_payload,
+            "base_config_diff": {
+                k: list(v)
+                for k, v in _config_diff(
+                    _canonical(RunnerConfig()), _canonical(spec.base)
+                ).items()
+                if k not in ("arrival_rate", "seed")  # per-point placeholders
+            },
+            "points": spec.point_keys(),
+        }
+        _atomic_write_json(self.manifest_path, manifest, indent=2)
+        return manifest
+
+    def complete_manifest(self, spec: Optional[SweepSpec] = None) -> dict:
+        """Stamp ``completed`` on the manifest at sweep end.
+
+        With ``spec`` given, the stamp only lands if the on-disk
+        manifest still describes that grid: a concurrent sweep over a
+        *different* grid may have rewritten the manifest since this
+        sweep began, and stamping its (unfinished) grid as completed
+        would poison downstream ``gc``/aggregation.
+        """
+        manifest = self.manifest()
+        if manifest is None:
+            raise SweepCacheError(
+                f"no {MANIFEST_NAME} in {self.root} to complete",
+                path=self.manifest_path,
+            )
+        if spec is not None and manifest.get("spec") != self._spec_payload(spec):
+            return manifest  # another grid owns the manifest now
+        manifest["completed"] = _utc_now()
+        _atomic_write_json(self.manifest_path, manifest, indent=2)
+        return manifest
+
+    def manifest(self) -> Optional[dict]:
+        """Read and validate the manifest; ``None`` when absent.
+
+        Raises :class:`~repro.errors.CacheCorruptionError` on garbage
+        content and :class:`~repro.errors.StaleManifestError` when the
+        schema version does not match :data:`MANIFEST_VERSION` — both
+        name the offending file.
+        """
+        payload = self._read_json(self.manifest_path)
+        if payload is None:
+            return None
+        version = payload.get("schema_version") if isinstance(payload, dict) else None
+        if version != MANIFEST_VERSION:
+            raise StaleManifestError(
+                f"{self.manifest_path} has manifest schema version "
+                f"{version!r}; this build reads version {MANIFEST_VERSION} "
+                "— rebuild the cache (rerun the sweep) or aggregate it "
+                "with the matching build",
+                path=self.manifest_path,
+            )
+        missing = [k for k in ("spec", "points", "created") if k not in payload]
+        if missing:
+            raise CacheCorruptionError(
+                f"{self.manifest_path} is missing manifest field(s) "
+                f"{', '.join(missing)}; delete it and rerun the sweep to "
+                "rebuild provenance",
+                path=self.manifest_path,
+            )
+        return payload
+
+    def diff(self, other: Union["SweepCache", dict, str, Path]) -> Dict[str, tuple]:
+        """Spec difference between this cache and another run.
+
+        ``other`` may be another :class:`SweepCache`, a cache directory
+        path, or an already-read manifest dict.  Returns ``{dotted.path:
+        (mine, theirs)}`` over the manifests' ``spec`` trees — empty
+        when the two runs swept the same grid.
+        """
+        mine = self.manifest()
+        if mine is None:
+            raise SweepCacheError(
+                f"no {MANIFEST_NAME} in {self.root} to diff",
+                path=self.manifest_path,
+            )
+        if isinstance(other, (str, Path)):
+            other = SweepCache(other)
+        if isinstance(other, SweepCache):
+            theirs = other.manifest()
+            if theirs is None:
+                raise SweepCacheError(
+                    f"no {MANIFEST_NAME} in {other.root} to diff against",
+                    path=other.manifest_path,
+                )
+        else:
+            theirs = other
+        return _config_diff(mine["spec"], theirs["spec"])
+
+    def gc(self) -> List[Path]:
+        """Remove point files not named by the manifest, plus temp
+        files abandoned by dead writers; returns the removed paths.
+
+        This is how a cache directory shared across evolving grids is
+        kept bounded: keys from abandoned configurations are orphans
+        once the manifest describes the current grid.  Temp files are
+        named ``*.tmp-<pid>``; one whose writer pid is still alive is
+        an in-flight atomic write by a concurrent sweep and is left
+        alone (deleting it would crash that writer's rename).
+        """
+        manifest = self.manifest()
+        if manifest is None:
+            raise SweepCacheError(
+                f"no {MANIFEST_NAME} in {self.root}; gc needs a manifest to "
+                "know which keys are live",
+                path=self.manifest_path,
+            )
+        live = set(manifest["points"])
+        removed: List[Path] = []
+        for path in self._point_paths():
+            if path.stem not in live:
+                path.unlink(missing_ok=True)
+                removed.append(path)
+        for path in self.root.glob("*.tmp-*"):
+            pid_str = path.name.rpartition("tmp-")[2]
+            if pid_str.isdigit() and _pid_alive(int(pid_str)):
+                continue
+            path.unlink(missing_ok=True)
+            removed.append(path)
+        return removed
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(1 for _ in self._point_paths())
 
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed."""
+        """Delete all entries (and the manifest); returns how many
+        point entries were removed."""
         n = 0
-        for path in self.root.glob("*.json"):
+        for path in self._point_paths():
             path.unlink(missing_ok=True)
             n += 1
+        self.manifest_path.unlink(missing_ok=True)
         return n
 
 
@@ -396,6 +717,20 @@ class SweepResult:
                 out[point.arrival_rate][point.policy.name] = result
         return out
 
+    def summary(self, config=None) -> "object":
+        """Reduce this sweep across seeds (see :mod:`repro.sim.aggregate`).
+
+        Returns a :class:`~repro.sim.aggregate.SweepSummary`: one
+        mean/CI aggregate per (policy, arrival rate).  The import is
+        late because :mod:`repro.sim.aggregate` layers on top of this
+        module.
+        """
+        from repro.sim.aggregate import AggregateConfig, SweepSummary
+
+        return SweepSummary.from_sweep(
+            self, config=config or AggregateConfig()
+        )
+
     def render(self) -> str:
         """Per-cell one-liners plus a footer."""
         lines = [
@@ -495,6 +830,9 @@ class ParallelSweepRunner:
         cache_hits = 0
         pending: List[Tuple[SweepPoint, RunnerConfig, str]] = []
 
+        if self.cache is not None:
+            self.cache.begin_manifest(self.spec)
+
         for point in points:
             config = self.spec.runner_config(point)
             key = point_cache_key(config, point.policy)
@@ -539,6 +877,9 @@ class ParallelSweepRunner:
                         self._emit(
                             len(results), total, point, result, False, t0
                         )
+
+        if self.cache is not None:
+            self.cache.complete_manifest(self.spec)
 
         # Grid order, whatever the completion order was.
         ordered = {point: results[point] for point in points}

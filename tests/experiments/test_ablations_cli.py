@@ -43,6 +43,11 @@ class TestCLI:
         for cmd in ("fig5", "fig6", "fig7", "ablations", "quick", "sweep"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
+        # aggregate requires --cache-dir
+        args = parser.parse_args(["aggregate", "--cache-dir", "/tmp/c"])
+        assert args.command == "aggregate" and args.cache_dir == "/tmp/c"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["aggregate"])
 
     def test_workers_and_cache_flags(self):
         parser = build_parser()
@@ -59,6 +64,24 @@ class TestCLI:
         assert args.rates == "50,200"
         assert args.seeds == "0"
         assert args.workers == 1 and args.cache_dir is None
+        assert args.aggregate is False
+
+    def test_aggregate_flags(self):
+        parser = build_parser()
+        assert parser.parse_args(["sweep", "--aggregate"]).aggregate
+        args = parser.parse_args(
+            [
+                "aggregate", "--cache-dir", "/tmp/c",
+                "--metrics", "overall_latency.mean",
+                "--confidence", "0.9", "--json", "--gc",
+            ]
+        )
+        assert args.metrics == "overall_latency.mean"
+        assert args.confidence == 0.9
+        assert args.json and args.gc
+        assert build_parser().parse_args(
+            ["fig6", "--seeds", "1,2,3"]
+        ).seeds == "1,2,3"
 
     def test_fig6_scale_choices(self):
         parser = build_parser()
@@ -69,6 +92,68 @@ class TestCLI:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_main_sweep_and_aggregate_roundtrip(self, capsys, tmp_path):
+        """End-to-end: `sweep --aggregate --cache-dir` then `aggregate`
+        over the same directory print the same seed-level table."""
+        cache_dir = str(tmp_path / "cli-cache")
+        sweep_argv = [
+            "sweep", "--policies", "Basic", "--rates", "40",
+            "--seeds", "0,1", "--nodes", "6", "--search-groups", "3",
+            "--replicas-per-group", "2", "--intervals", "3",
+            "--interval-s", "8", "--warmup-intervals", "1",
+            "--cache-dir", cache_dir, "--aggregate",
+        ]
+        assert main(sweep_argv) == 0
+        sweep_out = capsys.readouterr().out
+        assert "Seed-level aggregate" in sweep_out and "±" in sweep_out
+
+        assert main(["aggregate", "--cache-dir", cache_dir]) == 0
+        agg_out = capsys.readouterr().out
+        table = sweep_out[sweep_out.index("Seed-level aggregate"):].strip()
+        assert agg_out.strip() == table
+
+        # --gc and --json compose: stdout stays pure parseable JSON,
+        # the gc note goes to stderr.
+        import json as json_mod
+
+        assert main(["aggregate", "--cache-dir", cache_dir, "--gc", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "gc: removed 0" in captured.err
+        assert json_mod.loads(captured.out)["groups"]
+
+    def test_main_aggregate_without_manifest_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        # A mistyped path: named error, exit 2, and no directory created.
+        void = tmp_path / "void"
+        assert main(["aggregate", "--cache-dir", str(void)]) == 2
+        assert "no such cache directory" in capsys.readouterr().err
+        assert not void.exists()
+        # An existing directory without a manifest: also a clean error.
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["aggregate", "--cache-dir", str(empty)]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_main_aggregate_unknown_metric_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            [
+                "sweep", "--policies", "Basic", "--rates", "40",
+                "--nodes", "6", "--search-groups", "3",
+                "--replicas-per-group", "2", "--intervals", "3",
+                "--interval-s", "8", "--warmup-intervals", "1",
+                "--cache-dir", cache_dir,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["aggregate", "--cache-dir", cache_dir, "--metrics", "nope.metric"]
+        ) == 2
+        assert "nope.metric" in capsys.readouterr().err
 
     def test_main_fig5_runs(self, capsys, monkeypatch):
         # Patch to a tiny grid so the CLI test stays fast.

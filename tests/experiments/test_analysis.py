@@ -7,7 +7,10 @@ from repro.experiments.analysis import (
     crossover_rate,
     dominance_table,
     pcs_convergence,
+    summary_crossover_rate,
+    summary_dominance_table,
 )
+from repro.sim.aggregate import SweepSummary
 from repro.sim.metrics import LatencySummary
 from repro.sim.runner import PolicyResult
 
@@ -93,6 +96,34 @@ class TestDominanceTable:
     def test_empty_rejected(self):
         with pytest.raises(ExperimentError):
             dominance_table({})
+
+
+def _summary() -> SweepSummary:
+    """The synthetic sweep as a (single-seed) aggregate summary."""
+    return SweepSummary.from_grouped(
+        {
+            (name, rate): {0: result}
+            for rate, per_policy in _sweep().items()
+            for name, result in per_policy.items()
+        }
+    )
+
+
+class TestSummaryHelpers:
+    """The multi-seed variants agree with the per-result originals."""
+
+    def test_summary_crossover_matches_original(self):
+        assert summary_crossover_rate(_summary(), "RED-3") == pytest.approx(
+            crossover_rate(_sweep(), "RED-3")
+        )
+        assert summary_crossover_rate(_summary(), "PCS") is None
+
+    def test_summary_dominance_table(self):
+        out = summary_dominance_table(_summary())
+        assert "seed-mean" in out
+        assert any("PCS" in line for line in out.splitlines() if "200" in line)
+        # Single-seed CIs collapse onto the mean.
+        assert "CI" in out
 
 
 class TestPCSConvergence:

@@ -93,6 +93,81 @@ class TestFig6:
         ]
 
 
+class TestFig6Aggregate:
+    """The headline numbers route through repro.sim.aggregate."""
+
+    def test_summary_attached(self, small_fig6):
+        summary = small_fig6.seed_summary()
+        assert summary.seeds == (13,)
+        assert summary.policies() == ["Basic", "RED-3", "RI-90", "PCS"]
+        assert summary.rates() == [30.0, 150.0]
+
+    def test_single_seed_means_are_exact_run_values(self, small_fig6):
+        summary = small_fig6.seed_summary()
+        for rate, per_policy in small_fig6.results.items():
+            for name, r in per_policy.items():
+                assert (
+                    summary.seed_mean(name, rate, "component_latency.p99")
+                    == r.component_p99_s
+                )
+                assert (
+                    summary.seed_mean(name, rate, "overall_latency.mean")
+                    == r.overall_mean_s
+                )
+
+    def test_headline_matches_direct_formula(self, small_fig6):
+        """Routing through the aggregate layer must not move a single
+        bit of the single-seed headline numbers."""
+        baselines = ["RED-3", "RI-90"]
+        rates = sorted(small_fig6.results)
+        pcs_tail = np.mean(
+            [small_fig6.results[r]["PCS"].component_p99_s for r in rates]
+        )
+        other_tail = np.mean(
+            [
+                small_fig6.results[r][b].component_p99_s
+                for r in rates
+                for b in baselines
+            ]
+        )
+        expected = float(100.0 * (1.0 - pcs_tail / other_tail))
+        assert small_fig6.headline_reduction()["tail"] == expected
+
+    def test_render_includes_aggregate_table(self, small_fig6):
+        assert "Seed-level aggregate" in small_fig6.render()
+
+    def test_multi_seed_run(self, tmp_path):
+        cfg = Fig6Config(
+            arrival_rates=(40.0,),
+            n_nodes=8,
+            n_intervals=4,
+            warmup_intervals=1,
+            seed=3,
+            seeds=(3, 4),
+            nutch=NutchConfig(
+                n_search_groups=4, replicas_per_group=2,
+                n_segmenters=1, n_aggregators=1,
+            ),
+            policies=(BasicPolicy(), REDPolicy(replicas=2)),
+        )
+        result = run_fig6(cfg, cache_dir=tmp_path)
+        summary = result.seed_summary()
+        assert summary.seeds == (3, 4)
+        stats = summary.get("Basic", 40.0)["overall_latency.mean"]
+        assert stats.n == 2 and stats.std > 0
+        assert stats.t_lo < stats.mean < stats.t_hi
+        # `results` is the first seed's slice.
+        assert result.results[40.0]["Basic"].overall_mean_s in stats.values
+        # The cache can regenerate the identical summary offline.
+        from repro.sim.aggregate import SweepSummary
+
+        assert SweepSummary.from_cache(tmp_path).to_dict() == summary.to_dict()
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ExperimentError):
+            Fig6Config(seeds=(1, 1))
+
+
 class TestFig6SweepRouting:
     """run_fig6 goes through the sweep subsystem: cached and resumable."""
 
@@ -127,8 +202,12 @@ class TestFig6SweepRouting:
                     again.results[rate][name].metrics_dict()
                     == first.results[rate][name].metrics_dict()
                 )
-        # Second run served everything from the memo.
-        assert len(list(tmp_path.glob("*.json"))) == 2
+        # Second run served everything from the memo (the extra file is
+        # the provenance manifest, not a point).
+        from repro.sim.sweep import SweepCache
+
+        assert len(SweepCache(tmp_path)) == 2
+        assert (tmp_path / "manifest.json").exists()
 
 
 class TestFig7:
@@ -151,6 +230,13 @@ class TestFig7:
         for p in result.points:
             assert p.analysis_time_s > 0
             assert p.search_time_s >= 0
+
+    def test_repeat_reduction_through_aggregate(self, result):
+        # Flat points (repeats=2) carry the repeat spread; timings are
+        # the per-phase noise floor, so spread is a plain std >= 0.
+        for p in result.points:
+            assert p.total_std_s >= 0.0
+            assert isinstance(p.n_migrations, int)
 
     def test_growth_with_size(self, result):
         flat = [p for p in result.points if not p.hierarchical]

@@ -1,0 +1,254 @@
+"""Tests for the seed-level statistics layer (:mod:`repro.sim.aggregate`)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import BasicPolicy, REDPolicy
+from repro.errors import ExperimentError
+from repro.rng import RngRegistry
+from repro.service.nutch import NutchConfig
+from repro.sim.aggregate import (
+    AggregateConfig,
+    MetricStats,
+    SeedAggregate,
+    SweepSummary,
+    flatten_metrics,
+    student_t_ppf,
+)
+from repro.sim.metrics import percentile
+from repro.sim.runner import RunnerConfig
+from repro.sim.sweep import ParallelSweepRunner, SweepCache, SweepSpec
+
+
+def _tiny_spec(**overrides) -> SweepSpec:
+    kwargs = dict(
+        base=RunnerConfig(
+            n_nodes=6,
+            arrival_rate=40.0,
+            interval_s=8.0,
+            n_intervals=3,
+            warmup_intervals=1,
+            seed=0,
+            nutch=NutchConfig(
+                n_search_groups=3, replicas_per_group=2,
+                n_segmenters=1, n_aggregators=1,
+            ),
+            n_profiling_conditions=8,
+        ),
+        policies=(BasicPolicy(), REDPolicy(replicas=2)),
+        arrival_rates=(30.0,),
+        seeds=(0, 1, 2),
+    )
+    kwargs.update(overrides)
+    return SweepSpec(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep(tmp_path_factory):
+    """One cached 2-policy × 1-rate × 3-seed sweep, shared module-wide."""
+    spec = _tiny_spec()
+    cache = SweepCache(tmp_path_factory.mktemp("agg-cache"))
+    result = ParallelSweepRunner(spec, workers=1, cache=cache).run()
+    return spec, cache, result
+
+
+class TestStudentT:
+    def test_symmetry_and_median(self):
+        assert student_t_ppf(0.5, 7) == 0.0
+        assert student_t_ppf(0.2, 7) == -student_t_ppf(0.8, 7)
+
+    def test_known_tabulated_values(self):
+        # Classic t-table entries (two-sided 95% => p = 0.975).
+        for df, expected in [(1, 12.7062), (4, 2.7764), (9, 2.2622), (29, 2.0452)]:
+            assert student_t_ppf(0.975, df) == pytest.approx(expected, abs=2e-4)
+
+    def test_matches_scipy_when_available(self):
+        sps = pytest.importorskip("scipy.stats")
+        for df in (1, 2, 5, 17, 40):
+            for p in (0.6, 0.9, 0.975, 0.995):
+                assert student_t_ppf(p, df) == pytest.approx(
+                    float(sps.t.ppf(p, df)), abs=1e-9
+                )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ExperimentError):
+            student_t_ppf(0.0, 5)
+        with pytest.raises(ExperimentError):
+            student_t_ppf(1.0, 5)
+        with pytest.raises(ExperimentError):
+            student_t_ppf(0.9, 0)
+
+
+class TestFlattenMetrics:
+    def test_nested_scalars_dotted(self):
+        flat = flatten_metrics(
+            {
+                "component_latency": {"p99": 0.5, "n": 10},
+                "n_migrations": 3,
+                "policy_name": "Basic",
+                "per_interval_overall_mean": [0.1, 0.2],
+            }
+        )
+        assert flat == {
+            "component_latency.p99": 0.5,
+            "component_latency.n": 10.0,
+            "n_migrations": 3.0,
+        }
+
+    def test_real_metrics_dict(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        some = next(iter(result.results.values()))
+        flat = flatten_metrics(some.metrics_dict())
+        assert "component_latency.p99" in flat
+        assert "overall_latency.mean" in flat
+        assert "policy_name" not in flat
+        assert not any(k.startswith("per_interval") for k in flat)
+        assert all(isinstance(v, float) for v in flat.values())
+
+
+class TestMetricStats:
+    CFG = AggregateConfig()
+
+    def test_basic_statistics(self):
+        s = MetricStats.compute([1.0, 2.0, 3.0, 4.0], RngRegistry(0).get("x"), self.CFG)
+        assert s.n == 4 and s.mean == 2.5
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert (s.min, s.max) == (1.0, 4.0)
+        assert s.p50 == 3.0  # nearest-rank "higher", an observed value
+
+    def test_t_interval_formula(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        s = MetricStats.compute(values, RngRegistry(0).get("x"), self.CFG)
+        half = student_t_ppf(0.975, 3) * s.std / math.sqrt(4)
+        assert s.t_lo == pytest.approx(s.mean - half)
+        assert s.t_hi == pytest.approx(s.mean + half)
+
+    def test_single_value_degenerates(self):
+        s = MetricStats.compute([7.5], None, self.CFG)
+        assert s.std == 0.0
+        assert s.t_lo == s.t_hi == s.boot_lo == s.boot_hi == s.mean == 7.5
+
+    def test_bootstrap_bounds_are_nearest_rank_observed_means(self):
+        # Replaying the same RNG stream must reproduce the bounds via
+        # the shared nearest-rank kernel — the documented convention.
+        values = np.array([1.0, 2.0, 4.0, 8.0])
+        rngs = RngRegistry(self.CFG.bootstrap_seed)
+        s = MetricStats.compute(values, rngs.get("boot"), self.CFG)
+        replay = RngRegistry(self.CFG.bootstrap_seed).get("boot")
+        idx = replay.integers(0, 4, size=(self.CFG.bootstrap_resamples, 4))
+        means = values[idx].mean(axis=1)
+        assert s.boot_lo == percentile(means, 2.5)
+        assert s.boot_hi == percentile(means, 97.5)
+        assert s.boot_lo in means and s.boot_hi in means
+
+    def test_roundtrip_exact(self):
+        s = MetricStats.compute(
+            [0.1, 0.7, 1.9], RngRegistry(3).get("y"), self.CFG
+        )
+        back = MetricStats.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert back == s
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            MetricStats.compute([], RngRegistry(0).get("x"), self.CFG)
+
+
+class TestSeedAggregate:
+    def test_order_independence(self):
+        a = SeedAggregate.from_records(
+            "Basic", 50.0, {0: {"m": 1.0}, 1: {"m": 2.0}, 2: {"m": 4.0}}
+        )
+        b = SeedAggregate.from_records(
+            "Basic", 50.0, {2: {"m": 4.0}, 0: {"m": 1.0}, 1: {"m": 2.0}}
+        )
+        assert a == b  # completion order must not leak into statistics
+
+    def test_mismatched_metric_sets_rejected(self):
+        with pytest.raises(ExperimentError):
+            SeedAggregate.from_records(
+                "Basic", 50.0, {0: {"m": 1.0}, 1: {"other": 2.0}}
+            )
+
+    def test_unknown_metric_named(self):
+        agg = SeedAggregate.from_records("Basic", 50.0, {0: {"m": 1.0}})
+        with pytest.raises(ExperimentError, match="no metric 'nope'"):
+            agg["nope"]
+
+    def test_roundtrip(self):
+        agg = SeedAggregate.from_records(
+            "RED-2", 70.0, {0: {"m": 1.0, "k": 9.0}, 1: {"m": 3.0, "k": 9.0}}
+        )
+        back = SeedAggregate.from_dict(json.loads(json.dumps(agg.to_dict())))
+        assert back == agg
+
+
+class TestSweepSummary:
+    def test_groups_cover_grid(self, tiny_sweep):
+        spec, _, result = tiny_sweep
+        summary = result.summary()
+        assert summary.seeds == spec.seeds
+        assert summary.policies() == ["Basic", "RED-2"]
+        assert summary.rates() == [30.0]
+        agg = summary.get("Basic", 30.0)
+        assert agg.seeds == spec.seeds
+
+    def test_means_match_manual_reduction(self, tiny_sweep):
+        spec, _, result = tiny_sweep
+        summary = result.summary()
+        per_seed = [
+            result.get("Basic", 30.0, seed=s).component_p99_s
+            for s in spec.seeds
+        ]
+        assert summary.seed_mean(
+            "Basic", 30.0, "component_latency.p99"
+        ) == float(np.mean(per_seed))
+
+    def test_from_cache_is_bit_identical(self, tiny_sweep):
+        _, cache, result = tiny_sweep
+        assert SweepSummary.from_cache(cache).to_dict() == result.summary().to_dict()
+
+    def test_from_cache_missing_points_fail_loudly(self, tiny_sweep, tmp_path):
+        _, cache, _ = tiny_sweep
+        import shutil
+
+        clone = tmp_path / "clone"
+        shutil.copytree(cache.root, clone)
+        partial = SweepCache(clone)
+        victim = next(iter(partial.manifest()["points"]))
+        partial.path_for(victim).unlink()
+        with pytest.raises(ExperimentError, match="missing"):
+            SweepSummary.from_cache(partial)
+
+    def test_roundtrip(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        summary = result.summary()
+        back = SweepSummary.from_dict(json.loads(json.dumps(summary.to_dict())))
+        assert back.to_dict() == summary.to_dict()
+        assert back.seeds == summary.seeds
+
+    def test_render_table(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        out = result.summary().render_table()
+        assert "component_latency.p99" in out
+        assert "±" in out and "[" in out
+        assert "Basic" in out and "RED-2" in out
+
+    def test_determinism_across_rebuilds(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        assert result.summary().to_dict() == result.summary().to_dict()
+
+    def test_unknown_cell_named(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        with pytest.raises(ExperimentError, match="no aggregated cell"):
+            result.summary().get("PCS", 30.0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ExperimentError):
+            AggregateConfig(confidence=1.5)
+        with pytest.raises(ExperimentError):
+            AggregateConfig(bootstrap_resamples=0)
+        with pytest.raises(ExperimentError):
+            SweepSummary.from_grouped({})

@@ -1,0 +1,203 @@
+"""Property-based tests for the shared metric kernel.
+
+Every reported percentile in the package goes through
+:func:`repro.sim.metrics.percentile`; these tests pin its *algebraic*
+contract (monotonicity in q, permutation invariance, min/max bounds,
+agreement with numpy's nearest-rank convention) and the exact
+``to_dict``/``from_dict`` round-trips of the summary layer over
+randomly generated samples.
+
+Two engines drive the same properties:
+
+- ``hypothesis`` strategies, when the library is importable (it is not
+  part of the minimal tier-1 environment), with shrinking on failure;
+- a stdlib-``random`` fallback parametrised over fixed seeds, so the
+  whole contract stays covered even where hypothesis is unavailable.
+
+The property implementations are shared; the engines only differ in
+how they produce ``(values, qs)`` inputs.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import LatencySummary, percentile, pool, summarize
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # minimal tier-1 environment
+    HAVE_HYPOTHESIS = False
+
+#: Latencies are non-negative, finite seconds; keep magnitudes in a
+#: range where float arithmetic is exact enough for equality checks.
+MAX_LATENCY_S = 1e6
+
+
+# ----------------------------------------------------------------------
+# the properties (engine-agnostic)
+# ----------------------------------------------------------------------
+def check_monotone_in_q(values, q1, q2):
+    """q1 <= q2 implies percentile(q1) <= percentile(q2)."""
+    lo, hi = sorted((q1, q2))
+    assert percentile(values, lo) <= percentile(values, hi)
+
+
+def check_permutation_invariant(values, q, shuffler):
+    """Any reordering of the sample leaves every percentile unchanged."""
+    shuffled = list(values)
+    shuffler(shuffled)
+    assert percentile(shuffled, q) == percentile(values, q)
+
+
+def check_bounded_by_min_max(values, q):
+    """Every percentile is an observed value between min and max."""
+    p = percentile(values, q)
+    assert min(values) <= p <= max(values)
+    # Nearest-rank: the result is an actually observed latency.
+    assert p in np.asarray(values, dtype=np.float64)
+    assert percentile(values, 0) == min(values)
+    assert percentile(values, 100) == max(values)
+
+
+def check_agrees_with_numpy_higher(values, q):
+    """The kernel *is* numpy's method="higher" — pin the convention."""
+    expected = float(np.percentile(np.asarray(values, dtype=np.float64), q, method="higher"))
+    assert percentile(values, q) == expected
+
+
+def check_summary_roundtrip(values):
+    """summarize → to_dict → JSON → from_dict is exact."""
+    summary = summarize(values)
+    back = LatencySummary.from_dict(json.loads(json.dumps(summary.to_dict())))
+    assert back == summary
+
+
+def check_pool_consistency(values, n_chunks):
+    """Pooling arbitrary splits reproduces the whole sample's summary."""
+    arr = np.asarray(values, dtype=np.float64)
+    bounds = np.linspace(0, arr.size, n_chunks + 1).astype(int)
+    chunks = [arr[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
+    pooled = pool(chunks)
+    assert pooled.size == arr.size
+    assert summarize(pooled) == summarize(arr)
+
+
+# ----------------------------------------------------------------------
+# engine 1: hypothesis
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+    latencies = st.lists(
+        st.floats(min_value=0.0, max_value=MAX_LATENCY_S, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+    quantiles = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+    class TestHypothesisProperties:
+        @given(latencies, quantiles, quantiles)
+        @settings(max_examples=60, deadline=None)
+        def test_monotone_in_q(self, values, q1, q2):
+            check_monotone_in_q(values, q1, q2)
+
+        @given(latencies, quantiles, st.randoms(use_true_random=False))
+        @settings(max_examples=60, deadline=None)
+        def test_permutation_invariant(self, values, q, rng):
+            check_permutation_invariant(values, q, rng.shuffle)
+
+        @given(latencies, quantiles)
+        @settings(max_examples=60, deadline=None)
+        def test_bounded_and_observed(self, values, q):
+            check_bounded_by_min_max(values, q)
+
+        @given(latencies, quantiles)
+        @settings(max_examples=60, deadline=None)
+        def test_agrees_with_numpy_higher(self, values, q):
+            check_agrees_with_numpy_higher(values, q)
+
+        @given(latencies)
+        @settings(max_examples=60, deadline=None)
+        def test_summary_roundtrip(self, values):
+            check_summary_roundtrip(values)
+
+        @given(latencies, st.integers(min_value=1, max_value=7))
+        @settings(max_examples=60, deadline=None)
+        def test_pool_consistency(self, values, n_chunks):
+            check_pool_consistency(values, n_chunks)
+
+
+# ----------------------------------------------------------------------
+# engine 2: stdlib-random fallback (always runs)
+# ----------------------------------------------------------------------
+def _random_case(seed: int):
+    """One deterministic random (values, q1, q2) case."""
+    rng = random.Random(seed)
+    n = rng.randint(1, 200)
+    # Mix magnitudes (µs to ~hours) and exact duplicates.
+    values = [
+        rng.choice(
+            [
+                rng.uniform(0.0, 1e-3),
+                rng.uniform(0.0, 1.0),
+                rng.uniform(0.0, MAX_LATENCY_S),
+                0.0,
+            ]
+        )
+        for _ in range(n)
+    ]
+    if n > 3:  # force ties: nearest-rank must cope with duplicates
+        values[1] = values[0]
+    return rng, values, rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)
+
+
+@pytest.mark.parametrize("seed", range(25))
+class TestStdlibFallbackProperties:
+    """The same contract, driven by seeded stdlib randomness."""
+
+    def test_monotone_in_q(self, seed):
+        _, values, q1, q2 = _random_case(seed)
+        check_monotone_in_q(values, q1, q2)
+
+    def test_permutation_invariant(self, seed):
+        rng, values, q, _ = _random_case(seed)
+        check_permutation_invariant(values, q, rng.shuffle)
+
+    def test_bounded_and_observed(self, seed):
+        _, values, q, _ = _random_case(seed)
+        check_bounded_by_min_max(values, q)
+
+    def test_agrees_with_numpy_higher(self, seed):
+        _, values, q, _ = _random_case(seed)
+        check_agrees_with_numpy_higher(values, q)
+
+    def test_summary_roundtrip(self, seed):
+        _, values, _, _ = _random_case(seed)
+        check_summary_roundtrip(values)
+
+    def test_pool_consistency(self, seed):
+        rng, values, _, _ = _random_case(seed)
+        check_pool_consistency(values, rng.randint(1, 7))
+
+
+# ----------------------------------------------------------------------
+# edge cases the generators cannot hit
+# ----------------------------------------------------------------------
+class TestKernelEdges:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(SimulationError):
+            percentile([], 99)
+
+    def test_out_of_range_q_rejected(self):
+        for q in (-0.1, 100.1):
+            with pytest.raises(SimulationError):
+                percentile([1.0], q)
+
+    def test_singleton_is_every_percentile(self):
+        for q in (0, 17.3, 50, 99, 100):
+            assert percentile([0.25], q) == 0.25

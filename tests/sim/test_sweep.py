@@ -11,7 +11,11 @@ from repro.baselines.policies import (
     REDPolicy,
     ReissuePolicy,
 )
-from repro.errors import ConfigurationError, ExperimentError
+from repro.errors import (
+    CacheCorruptionError,
+    ConfigurationError,
+    ExperimentError,
+)
 from repro.service.nutch import NutchConfig
 from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
 from repro.sim.sweep import (
@@ -223,14 +227,22 @@ class TestSweepCache:
             == full.results[victim].metrics_dict()
         )
 
-    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+    def test_corrupt_entry_raises_named_error(self, tmp_path):
+        # Atomic writes mean a half-written point can never be
+        # self-inflicted, so corruption is real damage: it must raise a
+        # named error identifying the file, not read as a silent miss.
         spec = _tiny_spec(seeds=(0,), arrival_rates=(30.0,))
         cache = SweepCache(tmp_path)
         ParallelSweepRunner(spec, workers=1, cache=cache).run()
         point = spec.points()[0]
         key = point_cache_key(spec.runner_config(point), point.policy)
         cache.path_for(key).write_text("{not json")
-        assert cache.load(key) is None
+        with pytest.raises(CacheCorruptionError) as err:
+            cache.load(key)
+        assert str(cache.path_for(key)) in str(err.value)
+        assert err.value.path == cache.path_for(key)
+        # Deleting the damaged entry recovers: the point is recomputed.
+        cache.path_for(key).unlink()
         rerun = ParallelSweepRunner(spec, workers=1, cache=cache).run()
         assert rerun.cache_hits == spec.n_points - 1
 

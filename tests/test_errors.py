@@ -18,6 +18,9 @@ ALL_ERRORS = [
     errors.MonitoringError,
     errors.WorkloadError,
     errors.ExperimentError,
+    errors.SweepCacheError,
+    errors.CacheCorruptionError,
+    errors.StaleManifestError,
 ]
 
 
@@ -44,6 +47,18 @@ def test_capacity_is_placement():
 
 def test_not_fitted_is_model_error():
     assert issubclass(errors.NotFittedError, errors.ModelError)
+
+
+def test_cache_errors_are_experiment_errors():
+    for exc in (errors.CacheCorruptionError, errors.StaleManifestError):
+        assert issubclass(exc, errors.SweepCacheError)
+    assert issubclass(errors.SweepCacheError, errors.ExperimentError)
+
+
+def test_cache_errors_carry_the_offending_path():
+    err = errors.CacheCorruptionError("bad file", path="/tmp/x.json")
+    assert err.path == "/tmp/x.json"
+    assert errors.StaleManifestError("old").path is None
 
 
 def test_catching_base_catches_all():
