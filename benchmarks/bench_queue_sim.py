@@ -1,13 +1,16 @@
-"""Benchmark: the vectorised interval simulator per policy.
+"""Benchmark: the vectorised interval simulator per routing kernel.
 
 One scheduling interval of the full Nutch-like service at a moderate
 rate — the inner loop of every Fig. 6 cell — timed per routing policy,
-plus the event-driven reference for contrast.
+plus the event-driven reference for contrast.  Each timing is also
+persisted as a machine-readable ``BENCH_queue_sim_*.json`` record (see
+:mod:`recording`).
 """
 
 import numpy as np
 import pytest
 
+from recording import record_benchmark
 from repro.baselines.policies import (
     BasicPolicy,
     PCSPolicy,
@@ -26,12 +29,29 @@ POLICIES = [
     PCSPolicy(),
 ]
 
+_SIM_CONFIG = {"arrival_rate": 100.0, "duration_s": 30.0, "topology": "nutch"}
+
+
+def _bench_name(label: str) -> str:
+    return "queue_sim_" + label.lower().replace("-", "")
+
 
 @pytest.fixture(scope="module")
 def service_and_dists():
     service = build_nutch_service()
     dists = {c.name: c.base_service for c in service.components}
     return service, dists
+
+
+def _record_from_stats(benchmark, name: str, config: dict) -> None:
+    """Persist the rounds pytest-benchmark itself measured — one timing
+    source, no parallel perf_counter bookkeeping to drift from it."""
+    stats = benchmark.stats.stats
+    record_benchmark(
+        name,
+        {"round_min": stats.min, "round_mean": stats.mean},
+        config={**config, "rounds": len(stats.data)},
+    )
 
 
 @pytest.mark.benchmark(group="queue-sim")
@@ -51,6 +71,11 @@ def test_interval_simulation(benchmark, policy, service_and_dists):
 
     outcome = benchmark.pedantic(run, rounds=3, iterations=1)
     assert outcome.n_requests > 0
+    _record_from_stats(
+        benchmark,
+        _bench_name(policy.name),
+        {**_SIM_CONFIG, "policy": policy.name},
+    )
 
 
 @pytest.mark.benchmark(group="queue-sim")
@@ -67,3 +92,8 @@ def test_des_reference_simulation(benchmark, service_and_dists):
 
     outcome = benchmark.pedantic(run, rounds=2, iterations=1)
     assert outcome.completed > 0
+    _record_from_stats(
+        benchmark,
+        "queue_sim_des_reference",
+        {"arrival_rate": 20.0, "duration_s": 10.0, "topology": "nutch"},
+    )

@@ -11,6 +11,9 @@ Three claims, measured:
    point (asserted everywhere, always);
 3. resuming a completed sweep from the on-disk cache is at least an
    order of magnitude faster than recomputing it.
+
+Measured numbers are persisted as ``BENCH_sweep_*.json`` records (see
+:mod:`recording`).
 """
 
 import os
@@ -18,6 +21,7 @@ import time
 
 import pytest
 
+from recording import record_benchmark
 from repro.baselines.policies import BasicPolicy, REDPolicy, ReissuePolicy
 from repro.experiments.fig6 import paper_pcs_policy
 from repro.service.nutch import NutchConfig
@@ -90,6 +94,16 @@ def test_sweep_parallel_speedup(benchmark, paper_scale):
         f"4 workers {parallel_s:.1f}s -> {speedup:.2f}x "
         f"({cores} usable cores)"
     )
+    record_benchmark(
+        "sweep_parallel_speedup",
+        {"serial": serial_s, "parallel_4_workers": parallel_s, "speedup": speedup},
+        config={
+            "n_points": spec.n_points,
+            "paper_scale": paper_scale,
+            "usable_cores": cores,
+            "scenario": spec.scenario,
+        },
+    )
     if cores >= 4:
         # Claim 1: the whole point of the subsystem.
         assert speedup >= 2.0, (
@@ -127,5 +141,14 @@ def test_sweep_cache_resume(benchmark, tmp_path):
     print(
         f"\ncold sweep {cold_s:.1f}s, warm resume {warm.wall_time_s:.3f}s "
         f"({cold_s / max(warm.wall_time_s, 1e-9):.0f}x)"
+    )
+    record_benchmark(
+        "sweep_cache_resume",
+        {
+            "cold": cold_s,
+            "warm": warm.wall_time_s,
+            "speedup": cold_s / max(warm.wall_time_s, 1e-9),
+        },
+        config={"n_points": spec.n_points, "scenario": spec.scenario},
     )
     assert warm.wall_time_s * 10 < cold_s

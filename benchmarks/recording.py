@@ -1,0 +1,92 @@
+"""Machine-readable benchmark records: ``BENCH_<name>.json``.
+
+Every benchmark that prints a timing also persists it through
+:func:`record_benchmark`, so the perf trajectory of the repository is
+recorded rather than scrolled away: one JSON file per benchmark name
+holding the timings, the configuration they were measured under, the
+git SHA and a UTC timestamp.  CI uploads the files as artifacts; local
+runs leave them under ``benchmarks/results/`` (override with the
+``BENCH_OUTPUT_DIR`` environment variable).
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "name": "<benchmark name>",
+      "created": "<UTC ISO-8601>",
+      "git_sha": "<commit>" | null,
+      "config": {...},          # what was measured (shape knobs)
+      "timings_s": {...}        # label -> seconds (or derived ratios)
+    }
+
+Floats round-trip exactly (``json`` serialises via ``repr``), so
+records can be diffed numerically across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+__all__ = ["record_benchmark", "bench_output_dir"]
+
+SCHEMA_VERSION = 1
+
+
+def bench_output_dir() -> Path:
+    """Where records land: ``$BENCH_OUTPUT_DIR`` or benchmarks/results."""
+    default = Path(__file__).resolve().parent / "results"
+    return Path(os.environ.get("BENCH_OUTPUT_DIR", default))
+
+
+def _git_sha() -> Optional[str]:
+    """The repository's HEAD commit, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def record_benchmark(
+    name: str,
+    timings_s: Mapping[str, float],
+    config: Optional[Mapping[str, object]] = None,
+    out_dir: Union[str, Path, None] = None,
+) -> Path:
+    """Write (atomically) one ``BENCH_<name>.json`` record; returns it.
+
+    ``name`` becomes the filename stem — keep it ``[a-z0-9_]`` so the
+    CI artifact glob ``BENCH_*.json`` stays simple.  ``timings_s`` maps
+    labels to measured seconds (derived ratios like speedups are fine
+    too — the label should say so).  ``config`` records whatever shape
+    knobs make the numbers comparable across commits.
+    """
+    if not name or any(c in name for c in "/\\ "):
+        raise ValueError(f"bad benchmark name {name!r}")
+    directory = Path(out_dir) if out_dir is not None else bench_output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
+        "config": dict(config or {}),
+        "timings_s": {k: float(v) for k, v in timings_s.items()},
+    }
+    path = directory / f"BENCH_{name}.json"
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+    return path

@@ -8,6 +8,10 @@ Layering (bottom-up):
 - :mod:`repro.cluster` — nodes, machines, shared resources.
 - :mod:`repro.workloads` — batch-job profiles, churn, traces.
 - :mod:`repro.service` — multi-stage online-service model (Nutch-like).
+- :mod:`repro.scenarios` — named workload scenarios (service builder +
+  workload profile + runner defaults); the paper's ``nutch-search``
+  plus a deep pipeline and a heavy-tailed fan-out feed, all runnable
+  end to end via ``RunnerConfig.scenario`` / ``--scenario``.
 - :mod:`repro.interference` — ground-truth service-time inflation.
 - :mod:`repro.monitoring` — online contention/arrival-rate monitors.
 - :mod:`repro.model` — the performance predictor (paper Eqs. 1–5).
@@ -51,6 +55,10 @@ __all__ = [
     "RunnerConfig",
     "SweepSpec",
     "ParallelSweepRunner",
+    "ScenarioSpec",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
 ]
 
 
@@ -75,6 +83,12 @@ def __getattr__(name):  # lazy re-exports keep `import repro` light
         from repro.sim import sweep as _sweep
 
         return getattr(_sweep, name)
+    if name in (
+        "ScenarioSpec", "get_scenario", "register_scenario", "scenario_names"
+    ):
+        from repro import scenarios as _scenarios
+
+        return getattr(_scenarios, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 

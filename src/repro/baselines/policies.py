@@ -1,10 +1,31 @@
-"""Policy descriptors for the six compared techniques."""
+"""Policy descriptors for the compared techniques.
+
+Each policy is two halves:
+
+- the frozen *descriptor* here — name, parameters, load multiplier,
+  whether the PCS scheduler runs between intervals; and
+- a *routing kernel* (:mod:`repro.baselines.routing`) holding the
+  per-group sub-request mechanics, registered right next to its
+  descriptor via :func:`~repro.baselines.routing.register_routing_kernel`.
+
+The simulator dispatches on the registry only, so adding a policy —
+see :class:`HedgedPolicy` for a worked example — never touches
+:mod:`repro.sim.queue_sim`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.baselines.routing import (
+    HedgedKernel,
+    RandomSplitKernel,
+    RedundancyKernel,
+    ReissueKernel,
+    register_routing_kernel,
+    routing_kernel_for,
+)
 from repro.errors import ConfigurationError
 from repro.scheduler.pcs import SchedulerConfig
 
@@ -13,8 +34,10 @@ __all__ = [
     "BasicPolicy",
     "REDPolicy",
     "ReissuePolicy",
+    "HedgedPolicy",
     "PCSPolicy",
     "standard_policies",
+    "routing_kernel_for",
 ]
 
 
@@ -42,11 +65,19 @@ class Policy:
         return float(self.copies)
 
 
+# Basic routing is the base behaviour: every policy without a more
+# specific registration (PCS included) random-splits.
+register_routing_kernel(Policy, lambda p: RandomSplitKernel())
+
+
 @dataclass(frozen=True)
 class BasicPolicy(Policy):
     """No redundancy, no reissue, static placement."""
 
     name: str = "Basic"
+
+
+register_routing_kernel(BasicPolicy, lambda p: RandomSplitKernel())
 
 
 @dataclass(frozen=True)
@@ -77,6 +108,11 @@ class REDPolicy(Policy):
         return self.replicas
 
 
+register_routing_kernel(
+    REDPolicy, lambda p: RedundancyKernel(p.replicas, p.cancel_delay_s)
+)
+
+
 @dataclass(frozen=True)
 class ReissuePolicy(Policy):
     """Request reissue at the ``quantile`` of expected latency.
@@ -101,6 +137,55 @@ class ReissuePolicy(Policy):
         return 1.0 + (1.0 - self.quantile)
 
 
+register_routing_kernel(ReissuePolicy, lambda p: ReissueKernel(p.quantile))
+
+
+@dataclass(frozen=True)
+class HedgedPolicy(Policy):
+    """Hedged (tied) requests: a backup copy after a fixed delay.
+
+    The Tail-at-Scale discipline the paper's RI-p approximates
+    adaptively: every sub-request still outstanding after
+    ``hedge_delay_s`` gets one backup on the next replica; the quicker
+    copy wins.  Not one of the paper's six techniques — it exists as
+    the worked example of a policy plugging into the simulator through
+    the kernel registry alone.
+
+    ``expected_hedge_fraction`` is the assumed fraction of requests
+    whose primary outlives the delay; it only feeds
+    :attr:`load_multiplier` (the resource-accounting estimate), not the
+    routing itself, which hedges exactly the requests that actually
+    overstay.
+    """
+
+    name: str = "Hedge"
+    hedge_delay_s: float = 0.010
+    expected_hedge_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.hedge_delay_s <= 0:
+            raise ConfigurationError(
+                f"hedge_delay_s must be positive, got {self.hedge_delay_s}"
+            )
+        if not 0 <= self.expected_hedge_fraction <= 1:
+            raise ConfigurationError(
+                "expected_hedge_fraction must be in [0, 1], got "
+                f"{self.expected_hedge_fraction}"
+            )
+        object.__setattr__(
+            self, "name", f"Hedge-{self.hedge_delay_s * 1e3:g}ms"
+        )
+
+    @property
+    def load_multiplier(self) -> float:
+        return 1.0 + self.expected_hedge_fraction
+
+
+register_routing_kernel(
+    HedgedPolicy, lambda p: HedgedKernel(hedge_delay_s=p.hedge_delay_s)
+)
+
+
 @dataclass(frozen=True)
 class PCSPolicy(Policy):
     """Basic routing + predictive component-level scheduling."""
@@ -113,6 +198,11 @@ class PCSPolicy(Policy):
     @property
     def schedules(self) -> bool:
         return True
+
+
+# PCS routes like Basic (it inherits the Policy-base registration); the
+# explicit entry documents that this is a decision, not an omission.
+register_routing_kernel(PCSPolicy, lambda p: RandomSplitKernel())
 
 
 def standard_policies() -> List[Policy]:

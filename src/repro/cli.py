@@ -12,14 +12,19 @@ Subcommands regenerate the paper's evaluation artifacts:
   parallel sweep subsystem (:mod:`repro.sim.sweep`);
 - ``aggregate`` — seed-level statistics (mean ± CI per metric, via
   :mod:`repro.sim.aggregate`) over a sweep cache directory's
-  ``manifest.json``, with ``--gc`` to drop orphaned point files.
+  ``manifest.json``, with ``--gc`` to drop orphaned point files;
+- ``scenarios`` — the registered workload-scenario catalog
+  (:mod:`repro.scenarios`), with live topology summaries.
 
 ``fig5``/``fig6``/``fig7``/``sweep`` accept ``--workers N`` to fan
 independent points out over processes (results are identical to the
 serial path); ``fig6``/``sweep`` accept ``--cache-dir`` to memoize
 completed points on disk so interrupted runs resume, and
 ``--seeds``/``sweep --aggregate`` to repeat cells across seeds and
-reduce them through the shared aggregate layer.
+reduce them through the shared aggregate layer.  ``quick``/``sweep``/
+``fig5``/``fig6``/``fig7`` accept ``--scenario NAME`` to run any
+registered scenario instead of the paper's Nutch-like service (plus
+``--scale`` to shrink/grow the non-Nutch shapes).
 """
 
 from __future__ import annotations
@@ -42,6 +47,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_scenario_args(p, default="nutch-search"):
+        p.add_argument(
+            "--scenario", default=default,
+            help="registered workload scenario to run "
+            "(see the `scenarios` subcommand)",
+        )
+        p.add_argument(
+            "--shape-scale", type=float, default=1.0, dest="shape_scale",
+            help="shape multiplier for scenario builders with scaled "
+            "shapes (nutch-search is shaped by its own knobs instead)",
+        )
+
     p5 = sub.add_parser("fig5", help="prediction-accuracy experiment")
     p5.add_argument("--seed", type=int, default=0)
     p5.add_argument(
@@ -49,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for the per-workload campaigns (same numbers "
         "for any value)",
     )
+    add_scenario_args(p5)
 
     p6 = sub.add_parser("fig6", help="six-policy latency comparison")
     p6.add_argument(
@@ -73,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="memoize completed sweep points here; rerunning resumes",
     )
+    add_scenario_args(p6)
 
     p7 = sub.add_parser("fig7", help="scheduler scalability")
     p7.add_argument("--seed", type=int, default=0)
@@ -80,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="processes for grid points (keep 1 for faithful timings)",
     )
+    add_scenario_args(p7, default=None)
 
     pa = sub.add_parser("ablations", help="design-choice ablations")
     pa.add_argument("--seed", type=int, default=11)
@@ -87,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     pq = sub.add_parser("quick", help="Basic-vs-PCS at one arrival rate")
     pq.add_argument("--rate", type=float, default=100.0)
     pq.add_argument("--seed", type=int, default=0)
+    add_scenario_args(pq)
 
     ps = sub.add_parser(
         "sweep",
@@ -96,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--policies", default="Basic,PCS",
         help="comma-separated legend names (Basic, RED-3, RED-5, "
-        "RI-90, RI-99, PCS)",
+        "RI-90, RI-99, Hedge[-<ms>], PCS)",
     )
     ps.add_argument(
         "--rates", default="50,200",
@@ -105,13 +126,22 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--seeds", default="0", help="comma-separated root seeds"
     )
-    ps.add_argument("--nodes", type=int, default=16)
+    ps.add_argument(
+        "--nodes", type=int, default=None,
+        help="cluster size (default: the scenario's own default, "
+        "16 for nutch-search)",
+    )
+    add_scenario_args(ps)
     ps.add_argument(
         "--search-groups", type=int, default=10,
-        help="searching-stage replica groups (the fig6 quick preset; "
-        "the paper-scale 20x5 topology needs ~30 nodes)",
+        help="searching-stage replica groups (nutch-search only; the "
+        "fig6 quick preset — the paper-scale 20x5 topology needs "
+        "~30 nodes)",
     )
-    ps.add_argument("--replicas-per-group", type=int, default=4)
+    ps.add_argument(
+        "--replicas-per-group", type=int, default=4,
+        help="replicas per searching group (nutch-search only)",
+    )
     ps.add_argument("--intervals", type=int, default=6)
     ps.add_argument("--interval-s", type=float, default=30.0)
     ps.add_argument("--warmup-intervals", type=int, default=1)
@@ -152,12 +182,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="first remove point files not named by the manifest "
         "(orphans from older grids) and leftover temp files",
     )
+
+    pc = sub.add_parser(
+        "scenarios",
+        help="list the registered workload scenarios "
+        "(name, topology, description)",
+    )
+    pc.add_argument(
+        "--shape-scale", type=float, default=1.0, dest="shape_scale",
+        help="shape multiplier applied to the printed topology summaries",
+    )
     return parser
 
 
 def _run_sweep(args) -> int:
+    from repro.scenarios import get_scenario
     from repro.service.nutch import NutchConfig
-    from repro.sim.runner import RunnerConfig
     from repro.sim.sweep import (
         ParallelSweepRunner,
         SweepSpec,
@@ -175,19 +215,27 @@ def _run_sweep(args) -> int:
         if not values:
             print(f"error: {label} must name at least one value", file=sys.stderr)
             return 2
-    spec = SweepSpec(
-        base=RunnerConfig(
-            n_nodes=args.nodes,
-            arrival_rate=rates[0],
-            interval_s=args.interval_s,
-            n_intervals=args.intervals,
-            warmup_intervals=args.warmup_intervals,
-            seed=seeds[0],
-            nutch=NutchConfig(
-                n_search_groups=args.search_groups,
-                replicas_per_group=args.replicas_per_group,
-            ),
+    scenario = get_scenario(args.scenario)
+    overrides = dict(
+        n_nodes=(
+            args.nodes
+            if args.nodes is not None
+            else int(scenario.runner_defaults.get("n_nodes", 16))
         ),
+        arrival_rate=rates[0],
+        interval_s=args.interval_s,
+        n_intervals=args.intervals,
+        warmup_intervals=args.warmup_intervals,
+        seed=seeds[0],
+        scale=args.shape_scale,
+    )
+    if args.scenario == "nutch-search":
+        overrides["nutch"] = NutchConfig(
+            n_search_groups=args.search_groups,
+            replicas_per_group=args.replicas_per_group,
+        )
+    spec = SweepSpec(
+        base=scenario.runner_config(**overrides),
         policies=policies,
         arrival_rates=rates,
         seeds=seeds,
@@ -260,7 +308,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fig5":
         from repro.experiments.fig5 import Fig5Config, run_fig5
 
-        print(run_fig5(Fig5Config(seed=args.seed), workers=args.workers).render())
+        cfg = Fig5Config(
+            seed=args.seed, scenario=args.scenario, scale=args.shape_scale
+        )
+        print(run_fig5(cfg, workers=args.workers).render())
     elif args.command == "fig6":
         from repro.experiments.fig6 import Fig6Config, run_fig6
         from repro.service.nutch import NutchConfig
@@ -271,7 +322,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             else ()
         )
         if args.scale == "paper":
-            cfg = Fig6Config(seed=args.seed, seeds=seeds)
+            cfg = Fig6Config(
+                seed=args.seed,
+                seeds=seeds,
+                scenario=args.scenario,
+                scale=args.shape_scale,
+            )
         else:
             cfg = Fig6Config(
                 arrival_rates=(10.0, 50.0, 200.0),
@@ -280,6 +336,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 warmup_intervals=1,
                 seed=args.seed,
                 seeds=seeds,
+                scenario=args.scenario,
+                scale=args.shape_scale,
                 nutch=NutchConfig(n_search_groups=10, replicas_per_group=4),
             )
         result = run_fig6(
@@ -293,7 +351,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig7":
         from repro.experiments.fig7 import Fig7Config, run_fig7
 
-        print(run_fig7(Fig7Config(seed=args.seed), workers=args.workers).render())
+        cfg = Fig7Config(
+            seed=args.seed, scenario=args.scenario, scale=args.shape_scale
+        )
+        print(run_fig7(cfg, workers=args.workers).render())
     elif args.command == "ablations":
         from repro.experiments.ablations import AblationConfig, run_all_ablations
 
@@ -301,12 +362,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "quick":
         from repro.experiments.fig6 import run_quick_comparison
 
-        result = run_quick_comparison(arrival_rate=args.rate, seed=args.seed)
+        result = run_quick_comparison(
+            arrival_rate=args.rate,
+            seed=args.seed,
+            scenario=args.scenario,
+            scale=args.shape_scale,
+        )
         print(result.render())
     elif args.command == "sweep":
         return _run_sweep(args)
     elif args.command == "aggregate":
         return _run_aggregate(args)
+    elif args.command == "scenarios":
+        from repro.scenarios import all_scenarios
+
+        for spec in all_scenarios():
+            cfg = spec.runner_config(scale=args.shape_scale)
+            print(spec.describe(cfg))
+            if spec.tags:
+                print(f"    tags: {', '.join(spec.tags)}")
     return 0
 
 

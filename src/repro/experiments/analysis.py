@@ -146,7 +146,12 @@ def summary_dominance_table(
 
     The multi-seed sibling of :func:`dominance_table`: ranks by the
     aggregate layer's seed-means and shows the winner's Student-t
-    interval so a photo-finish is visible as overlapping CIs.
+    interval so a photo-finish is visible as overlapping CIs.  The last
+    column is the *paired* runner-up − best interval
+    (:meth:`~repro.sim.aggregate.SweepSummary.paired_diff`): policies
+    share seeds, so the per-seed deltas cancel common variation — a
+    paired interval excluding 0 means the win is real even when the
+    two marginal CIs overlap.
     """
     rates = summary.rates()
     if not rates:
@@ -160,6 +165,19 @@ def summary_dominance_table(
         best_name, best = ranked[0]
         runner_up_name, runner_up = ranked[1] if len(ranked) > 1 else ranked[0]
         margin = runner_up.mean / best.mean
+        if runner_up_name != best_name:
+            try:
+                delta = summary.paired_diff(
+                    runner_up_name, best_name, rate, metrics=[metric]
+                )[metric]
+            except ExperimentError:
+                # Lopsided seed sets (e.g. a partially rerun cache)
+                # cannot be paired; the table still renders.
+                paired = "n/a"
+            else:
+                paired = format_ci(delta.t_lo * 1e3, delta.t_hi * 1e3, digits=2)
+        else:
+            paired = "n/a"
         rows.append(
             [
                 f"{rate:g}",
@@ -168,6 +186,7 @@ def summary_dominance_table(
                 format_ci(best.t_lo * 1e3, best.t_hi * 1e3, digits=1),
                 runner_up_name,
                 f"{margin:.2f}x",
+                paired,
             ]
         )
     return render_table(
@@ -178,6 +197,7 @@ def summary_dominance_table(
             f"{summary.config.confidence:.0%} CI (ms)",
             "runner-up",
             "margin",
+            "paired Δ (ms)",
         ],
         rows,
         title=f"Policy dominance by arrival rate ({metric}, seed-mean)",

@@ -33,6 +33,7 @@ from repro.baselines.policies import (
 )
 from repro.errors import ExperimentError
 from repro.experiments.report import render_bars, render_table
+from repro.scenarios import get_scenario
 from repro.scheduler.pcs import SchedulerConfig
 from repro.scheduler.threshold import AdaptiveThreshold
 from repro.service.nutch import NutchConfig
@@ -79,17 +80,24 @@ class Fig6Config:
     """Scale and sweep parameters for the Fig. 6 reproduction."""
 
     arrival_rates: Tuple[float, ...] = PAPER_ARRIVAL_RATES
-    n_nodes: int = 30
+    #: ``None`` resolves to the scenario's own default cluster size
+    #: (the paper's 30 nodes for ``nutch-search``).
+    n_nodes: Optional[int] = None
     interval_s: float = 30.0
     n_intervals: int = 8
     warmup_intervals: int = 2
     seed: int = 7
+    #: Which registered workload scenario the sweep runs on
+    #: (:mod:`repro.scenarios`); the paper's figure is ``nutch-search``.
+    scenario: str = "nutch-search"
+    #: Shape multiplier for scenario builders that define scaled shapes
+    #: (the ``nutch-search`` shape comes from :attr:`nutch` instead).
+    scale: float = 1.0
     nutch: NutchConfig = field(default_factory=NutchConfig)
-    generator: GeneratorConfig = field(
-        default_factory=lambda: GeneratorConfig(
-            jobs_per_node_per_s=0.01, max_batch_jobs_per_node=3
-        )
-    )
+    #: ``None`` resolves to the scenario's workload/interference
+    #: profile, so every driver runs a scenario in the same environment
+    #: as the sweep CLI.
+    generator: Optional[GeneratorConfig] = None
     policies: Tuple[Policy, ...] = ()
     #: Seeds to repeat every (policy, rate) cell under; defaults to
     #: ``(seed,)``.  With several seeds the driver reports mean ± CI
@@ -101,6 +109,13 @@ class Fig6Config:
             raise ExperimentError("need at least one arrival rate")
         if any(r <= 0 for r in self.arrival_rates):
             raise ExperimentError("arrival rates must be positive")
+        spec = get_scenario(self.scenario)  # fail fast on unknown names
+        if self.n_nodes is None:
+            object.__setattr__(
+                self, "n_nodes", int(spec.runner_defaults.get("n_nodes", 30))
+            )
+        if self.generator is None:
+            object.__setattr__(self, "generator", spec.generator)
         if not self.policies:
             object.__setattr__(
                 self, "policies", tuple(standard_policies()[:-1]) + (paper_pcs_policy(),)
@@ -119,8 +134,11 @@ class Fig6Config:
             n_intervals=self.n_intervals,
             warmup_intervals=self.warmup_intervals,
             seed=self.seed,
+            scenario=self.scenario,
+            scale=self.scale,
             nutch=self.nutch,
             generator=self.generator,
+            interference_noise=get_scenario(self.scenario).interference_noise,
         )
 
     def sweep_spec(self) -> SweepSpec:
@@ -331,7 +349,11 @@ def run_fig6(
 
 
 def run_quick_comparison(
-    arrival_rate: float = 100.0, seed: int = 0, n_intervals: int = 6
+    arrival_rate: float = 100.0,
+    seed: int = 0,
+    n_intervals: int = 6,
+    scenario: str = "nutch-search",
+    scale: float = 1.0,
 ) -> Fig6Result:
     """A minutes-scale Basic-vs-PCS taste of Fig. 6 (see quickstart)."""
     cfg = Fig6Config(
@@ -340,6 +362,8 @@ def run_quick_comparison(
         n_intervals=n_intervals,
         warmup_intervals=1,
         seed=seed,
+        scenario=scenario,
+        scale=scale,
         nutch=NutchConfig(n_search_groups=8, replicas_per_group=4),
         policies=(BasicPolicy(), paper_pcs_policy()),
     )

@@ -21,7 +21,8 @@ quick shape checks where absolute times don't matter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro.errors import ExperimentError
 from repro.experiments.report import render_table
 from repro.interference.ground_truth import default_interference_model
 from repro.model.matrix import MatrixInputs
+from repro.scenarios import get_scenario
 from repro.model.predictor import OraclePredictor
 from repro.scheduler.hierarchical import HierarchicalScheduler
 from repro.scheduler.pcs import PCSScheduler, SchedulerConfig
@@ -63,6 +65,13 @@ class Fig7Config:
     seed: int = 0
     hierarchical_sizes: Tuple[Tuple[int, int], ...] = ((1280, 128), (2560, 128))
     hierarchical_group_size: int = 640
+    #: ``None`` keeps the paper's synthetic all-searching instances
+    #: (bit-identical to the pre-scenario driver); a registered
+    #: scenario name derives each instance's class mix and per-class
+    #: demand templates from that scenario's topology instead, so the
+    #: scalability curve can be measured for any workload shape.
+    scenario: Optional[str] = None
+    scale: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.sizes:
@@ -71,6 +80,8 @@ class Fig7Config:
             raise ExperimentError("sizes must be positive")
         if self.repeats < 1:
             raise ExperimentError("repeats must be >= 1")
+        if self.scenario is not None:
+            get_scenario(self.scenario)  # fail fast on unknown names
 
 
 @dataclass(frozen=True)
@@ -139,20 +150,60 @@ class Fig7Result:
         )
 
 
+@lru_cache(maxsize=32)
+def _scenario_rows(m: int, scenario: str, scale: float):
+    """Per-row (stage, class, demand template) cycled from a scenario.
+
+    The scenario's components are tiled to ``m`` rows and sorted by
+    stage, so a synthetic instance of any size keeps the scenario's
+    class mix, stage structure and per-class demand shape.  Memoized —
+    the rows are deterministic per (m, scenario, scale) and the grid
+    driver asks for the same ones once per repeat; callers must treat
+    the returned arrays as read-only (copy before handing them out).
+    """
+    spec = get_scenario(scenario)
+    comps = spec.build_service(spec.runner_config(scale=scale)).components
+    rows = sorted(
+        (
+            (comp.stage_index, comp.cls, comp.demand.as_array())
+            for i in range(m)
+            for comp in (comps[i % len(comps)],)
+        ),
+        key=lambda row: row[0],
+    )
+    stage_of = np.array([r[0] for r in rows], dtype=np.int64)
+    classes = tuple(r[1] for r in rows)
+    templates = np.stack([r[2] for r in rows])
+    return stage_of, classes, templates
+
+
 def make_instance(
-    m: int, k: int, rng: np.random.Generator, n_stages: int = 3
+    m: int,
+    k: int,
+    rng: np.random.Generator,
+    n_stages: int = 3,
+    scenario: Optional[str] = None,
+    scale: float = 1.0,
 ) -> MatrixInputs:
     """A synthetic scheduling instance with realistic magnitudes.
 
-    Components carry searching-like demands; nodes carry random batch
-    contention; a third of the nodes are 'hot' so the greedy has real
-    work to do (timings on an instance with nothing to migrate would
-    flatter the search loop).
+    By default components carry searching-like demands; with
+    ``scenario`` given, the class mix, stage structure and demand
+    templates come from that scenario's topology (tiled to ``m``).
+    Nodes carry random batch contention; a third of the nodes are 'hot'
+    so the greedy has real work to do (timings on an instance with
+    nothing to migrate would flatter the search loop).
     """
     if m < n_stages:
         raise ExperimentError(f"need m >= {n_stages}")
-    stage_of = np.sort(rng.integers(0, n_stages, m))
-    demands = rng.uniform(0.5, 1.5, (m, 4)) * np.array([0.04, 1.0, 4.0, 1.5])
+    if scenario is None:
+        stage_of = np.sort(rng.integers(0, n_stages, m))
+        classes = [ComponentClass.SEARCHING] * m
+        templates = np.array([0.04, 1.0, 4.0, 1.5])
+    else:
+        stage_of, classes, templates = _scenario_rows(m, scenario, scale)
+        stage_of, classes = stage_of.copy(), list(classes)
+    demands = rng.uniform(0.5, 1.5, (m, 4)) * templates
     assignment = rng.integers(0, k, m)
     node_totals = np.zeros((k, 4))
     for i in range(m):
@@ -163,7 +214,7 @@ def make_instance(
     arrival = rng.uniform(5.0, 40.0, m)
     return MatrixInputs(
         stage_of=stage_of,
-        classes=[ComponentClass.SEARCHING] * m,
+        classes=classes,
         demands=demands,
         assignment=assignment,
         node_totals=node_totals,
@@ -171,16 +222,21 @@ def make_instance(
     )
 
 
-def _oracle() -> OraclePredictor:
-    rep = Component(
-        name="fig7-rep",
-        cls=ComponentClass.SEARCHING,
-        base_service=LogNormal(ms(3.5), 0.5),
-    )
-    return OraclePredictor(
-        default_interference_model(noise_sigma=0.0),
-        {ComponentClass.SEARCHING: rep},
-    )
+def _oracle(config: Optional[Fig7Config] = None) -> OraclePredictor:
+    if config is None or config.scenario is None:
+        rep = Component(
+            name="fig7-rep",
+            cls=ComponentClass.SEARCHING,
+            base_service=LogNormal(ms(3.5), 0.5),
+        )
+        return OraclePredictor(
+            default_interference_model(noise_sigma=0.0),
+            {ComponentClass.SEARCHING: rep},
+        )
+    spec = get_scenario(config.scenario)
+    service = spec.build_service(spec.runner_config(scale=config.scale))
+    reps = {cls: service.representative(cls) for cls in service.classes()}
+    return OraclePredictor(default_interference_model(noise_sigma=0.0), reps)
 
 
 def _measure_flat_point(args: Tuple[int, int, Fig7Config]) -> Fig7Point:
@@ -197,13 +253,13 @@ def _measure_flat_point(args: Tuple[int, int, Fig7Config]) -> Fig7Point:
     spawn worker.
     """
     m, k, cfg = args
-    predictor = _oracle()
+    predictor = _oracle(cfg)
     sched_cfg = SchedulerConfig(threshold=StaticThreshold(ms(1)))
     records = {}
     for rep in range(cfg.repeats):
         seed = cfg.seed + rep
         rng = np.random.default_rng(seed)
-        inputs = make_instance(m, k, rng)
+        inputs = make_instance(m, k, rng, scenario=cfg.scenario, scale=cfg.scale)
         scheduler = PCSScheduler(predictor, sched_cfg)
         outcome = scheduler.schedule(inputs)
         records[seed] = {
@@ -226,10 +282,10 @@ def _measure_flat_point(args: Tuple[int, int, Fig7Config]) -> Fig7Point:
 def _measure_hier_point(args: Tuple[int, int, Fig7Config]) -> Fig7Point:
     """Timing of one hierarchical grid point (beyond 640 components)."""
     m, k, cfg = args
-    predictor = _oracle()
+    predictor = _oracle(cfg)
     sched_cfg = SchedulerConfig(threshold=StaticThreshold(ms(1)))
     rng = np.random.default_rng(cfg.seed)
-    inputs = make_instance(m, k, rng)
+    inputs = make_instance(m, k, rng, scenario=cfg.scenario, scale=cfg.scale)
     scheduler = HierarchicalScheduler(
         predictor, sched_cfg, group_size=cfg.hierarchical_group_size
     )

@@ -1,0 +1,223 @@
+"""The built-in scenario catalog.
+
+Three workloads ship with the package (see the package docstring for
+the how-to-add guide):
+
+``nutch-search``
+    the paper's Fig. 1 Nutch-like three-stage search service, built
+    from ``config.nutch`` exactly as every experiment did before the
+    scenario layer existed — the bit-identity anchor.
+
+``pipeline-deep``
+    a deep sequential pipeline (ingest → parse → transform ×2 → store):
+    five stages of one load-shared group each, no intra-stage fan-out.
+    Latency is a pure *sum* of stage sojourns (Eq. 4 with the Eq. 3 max
+    degenerate), so tail mitigation behaves very differently from the
+    paper's fan-out topology: a straggler stage cannot hide behind a
+    faster sibling group.
+
+``fanout-feed``
+    a wide fan-out social-feed service (gateway → many timeline shards
+    → rank/blend) with **heavy-tailed** shard service times (Pareto,
+    α = 2.2).  The stage max over dozens of heavy-tailed groups makes
+    the overall latency tail-dominated — redundancy's min-of-k shines
+    at light load and collapses under its own induced load, the
+    contrast the paper's §VI-C narrates.
+
+Shape scaling: the non-Nutch builders multiply their replica/group
+counts by ``config.scale`` (a :class:`~repro.sim.runner.RunnerConfig`
+field, default 1.0), so tests and quick CLI runs can shrink a scenario
+without registering a new one.  ``nutch-search`` ignores ``scale`` —
+its shape comes entirely from ``config.nutch``, preserving the
+pre-scenario behaviour bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.resources import ResourceVector
+from repro.scenarios.spec import ScenarioSpec, register_scenario
+from repro.service.component import Component, ComponentClass
+from repro.service.nutch import build_nutch_service
+from repro.service.service import OnlineService
+from repro.service.topology import ReplicaGroup, ServiceTopology, Stage
+from repro.simcore.distributions import LogNormal, Pareto
+from repro.units import ms
+from repro.workloads.generator import GeneratorConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.runner import RunnerConfig
+
+__all__ = ["NUTCH_SEARCH", "PIPELINE_DEEP", "FANOUT_FEED"]
+
+
+def _scaled(count: int, scale: float, floor: int = 1) -> int:
+    """Round a shape count under the config's scale multiplier."""
+    return max(floor, int(round(count * scale)))
+
+
+#: Per-class resource footprints at the reference request rate (same
+#: magnitudes as the Nutch service's Table-III-style footprints, plus a
+#: balanced GENERIC profile for pipeline middle stages).
+_DEMANDS = {
+    ComponentClass.SEGMENTING: ResourceVector(
+        core=0.030, cache_mpki=0.5, disk_bw=0.5, net_bw=1.0
+    ),
+    ComponentClass.SEARCHING: ResourceVector(
+        core=0.040, cache_mpki=1.0, disk_bw=4.0, net_bw=1.5
+    ),
+    ComponentClass.AGGREGATING: ResourceVector(
+        core=0.025, cache_mpki=0.4, disk_bw=0.5, net_bw=2.0
+    ),
+    ComponentClass.GENERIC: ResourceVector(
+        core=0.035, cache_mpki=0.7, disk_bw=1.5, net_bw=1.2
+    ),
+}
+
+
+def _component(cls: ComponentClass, name: str, dist) -> Component:
+    return Component(
+        name=name, cls=cls, base_service=dist, demand=_DEMANDS[cls]
+    )
+
+
+def _shared_stage(
+    stage: str, group: str, cls: ComponentClass, dist, replicas: int
+) -> Stage:
+    """One load-shared group of ``replicas`` interchangeable servers."""
+    return Stage(
+        name=stage,
+        groups=[
+            ReplicaGroup(
+                name=group,
+                components=[
+                    _component(cls, f"{group}-r{r}", dist)
+                    for r in range(replicas)
+                ],
+            )
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# nutch-search (the paper's service)
+# ----------------------------------------------------------------------
+def _build_nutch(config: "RunnerConfig") -> OnlineService:
+    return build_nutch_service(config.nutch)
+
+
+NUTCH_SEARCH = register_scenario(
+    ScenarioSpec(
+        name="nutch-search",
+        description=(
+            "the paper's Fig. 1 three-stage search service "
+            "(segment -> shard fan-out -> aggregate); shape from "
+            "config.nutch"
+        ),
+        build=_build_nutch,
+        tags=("paper", "fan-out"),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# pipeline-deep (sequential ETL-style chain)
+# ----------------------------------------------------------------------
+def _build_pipeline(config: "RunnerConfig") -> OnlineService:
+    s = config.scale
+    # The two transform stages share one class (and therefore one base
+    # distribution): §VI-D's homogeneity argument — one profiling
+    # campaign per class — must keep holding in every scenario.
+    transform = LogNormal(ms(3.0), 0.5)
+    stages = [
+        _shared_stage(
+            "ingest", "ingest-g0", ComponentClass.SEGMENTING,
+            LogNormal(ms(0.8), 0.3), _scaled(3, s),
+        ),
+        _shared_stage(
+            "parse", "parse-g0", ComponentClass.GENERIC,
+            LogNormal(ms(2.0), 0.6), _scaled(4, s),
+        ),
+        _shared_stage(
+            "transform-a", "transform-a-g0", ComponentClass.SEARCHING,
+            transform, _scaled(6, s),
+        ),
+        _shared_stage(
+            "transform-b", "transform-b-g0", ComponentClass.SEARCHING,
+            transform, _scaled(6, s),
+        ),
+        _shared_stage(
+            "store", "store-g0", ComponentClass.AGGREGATING,
+            LogNormal(ms(1.5), 0.4), _scaled(3, s),
+        ),
+    ]
+    return OnlineService("pipeline-deep", ServiceTopology(stages))
+
+
+PIPELINE_DEEP = register_scenario(
+    ScenarioSpec(
+        name="pipeline-deep",
+        description=(
+            "five-stage sequential pipeline (ingest -> parse -> "
+            "transform x2 -> store); latency is a pure sum of stage "
+            "sojourns"
+        ),
+        build=_build_pipeline,
+        runner_defaults={"n_nodes": 12},
+        tags=("pipeline", "sequential"),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# fanout-feed (wide fan-out, heavy-tailed shards)
+# ----------------------------------------------------------------------
+def _build_fanout(config: "RunnerConfig") -> OnlineService:
+    s = config.scale
+    n_shards = _scaled(24, s, floor=2)
+    shard_dist = Pareto(xm=ms(1.2), alpha=2.2)  # mean 2.2 ms, SCV ~ 2.3
+    gateway = _shared_stage(
+        "gateway", "gateway-g0", ComponentClass.SEGMENTING,
+        LogNormal(ms(0.6), 0.3), _scaled(4, s),
+    )
+    shards = Stage(
+        name="timelines",
+        groups=[
+            ReplicaGroup(
+                name=f"timeline-g{g:02d}",
+                components=[
+                    _component(
+                        ComponentClass.SEARCHING,
+                        f"timeline-g{g:02d}-r{r}",
+                        shard_dist,
+                    )
+                    for r in range(3)
+                ],
+            )
+            for g in range(n_shards)
+        ],
+    )
+    blend = _shared_stage(
+        "rank-blend", "rank-blend-g0", ComponentClass.AGGREGATING,
+        LogNormal(ms(1.8), 0.5), _scaled(5, s),
+    )
+    return OnlineService("fanout-feed", ServiceTopology([gateway, shards, blend]))
+
+
+FANOUT_FEED = register_scenario(
+    ScenarioSpec(
+        name="fanout-feed",
+        description=(
+            "wide fan-out social-feed service (gateway -> heavy-tailed "
+            "timeline shards -> rank/blend); overall latency is "
+            "tail-dominated by the stage max"
+        ),
+        build=_build_fanout,
+        generator=GeneratorConfig(
+            jobs_per_node_per_s=0.015, max_batch_jobs_per_node=4
+        ),
+        runner_defaults={"n_nodes": 24},
+        tags=("fan-out", "heavy-tail"),
+    )
+)

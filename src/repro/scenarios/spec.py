@@ -1,0 +1,168 @@
+"""The :class:`ScenarioSpec` descriptor and its named registry.
+
+A *scenario* bundles everything one workload-under-study needs to run
+end to end through the experiment harness:
+
+- a **service builder** — ``build(config) -> OnlineService`` receiving
+  the resolved :class:`~repro.sim.runner.RunnerConfig` (builders read
+  the config's shape knobs: ``config.nutch`` for the paper topology,
+  ``config.scale`` for the generic size multiplier);
+- a **workload/interference profile** — the batch-churn
+  :class:`~repro.workloads.generator.GeneratorConfig` and the
+  interference-model noise that scenario is studied under;
+- **runner defaults** — the :class:`~repro.sim.runner.RunnerConfig`
+  field overrides (cluster size, interval length, ...) that make the
+  scenario well-posed out of the box;
+- **metadata** — description and tags for the CLI catalog.
+
+Scenarios are referenced *by name* everywhere configs are hashed,
+pickled or cached (``RunnerConfig.scenario``, the sweep manifest): the
+registry is the single mapping from name to builder, so worker
+processes and cache readers resolve identically to the submitting
+process.  Registration happens at import time (built-ins in
+:mod:`repro.scenarios.builtin`; third parties call
+:func:`register_scenario` from their own module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import GeneratorConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.service.service import OnlineService
+    from repro.sim.runner import RunnerConfig
+
+__all__ = [
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+]
+
+
+def _default_generator() -> GeneratorConfig:
+    """The harness-wide default batch-churn profile."""
+    return GeneratorConfig(jobs_per_node_per_s=0.01, max_batch_jobs_per_node=3)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named workload scenario: topology + workload + defaults.
+
+    ``build`` must be deterministic: the same config object yields the
+    same service (same component names, classes, base distributions),
+    because workers rebuild the service from the config independently
+    and their results must be bit-identical.
+    """
+
+    name: str
+    description: str
+    build: Callable[["RunnerConfig"], "OnlineService"]
+    generator: GeneratorConfig = field(default_factory=_default_generator)
+    interference_noise: float = 0.02
+    #: RunnerConfig field overrides that make the scenario well-posed
+    #: by default (e.g. ``{"n_nodes": 24}``).
+    runner_defaults: Mapping[str, object] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if not callable(self.build):
+            raise ConfigurationError(
+                f"scenario {self.name!r} build must be callable"
+            )
+        if self.interference_noise < 0:
+            raise ConfigurationError("interference_noise must be >= 0")
+        unknown = set(self.runner_defaults) & {"scenario"}
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name!r} runner_defaults may not override "
+                f"{sorted(unknown)}"
+            )
+
+    # ------------------------------------------------------------------
+    # config construction
+    # ------------------------------------------------------------------
+    def runner_config(self, **overrides) -> "RunnerConfig":
+        """A :class:`~repro.sim.runner.RunnerConfig` for this scenario.
+
+        Starts from the runner's defaults, applies the scenario's
+        ``generator``/``interference_noise``/``runner_defaults``, then
+        the caller's ``overrides`` (which win).
+        """
+        from repro.sim.runner import RunnerConfig  # late: layering
+
+        kwargs: Dict[str, object] = {
+            "scenario": self.name,
+            "generator": self.generator,
+            "interference_noise": self.interference_noise,
+        }
+        kwargs.update(self.runner_defaults)
+        kwargs.update(overrides)
+        return RunnerConfig(**kwargs)
+
+    def build_service(self, config: "RunnerConfig") -> "OnlineService":
+        """Build the scenario's service for one resolved config."""
+        service = self.build(config)
+        if service.name != self.name:
+            # Keep service identity aligned with the registry name so
+            # logs/tables can always be traced back to the scenario.
+            service.name = self.name
+        return service
+
+    def describe(self, config: "RunnerConfig" = None) -> str:
+        """One catalog line: topology summary + description."""
+        cfg = config if config is not None else self.runner_config()
+        topo = self.build_service(cfg).topology
+        return (
+            f"{self.name}: {topo.describe()} "
+            f"({topo.n_components} components) — {self.description}"
+        )
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace_existing: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (returns it for chaining).
+
+    Names are unique; pass ``replace_existing=True`` to shadow a
+    built-in (e.g. a test doubling a scenario's scale).
+    """
+    if spec.name in _REGISTRY and not replace_existing:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is already registered "
+            "(pass replace_existing=True to shadow it)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a scenario up by name; unknown names list the catalog."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r} (registered: "
+            f"{', '.join(sorted(_REGISTRY)) or 'none'})"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Registered names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]

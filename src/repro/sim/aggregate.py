@@ -603,6 +603,58 @@ class SweepSummary:
         """Shorthand for the seed-mean of one cell's metric."""
         return self.get(policy_name, arrival_rate).mean(metric)
 
+    # -- paired differences ---------------------------------------------
+    def paired_diff(
+        self,
+        policy_a: str,
+        policy_b: str,
+        arrival_rate: float,
+        metrics: Optional[Sequence[str]] = None,
+    ) -> Dict[str, MetricStats]:
+        """Per-seed difference statistics ``policy_a − policy_b``.
+
+        Policies in one grid share seeds (the runner derives all
+        randomness from the cell's seed), so the per-seed deltas cancel
+        the common seed-to-seed variation and their Student-t/bootstrap
+        intervals are much tighter than the difference of two marginal
+        intervals — the right uncertainty for "PCS − baseline" claims.
+
+        ``metrics`` defaults to every metric the two cells share.
+        Raises when the cells were run under different seed sets (the
+        pairing would be fiction).  Deterministic: the bootstrap draws
+        from streams named per (policy pair, rate, metric), independent
+        of call order.
+        """
+        a = self.get(policy_a, arrival_rate)
+        b = self.get(policy_b, arrival_rate)
+        if a.seeds != b.seeds:
+            raise ExperimentError(
+                f"cannot pair {policy_a} (seeds {list(a.seeds)}) with "
+                f"{policy_b} (seeds {list(b.seeds)}) at {arrival_rate:g} "
+                "req/s: per-seed differences need identical seed sets"
+            )
+        names = (
+            list(metrics)
+            if metrics is not None
+            else sorted(set(a.stats) & set(b.stats))
+        )
+        rngs = RngRegistry(self.config.bootstrap_seed)
+        out: Dict[str, MetricStats] = {}
+        for name in names:
+            deltas = [
+                va - vb for va, vb in zip(a[name].values, b[name].values)
+            ]
+            rng = (
+                rngs.get(
+                    "aggregate.paired."
+                    f"{policy_a}-{policy_b}@{arrival_rate!r}.{name}"
+                )
+                if len(deltas) > 1
+                else None
+            )
+            out[name] = MetricStats.compute(deltas, rng, self.config)
+        return out
+
     # -- serialisation --------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-serialisable form (groups keyed ``"policy@rate"``)."""

@@ -4,34 +4,17 @@ For one scheduling interval, given each component's *current* service-
 time distribution (base distribution inflated by the interference the
 component experiences on its node), this module simulates every
 request's journey through the topology with **exact FIFO queue sample
-paths** (the Lindley kernel) and the routing mechanics of the compared
-policies:
+paths** (the Lindley kernel).
 
-Basic / PCS
-    each sub-request goes to one uniformly chosen replica of each group
-    (random splitting keeps per-replica arrivals Poisson, matching the
-    M/G/1 model the predictor uses).
-
-RED-k (request redundancy)
-    each sub-request is executed on ``k`` replicas simultaneously; the
-    quickest wins.  Cancellation is *imperfect*, as the paper observes
-    (§VI-C): when one copy begins execution a cancel message is sent,
-    but (i) copies that started within the message delay of each other
-    both execute, and (ii) messages in flight don't stop a copy that is
-    about to start.  We model this with a two-pass scheme: pass 1
-    computes uncancelled sample paths and start times; a copy is
-    cancelled iff some sibling started more than ``cancel_delay_s``
-    before this copy would start; pass 2 re-runs the queues with
-    cancelled copies consuming zero service time (they held a queue
-    slot until the cancel arrived, then vanished).
-
-RI-p (request reissue)
-    a sub-request goes to its primary replica; if it has not finished
-    after the p-th percentile of the expected latency for its class, a
-    secondary copy is sent to the next replica.  Pass 1 determines who
-    reissues; pass 2 re-runs every replica with the merged
-    primary+secondary arrival streams (reissue load slows everyone,
-    which is exactly the high-load pathology the paper measures).
+The per-group routing mechanics — random splitting for Basic/PCS,
+redundancy with imperfect cancellation for RED-k, percentile reissue
+for RI-p, fixed-delay hedging — live in
+:mod:`repro.baselines.routing` as :class:`~repro.baselines.routing.
+RoutingKernel` classes, registered next to their policy descriptors in
+:mod:`repro.baselines.policies`.  This module resolves the kernel once
+per interval via :func:`~repro.baselines.routing.routing_kernel_for`
+and never branches on policy types, so new policies plug in without
+touching the simulator.
 
 Stage semantics follow Eqs. 3–4: a request's stage latency is the max
 over the stage's groups; its overall latency the sum over stages.  All
@@ -46,22 +29,15 @@ sample records, for redundancy/reissue policies, the latency of the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
 import numpy as np
 
-from repro.baselines.policies import (
-    BasicPolicy,
-    PCSPolicy,
-    Policy,
-    REDPolicy,
-    ReissuePolicy,
-)
+from repro.baselines.policies import Policy, routing_kernel_for
 from repro.errors import SimulationError
-from repro.service.topology import ReplicaGroup, ServiceTopology
+from repro.service.topology import ServiceTopology
 from repro.simcore.distributions import Distribution
-from repro.simcore.lindley import lindley_waits
 
 __all__ = ["IntervalOutcome", "simulate_service_interval", "poisson_arrivals"]
 
@@ -105,183 +81,6 @@ def poisson_arrivals(
     return np.sort(rng.uniform(0.0, duration_s, n))
 
 
-# ----------------------------------------------------------------------
-# per-group mechanics
-# ----------------------------------------------------------------------
-def _primary_choice(
-    n: int, n_replicas: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Uniform-random primary per request.
-
-    Random splitting keeps each replica's arrival process Poisson (the
-    M in Eq. 2's M/G/1); deterministic round-robin would thin the
-    stream into more-regular Erlang interarrivals and understate
-    queueing relative to the paper's model.
-    """
-    if n_replicas == 1:
-        return np.zeros(n, dtype=np.int64)
-    return rng.integers(0, n_replicas, n)
-
-
-def _group_basic(
-    arrivals: np.ndarray,
-    group: ReplicaGroup,
-    dists: Mapping[str, Distribution],
-    rng: np.random.Generator,
-    sojourns: Dict[str, List[np.ndarray]],
-    services: Dict[str, List[np.ndarray]],
-) -> np.ndarray:
-    n = arrivals.size
-    r_count = group.n_replicas
-    primary = _primary_choice(n, r_count, rng)
-    group_lat = np.empty(n)
-    for r, comp in enumerate(group.components):
-        mask = primary == r
-        t = arrivals[mask]
-        s = np.asarray(dists[comp.name].sample(rng, t.size), dtype=np.float64)
-        soj = lindley_waits(t, s, validate=False) + s
-        group_lat[mask] = soj
-        sojourns[comp.name].append(soj)
-        services[comp.name].append(s)
-    return group_lat
-
-
-def _group_red(
-    arrivals: np.ndarray,
-    group: ReplicaGroup,
-    dists: Mapping[str, Distribution],
-    rng: np.random.Generator,
-    k: int,
-    cancel_delay_s: float,
-    sojourns: Dict[str, List[np.ndarray]],
-    services: Dict[str, List[np.ndarray]],
-) -> np.ndarray:
-    n = arrivals.size
-    r_count = group.n_replicas
-    k = min(k, r_count)
-    if k == 1 or n == 0:
-        return _group_basic(arrivals, group, dists, rng, sojourns, services)
-    primary = _primary_choice(n, r_count, rng)
-    # copy c of request i runs on replica (primary[i] + c) % r_count.
-    starts = np.full((k, n), np.inf)
-    svc = np.zeros((k, n))
-    replica_req: Dict[int, np.ndarray] = {}
-    replica_copy: Dict[int, np.ndarray] = {}
-    for r in range(r_count):
-        copy_idx = (r - primary) % r_count
-        mask = copy_idx < k
-        req_ids = np.flatnonzero(mask)
-        if req_ids.size == 0:
-            continue
-        t = arrivals[req_ids]
-        s = np.asarray(dists[group.components[r].name].sample(rng, t.size))
-        w = lindley_waits(t, s, validate=False)
-        c = copy_idx[req_ids]
-        starts[c, req_ids] = t + w
-        svc[c, req_ids] = s
-        replica_req[r] = req_ids
-        replica_copy[r] = c
-    # Imperfect cancellation: a copy dies iff a sibling began execution
-    # more than the message delay before this copy would start.
-    first_start = starts.min(axis=0)
-    cancelled = starts > first_start + cancel_delay_s
-    # Pass 2: cancelled copies consume no service time.
-    svc2 = np.where(cancelled, 0.0, svc)
-    finish = np.full((k, n), np.inf)
-    for r, req_ids in replica_req.items():
-        t = arrivals[req_ids]
-        c = replica_copy[r]
-        s2 = svc2[c, req_ids]
-        w2 = lindley_waits(t, s2, validate=False)
-        finish[c, req_ids] = t + w2 + s2
-        live = ~cancelled[c, req_ids]
-        # Executed work only — cancelled copies never ran.
-        services[group.components[r].name].append(s2[live])
-    finish = np.where(cancelled, np.inf, finish)
-    winner_copy = np.argmin(finish, axis=0)
-    group_lat = finish[winner_copy, np.arange(n)] - arrivals
-    # Metric 1 records the quickest replica's latency per sub-request,
-    # attributed to the winning component.
-    winner_replica = (primary + winner_copy) % r_count
-    for r, comp in enumerate(group.components):
-        won = winner_replica == r
-        if won.any():
-            sojourns[comp.name].append(group_lat[won])
-    return group_lat
-
-
-def _group_reissue(
-    arrivals: np.ndarray,
-    group: ReplicaGroup,
-    dists: Mapping[str, Distribution],
-    rng: np.random.Generator,
-    quantile: float,
-    sojourns: Dict[str, List[np.ndarray]],
-    services: Dict[str, List[np.ndarray]],
-) -> np.ndarray:
-    n = arrivals.size
-    r_count = group.n_replicas
-    if r_count == 1 or n == 0:
-        return _group_basic(arrivals, group, dists, rng, sojourns, services)
-    primary = _primary_choice(n, r_count, rng)
-    # Pass 1: primary-only sample paths give each request's would-be
-    # latency and set the reissue threshold (the p-th percentile of the
-    # expected latency for this request class, estimated from the same
-    # interval's history).
-    soj1 = np.empty(n)
-    svc1 = np.empty(n)
-    for r, comp in enumerate(group.components):
-        mask = primary == r
-        t = arrivals[mask]
-        s = np.asarray(dists[comp.name].sample(rng, t.size))
-        soj1[mask] = lindley_waits(t, s, validate=False) + s
-        svc1[mask] = s
-    # Policy-internal reissue timer, not a reported metric: the real
-    # system's timer interpolates its latency estimate, so this
-    # intentionally stays raw np.percentile rather than the
-    # nearest-rank kernel in repro.sim.metrics.
-    threshold = float(np.percentile(soj1, quantile * 100.0)) if n else 0.0
-    reissue = soj1 > threshold
-    secondary_replica = (primary + 1) % r_count
-    soj2 = np.empty(n)
-    sec_soj = np.full(n, np.inf)
-    for r, comp in enumerate(group.components):
-        p_mask = primary == r
-        s_mask = reissue & (secondary_replica == r)
-        t_p = arrivals[p_mask]
-        t_s = arrivals[s_mask] + threshold
-        s_p = svc1[p_mask]
-        s_s = np.asarray(dists[comp.name].sample(rng, int(s_mask.sum())))
-        # Merge primary and secondary streams in arrival order.
-        t_all = np.concatenate([t_p, t_s])
-        s_all = np.concatenate([s_p, s_s])
-        order = np.argsort(t_all, kind="stable")
-        w_all = lindley_waits(t_all[order], s_all[order], validate=False)
-        soj_all = np.empty_like(w_all)
-        soj_all[...] = w_all + s_all[order]
-        # Un-permute back to primary/secondary slots.
-        unsorted = np.empty_like(soj_all)
-        unsorted[order] = soj_all
-        soj2[p_mask] = unsorted[: t_p.size]
-        sec_soj[s_mask] = unsorted[t_p.size :]
-        services[comp.name].append(s_all)
-    with np.errstate(invalid="ignore"):
-        reissued_lat = np.minimum(soj2, threshold + sec_soj)
-    group_lat = np.where(reissue, reissued_lat, soj2)
-    # Metric 1: quickest copy per sub-request, attributed to its component.
-    primary_won = ~reissue | (soj2 <= threshold + sec_soj)
-    for r, comp in enumerate(group.components):
-        won_primary = (primary == r) & primary_won
-        won_secondary = (secondary_replica == r) & reissue & ~primary_won
-        won = won_primary | won_secondary
-        if won.any():
-            sojourns[comp.name].append(group_lat[won])
-    return group_lat
-
-
-# ----------------------------------------------------------------------
-# whole-service interval
-# ----------------------------------------------------------------------
 def simulate_service_interval(
     topology: ServiceTopology,
     policy: Policy,
@@ -297,8 +96,9 @@ def simulate_service_interval(
     topology:
         The service's stages/groups/replicas.
     policy:
-        One of the six compared policies (PCS routes like Basic; its
-        migrations act between intervals by changing ``service_dists``).
+        Any policy with a registered routing kernel (PCS routes like
+        Basic; its migrations act between intervals by changing
+        ``service_dists``).
     arrival_rate:
         Service-level request arrival rate (req/s).
     duration_s:
@@ -313,6 +113,7 @@ def simulate_service_interval(
     ]
     if missing:
         raise SimulationError(f"missing service distributions for {missing}")
+    kernel = routing_kernel_for(policy)
     arrivals = poisson_arrivals(arrival_rate, duration_s, rng)
     n = arrivals.size
     sojourns: Dict[str, List[np.ndarray]] = {
@@ -325,23 +126,9 @@ def simulate_service_interval(
     for stage in topology.stages:
         stage_lat = np.zeros(n)
         for group in stage.groups:
-            if isinstance(policy, REDPolicy):
-                group_lat = _group_red(
-                    arrivals, group, service_dists, rng,
-                    policy.replicas, policy.cancel_delay_s, sojourns, services,
-                )
-            elif isinstance(policy, ReissuePolicy):
-                group_lat = _group_reissue(
-                    arrivals, group, service_dists, rng,
-                    policy.quantile, sojourns, services,
-                )
-            elif isinstance(policy, (BasicPolicy, PCSPolicy, Policy)):
-                group_lat = _group_basic(
-                    arrivals, group, service_dists, rng,
-                    sojourns, services,
-                )
-            else:  # pragma: no cover - Policy base catches everything
-                raise SimulationError(f"unknown policy {policy!r}")
+            group_lat = kernel.route_group(
+                arrivals, group, service_dists, rng, sojourns, services
+            )
             if n:
                 np.maximum(stage_lat, group_lat, out=stage_lat)  # Eq. 3
         overall += stage_lat  # Eq. 4

@@ -1,22 +1,31 @@
 """The interval loop: batch churn → monitor → predict → schedule → serve.
 
-One :class:`ExperimentRunner` evaluates one policy on one arrival rate:
+One :class:`ExperimentRunner` evaluates one policy on one arrival rate
+for one *scenario* (:mod:`repro.scenarios` — the Nutch-like search
+service by default, selected by ``RunnerConfig.scenario``).
 
-1. build a cluster and deploy the Nutch-like service;
-2. start Poisson batch-job churn on every node (the interference
-   source);
-3. per scheduling interval:
+The loop is decomposed into three composable phases, each usable on its
+own (the sweep subsystem and tests drive them through :meth:`run`):
 
-   a. advance the event engine — jobs arrive/finish, contention moves;
-   b. derive every component's *true* current service distribution
-      from the ground-truth interference model (plus the migration
-      warm-up penalty where applicable);
-   c. simulate the interval's requests with the policy's routing
-      (:mod:`repro.sim.queue_sim`) and record latencies;
-   d. for PCS: read the monitor (noisy windows), estimate the arrival
-      rate from the interval's own request count, build the
-      performance matrix inputs, run Algorithm 1 and enforce the
-      migrations on the cluster.
+:meth:`ExperimentRunner.setup`
+    build the cluster, deploy the scenario's service, start the Poisson
+    batch-job churn (the interference source), create the monitor and —
+    for scheduling policies — the predictor/scheduler/executor stack;
+    pre-warm the churn to its M/G/∞ equilibrium.  Returns the
+    :class:`RunState` the other phases thread through.
+
+:meth:`ExperimentRunner.run_interval`
+    one scheduling interval: advance the event engine (jobs
+    arrive/finish, contention moves), derive every component's *true*
+    current service distribution from the ground-truth interference
+    model (plus the migration warm-up penalty where applicable),
+    simulate the interval's requests with the policy's routing kernel
+    (:mod:`repro.sim.queue_sim`), record latencies, and — for PCS —
+    read the monitor, build the performance-matrix inputs, run
+    Algorithm 1 and enforce the migrations on the cluster.
+
+:meth:`ExperimentRunner.collect`
+    reduce the recorded intervals into a :class:`PolicyResult`.
 
 Identical seeds produce identical churn and arrival patterns across
 policies, so Fig. 6's comparisons are paired.
@@ -42,14 +51,15 @@ from repro.rng import RngRegistry
 from repro.scheduler.hierarchical import HierarchicalScheduler
 from repro.scheduler.migration import MigrationCostModel, MigrationExecutor
 from repro.scheduler.pcs import PCSScheduler
-from repro.service.nutch import NutchConfig, build_nutch_service
+from repro.scenarios import ScenarioSpec, get_scenario
+from repro.service.nutch import NutchConfig
 from repro.sim.metrics import LatencySummary, percentile, pool, summarize
 from repro.sim.profiling import ProfilingConfig, train_predictor_for_service
-from repro.sim.queue_sim import simulate_service_interval
+from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
 from repro.simcore.engine import SimulationEngine
 from repro.workloads.generator import BatchJobGenerator, GeneratorConfig
 
-__all__ = ["RunnerConfig", "PolicyResult", "ExperimentRunner"]
+__all__ = ["RunnerConfig", "PolicyResult", "RunState", "ExperimentRunner"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,14 @@ class RunnerConfig:
     n_intervals: int = 8
     warmup_intervals: int = 2
     seed: int = 0
+    #: Which registered workload scenario to run (:mod:`repro.scenarios`).
+    scenario: str = "nutch-search"
+    #: Generic shape multiplier consumed by scenario builders that
+    #: define scaled shapes; the ``nutch-search`` scenario's shape
+    #: comes from :attr:`nutch` instead and ignores this.
+    scale: float = 1.0
+    #: Shape of the ``nutch-search`` scenario's service (ignored by the
+    #: other built-in scenarios).
     nutch: NutchConfig = field(default_factory=NutchConfig)
     generator: GeneratorConfig = field(
         default_factory=lambda: GeneratorConfig(
@@ -93,6 +111,10 @@ class RunnerConfig:
             raise ExperimentError("interference_noise must be >= 0")
         if self.churn_prewarm_s < 0:
             raise ExperimentError("churn_prewarm_s must be >= 0")
+        if not self.scenario:
+            raise ExperimentError("scenario name must be non-empty")
+        if self.scale <= 0:
+            raise ExperimentError("scale must be positive")
 
 
 @dataclass
@@ -180,6 +202,36 @@ class PolicyResult:
         )
 
 
+@dataclass
+class RunState:
+    """Everything one policy evaluation threads between phases.
+
+    Built by :meth:`ExperimentRunner.setup`, advanced interval by
+    interval by :meth:`ExperimentRunner.run_interval`, reduced by
+    :meth:`ExperimentRunner.collect`.
+    """
+
+    policy: Policy
+    rngs: RngRegistry
+    engine: SimulationEngine
+    cluster: Cluster
+    service: object  # OnlineService (duck-typed to avoid a layering import)
+    monitor: OnlineMonitor
+    scheduler: Optional[object]
+    executor: Optional[MigrationExecutor]
+    drift_rng: np.random.Generator
+    request_rng: np.random.Generator
+    t_wall: float
+    warmup_set: Set[str] = field(default_factory=set)
+    component_pool: List[np.ndarray] = field(default_factory=list)
+    overall_pool: List[np.ndarray] = field(default_factory=list)
+    per_interval_p99: List[float] = field(default_factory=list)
+    per_interval_mean: List[float] = field(default_factory=list)
+    n_requests: int = 0
+    n_migrations: int = 0
+    scheduling_time_s: float = 0.0
+
+
 class ExperimentRunner:
     """Evaluates policies under one :class:`RunnerConfig`.
 
@@ -192,8 +244,10 @@ class ExperimentRunner:
         self,
         config: RunnerConfig,
         trained: Optional[LatencyPredictor] = None,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
         self.config = config
+        self.scenario = scenario or get_scenario(config.scenario)
         self.interference = default_interference_model(config.interference_noise)
         # Training is deterministic given the config seed, so a caller
         # that already holds the trained predictor for this seed (e.g. a
@@ -206,6 +260,10 @@ class ExperimentRunner:
         """The trained predictor, if training has happened (or was injected)."""
         return self._trained
 
+    def _build_service(self):
+        """A fresh instance of the scenario's service for this config."""
+        return self.scenario.build_service(self.config)
+
     # ------------------------------------------------------------------
     # predictor
     # ------------------------------------------------------------------
@@ -214,7 +272,7 @@ class ExperimentRunner:
         if self._trained is None:
             cfg = self.config
             rng = RngRegistry(cfg.seed).get("profiling")
-            service = build_nutch_service(cfg.nutch)
+            service = self._build_service()
             self._trained = train_predictor_for_service(
                 service,
                 self.interference,
@@ -226,15 +284,15 @@ class ExperimentRunner:
 
     def oracle_predictor(self) -> OraclePredictor:
         """Ground-truth predictor for the oracle ablation."""
-        service = build_nutch_service(self.config.nutch)
+        service = self._build_service()
         reps = {cls: service.representative(cls) for cls in service.classes()}
         return OraclePredictor(self.interference, reps)
 
     # ------------------------------------------------------------------
-    # main loop
+    # phase 1: setup
     # ------------------------------------------------------------------
-    def run(self, policy: Policy) -> PolicyResult:
-        """Evaluate one policy; deterministic given the config seed."""
+    def setup(self, policy: Policy) -> RunState:
+        """Deploy the scenario, start the churn, build the PCS stack."""
         cfg = self.config
         t_wall = time.perf_counter()
         rngs = RngRegistry(cfg.seed)
@@ -242,7 +300,7 @@ class ExperimentRunner:
         cluster = Cluster.homogeneous(
             cfg.n_nodes, NodeCapacity(machine_slots=cfg.machine_slots)
         )
-        service = build_nutch_service(cfg.nutch)
+        service = self._build_service()
         service.deploy(cluster, cfg.deployment, rng=rngs.get("deploy"))
         components = service.components
 
@@ -265,8 +323,6 @@ class ExperimentRunner:
         )
         scheduler = None
         executor = None
-        scheduling_time = 0.0
-        n_migrations = 0
         if policy.schedules:
             assert isinstance(policy, PCSPolicy)
             predictor = (
@@ -284,80 +340,123 @@ class ExperimentRunner:
                 scheduler = PCSScheduler(predictor, policy.scheduler_config)
             executor = MigrationExecutor(cluster, components, cfg.migration_cost)
 
-        drift_rng = rngs.get("interference-drift")
-        request_rng = rngs.get("requests")
-        warmup_set: Set[str] = set()
-        component_pool: List[np.ndarray] = []
-        overall_pool: List[np.ndarray] = []
-        per_interval_p99: List[float] = []
-        per_interval_mean: List[float] = []
-        n_requests = 0
-
         # Let the batch churn reach its M/G/infinity equilibrium before
         # the first measured interval — otherwise early intervals see an
         # artificially empty cluster.
         engine.run_until(cfg.churn_prewarm_s)
 
-        for interval in range(cfg.n_intervals):
-            engine.run_until(cfg.churn_prewarm_s + (interval + 1) * cfg.interval_s)
-            dists = self._service_distributions(
-                cluster, components, drift_rng, warmup_set
-            )
-            outcome = simulate_service_interval(
-                service.topology,
-                policy,
-                cfg.arrival_rate,
-                cfg.interval_s,
-                dists,
-                request_rng,
-            )
-            if interval >= cfg.warmup_intervals and outcome.n_requests:
-                pooled = outcome.pooled_component_latencies()
-                component_pool.append(pooled)
-                overall_pool.append(outcome.request_latencies)
-                # Shared metric kernel: nearest-rank, never interpolated
-                # (must match the pooled LatencySummary convention).
-                per_interval_p99.append(
-                    percentile(
-                        pooled,
-                        99,
-                        label=f"interval {interval} pooled component latencies",
-                    )
-                )
-                per_interval_mean.append(float(outcome.request_latencies.mean()))
-                n_requests += outcome.n_requests
-            if scheduler is not None and interval + 1 < cfg.n_intervals:
-                t0 = time.perf_counter()
-                warmup_set = self._schedule_interval(
-                    cluster, service, monitor, scheduler, executor, outcome
-                )
-                scheduling_time += time.perf_counter() - t0
-                n_migrations = executor.enforced
+        return RunState(
+            policy=policy,
+            rngs=rngs,
+            engine=engine,
+            cluster=cluster,
+            service=service,
+            monitor=monitor,
+            scheduler=scheduler,
+            executor=executor,
+            drift_rng=rngs.get("interference-drift"),
+            request_rng=rngs.get("requests"),
+            t_wall=t_wall,
+        )
 
-        if not component_pool:
+    # ------------------------------------------------------------------
+    # phase 2: one interval
+    # ------------------------------------------------------------------
+    def run_interval(self, state: RunState, interval: int) -> IntervalOutcome:
+        """Advance churn, serve one interval, record, maybe reschedule."""
+        cfg = self.config
+        state.engine.run_until(
+            cfg.churn_prewarm_s + (interval + 1) * cfg.interval_s
+        )
+        dists = self._service_distributions(
+            state.cluster,
+            state.service.components,
+            state.drift_rng,
+            state.warmup_set,
+        )
+        outcome = simulate_service_interval(
+            state.service.topology,
+            state.policy,
+            cfg.arrival_rate,
+            cfg.interval_s,
+            dists,
+            state.request_rng,
+        )
+        if interval >= cfg.warmup_intervals and outcome.n_requests:
+            pooled = outcome.pooled_component_latencies()
+            state.component_pool.append(pooled)
+            state.overall_pool.append(outcome.request_latencies)
+            # Shared metric kernel: nearest-rank, never interpolated
+            # (must match the pooled LatencySummary convention).
+            state.per_interval_p99.append(
+                percentile(
+                    pooled,
+                    99,
+                    label=f"interval {interval} pooled component latencies",
+                )
+            )
+            state.per_interval_mean.append(
+                float(outcome.request_latencies.mean())
+            )
+            state.n_requests += outcome.n_requests
+        if state.scheduler is not None and interval + 1 < cfg.n_intervals:
+            t0 = time.perf_counter()
+            state.warmup_set = self._schedule_interval(
+                state.cluster,
+                state.service,
+                state.monitor,
+                state.scheduler,
+                state.executor,
+                outcome,
+            )
+            state.scheduling_time_s += time.perf_counter() - t0
+            state.n_migrations = state.executor.enforced
+        return outcome
+
+    # ------------------------------------------------------------------
+    # phase 3: collect
+    # ------------------------------------------------------------------
+    def collect(self, state: RunState) -> PolicyResult:
+        """Reduce the recorded intervals into a :class:`PolicyResult`."""
+        cfg = self.config
+        if not state.component_pool:
             raise ExperimentError(
                 f"no measured intervals produced requests "
-                f"({policy.name} @ {cfg.arrival_rate:g} req/s, seed {cfg.seed})"
+                f"({state.policy.name} @ {cfg.arrival_rate:g} req/s, "
+                f"seed {cfg.seed})"
             )
-        run_label = f"{policy.name} @ {cfg.arrival_rate:g} req/s"
+        run_label = f"{state.policy.name} @ {cfg.arrival_rate:g} req/s"
         return PolicyResult(
-            policy_name=policy.name,
+            policy_name=state.policy.name,
             arrival_rate=cfg.arrival_rate,
             component_latency=summarize(
-                pool(component_pool, label=f"{run_label} component latencies"),
+                pool(
+                    state.component_pool,
+                    label=f"{run_label} component latencies",
+                ),
                 label=f"{run_label} component latencies",
             ),
             overall_latency=summarize(
-                pool(overall_pool, label=f"{run_label} overall latencies"),
+                pool(state.overall_pool, label=f"{run_label} overall latencies"),
                 label=f"{run_label} overall latencies",
             ),
-            per_interval_component_p99=per_interval_p99,
-            per_interval_overall_mean=per_interval_mean,
-            n_requests=n_requests,
-            n_migrations=n_migrations,
-            scheduling_time_s=scheduling_time,
-            wall_time_s=time.perf_counter() - t_wall,
+            per_interval_component_p99=state.per_interval_p99,
+            per_interval_overall_mean=state.per_interval_mean,
+            n_requests=state.n_requests,
+            n_migrations=state.n_migrations,
+            scheduling_time_s=state.scheduling_time_s,
+            wall_time_s=time.perf_counter() - state.t_wall,
         )
+
+    # ------------------------------------------------------------------
+    # the composed loop
+    # ------------------------------------------------------------------
+    def run(self, policy: Policy) -> PolicyResult:
+        """Evaluate one policy; deterministic given the config seed."""
+        state = self.setup(policy)
+        for interval in range(self.config.n_intervals):
+            self.run_interval(state, interval)
+        return self.collect(state)
 
     # ------------------------------------------------------------------
     # helpers

@@ -33,23 +33,26 @@ once — exactly like the serial :class:`ExperimentRunner` sharing.
 JSON float round-trips are exact (``repr`` is the shortest exact
 representation), so cache hits are byte-identical to fresh runs.
 
-Manifest schema (``manifest.json``, version 1)
+Manifest schema (``manifest.json``, version 2)
 ----------------------------------------------
 Alongside the opaque ``<key>.json`` point files, a cached sweep keeps a
 human-readable ``manifest.json`` describing *what* the hashes are:
 
 ``schema_version``
-    Integer, currently ``1``.  A manifest written under a different
+    Integer, currently ``2``.  A manifest written under a different
     schema raises :class:`repro.errors.StaleManifestError` naming the
-    file (never a silent misread).
+    file (never a silent misread).  Version 2 added the top-level
+    ``spec.scenario`` name (version-1 manifests predate the scenario
+    registry and must be rebuilt by rerunning the sweep).
 ``cache_version``
     The point-payload :data:`CACHE_VERSION` the sweep wrote under.
 ``created`` / ``completed``
     UTC ISO-8601 timestamps; ``completed`` is ``null`` until the sweep
     finishes, so an interrupted run is recognisable at a glance.
 ``spec``
-    The grid in canonical form: ``base`` (the full
-    :class:`~repro.sim.runner.RunnerConfig`), ``policies``,
+    The grid in canonical form: ``scenario`` (the registered
+    :mod:`repro.scenarios` name the whole grid ran under), ``base``
+    (the full :class:`~repro.sim.runner.RunnerConfig`), ``policies``,
     ``arrival_rates`` and ``seeds``.
 ``base_config_diff``
     The base config's deviations from a default
@@ -83,6 +86,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.policies import (
     BasicPolicy,
+    HedgedPolicy,
     PCSPolicy,
     Policy,
     REDPolicy,
@@ -117,7 +121,7 @@ CACHE_VERSION = 1
 
 #: Bump when the ``manifest.json`` layout changes (see the module
 #: docstring for the schema).
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
 #: The manifest's filename inside a cache directory.
 MANIFEST_NAME = "manifest.json"
@@ -170,6 +174,11 @@ class SweepSpec:
             )
         if len(set(self.seeds)) != len(self.seeds):
             raise ExperimentError(f"duplicate seeds in sweep: {self.seeds}")
+
+    @property
+    def scenario(self) -> str:
+        """The registered scenario name the whole grid runs under."""
+        return self.base.scenario
 
     @property
     def n_points(self) -> int:
@@ -411,6 +420,7 @@ class SweepCache:
     def _spec_payload(spec: SweepSpec) -> dict:
         """The manifest's canonical description of a grid."""
         return {
+            "scenario": spec.scenario,
             "base": _canonical(spec.base),
             "policies": [_canonical(p) for p in spec.policies],
             "arrival_rates": list(spec.arrival_rates),
@@ -595,6 +605,8 @@ def _profiling_signature(config: RunnerConfig) -> tuple:
     """The config fields predictor training depends on (not the rate)."""
     return (
         config.seed,
+        config.scenario,
+        config.scale,
         config.nutch,
         config.profiling,
         config.n_profiling_conditions,
@@ -898,12 +910,15 @@ def policy_from_name(name: str) -> Policy:
     """Map a Fig. 6 legend name to its policy descriptor.
 
     Accepts ``Basic``, ``RED-<k>`` (k >= 2), ``RI-<p>`` (percent in
-    (0, 100)), and ``PCS`` (the adaptive-threshold configuration the
-    Fig. 6 reproduction uses).
+    (0, 100)), ``Hedge`` / ``Hedge-<ms>`` (fixed-delay hedging,
+    optionally with the delay in milliseconds), and ``PCS`` (the
+    adaptive-threshold configuration the Fig. 6 reproduction uses).
     """
     label = name.strip()
     if label.lower() == "basic":
         return BasicPolicy()
+    if label.lower() == "hedge":
+        return HedgedPolicy()
     if label.lower() == "pcs":
         # Late import: experiments sits above sim in the layering.
         from repro.experiments.fig6 import paper_pcs_policy
@@ -920,6 +935,12 @@ def policy_from_name(name: str) -> Policy:
             return ReissuePolicy(quantile=int(tail) / 100.0)
         except ValueError as exc:
             raise ConfigurationError(f"bad RI policy {name!r}") from exc
+    if sep and head.upper() == "HEDGE":
+        try:
+            return HedgedPolicy(hedge_delay_s=float(tail.rstrip("ms")) / 1e3)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad Hedge policy {name!r}") from exc
     raise ConfigurationError(
-        f"unknown policy {name!r} (expected Basic, RED-<k>, RI-<p> or PCS)"
+        f"unknown policy {name!r} "
+        "(expected Basic, RED-<k>, RI-<p>, Hedge[-<ms>] or PCS)"
     )

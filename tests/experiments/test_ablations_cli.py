@@ -161,8 +161,10 @@ class TestCLI:
 
         original = fig5_mod.Fig5Config
 
-        def tiny_config(seed=0):
-            return original(n_hadoop_sizes=3, n_spark_sizes=2, seed=seed)
+        def tiny_config(seed=0, **kwargs):
+            return original(
+                n_hadoop_sizes=3, n_spark_sizes=2, seed=seed, **kwargs
+            )
 
         monkeypatch.setattr("repro.experiments.fig5.Fig5Config", tiny_config)
         assert main(["fig5"]) == 0

@@ -124,6 +124,8 @@ class TestSummaryHelpers:
         assert any("PCS" in line for line in out.splitlines() if "200" in line)
         # Single-seed CIs collapse onto the mean.
         assert "CI" in out
+        # The paired runner-up − best interval is tabulated too.
+        assert "paired Δ (ms)" in out
 
 
 class TestPCSConvergence:

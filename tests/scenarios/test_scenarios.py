@@ -1,0 +1,233 @@
+"""Scenario registry, builders, and the name → spec → cache → summary
+round-trip."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.policies import BasicPolicy
+from repro.errors import ConfigurationError, ExperimentError
+from repro.scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.sim.aggregate import SweepSummary
+from repro.sim.runner import ExperimentRunner, RunnerConfig
+from repro.sim.sweep import ParallelSweepRunner, SweepCache, SweepSpec
+
+
+BUILTINS = ("fanout-feed", "nutch-search", "pipeline-deep")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTINS) <= set(scenario_names())
+        assert [s.name for s in all_scenarios()] == scenario_names()
+
+    def test_unknown_name_lists_catalog(self):
+        with pytest.raises(ConfigurationError, match="nutch-search"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("nutch-search")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scenario(dataclasses.replace(spec))
+        # Shadowing is explicit — and restoring the original works too.
+        register_scenario(dataclasses.replace(spec), replace_existing=True)
+        assert get_scenario("nutch-search").name == "nutch-search"
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="", description="d", build=lambda c: None)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", description="d", build="not-callable")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                name="x", description="d", build=lambda c: None,
+                runner_defaults={"scenario": "y"},
+            )
+
+
+class TestRunnerConfigIntegration:
+    def test_runner_config_applies_scenario_defaults_and_overrides(self):
+        spec = get_scenario("fanout-feed")
+        cfg = spec.runner_config(arrival_rate=55.0)
+        assert cfg.scenario == "fanout-feed"
+        assert cfg.n_nodes == spec.runner_defaults["n_nodes"]
+        assert cfg.generator == spec.generator
+        assert cfg.arrival_rate == 55.0
+        # Caller overrides win over scenario defaults.
+        assert spec.runner_config(n_nodes=3).n_nodes == 3
+
+    def test_runner_rejects_unknown_scenario(self):
+        cfg = RunnerConfig(scenario="nutch-search")
+        assert ExperimentRunner(cfg).scenario.name == "nutch-search"
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(dataclasses.replace(cfg, scenario="bogus"))
+
+    def test_config_validates_scenario_shape_fields(self):
+        with pytest.raises(ExperimentError):
+            RunnerConfig(scenario="")
+        with pytest.raises(ExperimentError):
+            RunnerConfig(scale=0.0)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_build_is_deterministic(self, name):
+        spec = get_scenario(name)
+        cfg = spec.runner_config()
+        a = spec.build_service(cfg)
+        b = spec.build_service(cfg)
+        assert [c.name for c in a.components] == [c.name for c in b.components]
+        assert [c.cls for c in a.components] == [c.cls for c in b.components]
+        assert a.name == name
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_classes_are_homogeneous(self, name):
+        """§VI-D's one-campaign-per-class argument must hold: every
+        component of a class shares one base distribution."""
+        spec = get_scenario(name)
+        service = spec.build_service(spec.runner_config())
+        per_class = {}
+        for comp in service.components:
+            moments = (comp.base_service.mean, comp.base_service.scv)
+            per_class.setdefault(comp.cls, set()).add(moments)
+        assert all(len(v) == 1 for v in per_class.values()), per_class
+
+    @pytest.mark.parametrize("name", ["pipeline-deep", "fanout-feed"])
+    def test_scale_shrinks_shape(self, name):
+        spec = get_scenario(name)
+        full = spec.build_service(spec.runner_config())
+        small = spec.build_service(spec.runner_config(scale=0.3))
+        assert small.n_components < full.n_components
+        assert small.topology.n_stages == full.topology.n_stages
+
+    def test_nutch_ignores_scale(self):
+        spec = get_scenario("nutch-search")
+        a = spec.build_service(spec.runner_config())
+        b = spec.build_service(spec.runner_config(scale=0.25))
+        assert a.n_components == b.n_components
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_components_carry_demands(self, name):
+        """Without resource footprints the scheduler has nothing to
+        balance and interference has nothing to bite on."""
+        spec = get_scenario(name)
+        service = spec.build_service(spec.runner_config())
+        assert all(c.demand.norm() > 0 for c in service.components)
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_describe_mentions_name_and_size(self, name):
+        line = get_scenario(name).describe()
+        assert name in line and "components" in line
+
+
+class TestEndToEndGolden:
+    """Anchors: the nutch scenario reproduces the pre-scenario runner's
+    exact metrics, and a non-Nutch scenario runs the full loop."""
+
+    #: Captured from the PR 2 (pre-scenario, pre-kernel) tree with this
+    #: exact config: (component p99, overall mean, requests, migrations).
+    NUTCH_GOLDEN = (0.032696190254697687, 0.014752647216108854, 652, 0)
+
+    def _config(self, **overrides):
+        from repro.service.nutch import NutchConfig
+        from repro.workloads.generator import GeneratorConfig
+
+        kwargs = dict(
+            n_nodes=6,
+            arrival_rate=40.0,
+            interval_s=8.0,
+            n_intervals=3,
+            warmup_intervals=1,
+            seed=0,
+            nutch=NutchConfig(
+                n_search_groups=3, replicas_per_group=2,
+                n_segmenters=1, n_aggregators=1,
+            ),
+            generator=GeneratorConfig(
+                jobs_per_node_per_s=0.02, max_batch_jobs_per_node=3
+            ),
+            n_profiling_conditions=8,
+        )
+        kwargs.update(overrides)
+        return RunnerConfig(**kwargs)
+
+    def test_nutch_scenario_reproduces_pre_refactor_run(self):
+        result = ExperimentRunner(self._config()).run(BasicPolicy())
+        got = (
+            result.component_p99_s,
+            result.overall_mean_s,
+            result.n_requests,
+            result.n_migrations,
+        )
+        assert got == self.NUTCH_GOLDEN
+
+    def test_phases_compose_to_run(self):
+        """setup / run_interval / collect driven by hand equals run()."""
+        runner = ExperimentRunner(self._config())
+        state = runner.setup(BasicPolicy())
+        for interval in range(runner.config.n_intervals):
+            runner.run_interval(state, interval)
+        by_hand = runner.collect(state)
+        assert (
+            by_hand.metrics_dict()
+            == ExperimentRunner(self._config()).run(BasicPolicy()).metrics_dict()
+        )
+
+    def test_collect_without_measured_intervals_fails_loudly(self):
+        runner = ExperimentRunner(self._config())
+        state = runner.setup(BasicPolicy())
+        with pytest.raises(ExperimentError, match="no measured intervals"):
+            runner.collect(state)
+
+
+class TestSweepRoundTrip:
+    """Scenario name → spec → sweep cache manifest → rebuilt summary."""
+
+    def _spec(self, scenario: str) -> SweepSpec:
+        s = get_scenario(scenario)
+        return SweepSpec(
+            base=s.runner_config(
+                n_nodes=6,
+                arrival_rate=30.0,
+                interval_s=8.0,
+                n_intervals=3,
+                warmup_intervals=1,
+                seed=0,
+                scale=0.4,
+            ),
+            policies=(BasicPolicy(),),
+            arrival_rates=(30.0,),
+            seeds=(0, 1),
+        )
+
+    @pytest.mark.parametrize("scenario", ["pipeline-deep", "fanout-feed"])
+    def test_cache_round_trip(self, scenario, tmp_path):
+        spec = self._spec(scenario)
+        assert spec.scenario == scenario
+        cache = SweepCache(tmp_path)
+        result = ParallelSweepRunner(spec, workers=1, cache=cache).run()
+
+        manifest = cache.manifest()
+        assert manifest["spec"]["scenario"] == scenario
+        assert manifest["spec"]["base"]["scenario"] == scenario
+
+        rebuilt = SweepSummary.from_cache(cache)
+        assert rebuilt.to_dict() == result.summary().to_dict()
+
+    def test_scenarios_get_distinct_cache_keys(self, tmp_path):
+        """Two scenarios over otherwise identical knobs must never
+        collide in a shared cache directory."""
+        from repro.sim.sweep import point_cache_key
+
+        a = self._spec("pipeline-deep")
+        b = self._spec("fanout-feed")
+        pa, pb = a.points()[0], b.points()[0]
+        assert point_cache_key(a.runner_config(pa), pa.policy) != point_cache_key(
+            b.runner_config(pb), pb.policy
+        )

@@ -252,3 +252,74 @@ class TestSweepSummary:
             AggregateConfig(bootstrap_resamples=0)
         with pytest.raises(ExperimentError):
             SweepSummary.from_grouped({})
+
+
+class TestPairedDiff:
+    """Shared-seed paired differences (PCS − baseline style)."""
+
+    def _summary(self, tiny_sweep) -> SweepSummary:
+        _, _, result = tiny_sweep
+        return result.summary()
+
+    def test_deltas_are_per_seed_differences(self, tiny_sweep):
+        summary = self._summary(tiny_sweep)
+        metric = "overall_latency.mean"
+        diff = summary.paired_diff("RED-2", "Basic", 30.0, metrics=[metric])
+        red = summary.get("RED-2", 30.0)[metric]
+        basic = summary.get("Basic", 30.0)[metric]
+        expected = tuple(a - b for a, b in zip(red.values, basic.values))
+        assert diff[metric].values == expected
+        assert diff[metric].mean == pytest.approx(red.mean - basic.mean)
+
+    def test_default_metrics_are_the_shared_set(self, tiny_sweep):
+        summary = self._summary(tiny_sweep)
+        diff = summary.paired_diff("RED-2", "Basic", 30.0)
+        a = summary.get("RED-2", 30.0)
+        b = summary.get("Basic", 30.0)
+        assert set(diff) == set(a.stats) & set(b.stats)
+
+    def test_deterministic_across_calls(self, tiny_sweep):
+        summary = self._summary(tiny_sweep)
+        one = summary.paired_diff("RED-2", "Basic", 30.0)
+        two = summary.paired_diff("RED-2", "Basic", 30.0)
+        assert {k: v.to_dict() for k, v in one.items()} == {
+            k: v.to_dict() for k, v in two.items()
+        }
+
+    def test_interval_is_tighter_than_marginal_width_sum(self, tiny_sweep):
+        """Shared seeds correlate the two cells, so the paired interval
+        must undercut the naive width of differencing independent CIs
+        (sum of the marginal half-widths)."""
+        summary = self._summary(tiny_sweep)
+        metric = "overall_latency.mean"
+        diff = summary.paired_diff("RED-2", "Basic", 30.0, metrics=[metric])[metric]
+        a = summary.get("RED-2", 30.0)[metric]
+        b = summary.get("Basic", 30.0)[metric]
+        paired_half = 0.5 * (diff.t_hi - diff.t_lo)
+        naive_half = 0.5 * (a.t_hi - a.t_lo) + 0.5 * (b.t_hi - b.t_lo)
+        assert paired_half < naive_half
+
+    def test_mismatched_seed_sets_rejected(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        grouped = {}
+        for point, res in result.results.items():
+            grouped.setdefault(
+                (point.policy.name, point.arrival_rate), {}
+            )[point.seed] = res
+        del grouped[("RED-2", 30.0)][2]  # drop one seed from one cell
+        lopsided = SweepSummary.from_grouped(grouped)
+        with pytest.raises(ExperimentError, match="identical seed sets"):
+            lopsided.paired_diff("RED-2", "Basic", 30.0)
+
+    def test_single_seed_degenerates(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        grouped = {}
+        for point, res in result.results.items():
+            if point.seed != 0:
+                continue
+            grouped[(point.policy.name, point.arrival_rate)] = {0: res}
+        summary = SweepSummary.from_grouped(grouped)
+        metric = "overall_latency.mean"
+        diff = summary.paired_diff("RED-2", "Basic", 30.0, metrics=[metric])[metric]
+        assert diff.n == 1
+        assert diff.t_lo == diff.t_hi == diff.mean

@@ -174,3 +174,38 @@ class TestCrossValidation:
         p99_des = np.percentile(out_des.request_latencies, 99)
         p99_vec = np.percentile(out_vec.request_latencies, 99)
         assert p99_vec == pytest.approx(p99_des, rel=0.15)
+
+
+class TestScenarioCrossValidation:
+    """The stage-alignment approximation must stay bounded on the
+    registered non-Nutch scenarios too: a five-stage sequential chain
+    accumulates inter-stage jitter the most, and heavy-tailed fan-out
+    stresses the stage max."""
+
+    @pytest.mark.parametrize(
+        "scenario,scale,lam,rel_mean,rel_p99",
+        [
+            ("pipeline-deep", 0.5, 30.0, 0.08, 0.12),
+            ("fanout-feed", 0.15, 25.0, 0.12, 0.18),
+        ],
+    )
+    def test_mean_and_component_p99_agree(
+        self, scenario, scale, lam, rel_mean, rel_p99
+    ):
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario(scenario)
+        topo = spec.build_service(spec.runner_config(scale=scale)).topology
+        dists = _dists(topo)
+        des = DESServiceSimulator(topo, dists, np.random.default_rng(10))
+        out_des = des.run(arrival_rate=lam, duration_s=400.0)
+        out_vec = simulate_service_interval(
+            topo, BasicPolicy(), lam, 400.0, dists,
+            np.random.default_rng(11),
+        )
+        assert out_vec.request_latencies.mean() == pytest.approx(
+            out_des.request_latencies.mean(), rel=rel_mean
+        )
+        p99_des = np.percentile(out_des.pooled_component_latencies(), 99)
+        p99_vec = np.percentile(out_vec.pooled_component_latencies(), 99)
+        assert p99_vec == pytest.approx(p99_des, rel=rel_p99)

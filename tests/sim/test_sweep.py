@@ -7,6 +7,7 @@ import pytest
 
 from repro.baselines.policies import (
     BasicPolicy,
+    HedgedPolicy,
     PCSPolicy,
     REDPolicy,
     ReissuePolicy,
@@ -330,6 +331,9 @@ class TestPolicyFromName:
             ("red-5", REDPolicy(replicas=5)),
             ("RI-90", ReissuePolicy(quantile=0.90)),
             ("RI-99", ReissuePolicy(quantile=0.99)),
+            ("Hedge", HedgedPolicy()),
+            ("hedge-5", HedgedPolicy(hedge_delay_s=0.005)),
+            ("Hedge-7.5ms", HedgedPolicy(hedge_delay_s=0.0075)),
         ],
     )
     def test_legend_names(self, name, expected):
