@@ -1,6 +1,6 @@
 """Benchmark: the parallel sweep-execution subsystem.
 
-Three claims, measured:
+Four claims, measured:
 
 1. fanning a multi-point Fig. 6-style sweep out over 4 workers beats
    the serial path by >= 2x wall-clock (asserted when the host
@@ -8,9 +8,15 @@ Three claims, measured:
    the clock on a 1-core container, so there the ratio is only
    reported);
 2. parallel results are *bit-identical* to serial results, point by
-   point (asserted everywhere, always);
+   point and for every execution backend (asserted everywhere,
+   always);
 3. resuming a completed sweep from the on-disk cache is at least an
-   order of magnitude faster than recomputing it.
+   order of magnitude faster than recomputing it;
+4. on a small grid (<= 8 points) the thread backend beats the spawn
+   process backend: spawn pays an interpreter + numpy import and a
+   cold predictor memo per worker, which a small grid cannot
+   amortise, while threads share all three (asserted everywhere —
+   the grid is sized so that start-up tax dominates its compute).
 
 Measured numbers are persisted as ``BENCH_sweep_*.json`` records (see
 :mod:`recording`).
@@ -25,6 +31,7 @@ from recording import record_benchmark
 from repro.baselines.policies import BasicPolicy, REDPolicy, ReissuePolicy
 from repro.experiments.fig6 import paper_pcs_policy
 from repro.service.nutch import NutchConfig
+from repro.sim.backends import ProcessBackend, SerialBackend, ThreadBackend
 from repro.sim.runner import RunnerConfig
 from repro.sim.sweep import ParallelSweepRunner, SweepSpec
 from repro.workloads.generator import GeneratorConfig
@@ -115,6 +122,103 @@ def test_sweep_parallel_speedup(benchmark, paper_scale):
             f"speedup assertion needs >= 4 usable cores, host has {cores} "
             f"(measured {speedup:.2f}x; identity checks passed)"
         )
+
+
+def _small_grid_spec() -> SweepSpec:
+    """A 6-point grid sized so start-up tax dominates its compute.
+
+    Tiny topology and short intervals keep per-point work around a
+    hundred milliseconds; the PCS policy adds predictor training,
+    which the thread backend performs once (shared memo) and every
+    spawn worker repeats from a cold memo.
+    """
+    base = RunnerConfig(
+        n_nodes=6,
+        arrival_rate=30.0,
+        interval_s=8.0,
+        n_intervals=3,
+        warmup_intervals=1,
+        seed=0,
+        nutch=NutchConfig(
+            n_search_groups=3, replicas_per_group=2,
+            n_segmenters=1, n_aggregators=1,
+        ),
+        generator=GeneratorConfig(
+            jobs_per_node_per_s=0.02, max_batch_jobs_per_node=3
+        ),
+        n_profiling_conditions=8,
+    )
+    return SweepSpec(
+        base=base,
+        policies=(BasicPolicy(), REDPolicy(replicas=2), paper_pcs_policy()),
+        arrival_rates=(30.0, 70.0),
+        seeds=(0,),
+    )
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_sweep_backends_small_grid(benchmark):
+    """Claim 4: per-backend wall-clock on a small (6-point) grid.
+
+    Thread workers share the interpreter, the imported modules and the
+    predictor memo; spawn workers each pay an interpreter + numpy
+    import and train their own predictor.  On a grid this small that
+    overhead cannot be amortised, so the thread backend must win —
+    exactly the regime the ``auto`` rule routes to threads.
+    """
+    spec = _small_grid_spec()
+    assert spec.n_points <= 8
+
+    backends = {
+        "serial": SerialBackend(),
+        "thread": ThreadBackend(4),
+        "process": ProcessBackend(4),
+        "process_chunked": ProcessBackend(4, chunk_size=2),
+    }
+    timings = {}
+    outcomes = {}
+
+    def run_all():
+        for name, backend in backends.items():
+            t0 = time.perf_counter()
+            outcomes[name] = ParallelSweepRunner(
+                spec, workers=4, backend=backend
+            ).run()
+            timings[name] = time.perf_counter() - t0
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Claim 2 first — every backend agrees with serial, bit for bit.
+    for name in backends:
+        for point in spec.points():
+            assert (
+                outcomes[name].results[point].metrics_dict()
+                == outcomes["serial"].results[point].metrics_dict()
+            ), f"{name}: {point.describe()}"
+
+    speedup = timings["process"] / timings["thread"]
+    print(
+        f"\n{spec.n_points}-point grid: "
+        + ", ".join(f"{n} {t:.2f}s" for n, t in timings.items())
+        + f" -> thread beats spawn {speedup:.2f}x"
+    )
+    record_benchmark(
+        "sweep_backends_small_grid",
+        {**timings, "thread_vs_process_speedup": speedup},
+        config={
+            "n_points": spec.n_points,
+            "workers": 4,
+            "chunk_size_chunked": 2,
+            "usable_cores": _usable_cores(),
+            "scenario": spec.scenario,
+        },
+    )
+    # Claim 4: the whole point of the thread backend.
+    assert timings["thread"] < timings["process"], (
+        f"expected the thread backend to beat spawn on a "
+        f"{spec.n_points}-point grid, got thread {timings['thread']:.2f}s "
+        f"vs process {timings['process']:.2f}s"
+    )
 
 
 @pytest.mark.benchmark(group="sweep")

@@ -17,8 +17,14 @@ Subcommands regenerate the paper's evaluation artifacts:
   (:mod:`repro.scenarios`), with live topology summaries.
 
 ``fig5``/``fig6``/``fig7``/``sweep`` accept ``--workers N`` to fan
-independent points out over processes (results are identical to the
-serial path); ``fig6``/``sweep`` accept ``--cache-dir`` to memoize
+independent points out over workers and ``--backend
+{auto,serial,thread,process}`` / ``--chunk-size K`` to pick how those
+workers execute (:mod:`repro.sim.backends`; results are identical for
+every choice — ``auto`` runs small pending sets on in-process threads,
+which skip the per-spawn interpreter + numpy import, and large ones on
+spawn processes, with ``--chunk-size`` batching points per process
+task); ``aggregate`` accepts the same flags to fan the cache's point
+loads out.  ``fig6``/``sweep`` accept ``--cache-dir`` to memoize
 completed points on disk so interrupted runs resume, and
 ``--seeds``/``sweep --aggregate`` to repeat cells across seeds and
 reduce them through the shared aggregate layer.  ``quick``/``sweep``/
@@ -36,6 +42,22 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (workers, chunk size).
+
+    Rejecting at the parser keeps ``--workers 0`` a clean usage error
+    (exit code 2) instead of a ConfigurationError traceback from the
+    sweep runner.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (separate for testability)."""
     parser = argparse.ArgumentParser(
@@ -46,6 +68,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_backend_args(p, default="auto"):
+        # default=None lets a driver apply its own rule (fig5/fig7
+        # resolve to process workers — their points are expensive or
+        # timing-sensitive, so the small-batch thread rule misfits).
+        p.add_argument(
+            "--backend",
+            choices=["auto", "serial", "thread", "process"],
+            default=default,
+            help="how workers execute (repro.sim.backends): auto picks "
+            "serial for 1 worker, in-process threads for small pending "
+            "sets (no spawn import cost), spawn processes otherwise",
+        )
+        p.add_argument(
+            "--chunk-size", type=_positive_int, default=None,
+            dest="chunk_size",
+            help="points shipped per process task (process backend "
+            "only), amortising each spawn worker's interpreter + numpy "
+            "import across a chunk",
+        )
 
     def add_scenario_args(p, default="nutch-search"):
         p.add_argument(
@@ -62,10 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     p5 = sub.add_parser("fig5", help="prediction-accuracy experiment")
     p5.add_argument("--seed", type=int, default=0)
     p5.add_argument(
-        "--workers", type=int, default=1,
-        help="processes for the per-workload campaigns (same numbers "
+        "--workers", type=_positive_int, default=1,
+        help="workers for the per-workload campaigns (same numbers "
         "for any value)",
     )
+    add_backend_args(p5, default=None)
     add_scenario_args(p5)
 
     p6 = sub.add_parser("fig6", help="six-policy latency comparison")
@@ -83,10 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p6.add_argument("--verbose", action="store_true")
     p6.add_argument(
-        "--workers", type=int, default=1,
-        help="processes for the (policy, rate) grid (bit-identical "
+        "--workers", type=_positive_int, default=1,
+        help="workers for the (policy, rate) grid (bit-identical "
         "results for any value)",
     )
+    add_backend_args(p6)
     p6.add_argument(
         "--cache-dir", default=None,
         help="memoize completed sweep points here; rerunning resumes",
@@ -96,9 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
     p7 = sub.add_parser("fig7", help="scheduler scalability")
     p7.add_argument("--seed", type=int, default=0)
     p7.add_argument(
-        "--workers", type=int, default=1,
-        help="processes for grid points (keep 1 for faithful timings)",
+        "--workers", type=_positive_int, default=1,
+        help="workers for grid points (keep 1 for faithful timings; "
+        ">1 defaults to spawn processes — thread workers would "
+        "contend for the GIL and inflate the measured durations)",
     )
+    add_backend_args(p7, default=None)
     add_scenario_args(p7, default=None)
 
     pa = sub.add_parser("ablations", help="design-choice ablations")
@@ -145,7 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--intervals", type=int, default=6)
     ps.add_argument("--interval-s", type=float, default=30.0)
     ps.add_argument("--warmup-intervals", type=int, default=1)
-    ps.add_argument("--workers", type=int, default=1)
+    ps.add_argument("--workers", type=_positive_int, default=1)
+    add_backend_args(ps)
     ps.add_argument("--cache-dir", default=None)
     ps.add_argument("--verbose", action="store_true")
     ps.add_argument(
@@ -182,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="first remove point files not named by the manifest "
         "(orphans from older grids) and leftover temp files",
     )
+    pg.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="workers for loading the cache's point files "
+        "(the summary is identical for any value)",
+    )
+    add_backend_args(pg)
 
     pc = sub.add_parser(
         "scenarios",
@@ -245,6 +299,8 @@ def _run_sweep(args) -> int:
         workers=args.workers,
         cache=args.cache_dir,
         progress=(lambda p: print(p.render())) if args.verbose else None,
+        backend=args.backend,
+        chunk_size=args.chunk_size,
     )
     result = runner.run()
     if not args.verbose:
@@ -282,8 +338,24 @@ def _run_aggregate(args) -> int:
                 f"gc: removed {len(removed)} orphaned/temp file(s)",
                 file=sys.stderr,
             )
+        from repro.sim.backends import backend_from_name, io_bound_backend
+
+        # Cache loads are tiny I/O-bound JSON reads: ``auto`` here means
+        # inline for one worker and *threads* otherwise — never the
+        # sweep's compute-tuned rule, which would spawn a process pool
+        # (interpreter + numpy import per worker) to read small files.
+        if args.backend in (None, "auto"):
+            backend = None if args.workers == 1 else io_bound_backend(args.workers)
+        else:
+            backend = backend_from_name(
+                args.backend,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+            )
         summary = SweepSummary.from_cache(
-            cache, AggregateConfig(confidence=args.confidence)
+            cache,
+            AggregateConfig(confidence=args.confidence),
+            backend=backend,
         )
         if args.json:
             import json
@@ -311,7 +383,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         cfg = Fig5Config(
             seed=args.seed, scenario=args.scenario, scale=args.shape_scale
         )
-        print(run_fig5(cfg, workers=args.workers).render())
+        print(
+            run_fig5(
+                cfg,
+                workers=args.workers,
+                backend=args.backend,
+                chunk_size=args.chunk_size,
+            ).render()
+        )
     elif args.command == "fig6":
         from repro.experiments.fig6 import Fig6Config, run_fig6
         from repro.service.nutch import NutchConfig
@@ -345,6 +424,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             verbose=args.verbose,
             workers=args.workers,
             cache_dir=args.cache_dir,
+            backend=args.backend,
+            chunk_size=args.chunk_size,
         )
         print(result.render())
         print(f"\n(wall time: {result.wall_time_s:.1f} s)")
@@ -354,7 +435,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         cfg = Fig7Config(
             seed=args.seed, scenario=args.scenario, scale=args.shape_scale
         )
-        print(run_fig7(cfg, workers=args.workers).render())
+        print(
+            run_fig7(
+                cfg,
+                workers=args.workers,
+                backend=args.backend,
+                chunk_size=args.chunk_size,
+            ).render()
+        )
     elif args.command == "ablations":
         from repro.experiments.ablations import AblationConfig, run_all_ablations
 

@@ -70,6 +70,61 @@ class ExperimentError(ReproError):
     """A failure while driving one of the paper's experiments."""
 
 
+class WorkerTaskError(ExperimentError):
+    """A task shipped to an execution backend raised inside its worker.
+
+    Carries the zero-based ``index`` of the failing task so the caller
+    can map it back to the submitted item.  Picklable across process
+    boundaries (chunked process workers raise it remotely), which is
+    why the original exception survives only as text in the message —
+    ``__cause__`` does not cross a pickle.
+    """
+
+    def __init__(self, message: str, index=None) -> None:
+        super().__init__(message)
+        #: Zero-based index of the failing task in the submitted batch.
+        self.index = index
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` only; preserve
+        # ``index`` so a remote (spawn-worker) failure keeps its
+        # coordinates after the round-trip.
+        return (type(self), (self.args[0], self.index))
+
+
+class SweepExecutionError(ExperimentError):
+    """A sweep point's evaluation failed.
+
+    Raised by :meth:`~repro.sim.sweep.ParallelSweepRunner.run` instead
+    of the worker's raw exception so the failing grid cell is named;
+    the coordinates ride along as attributes.  Points that finished
+    before the failure stay cached — rerunning after a fix resumes
+    instead of recomputing.
+    """
+
+    def __init__(
+        self, message: str, policy=None, arrival_rate=None, seed=None
+    ) -> None:
+        super().__init__(message)
+        #: Legend name of the failing point's policy, when known.
+        self.policy = policy
+        #: Arrival rate (req/s) of the failing point, when known.
+        self.arrival_rate = arrival_rate
+        #: Root seed of the failing point, when known.
+        self.seed = seed
+
+
+class SweepLookupError(ExperimentError, KeyError):
+    """A :meth:`~repro.sim.sweep.SweepResult.get` lookup missed.
+
+    The message lists the grid's available policy/rate/seed coordinates
+    so a typo is visible without dumping the whole result object.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return Exception.__str__(self)
+
+
 class SweepCacheError(ExperimentError):
     """An error in the on-disk sweep cache / provenance layer."""
 

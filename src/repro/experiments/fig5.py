@@ -231,18 +231,34 @@ def _run_workload_campaign(args: Tuple[str, Fig5Config]) -> List[Fig5Case]:
     return cases
 
 
-def run_fig5(config: Fig5Config | None = None, workers: int = 1) -> Fig5Result:
+def run_fig5(
+    config: Fig5Config | None = None,
+    workers: int = 1,
+    backend=None,
+    chunk_size=None,
+) -> Fig5Result:
     """Run the whole Fig. 5 campaign.
 
-    ``workers`` fans the six per-workload campaigns out over processes;
-    the per-workload RNG streams make the numbers identical for any
-    worker count.
+    ``workers``/``backend`` fan the six per-workload campaigns out over
+    an execution backend (:mod:`repro.sim.backends`); the per-workload
+    RNG streams make the numbers identical for any worker count or
+    backend.  ``backend=None`` resolves to spawn processes for
+    ``workers > 1`` rather than the small-batch thread auto-rule: each
+    campaign is minutes of mostly pure-Python compute, so threads
+    sharing the GIL would serialise what processes genuinely
+    parallelise.
     """
     cfg = config or Fig5Config()
+    if backend is None:
+        from repro.sim.backends import cpu_bound_backend
+
+        backend = cpu_bound_backend(workers, chunk_size=chunk_size)
     per_workload = parallel_map(
         _run_workload_campaign,
         [(w, cfg) for w in HADOOP_WORKLOADS + SPARK_WORKLOADS],
         workers=workers,
+        backend=backend,
+        chunk_size=chunk_size,
     )
     cases = [case for campaign in per_workload for case in campaign]
     return Fig5Result(cases=cases, config=cfg)

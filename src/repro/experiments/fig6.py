@@ -323,11 +323,15 @@ def run_fig6(
     verbose: bool = False,
     workers: int = 1,
     cache_dir: Union[str, SweepCache, None] = None,
+    backend=None,
+    chunk_size=None,
 ) -> Fig6Result:
     """Run the whole Fig. 6 sweep (shared seeds across policies).
 
-    ``workers`` fans the (policy, rate) grid out over processes via
-    :class:`~repro.sim.sweep.ParallelSweepRunner`; results are
+    ``workers`` fans the (policy, rate) grid out over an execution
+    backend via :class:`~repro.sim.sweep.ParallelSweepRunner`
+    (``backend``/``chunk_size`` select how — threads for small pending
+    sets by default, spawn processes for big grids); results are
     bit-identical to ``workers=1``.  ``cache_dir`` memoizes completed
     cells on disk so an interrupted or repeated sweep resumes instead
     of recomputing.
@@ -338,6 +342,8 @@ def run_fig6(
         workers=workers,
         cache=cache_dir,
         progress=(lambda p: print(p.render())) if verbose else None,
+        backend=backend,
+        chunk_size=chunk_size,
     )
     outcome = sweep.run()
     return Fig6Result(

@@ -300,21 +300,38 @@ def _measure_hier_point(args: Tuple[int, int, Fig7Config]) -> Fig7Point:
     )
 
 
-def run_fig7(config: Fig7Config | None = None, workers: int = 1) -> Fig7Result:
+def run_fig7(
+    config: Fig7Config | None = None,
+    workers: int = 1,
+    backend=None,
+    chunk_size=None,
+) -> Fig7Result:
     """Measure analysis + search times over the (m, k) grid.
 
     Keep ``workers=1`` (the default) for paper-faithful timings:
-    co-scheduled points steal cycles from each other.
+    co-scheduled points steal cycles from each other.  ``backend=None``
+    resolves to spawn processes for ``workers > 1`` — never the
+    small-batch thread auto-rule, because Fig. 7 points are *measured*
+    (not simulated) durations and thread workers sharing the GIL would
+    silently inflate them.
     """
     cfg = config or Fig7Config()
+    if backend is None:
+        from repro.sim.backends import cpu_bound_backend
+
+        backend = cpu_bound_backend(workers, chunk_size=chunk_size)
     points: List[Fig7Point] = parallel_map(
         _measure_flat_point,
         [(m, k, cfg) for m, k in cfg.sizes],
         workers=workers,
+        backend=backend,
+        chunk_size=chunk_size,
     )
     points += parallel_map(
         _measure_hier_point,
         [(m, k, cfg) for m, k in cfg.hierarchical_sizes],
         workers=workers,
+        backend=backend,
+        chunk_size=chunk_size,
     )
     return Fig7Result(points=points, config=cfg)

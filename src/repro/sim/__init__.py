@@ -16,10 +16,14 @@
   together: batch churn → monitoring → prediction → scheduling →
   request simulation (the Fig. 6 engine).
 - :mod:`repro.sim.sweep` — parallel sweep execution: policies × rates ×
-  seeds grids fanned out over spawn-safe multiprocessing workers, with
-  an on-disk JSON memo (plus a human-readable ``manifest.json``) so
+  seeds grids fanned out over pluggable execution backends, with an
+  on-disk JSON memo (plus a human-readable ``manifest.json``) so
   interrupted sweeps resume (bit-identical to the serial path for any
-  worker count).
+  backend or worker count).
+- :mod:`repro.sim.backends` — the execution backends behind the sweep:
+  serial (inline), thread (in-process pool sharing the predictor memo —
+  no spawn import cost) and process (spawn workers, optionally shipping
+  chunks of points per task).
 - :mod:`repro.sim.aggregate` — the shared seed-level reduction:
   mean/std/min/max plus Student-t and nearest-rank bootstrap confidence
   intervals over every reported metric, grouped per (policy, rate).
@@ -31,6 +35,12 @@ from repro.sim.aggregate import (
     SeedAggregate,
     SweepSummary,
     flatten_metrics,
+)
+from repro.sim.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
 )
 from repro.sim.metrics import LatencySummary, percentile, pool, summarize
 from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
@@ -58,6 +68,10 @@ __all__ = [
     "SweepCache",
     "ParallelSweepRunner",
     "parallel_map",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "AggregateConfig",
     "MetricStats",
     "SeedAggregate",

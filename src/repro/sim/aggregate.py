@@ -57,7 +57,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ExperimentError
+from repro.errors import (
+    CacheCorruptionError,
+    ExperimentError,
+    SweepCacheError,
+    WorkerTaskError,
+)
 from repro.rng import RngRegistry
 from repro.sim.metrics import percentile
 from repro.sim.runner import PolicyResult
@@ -529,7 +534,10 @@ class SweepSummary:
 
     @classmethod
     def from_cache(
-        cls, cache, config: AggregateConfig = AggregateConfig()
+        cls,
+        cache,
+        config: AggregateConfig = AggregateConfig(),
+        backend=None,
     ) -> "SweepSummary":
         """Reduce a cache directory using its ``manifest.json``.
 
@@ -538,6 +546,12 @@ class SweepSummary:
         manifest must be present and loadable; a missing point means
         the sweep never completed and aggregation would silently
         under-count seeds, so it fails loudly instead.
+
+        ``backend`` optionally fans the point-file loads out over an
+        :class:`~repro.sim.backends.ExecutionBackend` (the thread
+        backend overlaps the JSON reads of a large cache); ``None``
+        loads inline.  The summary is identical either way — loads are
+        reassembled in manifest order before reduction.
         """
         from repro.sim.sweep import SweepCache
 
@@ -557,9 +571,52 @@ class SweepSummary:
             for rate in manifest["spec"]["arrival_rates"]
             for policy in manifest["spec"]["policies"]
         }
+        keys = list(manifest["points"])
+        if backend is None:
+            loaded = [cache.load(key) for key in keys]
+        else:
+            try:
+                loaded = backend.map(cache.load, keys)
+            except WorkerTaskError as err:
+                # Keep this method's error contract backend-independent:
+                # a corrupt entry must surface as the named cache error,
+                # not as the backend's task wrapper.  The thread/serial
+                # backends chain the original; the process backend loses
+                # the chain to pickling, so recognise cache errors from
+                # the wrapper's "raised <Type>" message and rebuild the
+                # path from the failing index.  Anything else (e.g. a
+                # PermissionError on a point file) is *not* corruption
+                # and keeps the wrapper rather than being mislabelled.
+                cause = err.__cause__
+                if isinstance(cause, SweepCacheError):
+                    raise cause
+                # The process backend never chains the original (the
+                # executor substitutes a remote-traceback object), so
+                # recognise cache errors from the wrapper's own
+                # "raised <Type>" message.
+                names_cache_error = any(
+                    f"raised {name}" in str(err)
+                    for name in (
+                        "CacheCorruptionError",
+                        "StaleManifestError",
+                        "SweepCacheError",
+                    )
+                )
+                if not names_cache_error:
+                    raise
+                path = (
+                    cache.path_for(keys[err.index])
+                    if err.index is not None and 0 <= err.index < len(keys)
+                    else None
+                )
+                raise CacheCorruptionError(
+                    f"failed to load sweep cache entry "
+                    f"{path if path is not None else '<unknown>'}: {err}",
+                    path=path,
+                ) from err
         missing: List[str] = []
-        for key, coords in manifest["points"].items():
-            result = cache.load(key)
+        for key, result in zip(keys, loaded):
+            coords = manifest["points"][key]
             if result is None:
                 missing.append(
                     f"{coords['policy']} @ {coords['arrival_rate']:g} "

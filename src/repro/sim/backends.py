@@ -1,0 +1,397 @@
+"""Execution backends: one seam, three ways to run independent tasks.
+
+The sweep subsystem (:mod:`repro.sim.sweep`) evaluates grids of
+mutually independent points.  *How* those points execute — inline,
+on in-process threads, or on spawned worker processes — is a
+deployment decision, not a correctness one (every point is
+deterministic given its config), so it lives behind one interface:
+
+:class:`SerialBackend`
+    Runs tasks inline, in submission order.  Zero overhead, exact
+    ground truth; what ``workers=1`` always meant.
+
+:class:`ThreadBackend`
+    A :class:`~concurrent.futures.ThreadPoolExecutor` inside the
+    calling process.  Threads share the interpreter, every imported
+    module and — crucially for sweeps — the per-process predictor
+    memo, so a grid whose points share a profiling signature trains
+    once *total* instead of once per worker.  The GIL serialises the
+    pure-Python simulation work, so threads buy little parallel
+    compute — what they buy is *zero start-up cost*: no interpreter
+    spawn, no numpy re-import, no cold memo.  On small grids that
+    start-up tax dominates, which is why the auto rule below prefers
+    threads there.
+
+:class:`ProcessBackend`
+    A spawn-context :class:`~concurrent.futures.ProcessPoolExecutor`
+    (spawn is fork-safety: no inherited locks or numpy state).  Every
+    worker pays an interpreter + numpy import and trains its own
+    predictor memo, but workers then compute in true parallel — the
+    right trade on grids with many expensive points.  Optional
+    *chunking* ships batches of tasks per submission so the per-task
+    pickling/dispatch overhead is amortised across each chunk.
+
+Failure contract (all backends)
+-------------------------------
+A task that raises does not poison its peers: the backend wraps the
+exception in :class:`~repro.errors.WorkerTaskError` carrying the
+task's index, cancels all not-yet-started work, and re-raises after
+yielding every already-finished success — so a caller persisting
+results as they arrive (the sweep cache) keeps everything that
+completed before the failure.  Tasks already running when a peer
+fails are allowed to finish but their results are discarded.
+
+Choosing a backend
+------------------
+- ``serial`` — debugging, tiny grids, and anything timing-sensitive.
+- ``thread`` — small pending sets (≲ :data:`THREAD_AUTO_THRESHOLD`
+  points), resumed sweeps with a handful of missing cells, and grids
+  dominated by predictor training (the memo is shared).
+- ``process`` — large grids of expensive points on multi-core hosts;
+  raise ``chunk_size`` above 1 when single points are cheap relative
+  to dispatch.
+
+:func:`auto_backend` encodes exactly that rule; the sweep runner and
+CLI use it unless a backend is named explicitly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Any, Callable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, WorkerTaskError
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKEND_NAMES",
+    "THREAD_AUTO_THRESHOLD",
+    "auto_backend",
+    "backend_from_name",
+    "resolve_backend",
+    "cpu_bound_backend",
+    "io_bound_backend",
+]
+
+#: The names :func:`backend_from_name` accepts (the CLI adds ``auto``).
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Pending sets at or below this size auto-route to :class:`ThreadBackend`:
+#: a spawn worker pays roughly an interpreter + numpy import per process,
+#: which on a small grid costs more than it saves.
+THREAD_AUTO_THRESHOLD = 8
+
+
+def _wrap_failure(index: int, exc: BaseException) -> WorkerTaskError:
+    """One uniform wrapper so every backend reports failures alike."""
+    return WorkerTaskError(
+        f"task {index} raised {type(exc).__name__}: {exc}", index=index
+    )
+
+
+def _run_unit(fn: Callable, index: int, item: Any) -> List[Tuple[int, Any]]:
+    """Run one task; uniform ``[(index, result)]`` / wrapped-failure shape."""
+    try:
+        return [(index, fn(item))]
+    except WorkerTaskError:
+        raise
+    except Exception as exc:
+        raise _wrap_failure(index, exc) from exc
+
+
+def _run_chunk(payload: Tuple[Callable, List[Tuple[int, Any]]]) -> List[Tuple[int, Any]]:
+    """Run one chunk of tasks in a worker (module-level: spawn pickles it).
+
+    Results accumulate per item; the first failing item aborts the rest
+    of its chunk and raises with that item's index (the earlier items'
+    results are recomputed on retry — chunking trades that slack for
+    dispatch amortisation).
+    """
+    fn, chunk = payload
+    out: List[Tuple[int, Any]] = []
+    for index, item in chunk:
+        try:
+            out.append((index, fn(item)))
+        except Exception as exc:
+            raise _wrap_failure(index, exc) from exc
+    return out
+
+
+def chunked(items: Sequence, size: int) -> List[list]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ConfigurationError(f"chunk size must be >= 1, got {size}")
+    items = list(items)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+class ExecutionBackend(ABC):
+    """How a batch of independent tasks runs.
+
+    Implementations provide :meth:`imap_unordered`; :meth:`map` is
+    derived.  Backends are cheap, stateless handles — each call builds
+    (and tears down) its own executor, so one backend instance may be
+    reused across sweeps.
+    """
+
+    #: Short name used by factories, CLIs and benchmark records.
+    name: str = "?"
+
+    @abstractmethod
+    def imap_unordered(
+        self, fn: Callable, items: Sequence
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(index, fn(item))`` pairs in completion order.
+
+        On a task failure: every already-finished success is yielded
+        first, outstanding tasks are cancelled, and a
+        :class:`~repro.errors.WorkerTaskError` carrying the failing
+        index is raised.
+        """
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Order-preserving map over ``items`` (results in input order)."""
+        items = list(items)
+        out = [None] * len(items)
+        for index, result in self.imap_unordered(fn, items):
+            out[index] = result
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution in the calling thread — the ground-truth path."""
+
+    name = "serial"
+
+    def imap_unordered(self, fn, items):
+        for index, item in enumerate(items):
+            yield from _run_unit(fn, index, item)
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared submit/consume loop for the executor-based backends."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def _executor(self, n_tasks: int):
+        raise NotImplementedError
+
+    def _submit(self, pool, fn, items) -> list:
+        """Submit every task; returns the list of futures."""
+        raise NotImplementedError
+
+    def imap_unordered(self, fn, items):
+        items = list(items)
+        if not items:
+            return
+        with self._executor(len(items)) as pool:
+            outstanding = set(self._submit(pool, fn, items))
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                failure = None
+                for future in finished:
+                    try:
+                        pairs = future.result()
+                    except WorkerTaskError as exc:
+                        failure = failure or exc
+                    except Exception as exc:  # pragma: no cover - belt
+                        failure = failure or _wrap_failure(-1, exc)
+                    else:
+                        yield from pairs
+                if failure is not None:
+                    # Cancel everything not yet running; peers already
+                    # running finish (their results are discarded) when
+                    # the executor's context exits.
+                    for future in outstanding:
+                        future.cancel()
+                    raise failure
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class ThreadBackend(_PoolBackend):
+    """In-process :class:`~concurrent.futures.ThreadPoolExecutor` workers.
+
+    Shares the interpreter (and the sweep's predictor memo) with the
+    caller: no spawn cost, no re-imports, training once per profiling
+    signature.  The GIL means little parallel *compute* — use it where
+    start-up cost dominates (small or mostly-cached grids).
+    """
+
+    name = "thread"
+
+    def _executor(self, n_tasks: int):
+        return ThreadPoolExecutor(
+            max_workers=min(self.workers, n_tasks),
+            thread_name_prefix="sweep-worker",
+        )
+
+    def _submit(self, pool, fn, items):
+        return [
+            pool.submit(_run_unit, fn, index, item)
+            for index, item in enumerate(items)
+        ]
+
+
+class ProcessBackend(_PoolBackend):
+    """Spawn-context :class:`~concurrent.futures.ProcessPoolExecutor` workers.
+
+    ``fn`` and every item must be picklable (spawn re-imports the
+    defining module in each worker).  ``chunk_size`` ships batches of
+    tasks per submission: each worker process amortises its interpreter
+    + numpy import (and its cold predictor memo) across a whole chunk
+    instead of a single point.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, workers: int, mp_context: str = "spawn", chunk_size: int = 1
+    ) -> None:
+        super().__init__(workers)
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk size must be >= 1, got {chunk_size}"
+            )
+        self.mp_context = mp_context
+        self.chunk_size = chunk_size
+
+    def _executor(self, n_tasks: int):
+        n_chunks = -(-n_tasks // self.chunk_size)  # ceil division
+        return ProcessPoolExecutor(
+            max_workers=min(self.workers, n_chunks),
+            mp_context=multiprocessing.get_context(self.mp_context),
+        )
+
+    def _submit(self, pool, fn, items):
+        return [
+            pool.submit(_run_chunk, (fn, chunk))
+            for chunk in chunked(list(enumerate(items)), self.chunk_size)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessBackend(workers={self.workers}, "
+            f"chunk_size={self.chunk_size})"
+        )
+
+
+def backend_from_name(
+    name: str,
+    workers: int = 1,
+    mp_context: str = "spawn",
+    chunk_size: int | None = None,
+) -> ExecutionBackend:
+    """Build a backend from its CLI name.
+
+    ``chunk_size`` only shapes :class:`ProcessBackend` (serial and
+    thread execution have no per-process dispatch to amortise); passing
+    it with the other names is accepted and ignored so one CLI flag set
+    covers every backend choice.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(workers)
+    if name == "process":
+        return ProcessBackend(
+            workers, mp_context=mp_context, chunk_size=chunk_size or 1
+        )
+    raise ConfigurationError(
+        f"unknown execution backend {name!r} "
+        f"(expected one of {', '.join(BACKEND_NAMES)})"
+    )
+
+
+def cpu_bound_backend(
+    workers: int,
+    mp_context: str = "spawn",
+    chunk_size: int | None = None,
+) -> ExecutionBackend:
+    """Default rule for batches the thread auto-rule misfits.
+
+    For tasks that are each expensive pure-Python compute (the GIL
+    would serialise threads regardless of batch size) or that measure
+    wall-clock durations (thread contention would inflate them):
+    spawn processes when parallel, inline otherwise.  fig5/fig7 use
+    this so their pre-backend-seam behaviour is preserved.
+    """
+    if workers > 1:
+        return ProcessBackend(
+            workers, mp_context=mp_context, chunk_size=chunk_size or 1
+        )
+    return SerialBackend()
+
+
+def io_bound_backend(workers: int) -> ExecutionBackend:
+    """Default rule for batches of small I/O-bound tasks.
+
+    Threads overlap the waiting without any spawn cost; a process pool
+    would pay an interpreter + numpy import per worker to read small
+    files.  The ``aggregate`` CLI uses this for cache point loads.
+    """
+    if workers > 1:
+        return ThreadBackend(workers)
+    return SerialBackend()
+
+
+def resolve_backend(
+    backend,
+    workers: int,
+    n_tasks: int,
+    mp_context: str = "spawn",
+    chunk_size: int | None = None,
+) -> ExecutionBackend:
+    """Normalise a backend argument into an :class:`ExecutionBackend`.
+
+    ``backend`` may be a ready instance (returned as-is), a name
+    accepted by :func:`backend_from_name`, or ``None``/``"auto"`` for
+    the :func:`auto_backend` rule.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None or backend == "auto":
+        return auto_backend(
+            workers, n_tasks, mp_context=mp_context, chunk_size=chunk_size
+        )
+    return backend_from_name(
+        backend, workers=workers, mp_context=mp_context, chunk_size=chunk_size
+    )
+
+
+def auto_backend(
+    workers: int,
+    n_tasks: int,
+    mp_context: str = "spawn",
+    chunk_size: int | None = None,
+) -> ExecutionBackend:
+    """The default backend rule (see the module docstring's guidance).
+
+    ``workers == 1`` or at most one task → :class:`SerialBackend`;
+    small task sets (≤ :data:`THREAD_AUTO_THRESHOLD`) → in-process
+    threads, whose zero start-up cost beats spawn there; anything
+    bigger → spawned processes for true parallel compute.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or n_tasks <= 1:
+        return SerialBackend()
+    if n_tasks <= THREAD_AUTO_THRESHOLD:
+        return ThreadBackend(workers)
+    return ProcessBackend(
+        workers, mp_context=mp_context, chunk_size=chunk_size or 1
+    )

@@ -8,12 +8,14 @@ into wall-clock speed and resumability:
 
 - :class:`SweepSpec` names a grid (a base :class:`RunnerConfig` plus
   the policies, arrival rates and seeds to cross);
-- :class:`ParallelSweepRunner` fans the grid points out over
-  ``multiprocessing`` workers (spawn-safe: the worker function is a
+- :class:`ParallelSweepRunner` fans the grid points out over an
+  :class:`~repro.sim.backends.ExecutionBackend` — inline, in-process
+  threads, or spawn processes (spawn-safe: the worker function is a
   module-level callable and every argument is a picklable frozen
-  dataclass), with per-point deterministic seeding via
+  dataclass) — with per-point deterministic seeding via
   :class:`~repro.rng.RngRegistry` — **results are bit-identical to the
-  serial path regardless of worker count or completion order**;
+  serial path regardless of backend, worker count or completion
+  order**;
 - :class:`SweepCache` memoizes completed points in an on-disk JSON
   store keyed by a stable hash of (runner config, policy) — which
   embeds the arrival rate and seed — so an interrupted sweep resumes
@@ -29,6 +31,45 @@ evaluating in another (or retraining per point) cannot change any
 number.  Workers additionally memoize the trained predictor per
 profiling signature, so evaluating six policies at one seed trains
 once — exactly like the serial :class:`ExperimentRunner` sharing.
+The memo is lock-protected and train-once-per-signature, so thread
+workers share a single training run instead of racing to duplicate it.
+
+Choosing an execution backend
+-----------------------------
+``ParallelSweepRunner(..., backend=...)`` (CLI ``--backend``) selects
+how pending points execute; results are identical for every choice.
+
+``serial``
+    Inline in the calling thread.  What ``workers=1`` always meant;
+    also the right pick for timing-sensitive runs.
+``thread``
+    An in-process thread pool.  No interpreter spawn, no numpy
+    re-import, and the predictor memo is shared — a grid whose points
+    share a profiling signature trains once *total*.  The GIL
+    serialises the simulation compute, so threads win exactly where
+    start-up cost dominates: small grids (≲ 8 points) and resumed
+    sweeps with a handful of missing cells.
+``process``
+    Spawn-context process workers: each pays an interpreter + numpy
+    import and a cold predictor memo, then computes in true parallel —
+    the right trade for many expensive points on multi-core hosts.
+    ``chunk_size=k`` (CLI ``--chunk-size``) ships batches of ``k``
+    points per task so that start-up cost is amortised per chunk.
+
+The default (``backend=None`` / CLI ``auto``) applies exactly that
+guidance: serial for one worker or one pending point, threads for
+small pending sets, processes otherwise
+(:func:`repro.sim.backends.auto_backend`).
+
+Failure hardening
+-----------------
+A point whose evaluation raises does not corrupt the sweep: the
+backend cancels all not-yet-started points, peers that already
+finished stay persisted in the cache, and the runner re-raises a
+:class:`~repro.errors.SweepExecutionError` naming the failing point's
+(policy, arrival rate, seed) coordinates.  Rerunning after a fix
+resumes from the cached peers.  The manifest's ``completed`` stamp is
+only written by a sweep that actually finished.
 
 JSON float round-trips are exact (``repr`` is the shortest exact
 representation), so cache hits are byte-identical to fresh runs.
@@ -76,11 +117,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import multiprocessing
 import os
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -98,6 +138,14 @@ from repro.errors import (
     ExperimentError,
     StaleManifestError,
     SweepCacheError,
+    SweepExecutionError,
+    SweepLookupError,
+    WorkerTaskError,
+)
+from repro.sim.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    resolve_backend,
 )
 from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
 
@@ -593,12 +641,19 @@ class SweepCache:
 # worker side (must be module-level and picklable for spawn)
 # ----------------------------------------------------------------------
 #: Per-process memo of trained predictors, keyed by profiling signature.
-#: Lives in the worker process; evaluating many policies that share a
-#: seed trains once per worker instead of once per point.  Bounded
-#: (FIFO) because on the ``workers=1`` path it lives in the caller's
-#: process for the interpreter's lifetime.
+#: Shared by every thread of the process (thread-backend workers and
+#: the inline path alike) behind :data:`_PREDICTOR_MEMO_LOCK`;
+#: evaluating many policies that share a seed trains once per process
+#: instead of once per point.  Bounded (FIFO) because on the serial
+#: and thread paths it lives in the caller's process for the
+#: interpreter's lifetime.
 _PREDICTOR_MEMO: Dict[tuple, object] = {}
 _PREDICTOR_MEMO_LIMIT = 8
+_PREDICTOR_MEMO_LOCK = threading.Lock()
+#: One lock per profiling signature so concurrent thread workers
+#: needing the same predictor train it once and share it, while
+#: points with *different* signatures keep running unserialised.
+_PREDICTOR_TRAIN_LOCKS: Dict[tuple, threading.Lock] = {}
 
 
 def _profiling_signature(config: RunnerConfig) -> tuple:
@@ -614,22 +669,61 @@ def _profiling_signature(config: RunnerConfig) -> tuple:
     )
 
 
-def _execute_point(config: RunnerConfig, policy: Policy) -> PolicyResult:
-    """Run one sweep point (in a worker or inline for ``workers=1``)."""
-    signature = _profiling_signature(config)
-    runner = ExperimentRunner(config, trained=_PREDICTOR_MEMO.get(signature))
-    result = runner.run(policy)
-    if runner.trained is not None and signature not in _PREDICTOR_MEMO:
+def _memoize_predictor(signature: tuple, trained: object) -> None:
+    """FIFO-bounded insert; caller must not hold the memo lock."""
+    with _PREDICTOR_MEMO_LOCK:
+        if signature in _PREDICTOR_MEMO:
+            return
         while len(_PREDICTOR_MEMO) >= _PREDICTOR_MEMO_LIMIT:
-            _PREDICTOR_MEMO.pop(next(iter(_PREDICTOR_MEMO)))
-        _PREDICTOR_MEMO[signature] = runner.trained
+            evicted = next(iter(_PREDICTOR_MEMO))
+            _PREDICTOR_MEMO.pop(evicted)
+            _PREDICTOR_TRAIN_LOCKS.pop(evicted, None)
+        _PREDICTOR_MEMO[signature] = trained
+
+
+def _trained_for(config: RunnerConfig, policy: Policy):
+    """The memoized trained predictor this point needs, or ``None``.
+
+    Policies that never consult the trained model (non-scheduling
+    baselines, the oracle ablation) skip training entirely — exactly
+    as :meth:`ExperimentRunner.setup` would.  For the rest, the
+    per-signature lock makes training happen once per process even
+    when thread workers hit a cold memo simultaneously; training is
+    deterministic given the signature (it draws only from
+    ``RngRegistry(seed)``'s ``"profiling"`` stream), so who trains
+    cannot change any number.
+    """
+    if not policy.schedules or getattr(policy, "use_oracle", False):
+        return None
+    signature = _profiling_signature(config)
+    with _PREDICTOR_MEMO_LOCK:
+        trained = _PREDICTOR_MEMO.get(signature)
+        lock = _PREDICTOR_TRAIN_LOCKS.setdefault(signature, threading.Lock())
+    if trained is not None:
+        return trained
+    with lock:
+        with _PREDICTOR_MEMO_LOCK:
+            trained = _PREDICTOR_MEMO.get(signature)
+        if trained is None:
+            trained = ExperimentRunner(config).trained_predictor()
+            _memoize_predictor(signature, trained)
+    return trained
+
+
+def _execute_point(config: RunnerConfig, policy: Policy) -> PolicyResult:
+    """Run one sweep point (in a worker of any backend, or inline)."""
+    runner = ExperimentRunner(config, trained=_trained_for(config, policy))
+    result = runner.run(policy)
+    if runner.trained is not None:
+        # Belt for policy types outside _trained_for's fast paths.
+        _memoize_predictor(_profiling_signature(config), runner.trained)
     return result
 
 
-def _call(fn_and_item):
-    """Tiny trampoline so :func:`parallel_map` ships one picklable arg."""
-    fn, item = fn_and_item
-    return fn(item)
+def _execute_task(task: Tuple[RunnerConfig, Policy]) -> PolicyResult:
+    """Backend-shaped trampoline: one picklable argument per task."""
+    config, policy = task
+    return _execute_point(config, policy)
 
 
 def parallel_map(
@@ -637,24 +731,35 @@ def parallel_map(
     items: Sequence,
     workers: int = 1,
     mp_context: str = "spawn",
+    backend: Union[str, ExecutionBackend, None] = None,
+    chunk_size: Optional[int] = None,
 ) -> list:
-    """Order-preserving map, fanned out over processes when asked.
+    """Order-preserving map over an execution backend.
 
-    ``fn`` must be a module-level function and every item picklable
-    (the spawn start method re-imports the module in each worker).
-    ``workers=1`` runs inline — no processes, no pickling — which keeps
-    the serial path exactly the serial path.
+    ``backend`` is an :class:`~repro.sim.backends.ExecutionBackend`, a
+    name (``serial``/``thread``/``process``), or ``None``/``"auto"``
+    for the default rule: inline for ``workers=1`` or ≤ 1 items,
+    in-process threads for small batches, spawn processes otherwise.
+    For the process backend ``fn`` must be a module-level function and
+    every item picklable (spawn re-imports the module in each worker);
+    ``chunk_size`` ships batches of items per process task.
+
+    Failure contract (uniform across backends, including serial): a
+    raising ``fn`` surfaces as :class:`~repro.errors.WorkerTaskError`
+    carrying the failing item's index, chained to the original
+    exception where no pickle boundary intervenes.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk size must be >= 1, got {chunk_size}"
+        )
     items = list(items)
-    if workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    ctx = multiprocessing.get_context(mp_context)
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(items)), mp_context=ctx
-    ) as pool:
-        return list(pool.map(_call, [(fn, item) for item in items]))
+    resolved = resolve_backend(
+        backend, workers, len(items), mp_context=mp_context, chunk_size=chunk_size
+    )
+    return resolved.map(fn, items)
 
 
 # ----------------------------------------------------------------------
@@ -688,21 +793,40 @@ class SweepResult:
     results: Dict[SweepPoint, PolicyResult]
     wall_time_s: float
     cache_hits: int = 0
+    #: Lazy coordinate index — built once, so :meth:`get` is a dict
+    #: lookup instead of a per-call scan over every grid cell.
+    _coord_index: Optional[Dict[Tuple[str, float, int], PolicyResult]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _index(self) -> Dict[Tuple[str, float, int], PolicyResult]:
+        if self._coord_index is None:
+            self._coord_index = {
+                (point.policy.name, point.arrival_rate, point.seed): result
+                for point, result in self.results.items()
+            }
+        return self._coord_index
 
     def get(
         self, policy_name: str, arrival_rate: float, seed: Optional[int] = None
     ) -> PolicyResult:
-        """Look one cell up by coordinates."""
+        """Look one cell up by coordinates.
+
+        ``seed=None`` returns the first grid seed's slice.  A miss
+        raises :class:`~repro.errors.SweepLookupError` listing the
+        coordinates the grid actually has.
+        """
+        index = self._index()
         seeds = self.spec.seeds if seed is None else (seed,)
-        for point, result in self.results.items():
-            if (
-                point.policy.name == policy_name
-                and point.arrival_rate == arrival_rate
-                and point.seed in seeds
-            ):
+        for s in seeds:
+            result = index.get((policy_name, arrival_rate, s))
+            if result is not None:
                 return result
-        raise ExperimentError(
-            f"no sweep cell ({policy_name}, {arrival_rate:g}, seed {seed})"
+        raise SweepLookupError(
+            f"no sweep cell ({policy_name}, {arrival_rate:g}, seed {seed}); "
+            f"grid has policies {[p.name for p in self.spec.policies]}, "
+            f"arrival rates {[f'{r:g}' for r in self.spec.arrival_rates]}, "
+            f"seeds {list(self.spec.seeds)}"
         )
 
     def by_rate(
@@ -767,11 +891,10 @@ class ParallelSweepRunner:
     spec:
         The grid to run.
     workers:
-        Process count.  ``1`` (default) runs everything inline in this
-        process — the exact serial path.  ``>1`` fans points out over a
-        spawn-context :class:`~concurrent.futures.ProcessPoolExecutor`;
-        results are identical either way (see the module docstring's
-        determinism contract).
+        Worker count for the thread/process backends.  ``1`` (default)
+        runs everything inline in this process — the exact serial path.
+        Results are identical for every worker count (see the module
+        docstring's determinism contract).
     cache:
         ``None`` (no memoization), a directory path, or a ready
         :class:`SweepCache`.  Completed points are persisted as they
@@ -779,6 +902,18 @@ class ParallelSweepRunner:
     progress:
         Optional callback invoked with a :class:`SweepProgress` after
         every point (cache hits included), in completion order.
+    backend:
+        How pending points execute: an
+        :class:`~repro.sim.backends.ExecutionBackend`, a name
+        (``serial``/``thread``/``process``), or ``None``/``"auto"``
+        (default) for the rule in the module docstring's *Choosing an
+        execution backend* section — serial for one worker or one
+        pending point, threads for small pending sets, spawn processes
+        otherwise.  Bit-identical results for every choice.
+    chunk_size:
+        Points shipped per process task (process backend only), so a
+        spawn worker amortises its interpreter + numpy import over a
+        whole chunk.  Default: one point per task.
     """
 
     def __init__(
@@ -788,9 +923,24 @@ class ParallelSweepRunner:
         cache: Union[SweepCache, str, Path, None] = None,
         progress: Optional[Callable[[SweepProgress], None]] = None,
         mp_context: str = "spawn",
+        backend: Union[str, ExecutionBackend, None] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk size must be >= 1, got {chunk_size}"
+            )
+        if (
+            isinstance(backend, str)
+            and backend != "auto"
+            and backend not in BACKEND_NAMES
+        ):
+            raise ConfigurationError(
+                f"unknown execution backend {backend!r} (expected auto, "
+                f"{', '.join(BACKEND_NAMES)}, or an ExecutionBackend)"
+            )
         self.spec = spec
         self.workers = workers
         if cache is not None and not isinstance(cache, SweepCache):
@@ -798,6 +948,8 @@ class ParallelSweepRunner:
         self.cache = cache
         self.progress = progress
         self.mp_context = mp_context
+        self.backend = backend
+        self.chunk_size = chunk_size
 
     # -- internals ------------------------------------------------------
     def _emit(
@@ -856,39 +1008,46 @@ class ParallelSweepRunner:
             else:
                 pending.append((point, config, key))
 
-        # A single pending point (e.g. resuming an almost-complete
-        # sweep) runs inline: a spawn worker would pay an interpreter +
-        # numpy import and a cold predictor memo for nothing.
-        if pending and (self.workers == 1 or len(pending) == 1):
-            for point, config, key in pending:
-                result = _execute_point(config, point.policy)
-                self._finish(point, key, result, results)
-                self._emit(len(results), total, point, result, False, t0)
-        elif pending:
-            ctx = multiprocessing.get_context(self.mp_context)
-            n_workers = min(self.workers, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=n_workers, mp_context=ctx
-            ) as pool:
-                futures = {
-                    pool.submit(_execute_point, config, point.policy): (
-                        point,
-                        key,
-                    )
-                    for point, config, key in pending
-                }
-                outstanding = set(futures)
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        point, key = futures[future]
-                        result = future.result()
-                        self._finish(point, key, result, results)
-                        self._emit(
-                            len(results), total, point, result, False, t0
-                        )
+        # The backend seam: auto picks serial for one worker or one
+        # pending point (a spawn worker would pay an interpreter +
+        # numpy import and a cold predictor memo for nothing), threads
+        # for small pending sets, spawn processes otherwise; an
+        # explicit backend is honoured as given.
+        if pending:
+            backend = resolve_backend(
+                self.backend,
+                self.workers,
+                len(pending),
+                mp_context=self.mp_context,
+                chunk_size=self.chunk_size,
+            )
+            tasks = [(config, point.policy) for point, config, key in pending]
+            try:
+                for index, result in backend.imap_unordered(
+                    _execute_task, tasks
+                ):
+                    point, _, key = pending[index]
+                    self._finish(point, key, result, results)
+                    self._emit(len(results), total, point, result, False, t0)
+            except WorkerTaskError as err:
+                # Peers that finished before the failure are already in
+                # the cache; the backend cancelled everything else.  Name
+                # the failing point instead of leaking a bare traceback.
+                failed: Optional[SweepPoint] = (
+                    pending[err.index][0]
+                    if err.index is not None and 0 <= err.index < len(pending)
+                    else None
+                )
+                where = failed.describe() if failed else "unknown point"
+                raise SweepExecutionError(
+                    f"sweep point {where} failed on the {backend.name} "
+                    f"backend: {err} ({len(results)}/{total} points "
+                    "completed; completed points remain cached and a rerun "
+                    "resumes from them)",
+                    policy=failed.policy.name if failed else None,
+                    arrival_rate=failed.arrival_rate if failed else None,
+                    seed=failed.seed if failed else None,
+                ) from err
 
         if self.cache is not None:
             self.cache.complete_manifest(self.spec)

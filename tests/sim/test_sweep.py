@@ -1,6 +1,7 @@
 """Tests for the parallel sweep-execution subsystem."""
 
 import json
+from dataclasses import dataclass
 
 import numpy as np
 import pytest
@@ -9,6 +10,7 @@ from repro.baselines.policies import (
     BasicPolicy,
     HedgedPolicy,
     PCSPolicy,
+    Policy,
     REDPolicy,
     ReissuePolicy,
 )
@@ -16,8 +18,11 @@ from repro.errors import (
     CacheCorruptionError,
     ConfigurationError,
     ExperimentError,
+    SweepExecutionError,
+    SweepLookupError,
 )
 from repro.service.nutch import NutchConfig
+from repro.sim.backends import SerialBackend, ThreadBackend
 from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
 from repro.sim.sweep import (
     ParallelSweepRunner,
@@ -28,6 +33,21 @@ from repro.sim.sweep import (
     policy_from_name,
 )
 from repro.workloads.generator import GeneratorConfig
+
+
+@dataclass(frozen=True)
+class ExplodingPolicy(Policy):
+    """A deliberately failing policy: its worker raises during setup.
+
+    Module-level (and a plain frozen dataclass) so it pickles to spawn
+    workers like any real policy descriptor.
+    """
+
+    name: str = "Exploding"
+
+    @property
+    def load_multiplier(self) -> float:
+        raise RuntimeError("deliberate sweep-point failure")
 
 
 def _tiny_base(**overrides) -> RunnerConfig:
@@ -167,6 +187,26 @@ class TestSerialSweep:
         with pytest.raises(ExperimentError):
             result.get("PCS", 70.0, seed=0)
 
+    def test_get_defaults_to_first_grid_seed(self, outcome):
+        spec, result, _ = outcome
+        assert result.get("Basic", 30.0) is result.get(
+            "Basic", 30.0, seed=spec.seeds[0]
+        )
+
+    def test_get_miss_names_available_coordinates(self, outcome):
+        spec, result, _ = outcome
+        with pytest.raises(SweepLookupError) as err:
+            result.get("PCS", 30.0, seed=0)
+        message = str(err.value)
+        # The error teaches the caller what the grid actually holds.
+        assert "'Basic'" in message and "'RED-2'" in message
+        assert "30" in message and "70" in message
+        assert "[0, 1]" in message
+        with pytest.raises(SweepLookupError):
+            result.get("Basic", 31.0)
+        with pytest.raises(SweepLookupError):
+            result.get("Basic", 30.0, seed=5)
+
     def test_render_summarises(self, outcome):
         spec, result, _ = outcome
         out = result.render()
@@ -300,6 +340,146 @@ class TestParallelExecution:
         with pytest.raises(ConfigurationError):
             ParallelSweepRunner(_tiny_spec(), workers=0)
 
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ParallelSweepRunner(_tiny_spec(), workers=2, chunk_size=0)
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="ssh"):
+            ParallelSweepRunner(_tiny_spec(), workers=2, backend="ssh")
+
+    def test_thread_backend_matches_serial_bit_for_bit(self):
+        spec = _tiny_spec(arrival_rates=(40.0,), seeds=(0,))
+        serial = ParallelSweepRunner(spec, workers=1).run()
+        threaded = ParallelSweepRunner(
+            spec, workers=2, backend="thread"
+        ).run()
+        for point in spec.points():
+            assert (
+                threaded.results[point].metrics_dict()
+                == serial.results[point].metrics_dict()
+            ), point.describe()
+
+    def test_backend_instance_accepted(self):
+        spec = _tiny_spec(
+            policies=(BasicPolicy(),), arrival_rates=(40.0,), seeds=(0,)
+        )
+        direct = ParallelSweepRunner(spec, backend=SerialBackend()).run()
+        threaded = ParallelSweepRunner(spec, backend=ThreadBackend(2)).run()
+        point = spec.points()[0]
+        assert (
+            direct.results[point].metrics_dict()
+            == threaded.results[point].metrics_dict()
+        )
+
+
+class TestWorkerValidationCLI:
+    """CLI arg-parser side of the workers/chunk-size validation."""
+
+    @pytest.mark.parametrize("command", ["sweep", "fig5", "fig6", "fig7"])
+    def test_workers_zero_is_a_usage_error(self, command, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args([command, "--workers", "0"])
+        assert exit_info.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_chunk_size_zero_is_a_usage_error(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--chunk-size", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_valid_backend_args_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--workers", "3", "--backend", "thread",
+             "--chunk-size", "2"]
+        )
+        assert (args.workers, args.backend, args.chunk_size) == (3, "thread", 2)
+
+    def test_fig5_fig7_default_backend_is_driver_resolved(self):
+        # fig5/fig7 points are expensive or timing-sensitive: their
+        # drivers resolve the default to process workers instead of the
+        # small-batch thread auto-rule, so the parser must hand them
+        # None (sweep/fig6 keep the literal "auto").
+        from repro.cli import build_parser
+
+        assert build_parser().parse_args(["fig5"]).backend is None
+        assert build_parser().parse_args(["fig7"]).backend is None
+        assert build_parser().parse_args(["sweep"]).backend == "auto"
+        assert build_parser().parse_args(["fig6"]).backend == "auto"
+
+
+class TestFailureHardening:
+    """A failing point must not poison the sweep (named error, cached
+    peers, resumable rerun) — regression for the raw-propagation bug."""
+
+    def _spec_with_exploding_policy(self, **overrides):
+        return _tiny_spec(
+            policies=(BasicPolicy(), ExplodingPolicy()),
+            arrival_rates=(30.0,),
+            seeds=(0, 1),
+            **overrides,
+        )
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_failure_raises_named_error_with_coordinates(
+        self, backend, tmp_path
+    ):
+        spec = self._spec_with_exploding_policy()
+        runner = ParallelSweepRunner(
+            spec, workers=2, cache=tmp_path, backend=backend
+        )
+        with pytest.raises(SweepExecutionError) as err:
+            runner.run()
+        assert err.value.policy == "Exploding"
+        assert err.value.arrival_rate == 30.0
+        assert err.value.seed in (0, 1)
+        message = str(err.value)
+        assert "Exploding" in message and "deliberate" in message
+        assert "resumes" in message
+
+    def test_finished_peers_stay_cached_and_rerun_resumes(self, tmp_path):
+        spec = self._spec_with_exploding_policy()
+        cache = SweepCache(tmp_path)
+        with pytest.raises(SweepExecutionError):
+            # Serial backend: both Basic points run (grid order puts
+            # Basic before Exploding) and land in the cache first.
+            ParallelSweepRunner(spec, cache=cache, backend="serial").run()
+        assert len(cache) == 2  # the two Basic points
+        # The sweep did not complete: no completion stamp on the manifest.
+        assert cache.manifest()["completed"] is None
+        # Dropping the broken policy resumes from the cached peers.
+        fixed = SweepSpec(
+            base=spec.base,
+            policies=(BasicPolicy(),),
+            arrival_rates=spec.arrival_rates,
+            seeds=spec.seeds,
+        )
+        resumed = ParallelSweepRunner(fixed, cache=cache).run()
+        assert resumed.cache_hits == 2
+        assert cache.manifest()["completed"] is not None
+
+    def test_bad_worker_index_still_named(self):
+        # Defensive path: an index the runner cannot map back still
+        # raises the named error (with unknown coordinates).
+        from repro.errors import WorkerTaskError
+
+        class _BrokenIndexBackend(SerialBackend):
+            def imap_unordered(self, fn, items):
+                raise WorkerTaskError("task -1 raised: ?", index=None)
+                yield  # pragma: no cover
+
+        spec = self._spec_with_exploding_policy()
+        with pytest.raises(SweepExecutionError) as err:
+            ParallelSweepRunner(spec, backend=_BrokenIndexBackend()).run()
+        assert err.value.policy is None
+        assert "unknown point" in str(err.value)
+
 
 def _square(x: int) -> int:
     return x * x
@@ -317,8 +497,22 @@ class TestParallelMap:
         with pytest.raises(ConfigurationError):
             parallel_map(_square, [1], workers=0)
 
-    def test_process_path_preserves_order(self):
+    def test_multi_worker_path_preserves_order(self):
+        # Three items auto-route to the thread backend (small batch).
         assert parallel_map(_square, [3, 1, 2], workers=2) == [9, 1, 4]
+
+    def test_explicit_process_backend_preserves_order(self):
+        assert parallel_map(
+            _square, [3, 1, 2], workers=2, backend="process", chunk_size=2
+        ) == [9, 1, 4]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(_square, [1, 2], workers=2, chunk_size=0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(_square, [1, 2], workers=2, backend="ssh")
 
 
 class TestPolicyFromName:

@@ -214,6 +214,26 @@ class TestGC:
         assert in_flight.exists()
         in_flight.unlink()
 
+    def test_dead_writers_temp_is_reaped(self, run_cache):
+        # A pid way beyond any real pid_max: the writer is long gone.
+        _, cache, _ = run_cache
+        abandoned = cache.root / "cafef00d.tmp-99999999"
+        abandoned.write_text("torn bytes")
+        assert abandoned in cache.gc()
+        assert not abandoned.exists()
+
+    @pytest.mark.parametrize("suffix", ["garbage", "12x34", ""])
+    def test_non_numeric_temp_suffix_is_reaped(self, run_cache, suffix):
+        # A ``tmp-`` suffix that is not a pid cannot belong to a live
+        # atomic write (our writers always embed one), so it is swept
+        # rather than crashing the pid probe or leaking forever.
+        _, cache, _ = run_cache
+        stray = cache.root / f"deadbeef.tmp-{suffix}"
+        stray.write_text("not ours")
+        removed = cache.gc()
+        assert stray in removed
+        assert not stray.exists()
+
     def test_gc_requires_manifest(self, tmp_path):
         cache = SweepCache(tmp_path / "no-manifest")
         with pytest.raises(SweepCacheError):
@@ -229,6 +249,59 @@ class TestCorruptionAndAtomicity:
         with pytest.raises(CacheCorruptionError) as err:
             cache.load(key)
         assert str(path) in str(err.value)
+
+    def test_backend_loads_keep_corruption_error_contract(self, run_cache):
+        # from_cache's documented error contract must hold whatever
+        # loads the points: a corrupt entry surfaces as the named cache
+        # error (with .path), not as the backend's task wrapper.
+        from repro.sim.aggregate import SweepSummary
+        from repro.sim.backends import ThreadBackend
+
+        spec, cache, _ = run_cache
+        key = next(iter(spec.point_keys()))
+        cache.path_for(key).write_text("{not json")
+        with pytest.raises(CacheCorruptionError) as err:
+            SweepSummary.from_cache(cache, backend=ThreadBackend(2))
+        assert err.value.path == cache.path_for(key)
+
+    @pytest.mark.tier2
+    def test_process_backend_loads_keep_corruption_error_contract(
+        self, run_cache
+    ):
+        # The process pool substitutes a remote-traceback object for
+        # the original cause, so the contract must survive without the
+        # exception chain (regression: the rebuild path used to key on
+        # ``__cause__ is None`` and was unreachable for spawn workers).
+        from repro.sim.aggregate import SweepSummary
+        from repro.sim.backends import ProcessBackend
+
+        spec, cache, _ = run_cache
+        key = next(iter(spec.point_keys()))
+        cache.path_for(key).write_text("{not json")
+        with pytest.raises(CacheCorruptionError) as err:
+            SweepSummary.from_cache(cache, backend=ProcessBackend(2))
+        assert err.value.path == cache.path_for(key)
+
+    def test_backend_loads_do_not_mislabel_other_errors(
+        self, run_cache, monkeypatch
+    ):
+        # A permissions problem (or any non-cache failure) on a point
+        # file is not corruption: the backend wrapper must surface, not
+        # a CacheCorruptionError claiming external damage.
+        from repro.errors import WorkerTaskError
+        from repro.sim.aggregate import SweepSummary
+        from repro.sim.backends import ThreadBackend
+
+        _, cache, _ = run_cache
+
+        def denied(self, key):
+            raise PermissionError(f"denied: {key}")
+
+        monkeypatch.setattr(type(cache), "load", denied)
+        with pytest.raises(WorkerTaskError) as err:
+            SweepSummary.from_cache(cache, backend=ThreadBackend(2))
+        assert not isinstance(err.value, CacheCorruptionError)
+        assert isinstance(err.value.__cause__, PermissionError)
 
     def test_undecodable_result_payload_raises_named_error(self, run_cache):
         spec, cache, _ = run_cache
@@ -278,8 +351,9 @@ class TestCorruptionAndAtomicity:
 
 @pytest.mark.tier2
 class TestCrossBackendIdentity:
-    """Serial, multiprocessing and the aggregate path must agree
-    bit-for-bit — the sweep subsystem's core contract."""
+    """Serial, thread and process execution (chunked or not) and the
+    aggregate path must agree bit-for-bit — the sweep subsystem's core
+    contract, whatever runs the points."""
 
     @pytest.fixture(scope="class")
     def grid(self):
@@ -291,22 +365,49 @@ class TestCrossBackendIdentity:
 
     @pytest.fixture(scope="class")
     def serial(self, grid):
-        return ParallelSweepRunner(grid, workers=1).run()
+        return ParallelSweepRunner(grid, workers=1, backend="serial").run()
 
-    @pytest.mark.parametrize("workers", [2, 4])
-    def test_workers_bit_identical(self, grid, serial, workers, tmp_path):
+    @pytest.mark.parametrize(
+        "backend,workers,chunk_size",
+        [
+            ("thread", 2, None),
+            ("thread", 4, None),
+            ("process", 2, None),
+            ("process", 4, None),
+            ("process", 2, 2),  # chunked: batches of points per task
+        ],
+        ids=["thread-2", "thread-4", "process-2", "process-4", "process-chunked"],
+    )
+    def test_backends_bit_identical(
+        self, grid, serial, backend, workers, chunk_size, tmp_path
+    ):
         parallel = ParallelSweepRunner(
-            grid, workers=workers, cache=tmp_path
+            grid,
+            workers=workers,
+            cache=tmp_path,
+            backend=backend,
+            chunk_size=chunk_size,
         ).run()
         for point in grid.points():
             assert (
                 parallel.results[point].metrics_dict()
                 == serial.results[point].metrics_dict()
-            ), f"workers={workers}: {point.describe()}"
+            ), f"{backend} workers={workers}: {point.describe()}"
         # The seed-level reduction is identical too — whatever computed
         # the points, and whether they come from memory or the cache.
         assert parallel.summary().to_dict() == serial.summary().to_dict()
         assert (
             SweepSummary.from_cache(SweepCache(tmp_path)).to_dict()
+            == serial.summary().to_dict()
+        )
+
+    def test_parallel_cache_load_identical(self, grid, serial, tmp_path):
+        from repro.sim.backends import ThreadBackend
+
+        ParallelSweepRunner(grid, workers=1, cache=tmp_path).run()
+        assert (
+            SweepSummary.from_cache(
+                SweepCache(tmp_path), backend=ThreadBackend(4)
+            ).to_dict()
             == serial.summary().to_dict()
         )

@@ -21,6 +21,9 @@ ALL_ERRORS = [
     errors.SweepCacheError,
     errors.CacheCorruptionError,
     errors.StaleManifestError,
+    errors.WorkerTaskError,
+    errors.SweepExecutionError,
+    errors.SweepLookupError,
 ]
 
 
@@ -64,3 +67,38 @@ def test_cache_errors_carry_the_offending_path():
 def test_catching_base_catches_all():
     with pytest.raises(errors.ReproError):
         raise errors.SchedulingError("boom")
+
+
+def test_execution_errors_are_experiment_errors():
+    for exc in (
+        errors.WorkerTaskError,
+        errors.SweepExecutionError,
+        errors.SweepLookupError,
+    ):
+        assert issubclass(exc, errors.ExperimentError)
+
+
+def test_worker_task_error_carries_index_and_pickles():
+    import pickle
+
+    err = errors.WorkerTaskError("task 2 raised ValueError: boom", index=2)
+    assert err.index == 2
+    back = pickle.loads(pickle.dumps(err))
+    assert back.index == 2 and "boom" in str(back)
+    assert errors.WorkerTaskError("no index").index is None
+
+
+def test_sweep_execution_error_carries_coordinates():
+    err = errors.SweepExecutionError(
+        "point failed", policy="PCS", arrival_rate=50.0, seed=3
+    )
+    assert (err.policy, err.arrival_rate, err.seed) == ("PCS", 50.0, 3)
+    bare = errors.SweepExecutionError("unknown point")
+    assert bare.policy is None and bare.seed is None
+
+
+def test_sweep_lookup_error_is_keyerror_with_clean_message():
+    err = errors.SweepLookupError("no sweep cell (PCS, 50, seed 3)")
+    assert isinstance(err, KeyError)
+    # KeyError's default str() would repr-quote the message.
+    assert str(err) == "no sweep cell (PCS, 50, seed 3)"
