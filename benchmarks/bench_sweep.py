@@ -169,6 +169,17 @@ def test_sweep_backends_small_grid(benchmark):
     spec = _small_grid_spec()
     assert spec.n_points <= 8
 
+    # The cost-aware auto rule must route this small *cheap* grid to
+    # threads (the spec-based estimate sits below the spawn-tax
+    # cutoff); the recorded choice rides in the benchmark artifact so
+    # CI provenance shows what `auto` actually picked.
+    auto_choice = ParallelSweepRunner(spec, workers=4)._resolve_backend(
+        spec.n_points, []
+    ).name
+    assert auto_choice == "thread", (
+        f"auto routed the small cheap grid to {auto_choice!r}"
+    )
+
     backends = {
         "serial": SerialBackend(),
         "thread": ThreadBackend(4),
@@ -211,6 +222,7 @@ def test_sweep_backends_small_grid(benchmark):
             "chunk_size_chunked": 2,
             "usable_cores": _usable_cores(),
             "scenario": spec.scenario,
+            "auto_backend_choice": auto_choice,
         },
     )
     # Claim 4: the whole point of the thread backend.

@@ -12,7 +12,10 @@ Subcommands regenerate the paper's evaluation artifacts:
   parallel sweep subsystem (:mod:`repro.sim.sweep`);
 - ``aggregate`` — seed-level statistics (mean ± CI per metric, via
   :mod:`repro.sim.aggregate`) over a sweep cache directory's
-  ``manifest.json``, with ``--gc`` to drop orphaned point files;
+  ``manifest.json``, with ``--gc`` to drop orphaned point files and
+  ``--compare DIR`` to diff two sweep caches: manifest spec diff plus
+  a joint table of paired per-seed differences over the shared
+  (policy, rate) cells (identical seed sets required);
 - ``scenarios`` — the registered workload-scenario catalog
   (:mod:`repro.scenarios`), with live topology summaries.
 
@@ -70,15 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_backend_args(p, default="auto"):
-        # default=None lets a driver apply its own rule (fig5/fig7
-        # resolve to process workers — their points are expensive or
-        # timing-sensitive, so the small-batch thread rule misfits).
         p.add_argument(
             "--backend",
             choices=["auto", "serial", "thread", "process"],
             default=default,
             help="how workers execute (repro.sim.backends): auto picks "
-            "serial for 1 worker, in-process threads for small pending "
+            "serial for 1 worker, spawn processes for points whose "
+            "estimated cost outweighs the per-worker spawn tax "
+            "(cost-aware), in-process threads for small cheap pending "
             "sets (no spawn import cost), spawn processes otherwise",
         )
         p.add_argument(
@@ -95,10 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="registered workload scenario to run "
             "(see the `scenarios` subcommand)",
         )
+        # default=None (resolved to 1.0 downstream) so `fig6 --scale
+        # paper` can tell "left unset" from an explicit `--shape-scale
+        # 1.0` — explicit values always beat the scenario's preset.
         p.add_argument(
-            "--shape-scale", type=float, default=1.0, dest="shape_scale",
+            "--shape-scale", type=float, default=None, dest="shape_scale",
             help="shape multiplier for scenario builders with scaled "
-            "shapes (nutch-search is shaped by its own knobs instead)",
+            "shapes, default 1.0 (nutch-search is shaped by its own "
+            "knobs instead)",
         )
 
     p5 = sub.add_parser("fig5", help="prediction-accuracy experiment")
@@ -212,6 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory of a completed sweep (must hold a manifest)",
     )
     pg.add_argument(
+        "--compare", default=None, metavar="DIR",
+        help="second sweep cache to diff against: prints the manifest "
+        "spec diff plus a joint table of paired per-seed differences "
+        "(cache-dir minus DIR) for every shared (policy, rate) cell; "
+        "shared cells run under different seed sets are an error",
+    )
+    pg.add_argument(
         "--metrics", default=None,
         help="comma-separated flattened metric names to tabulate "
         "(default: the two paper currencies, component p99 and "
@@ -243,10 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(name, topology, description)",
     )
     pc.add_argument(
-        "--shape-scale", type=float, default=1.0, dest="shape_scale",
-        help="shape multiplier applied to the printed topology summaries",
+        "--shape-scale", type=float, default=None, dest="shape_scale",
+        help="shape multiplier applied to the printed topology "
+        "summaries (default 1.0)",
     )
     return parser
+
+
+def _shape_scale(args) -> float:
+    """The resolved --shape-scale for consumers without a sentinel."""
+    return args.shape_scale if args.shape_scale is not None else 1.0
 
 
 def _run_sweep(args) -> int:
@@ -281,7 +300,7 @@ def _run_sweep(args) -> int:
         n_intervals=args.intervals,
         warmup_intervals=args.warmup_intervals,
         seed=seeds[0],
-        scale=args.shape_scale,
+        scale=_shape_scale(args),
     )
     if args.scenario == "nutch-search":
         overrides["nutch"] = NutchConfig(
@@ -329,6 +348,13 @@ def _run_aggregate(args) -> int:
     if not os.path.isdir(args.cache_dir):
         print(f"error: no such cache directory: {args.cache_dir}", file=sys.stderr)
         return 2
+    # Fail a typo'd --compare path *before* aggregating the primary
+    # cache — on a large cache that aggregation is the expensive part.
+    if args.compare is not None and not os.path.isdir(args.compare):
+        print(
+            f"error: no such cache directory: {args.compare}", file=sys.stderr
+        )
+        return 2
     cache = SweepCache(args.cache_dir)
     try:
         if args.gc:
@@ -357,20 +383,69 @@ def _run_aggregate(args) -> int:
             AggregateConfig(confidence=args.confidence),
             backend=backend,
         )
+        metrics = (
+            [m for m in args.metrics.split(",") if m]
+            if args.metrics
+            else list(DEFAULT_TABLE_METRICS)
+        )
+        if args.compare is not None:
+            return _run_compare(args, cache, summary, metrics, backend)
         if args.json:
             import json
 
             print(json.dumps(summary.to_dict(), sort_keys=True, indent=2))
         else:
-            metrics = (
-                [m for m in args.metrics.split(",") if m]
-                if args.metrics
-                else list(DEFAULT_TABLE_METRICS)
-            )
             print(summary.render_table(metrics=metrics))
     except ExperimentError as exc:  # includes the SweepCacheError family
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _run_compare(args, cache, summary, metrics, backend) -> int:
+    """``aggregate --compare DIR``: spec diff + joint paired-delta table.
+
+    Exceptions propagate to ``_run_aggregate``'s handler so a missing
+    manifest, a corrupt cache, or mismatched seed sets all surface as
+    the same clean ``error:`` line (exit code 2).
+    """
+    from repro.sim.aggregate import AggregateConfig, SweepSummary
+    from repro.sim.sweep import SweepCache
+
+    other_cache = SweepCache(args.compare)
+    other = SweepSummary.from_cache(
+        other_cache,
+        AggregateConfig(confidence=args.confidence),
+        backend=backend,
+    )
+    spec_diff = cache.diff(other_cache)
+    if args.json:
+        import json
+
+        payload = {
+            "spec_diff": {k: list(v) for k, v in spec_diff.items()},
+            "cells": [
+                {
+                    "policy": policy,
+                    "arrival_rate": rate,
+                    "diff": {m: s.to_dict() for m, s in stats.items()},
+                }
+                for (policy, rate), stats in summary.compare(
+                    other, metrics=metrics
+                ).items()
+            ],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    if spec_diff:
+        print("spec diff (this run vs other run):")
+        for key in sorted(spec_diff):
+            mine, theirs = spec_diff[key]
+            print(f"  {key}: {mine!r} -> {theirs!r}")
+        print()
+    else:
+        print("spec diff: none (identical grids)\n")
+    print(summary.render_compare_table(other, metrics=metrics))
     return 0
 
 
@@ -381,7 +456,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.fig5 import Fig5Config, run_fig5
 
         cfg = Fig5Config(
-            seed=args.seed, scenario=args.scenario, scale=args.shape_scale
+            seed=args.seed, scenario=args.scenario, scale=_shape_scale(args)
         )
         print(
             run_fig5(
@@ -401,11 +476,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             else ()
         )
         if args.scale == "paper":
+            # Full scale = the scenario's own registered preset; a
+            # scenario without one raises a named ConfigurationError
+            # instead of silently running Nutch-shaped constants.
             cfg = Fig6Config(
                 seed=args.seed,
                 seeds=seeds,
                 scenario=args.scenario,
                 scale=args.shape_scale,
+                paper_scale=True,
             )
         else:
             cfg = Fig6Config(
@@ -433,7 +512,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.fig7 import Fig7Config, run_fig7
 
         cfg = Fig7Config(
-            seed=args.seed, scenario=args.scenario, scale=args.shape_scale
+            seed=args.seed, scenario=args.scenario, scale=_shape_scale(args)
         )
         print(
             run_fig7(
@@ -454,7 +533,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             arrival_rate=args.rate,
             seed=args.seed,
             scenario=args.scenario,
-            scale=args.shape_scale,
+            scale=_shape_scale(args),
         )
         print(result.render())
     elif args.command == "sweep":
@@ -465,7 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.scenarios import all_scenarios
 
         for spec in all_scenarios():
-            cfg = spec.runner_config(scale=args.shape_scale)
+            cfg = spec.runner_config(scale=_shape_scale(args))
             print(spec.describe(cfg))
             if spec.tags:
                 print(f"    tags: {', '.join(spec.tags)}")

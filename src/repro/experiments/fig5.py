@@ -231,6 +231,31 @@ def _run_workload_campaign(args: Tuple[str, Fig5Config]) -> List[Fig5Case]:
     return cases
 
 
+#: Coarse wall-clock calibration for one simulated *window-second* of a
+#: profiling campaign (measured ~7e-6 s on the dev host — a default
+#: 20-size × 4-window campaign runs in ~30 ms — rounded up for margin).
+FIG5_WALL_S_PER_WINDOW_SECOND = 2e-5
+
+
+def campaign_cost_estimate_s(cfg: Fig5Config) -> float:
+    """Expected wall-clock of one per-workload campaign.
+
+    Each campaign simulates ``n_sizes × (train + test) × window_s``
+    seconds of profiling windows.  Default-size campaigns are *light*
+    (tens of milliseconds), so the cost-aware ``auto`` backend rule
+    correctly keeps the six-campaign batch on zero-start-up threads —
+    a spawn pool would pay seconds of per-worker import for
+    sub-second total compute.  Scaled-up campaigns (many sizes, long
+    windows) clear the spawn-tax cutoff and route to processes, where
+    true parallelism finally pays for itself.
+    """
+    windows = cfg.train_windows + cfg.test_windows
+    n_sizes = max(cfg.n_hadoop_sizes, cfg.n_spark_sizes)
+    return float(
+        n_sizes * windows * cfg.window_s * FIG5_WALL_S_PER_WINDOW_SECOND
+    )
+
+
 def run_fig5(
     config: Fig5Config | None = None,
     workers: int = 1,
@@ -242,23 +267,19 @@ def run_fig5(
     ``workers``/``backend`` fan the six per-workload campaigns out over
     an execution backend (:mod:`repro.sim.backends`); the per-workload
     RNG streams make the numbers identical for any worker count or
-    backend.  ``backend=None`` resolves to spawn processes for
-    ``workers > 1`` rather than the small-batch thread auto-rule: each
-    campaign is minutes of mostly pure-Python compute, so threads
-    sharing the GIL would serialise what processes genuinely
-    parallelise.
+    backend.  The default ``backend=None`` goes through the cost-aware
+    ``auto`` rule with :func:`campaign_cost_estimate_s`: default-size
+    campaigns are cheap and stay on threads (no spawn tax), scaled-up
+    ones route to spawn processes for true parallelism.
     """
     cfg = config or Fig5Config()
-    if backend is None:
-        from repro.sim.backends import cpu_bound_backend
-
-        backend = cpu_bound_backend(workers, chunk_size=chunk_size)
     per_workload = parallel_map(
         _run_workload_campaign,
         [(w, cfg) for w in HADOOP_WORKLOADS + SPARK_WORKLOADS],
         workers=workers,
         backend=backend,
         chunk_size=chunk_size,
+        est_cost_s=campaign_cost_estimate_s(cfg),
     )
     cases = [case for campaign in per_workload for case in campaign]
     return Fig5Result(cases=cases, config=cfg)

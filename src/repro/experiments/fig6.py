@@ -10,7 +10,12 @@ techniques* (RED-3/RED-5/RI-90/RI-99).
 This driver reruns exactly that sweep on the simulated cluster and
 computes the same headline aggregation.  The scale knobs default to a
 laptop-sized but faithful configuration; ``Fig6Config(paper_scale=True)``
-uses the paper's full 30-node / 100-searching-VM setup.
+applies the *scenario's own* full-scale preset
+(:attr:`~repro.scenarios.spec.ScenarioSpec.paper_scale` — the paper's
+30-node / 100-searching-VM setup for ``nutch-search``, per-scenario
+sizes elsewhere) and raises a named
+:class:`~repro.errors.ConfigurationError` for scenarios that define no
+preset, instead of silently mis-sizing them with Nutch constants.
 
 Execution routes through :mod:`repro.sim.sweep`: every (policy, rate)
 cell is one independent sweep point, so ``workers=N`` fans the grid out
@@ -20,7 +25,7 @@ memoizes completed cells so an interrupted sweep resumes for free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -77,7 +82,13 @@ def paper_pcs_policy(max_migrations: int = 25) -> PCSPolicy:
 
 @dataclass(frozen=True)
 class Fig6Config:
-    """Scale and sweep parameters for the Fig. 6 reproduction."""
+    """Scale and sweep parameters for the Fig. 6 reproduction.
+
+    ``paper_scale=True`` applies the scenario's registered full-scale
+    preset (``ScenarioSpec.paper_scale``) to every field the caller
+    left at its default — explicit arguments always win — and fails
+    loudly for scenarios without one.
+    """
 
     arrival_rates: Tuple[float, ...] = PAPER_ARRIVAL_RATES
     #: ``None`` resolves to the scenario's own default cluster size
@@ -92,8 +103,13 @@ class Fig6Config:
     scenario: str = "nutch-search"
     #: Shape multiplier for scenario builders that define scaled shapes
     #: (the ``nutch-search`` shape comes from :attr:`nutch` instead).
-    scale: float = 1.0
-    nutch: NutchConfig = field(default_factory=NutchConfig)
+    #: ``None`` (the default) resolves to 1.0 — the sentinel lets a
+    #: paper-scale preset distinguish "left unset" from an explicitly
+    #: passed 1.0, so explicit arguments always win.
+    scale: Optional[float] = None
+    #: Shape of the ``nutch-search`` service; ``None`` resolves to the
+    #: stock :class:`NutchConfig` (same sentinel rationale as `scale`).
+    nutch: Optional[NutchConfig] = None
     #: ``None`` resolves to the scenario's workload/interference
     #: profile, so every driver runs a scenario in the same environment
     #: as the sweep CLI.
@@ -103,6 +119,8 @@ class Fig6Config:
     #: ``(seed,)``.  With several seeds the driver reports mean ± CI
     #: per cell through :mod:`repro.sim.aggregate`.
     seeds: Tuple[int, ...] = ()
+    #: Apply the scenario's full-scale preset (see the class docstring).
+    paper_scale: bool = False
 
     def __post_init__(self) -> None:
         if not self.arrival_rates:
@@ -110,6 +128,8 @@ class Fig6Config:
         if any(r <= 0 for r in self.arrival_rates):
             raise ExperimentError("arrival rates must be positive")
         spec = get_scenario(self.scenario)  # fail fast on unknown names
+        if self.paper_scale:
+            self._apply_paper_preset(spec)
         if self.n_nodes is None:
             object.__setattr__(
                 self, "n_nodes", int(spec.runner_defaults.get("n_nodes", 30))
@@ -120,10 +140,51 @@ class Fig6Config:
             object.__setattr__(
                 self, "policies", tuple(standard_policies()[:-1]) + (paper_pcs_policy(),)
             )
+        if self.scale is None:
+            object.__setattr__(self, "scale", 1.0)
+        if self.nutch is None:
+            object.__setattr__(self, "nutch", NutchConfig())
         if not self.seeds:
             object.__setattr__(self, "seeds", (self.seed,))
         if len(set(self.seeds)) != len(self.seeds):
             raise ExperimentError(f"duplicate seeds: {self.seeds}")
+
+    #: The fields a scenario's paper-scale preset may set — exactly the
+    #: ones whose ``None`` default is a sentinel, so "left unset" is
+    #: detectable and an explicitly passed value is never overridden.
+    PRESETTABLE_FIELDS = ("n_nodes", "scale", "nutch")
+
+    def _apply_paper_preset(self, spec) -> None:
+        """Apply ``spec.paper_scale`` to fields still at their defaults.
+
+        Preset keys are restricted to :attr:`PRESETTABLE_FIELDS` —
+        fields with ``None`` sentinels — so an explicitly passed value,
+        even one equal to the resolved default, is never overridden
+        (any other key is rejected rather than applied under
+        unsound value-equality detection).  Presets are moved into the
+        scenario registry precisely so that ``paper_scale=True`` can
+        never silently size scenario B with scenario A's constants: an
+        empty preset (unknown combination) raises a named
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        from repro.errors import ConfigurationError
+
+        preset = dict(spec.paper_scale)
+        if not preset:
+            raise ConfigurationError(
+                f"scenario {self.scenario!r} defines no paper-scale preset "
+                "(ScenarioSpec.paper_scale); register one or run it at "
+                "quick scale"
+            )
+        for key, value in preset.items():
+            if key not in self.PRESETTABLE_FIELDS:
+                raise ConfigurationError(
+                    f"scenario {self.scenario!r} paper-scale preset key "
+                    f"{key!r} is not presettable (allowed: "
+                    f"{', '.join(self.PRESETTABLE_FIELDS)})"
+                )
+            if getattr(self, key) is None:
+                object.__setattr__(self, key, value)
 
     def runner_config(self, arrival_rate: float) -> RunnerConfig:
         """Runner configuration for one sweep point."""

@@ -300,6 +300,28 @@ def _measure_hier_point(args: Tuple[int, int, Fig7Config]) -> Fig7Point:
     )
 
 
+#: Coarse wall-clock calibration for one performance-matrix cell per
+#: timing repeat (build + greedy amortised) — only has to rank a grid
+#: point against the worker spawn tax.
+SCHED_WALL_S_PER_CELL = 2e-5
+
+
+def point_cost_estimate_s(cfg: Fig7Config) -> float:
+    """Expected wall-clock of the grid's most expensive point.
+
+    Scheduling work scales with the ``m × k`` matrix; the largest
+    point dominates a batch's wall-clock, so the ``auto`` backend rule
+    sizes the whole batch by it — the conservative choice for Fig. 7,
+    where thread workers sharing the GIL would silently inflate the
+    *measured* durations that are the figure's whole output.
+    """
+    cells = max(
+        [cfg.repeats * m * k for m, k in cfg.sizes]
+        + [m * k for m, k in cfg.hierarchical_sizes]
+    )
+    return float(cells * SCHED_WALL_S_PER_CELL)
+
+
 def run_fig7(
     config: Fig7Config | None = None,
     workers: int = 1,
@@ -309,23 +331,23 @@ def run_fig7(
     """Measure analysis + search times over the (m, k) grid.
 
     Keep ``workers=1`` (the default) for paper-faithful timings:
-    co-scheduled points steal cycles from each other.  ``backend=None``
-    resolves to spawn processes for ``workers > 1`` — never the
-    small-batch thread auto-rule, because Fig. 7 points are *measured*
-    (not simulated) durations and thread workers sharing the GIL would
-    silently inflate them.
+    co-scheduled points steal cycles from each other.  The default
+    ``backend=None`` goes through the cost-aware ``auto`` rule with
+    :func:`point_cost_estimate_s`; the paper-sized grid estimates well
+    past the spawn-tax cutoff, so ``workers > 1`` spawns processes
+    rather than GIL-sharing threads (which would inflate the measured
+    durations).  For deliberately tiny custom grids pass ``--backend
+    process`` explicitly if timing fidelity still matters.
     """
     cfg = config or Fig7Config()
-    if backend is None:
-        from repro.sim.backends import cpu_bound_backend
-
-        backend = cpu_bound_backend(workers, chunk_size=chunk_size)
+    est = point_cost_estimate_s(cfg)
     points: List[Fig7Point] = parallel_map(
         _measure_flat_point,
         [(m, k, cfg) for m, k in cfg.sizes],
         workers=workers,
         backend=backend,
         chunk_size=chunk_size,
+        est_cost_s=est,
     )
     points += parallel_map(
         _measure_hier_point,
@@ -333,5 +355,6 @@ def run_fig7(
         workers=workers,
         backend=backend,
         chunk_size=chunk_size,
+        est_cost_s=est,
     )
     return Fig7Result(points=points, config=cfg)

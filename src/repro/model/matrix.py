@@ -37,13 +37,17 @@ latency reduction — because Algorithm 1 line 7 breaks ties on it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ModelError, SchedulingError
 from repro.model.predictor import LatencyPredictor
-from repro.model.service_latency import stage_offsets
+from repro.model.service_latency import (
+    exits_from_predecessors,
+    stage_offsets,
+    validate_predecessors,
+)
 from repro.service.component import ComponentClass
 
 __all__ = ["MatrixInputs", "PerformanceMatrix"]
@@ -79,6 +83,17 @@ class MatrixInputs:
         :func:`repro.model.service_latency.grouped_overall_latency`;
         when ``None`` each component is its own group, which is exactly
         the paper's Eq. 3.
+    stage_predecessors:
+        Optional per-stage predecessor tuple
+        (:attr:`~repro.service.topology.ServiceTopology.
+        predecessor_indices`) for DAG topologies.  When given, the
+        overall-latency objective composes stage maxima along the
+        **critical path** instead of Eq. 4's chain sum, so ``L``
+        entries weight a straggler by whether its stage actually sits
+        on the predicted critical path — migrating a component on a
+        side branch that the join never waits on predicts (correctly)
+        no overall gain.  ``None`` keeps the exact chain sum, which is
+        what a chain DAG's critical path degenerates to.
     """
 
     stage_of: np.ndarray
@@ -89,6 +104,7 @@ class MatrixInputs:
     arrival_rates: np.ndarray
     node_limits: Optional[np.ndarray] = None
     group_of: Optional[np.ndarray] = None
+    stage_predecessors: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     def __post_init__(self) -> None:
         self.stage_of = np.asarray(self.stage_of, dtype=np.int64)
@@ -136,6 +152,13 @@ class MatrixInputs:
                 stages = np.unique(self.stage_of[self.group_of == g])
                 if stages.size != 1:
                     raise ModelError(f"group {g} spans stages {stages}")
+        if self.stage_predecessors is not None:
+            # The one shared DAG validator (service_latency), so the
+            # invariant cannot drift between the matrix and the
+            # composition functions.
+            self.stage_predecessors = validate_predecessors(
+                self.stage_predecessors, int(self.stage_of.max()) + 1
+            )
 
     def component_counts(self) -> np.ndarray:
         """Components currently hosted per node."""
@@ -164,6 +187,7 @@ class MatrixInputs:
                 None if self.node_limits is None else self.node_limits.copy()
             ),
             group_of=None if self.group_of is None else self.group_of.copy(),
+            stage_predecessors=self.stage_predecessors,
         )
 
 
@@ -194,6 +218,14 @@ class PerformanceMatrix:
         # With one component per group (the paper's exact Eq. 3) the
         # group-mean reduction is the identity — skip it on hot paths.
         self._trivial_groups = bool(np.all(self._group_sizes == 1.0))
+        # DAG topologies compose stage maxima along the critical path;
+        # None keeps the exact chain sum (bit-identical to pre-DAG).
+        # Predecessors were validated by MatrixInputs; exits are
+        # precomputed here because _compose sits on the greedy loop's
+        # innermost path and must not re-derive them per call.
+        self._dag_preds = inputs.stage_predecessors
+        if self._dag_preds is not None:
+            self._dag_exits = exits_from_predecessors(self._dag_preds)
         # Class-batched index lists, computed once.
         self._class_rows: Dict[ComponentClass, np.ndarray] = {}
         for cls in set(inputs.classes):
@@ -228,6 +260,32 @@ class PerformanceMatrix:
             )
         return out
 
+    def _compose(self, stage_max: np.ndarray) -> np.ndarray:
+        """Overall latency from per-stage maxima: Eq. 4's chain sum, or
+        the critical path when the inputs carry a stage DAG.  Works on
+        ``(S,)`` and batched ``(..., S)`` sheets alike.
+
+        Inlines :func:`~repro.model.service_latency.dag_overall_latency`
+        against the pre-validated predecessors and precomputed exit set
+        — this runs per candidate evaluation inside the greedy loop, so
+        the public function's per-call validation would be pure waste.
+        """
+        if self._dag_preds is None:
+            return stage_max.sum(axis=-1)
+        completion = np.empty_like(stage_max)
+        for si, ps in enumerate(self._dag_preds):
+            if not ps:
+                completion[..., si] = stage_max[..., si]
+                continue
+            ready = completion[..., ps[0]]
+            for p in ps[1:]:
+                ready = np.maximum(ready, completion[..., p])
+            completion[..., si] = ready + stage_max[..., si]
+        overall = completion[..., self._dag_exits[0]]
+        for si in self._dag_exits[1:]:
+            overall = np.maximum(overall, completion[..., si])
+        return overall
+
     def _overall(self, latencies: np.ndarray) -> float:
         """Grouped Eqs. 3–4 (exactly the paper's form when each
         component is its own group)."""
@@ -235,7 +293,7 @@ class PerformanceMatrix:
             np.add.reduceat(latencies, self._group_offsets) / self._group_sizes
         )
         return float(
-            np.maximum.reduceat(means, self._stage_offsets_groups).sum()
+            self._compose(np.maximum.reduceat(means, self._stage_offsets_groups))
         )
 
     def _refresh_base(self) -> None:
@@ -246,9 +304,11 @@ class PerformanceMatrix:
             / self._group_sizes
         )
         self.base_overall = float(
-            np.maximum.reduceat(
-                self._base_group_means, self._stage_offsets_groups
-            ).sum()
+            self._compose(
+                np.maximum.reduceat(
+                    self._base_group_means, self._stage_offsets_groups
+                )
+            )
         )
 
     @property
@@ -296,7 +356,7 @@ class PerformanceMatrix:
         delta = (l_aff - self.base_latencies[affected]) / self._group_sizes[groups]
         np.add.at(means, groups, delta)
         l_overall_new = float(
-            np.maximum.reduceat(means, self._stage_offsets_groups).sum()
+            self._compose(np.maximum.reduceat(means, self._stage_offsets_groups))
         )
         return (
             float(self.base_overall - l_overall_new),
@@ -400,7 +460,7 @@ class PerformanceMatrix:
         stage_max = np.maximum.reduceat(
             group_means, self._stage_offsets_groups, axis=1
         )
-        l_row = self.base_overall - stage_max.sum(axis=1)
+        l_row = self.base_overall - self._compose(stage_max)
         r_row = self.base_latencies[i] - l_self
         l_row[origin] = 0.0
         r_row = np.asarray(r_row, dtype=np.float64)
@@ -519,7 +579,7 @@ class PerformanceMatrix:
         ]
         np.add.at(means, (pair_row, groups), delta)
         stage_max = np.maximum.reduceat(means, self._stage_offsets_groups, axis=1)
-        self.L[rows, col] = self.base_overall - stage_max.sum(axis=1)
+        self.L[rows, col] = self.base_overall - self._compose(stage_max)
         # Self-gain for the tie-break matrix.
         l_self = np.empty(n_rows)
         for cls in self._class_rows:

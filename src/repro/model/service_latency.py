@@ -1,4 +1,4 @@
-"""Topology latency — paper Eqs. 3 and 4.
+"""Topology latency — paper Eqs. 3 and 4, generalised to request DAGs.
 
 Given per-component expected latencies ``l_i``, a stage's latency is the
 max over its parallel components (Eq. 3) and the service's overall
@@ -6,17 +6,34 @@ latency is the sum over its sequential stages (Eq. 4).  The hot path
 works on a flat ``(m,)`` latency array plus a ``(m,)`` stage-index array
 (matrix row order), so the segment-max reduces in one
 ``np.maximum.reduceat`` call.
+
+With a DAG topology (:class:`~repro.service.topology.ServiceTopology`
+with skip edges or parallel branches), Eq. 4's sum becomes the
+**critical path** over the stage DAG: a stage starts when its slowest
+predecessor completes, and the overall latency is the max over the exit
+stages' completion times (:func:`dag_overall_latency`).  On a chain the
+critical path *is* the sum of stages, so the chain entry points below
+stay the exact paper formulas.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ModelError
 
-__all__ = ["stage_latencies", "overall_latency", "stage_offsets"]
+__all__ = [
+    "stage_latencies",
+    "overall_latency",
+    "stage_offsets",
+    "grouped_overall_latency",
+    "validate_predecessors",
+    "exits_from_predecessors",
+    "dag_completion_times",
+    "dag_overall_latency",
+]
 
 
 def stage_offsets(stage_of: np.ndarray) -> np.ndarray:
@@ -76,3 +93,102 @@ def grouped_overall_latency(
     stage_of_group = stage_of[g_offsets]
     s_offsets = stage_offsets(stage_of_group)
     return float(np.maximum.reduceat(means, s_offsets).sum())
+
+
+def validate_predecessors(
+    predecessors: Sequence[Sequence[int]], n_stages: int
+) -> Tuple[Tuple[int, ...], ...]:
+    """Normalise a per-stage predecessor structure to int tuples.
+
+    The one shared validator of the DAG invariant — each stage lists
+    *distinct, earlier* stage indices (definition order is the
+    topological order) — used by the composition functions here and by
+    :class:`repro.model.matrix.MatrixInputs`, so the rule cannot
+    drift between consumers.
+    """
+    preds = tuple(tuple(int(p) for p in ps) for ps in predecessors)
+    if len(preds) != n_stages:
+        raise ModelError(
+            f"predecessors has {len(preds)} entries for {n_stages} stages"
+        )
+    for si, ps in enumerate(preds):
+        if len(set(ps)) != len(ps) or any(not 0 <= p < si for p in ps):
+            raise ModelError(
+                f"stage {si} predecessors {ps} must be distinct earlier "
+                "stage indices (definition order is the topological order)"
+            )
+    return preds
+
+
+def exits_from_predecessors(
+    preds: Tuple[Tuple[int, ...], ...]
+) -> Tuple[int, ...]:
+    """Exit stages (no successor) of a validated predecessor structure.
+
+    The one shared derivation for the model layer — used by
+    :func:`dag_overall_latency` per call and precomputed once by
+    :class:`repro.model.matrix.PerformanceMatrix` — so exit semantics
+    cannot drift between the objective and its hot-path inline.
+    """
+    has_successor = [False] * len(preds)
+    for ps in preds:
+        for p in ps:
+            has_successor[p] = True
+    return tuple(si for si, used in enumerate(has_successor) if not used)
+
+
+def dag_completion_times(
+    stage_lats: np.ndarray, predecessors: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Per-stage completion times along the stage DAG.
+
+    ``stage_lats`` is ``(..., S)`` — per-stage latencies, with any
+    leading batch dimensions (the matrix's ``(k, S)`` sheets reduce in
+    one call).  ``predecessors[s]`` lists the earlier stage indices
+    stage ``s`` waits on (empty = entry stage).  Returns the same-shape
+    array of ``completion(s) = max_p completion(p) + stage_lats[s]``.
+    """
+    lats = np.asarray(stage_lats, dtype=np.float64)
+    if lats.ndim < 1 or lats.shape[-1] == 0:
+        raise ModelError("stage_lats must have a non-empty stage axis")
+    preds = validate_predecessors(predecessors, lats.shape[-1])
+    return _completion_times(lats, preds)
+
+
+def _completion_times(lats: np.ndarray, preds) -> np.ndarray:
+    """The completion recursion over already-validated predecessors."""
+    completion = np.empty_like(lats)
+    for si, ps in enumerate(preds):
+        if not ps:
+            completion[..., si] = lats[..., si]
+            continue
+        ready = completion[..., ps[0]]
+        for p in ps[1:]:
+            ready = np.maximum(ready, completion[..., p])
+        completion[..., si] = ready + lats[..., si]
+    return completion
+
+
+def dag_overall_latency(
+    stage_lats: np.ndarray, predecessors: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Critical-path overall latency over the stage DAG (Eq. 4's DAG form).
+
+    The max over the completion times of the exit stages (stages no
+    other stage waits on).  For a chain (``predecessors[s] == (s−1,)``)
+    the single exit's completion is exactly the running sum of stage
+    latencies — the paper's Eq. 4.  Shape: ``stage_lats`` minus its
+    last axis (a scalar ``float`` for 1-D input).
+    """
+    lats = np.asarray(stage_lats, dtype=np.float64)
+    if lats.ndim < 1 or lats.shape[-1] == 0:
+        raise ModelError("stage_lats must have a non-empty stage axis")
+    preds = validate_predecessors(predecessors, lats.shape[-1])
+    completion = _completion_times(lats, preds)
+    exits = exits_from_predecessors(preds)
+    overall = completion[..., exits[0]]
+    for si in exits[1:]:
+        overall = np.maximum(overall, completion[..., si])
+    if overall.ndim == 0:
+        return float(overall)
+    return overall

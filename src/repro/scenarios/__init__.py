@@ -32,10 +32,22 @@ Scenario catalog
     latency tail-dominated; redundancy's min-of-k is strongest here at
     light load and collapses hardest under its own induced load.
 
+``diamond-search``
+    A request **DAG**: parse fans out to parallel web-shard and
+    optional ads branches, joined by a blend stage with a
+    parse → blend skip edge.  Overall latency is the critical path
+    over the stage DAG (chains are the degenerate case).
+
+``branchy-api``
+    A probabilistically branched API backend: optional profile and
+    recommendation stages (per-request Bernoulli draws) behind a
+    gateway, joined by a render stage reachable by a skip edge.
+
 Non-Nutch shapes scale with ``RunnerConfig.scale`` (group/replica
 counts are multiplied and rounded), so tests and quick CLI runs shrink
 a scenario without registering a new one.  ``repro-pcs scenarios``
-prints this catalog with live topology summaries.
+prints this catalog with live topology summaries (DAG scenarios show
+their stage predecessors and optional-group counts).
 
 Adding a scenario
 -----------------
@@ -75,9 +87,16 @@ from repro.scenarios.spec import (
     get_scenario,
     register_scenario,
     scenario_names,
+    suggested_n_nodes,
 )
 from repro.scenarios import builtin as _builtin  # noqa: F401  (registers built-ins)
-from repro.scenarios.builtin import FANOUT_FEED, NUTCH_SEARCH, PIPELINE_DEEP
+from repro.scenarios.builtin import (
+    BRANCHY_API,
+    DIAMOND_SEARCH,
+    FANOUT_FEED,
+    NUTCH_SEARCH,
+    PIPELINE_DEEP,
+)
 
 __all__ = [
     "ScenarioSpec",
@@ -85,7 +104,10 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "all_scenarios",
+    "suggested_n_nodes",
     "NUTCH_SEARCH",
     "PIPELINE_DEEP",
     "FANOUT_FEED",
+    "DIAMOND_SEARCH",
+    "BRANCHY_API",
 ]

@@ -1,6 +1,6 @@
 """The built-in scenario catalog.
 
-Three workloads ship with the package (see the package docstring for
+Five workloads ship with the package (see the package docstring for
 the how-to-add guide):
 
 ``nutch-search``
@@ -24,12 +24,36 @@ the how-to-add guide):
     at light load and collapses under its own induced load, the
     contrast the paper's §VI-C narrates.
 
+``diamond-search``
+    a **DAG** topology (the tail-at-scale partition/aggregate shape):
+    query parsing fans out to two *parallel branches* — the web-index
+    shards and an optional ads lookup (each request joins it with
+    probability 0.65) — that a blend stage joins, with a *skip edge*
+    from parse straight to blend.  Overall latency is the critical
+    path over the stage DAG, not a chain sum.
+
+``branchy-api``
+    a probabilistically branched API backend: a gateway feeds an
+    optional profile hydration (p = 0.85) and optional recommendation
+    shards (p = 0.5 each) in parallel; a render stage joins whatever
+    ran, reachable from the gateway by a skip edge for requests that
+    skipped both branches.
+
 Shape scaling: the non-Nutch builders multiply their replica/group
 counts by ``config.scale`` (a :class:`~repro.sim.runner.RunnerConfig`
 field, default 1.0), so tests and quick CLI runs can shrink a scenario
 without registering a new one.  ``nutch-search`` ignores ``scale`` —
 its shape comes entirely from ``config.nutch``, preserving the
 pre-scenario behaviour bit for bit.
+
+Cluster sizing: the DAG scenarios derive their default ``n_nodes``
+from the component count via
+:func:`~repro.scenarios.spec.suggested_n_nodes` (one node per ~3
+components) instead of hand-picked constants; a test pins the derived
+numbers to the actual built shapes.  Every built-in also carries a
+``paper_scale`` preset — the overrides ``Fig6Config(paper_scale=True)``
+applies — so full-scale runs are sized per scenario rather than
+inheriting the Nutch constants.
 """
 
 from __future__ import annotations
@@ -37,7 +61,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.cluster.resources import ResourceVector
-from repro.scenarios.spec import ScenarioSpec, register_scenario
+from repro.scenarios.spec import ScenarioSpec, register_scenario, suggested_n_nodes
 from repro.service.component import Component, ComponentClass
 from repro.service.nutch import build_nutch_service
 from repro.service.service import OnlineService
@@ -49,7 +73,13 @@ from repro.workloads.generator import GeneratorConfig
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.runner import RunnerConfig
 
-__all__ = ["NUTCH_SEARCH", "PIPELINE_DEEP", "FANOUT_FEED"]
+__all__ = [
+    "NUTCH_SEARCH",
+    "PIPELINE_DEEP",
+    "FANOUT_FEED",
+    "DIAMOND_SEARCH",
+    "BRANCHY_API",
+]
 
 
 def _scaled(count: int, scale: float, floor: int = 1) -> int:
@@ -83,7 +113,13 @@ def _component(cls: ComponentClass, name: str, dist) -> Component:
 
 
 def _shared_stage(
-    stage: str, group: str, cls: ComponentClass, dist, replicas: int
+    stage: str,
+    group: str,
+    cls: ComponentClass,
+    dist,
+    replicas: int,
+    predecessors=None,
+    participation: float = 1.0,
 ) -> Stage:
     """One load-shared group of ``replicas`` interchangeable servers."""
     return Stage(
@@ -95,8 +131,10 @@ def _shared_stage(
                     _component(cls, f"{group}-r{r}", dist)
                     for r in range(replicas)
                 ],
+                participation=participation,
             )
         ],
+        predecessors=predecessors,
     )
 
 
@@ -116,6 +154,9 @@ NUTCH_SEARCH = register_scenario(
             "config.nutch"
         ),
         build=_build_nutch,
+        # The paper's testbed: 30 nodes hosting the 100-searching-VM
+        # topology (NutchConfig's defaults are already the 20x5 shape).
+        paper_scale={"n_nodes": 30},
         tags=("paper", "fan-out"),
     )
 )
@@ -165,6 +206,9 @@ PIPELINE_DEEP = register_scenario(
         ),
         build=_build_pipeline,
         runner_defaults={"n_nodes": 12},
+        # Full-scale: triple the chain's width on a cluster sized by
+        # the same one-node-per-~3-components rule as the defaults.
+        paper_scale={"n_nodes": 36, "scale": 3.0},
         tags=("pipeline", "sequential"),
     )
 )
@@ -218,6 +262,148 @@ FANOUT_FEED = register_scenario(
             jobs_per_node_per_s=0.015, max_batch_jobs_per_node=4
         ),
         runner_defaults={"n_nodes": 24},
+        # Full-scale: twice the shard fan-out (48 heavy-tailed groups).
+        paper_scale={"n_nodes": 56, "scale": 2.0},
         tags=("fan-out", "heavy-tail"),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# diamond-search (DAG: parallel branches, an optional stage, a skip edge)
+# ----------------------------------------------------------------------
+#: Component count of the unscaled diamond shape (parse + web shards +
+#: ads + blend) — pinned to the built service by a scenarios test so
+#: the sizing rule below can never drift from the real topology.
+DIAMOND_COMPONENTS = 3 + 6 * 3 + 3 + 4
+
+
+def _build_diamond(config: "RunnerConfig") -> OnlineService:
+    s = config.scale
+    parse = _shared_stage(
+        "parse", "parse-g0", ComponentClass.SEGMENTING,
+        LogNormal(ms(0.9), 0.3), _scaled(3, s),
+    )
+    web = Stage(
+        name="web",
+        groups=[
+            ReplicaGroup(
+                name=f"web-g{g:02d}",
+                components=[
+                    _component(
+                        ComponentClass.SEARCHING,
+                        f"web-g{g:02d}-r{r}",
+                        LogNormal(ms(3.2), 0.6),
+                    )
+                    for r in range(3)
+                ],
+            )
+            for g in range(_scaled(6, s, floor=2))
+        ],
+        predecessors=("parse",),
+    )
+    ads = _shared_stage(
+        "ads", "ads-g0", ComponentClass.GENERIC,
+        LogNormal(ms(2.4), 0.5), _scaled(3, s),
+        predecessors=("parse",), participation=0.65,
+    )
+    blend = _shared_stage(
+        "blend", "blend-g0", ComponentClass.AGGREGATING,
+        LogNormal(ms(1.6), 0.4), _scaled(4, s),
+        # parse -> blend is a structural skip edge. The mandatory web
+        # branch always dominates it (completion(web) >= completion
+        # (parse)), so it never gates the join here — it exercises the
+        # skip-edge machinery end to end; branchy-api is the scenario
+        # where the skip edge genuinely binds (both branches optional).
+        predecessors=("parse", "web", "ads"),
+    )
+    return OnlineService(
+        "diamond-search", ServiceTopology([parse, web, ads, blend])
+    )
+
+
+DIAMOND_SEARCH = register_scenario(
+    ScenarioSpec(
+        name="diamond-search",
+        description=(
+            "DAG search service (parse -> {web shards || optional ads} "
+            "-> blend, with a parse->blend skip edge); latency is the "
+            "critical path over the stage DAG"
+        ),
+        build=_build_diamond,
+        runner_defaults={"n_nodes": suggested_n_nodes(DIAMOND_COMPONENTS)},
+        paper_scale={
+            "n_nodes": suggested_n_nodes(3 * DIAMOND_COMPONENTS),
+            "scale": 3.0,
+        },
+        tags=("dag", "fan-out", "skip-edge"),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# branchy-api (DAG: probabilistic optional stages behind a gateway)
+# ----------------------------------------------------------------------
+#: Unscaled branchy shape (gateway + profile + 2 recs groups + render).
+BRANCHY_COMPONENTS = 3 + 3 + 2 * 2 + 3
+
+
+def _build_branchy(config: "RunnerConfig") -> OnlineService:
+    s = config.scale
+    gateway = _shared_stage(
+        "gateway", "gateway-g0", ComponentClass.SEGMENTING,
+        LogNormal(ms(0.7), 0.3), _scaled(3, s),
+    )
+    profile = _shared_stage(
+        "profile", "profile-g0", ComponentClass.GENERIC,
+        LogNormal(ms(2.2), 0.5), _scaled(3, s),
+        predecessors=("gateway",), participation=0.85,
+    )
+    recs = Stage(
+        name="recs",
+        groups=[
+            ReplicaGroup(
+                name=f"recs-g{g}",
+                components=[
+                    _component(
+                        ComponentClass.SEARCHING,
+                        f"recs-g{g}-r{r}",
+                        LogNormal(ms(3.0), 0.7),
+                    )
+                    for r in range(2)
+                ],
+                participation=0.5,
+            )
+            for g in range(_scaled(2, s, floor=1))
+        ],
+        predecessors=("gateway",),
+    )
+    render = _shared_stage(
+        "render", "render-g0", ComponentClass.AGGREGATING,
+        LogNormal(ms(1.4), 0.4), _scaled(3, s),
+        # gateway -> render is the skip edge: requests that skipped
+        # both optional branches still render straight away.
+        predecessors=("gateway", "profile", "recs"),
+    )
+    return OnlineService(
+        "branchy-api", ServiceTopology([gateway, profile, recs, render])
+    )
+
+
+BRANCHY_API = register_scenario(
+    ScenarioSpec(
+        name="branchy-api",
+        description=(
+            "probabilistically branched API backend (gateway -> "
+            "{optional profile || optional recs} -> render, gateway->"
+            "render skip edge); per-request Bernoulli branch draws"
+        ),
+        build=_build_branchy,
+        runner_defaults={"n_nodes": suggested_n_nodes(BRANCHY_COMPONENTS)},
+        paper_scale={
+            "n_nodes": suggested_n_nodes(3 * BRANCHY_COMPONENTS),
+            "scale": 3.0,
+        },
+        tags=("dag", "optional-stages", "skip-edge"),
     )
 )

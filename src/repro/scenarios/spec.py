@@ -26,6 +26,7 @@ process.  Registration happens at import time (built-ins in
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple
 
@@ -42,12 +43,32 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "all_scenarios",
+    "suggested_n_nodes",
 ]
 
 
 def _default_generator() -> GeneratorConfig:
     """The harness-wide default batch-churn profile."""
     return GeneratorConfig(jobs_per_node_per_s=0.01, max_batch_jobs_per_node=3)
+
+
+def suggested_n_nodes(
+    n_components: int, components_per_node: float = 3.0, floor: int = 8
+) -> int:
+    """Scenario-aware cluster sizing from the component count.
+
+    The built-in scenarios' hand-picked ``n_nodes`` constants cluster
+    around one node per ~3 components — enough spare slots that the
+    scheduler has somewhere to migrate *to*, few enough that batch-job
+    interference still bites.  New scenarios derive their default from
+    this rule instead of inventing another constant; the ``floor``
+    keeps tiny topologies on clusters large enough for churn to matter.
+    """
+    if n_components < 1:
+        raise ConfigurationError("n_components must be >= 1")
+    if components_per_node <= 0:
+        raise ConfigurationError("components_per_node must be positive")
+    return max(floor, math.ceil(n_components / components_per_node))
 
 
 @dataclass(frozen=True)
@@ -68,6 +89,14 @@ class ScenarioSpec:
     #: RunnerConfig field overrides that make the scenario well-posed
     #: by default (e.g. ``{"n_nodes": 24}``).
     runner_defaults: Mapping[str, object] = field(default_factory=dict)
+    #: Paper-scale preset: the shape/size overrides a full-scale
+    #: (``--scale paper``) run of *this* scenario uses — e.g.
+    #: ``{"n_nodes": 30}`` for the paper's Nutch setup, or a larger
+    #: ``scale`` multiplier for the synthetic scenarios.  Scenarios
+    #: without a preset make ``Fig6Config(paper_scale=True)`` raise a
+    #: named :class:`~repro.errors.ConfigurationError` instead of
+    #: silently inheriting the Nutch-shaped constants.
+    paper_scale: Mapping[str, object] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -79,12 +108,16 @@ class ScenarioSpec:
             )
         if self.interference_noise < 0:
             raise ConfigurationError("interference_noise must be >= 0")
-        unknown = set(self.runner_defaults) & {"scenario"}
-        if unknown:
-            raise ConfigurationError(
-                f"scenario {self.name!r} runner_defaults may not override "
-                f"{sorted(unknown)}"
-            )
+        for label, mapping in (
+            ("runner_defaults", self.runner_defaults),
+            ("paper_scale", self.paper_scale),
+        ):
+            unknown = set(mapping) & {"scenario"}
+            if unknown:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} {label} may not override "
+                    f"{sorted(unknown)}"
+                )
 
     # ------------------------------------------------------------------
     # config construction

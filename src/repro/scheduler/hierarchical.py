@@ -18,7 +18,7 @@ from O(m²k) to O(m·group_size·k).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +32,27 @@ from repro.scheduler.pcs import (
     SchedulingOutcome,
 )
 
-__all__ = ["HierarchicalScheduler"]
+__all__ = ["HierarchicalScheduler", "chunk_predecessors"]
+
+
+def chunk_predecessors(
+    preds: Tuple[Tuple[int, ...], ...], s_first: int, s_last: int
+) -> Tuple[Tuple[int, ...], ...]:
+    """Restrict a stage DAG to the chunk's stage range, renumbered.
+
+    Edges into stages before the chunk are dropped — those stages'
+    contributions are fixed from the chunk's point of view, the same
+    cross-chunk approximation the hierarchy already makes for stage
+    maxima — which turns their dependents into local entry stages.
+    Within the range every edge survives (a predecessor of stage ``s``
+    is always earlier, so it can only fall before the chunk, never
+    after), keeping the chunk's objective the critical path over its
+    own slice of the DAG instead of silently reverting to a chain sum.
+    """
+    return tuple(
+        tuple(p - s_first for p in preds[s] if p >= s_first)
+        for s in range(s_first, s_last + 1)
+    )
 
 
 class HierarchicalScheduler:
@@ -70,18 +90,30 @@ class HierarchicalScheduler:
                     inputs.assignment, minlength=inputs.k
                 ) - np.bincount(inputs.assignment[rows], minlength=inputs.k)
                 sub_limits = inputs.node_limits - outside
+            s_first = int(inputs.stage_of[rows[0]])
+            s_last = int(inputs.stage_of[rows[-1]])
             sub = MatrixInputs(
                 # Chunk stages renumbered from 0 so stage_offsets holds;
                 # chunks are stage-major contiguous so this is exact
                 # *within* the chunk (cross-chunk stage maxima are the
                 # approximation the hierarchy buys speed with).
-                stage_of=inputs.stage_of[rows] - inputs.stage_of[rows[0]],
+                stage_of=inputs.stage_of[rows] - s_first,
                 classes=[inputs.classes[int(r)] for r in rows],
                 demands=inputs.demands[rows],
                 assignment=inputs.assignment[rows].copy(),
                 node_totals=inputs.node_totals,  # shared live view
                 arrival_rates=inputs.arrival_rates[rows],
                 node_limits=sub_limits,
+                # DAG topologies keep their critical-path objective
+                # within the chunk (edges to pre-chunk stages drop —
+                # the same fixed-outside approximation as above).
+                stage_predecessors=(
+                    None
+                    if inputs.stage_predecessors is None
+                    else chunk_predecessors(
+                        inputs.stage_predecessors, s_first, s_last
+                    )
+                ),
             )
             outcome = self._inner.schedule(sub)
             if initial_overall is None:

@@ -1,23 +1,45 @@
-"""Service topology: stages of replica groups (paper Eqs. 3–4 shape).
+"""Service topology: a validated request DAG of stages (Eqs. 3–4, generalised).
 
 Semantics
 ---------
-- A request traverses the stages **sequentially**; the overall latency
-  is the sum of stage latencies (Eq. 4).
-- Within a stage, the request fans out to **every replica group**
-  (search shards all hold different index partitions) and the stage
-  completes when the slowest group responds (Eq. 3's max).
+- A request traverses the stages as a **DAG**: every stage lists the
+  stages whose completion it waits on (:attr:`Stage.predecessors`).
+  A stage starts when its *slowest* predecessor finishes, so the
+  overall latency is the **critical-path composition** of stage
+  latencies: ``completion(s) = max_p completion(p) + latency(s)``,
+  with the overall latency the max over the exit stages' completions.
+  When every stage's predecessor is simply the previous stage (the
+  default), this degenerates exactly to the paper's Eq. 4 — the sum of
+  stage latencies along the chain.  *Skip edges* (a later stage naming
+  an earlier, non-adjacent predecessor) are allowed: predecessors must
+  only appear earlier in the stage list, which keeps stage-major order
+  a topological order of the DAG.
+- Within a stage, the request fans out to the stage's **replica
+  groups** (search shards all hold different index partitions) and the
+  stage completes when the slowest *participating* group responds
+  (Eq. 3's max).  A group with ``participation < 1`` is **optional**:
+  each request includes it in the fan-out with that probability
+  (probabilistic branching; the Bernoulli draws come from the
+  caller's :class:`~repro.rng.RngRegistry`-derived request stream, so
+  sample paths stay deterministic per seed).  A request that skips
+  every group of a stage passes through it with zero added latency.
 - Within a group, replicas are interchangeable; which replica(s)
   receive a copy of the request is the *policy's* decision (Basic sends
   to one, RED-k to k, RI-p reissues conditionally).  Load-sharing a
   stage over several equivalent servers is therefore modeled as one
   group with several replicas.
+
+The stage-level DAG built here (``stage_graph``/:meth:`to_graph`) is
+the source of truth for traversal order everywhere downstream: both
+simulators walk :attr:`ServiceTopology.predecessor_indices`, and the
+scheduler's performance matrix composes predicted stage latencies
+along the same edges (:mod:`repro.model.service_latency`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -29,21 +51,38 @@ __all__ = ["ReplicaGroup", "Stage", "ServiceTopology"]
 
 @dataclass
 class ReplicaGroup:
-    """Interchangeable replicas of one shard/partition."""
+    """Interchangeable replicas of one shard/partition.
+
+    ``participation`` is the probability that a request's stage fan-out
+    includes this group (1.0 — the default — is the paper's
+    deterministic fan-out; anything lower makes the group *optional*,
+    drawn per request).
+    """
 
     name: str
     components: List[Component]
+    participation: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise TopologyError("group name must be non-empty")
         if not self.components:
             raise TopologyError(f"group {self.name} must have >= 1 replica")
+        if not 0.0 < self.participation <= 1.0:
+            raise TopologyError(
+                f"group {self.name} participation must be in (0, 1], "
+                f"got {self.participation}"
+            )
 
     @property
     def n_replicas(self) -> int:
         """Number of interchangeable replicas in this group."""
         return len(self.components)
+
+    @property
+    def optional(self) -> bool:
+        """Whether requests may skip this group (``participation < 1``)."""
+        return self.participation < 1.0
 
     def __iter__(self) -> Iterator[Component]:
         return iter(self.components)
@@ -54,16 +93,34 @@ class ReplicaGroup:
 
 @dataclass
 class Stage:
-    """One sequential stage: a set of groups the request fans out to."""
+    """One stage of the request DAG: a set of groups the request fans
+    out to once every predecessor stage has completed.
+
+    ``predecessors`` names the stages this one waits on.  ``None`` (the
+    default) means *the previous stage in the list* — the paper's chain
+    — or no predecessor for the first stage.  An explicit tuple may
+    name any **earlier** stages (skip edges included); ``()`` marks an
+    additional entry stage running in parallel from request arrival.
+    """
 
     name: str
     groups: List[ReplicaGroup]
+    predecessors: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise TopologyError("stage name must be non-empty")
         if not self.groups:
             raise TopologyError(f"stage {self.name} must have >= 1 group")
+        if self.predecessors is not None:
+            preds = tuple(self.predecessors)
+            if len(set(preds)) != len(preds):
+                raise TopologyError(
+                    f"stage {self.name} lists duplicate predecessors {preds}"
+                )
+            if self.name in preds:
+                raise TopologyError(f"stage {self.name} cannot precede itself")
+            self.predecessors = preds
 
     @property
     def components(self) -> List[Component]:
@@ -85,12 +142,17 @@ class Stage:
 
 
 class ServiceTopology:
-    """A validated chain of stages.
+    """A validated request DAG of stages.
 
-    Construction assigns every component its
-    ``(stage_index, group_index, replica_index)`` coordinates and
-    checks name uniqueness — the invariants everything downstream
-    (performance matrix rows, scheduler candidate sets) relies on.
+    Construction resolves every stage's predecessors (``None`` → the
+    previous stage), builds the stage-level DAG, assigns every
+    component its ``(stage_index, group_index, replica_index)``
+    coordinates and checks name uniqueness — the invariants everything
+    downstream (performance matrix rows, scheduler candidate sets, the
+    simulators' traversal order) relies on.  Predecessors must appear
+    *earlier* in the stage list, so the definition order is always a
+    topological order and the matrix's stage-major row layout is
+    preserved for any DAG.
     """
 
     def __init__(self, stages: Sequence[Stage]) -> None:
@@ -100,6 +162,51 @@ class ServiceTopology:
         if len(set(names)) != len(names):
             raise TopologyError(f"duplicate stage names in {names}")
         self._stages = list(stages)
+        index_of = {name: i for i, name in enumerate(names)}
+
+        # Resolve predecessor names to indices; None = chain default.
+        preds: List[Tuple[int, ...]] = []
+        for si, stage in enumerate(self._stages):
+            if stage.predecessors is None:
+                preds.append((si - 1,) if si > 0 else ())
+                continue
+            resolved = []
+            for pname in stage.predecessors:
+                pi = index_of.get(pname)
+                if pi is None:
+                    raise TopologyError(
+                        f"stage {stage.name!r} names unknown predecessor "
+                        f"{pname!r} (stages: {names})"
+                    )
+                if pi >= si:
+                    raise TopologyError(
+                        f"stage {stage.name!r} predecessor {pname!r} must be "
+                        "defined earlier in the stage list (definition order "
+                        "is the topological order)"
+                    )
+                resolved.append(pi)
+            preds.append(tuple(resolved))
+        self._predecessors: Tuple[Tuple[int, ...], ...] = tuple(preds)
+        succs: List[List[int]] = [[] for _ in self._stages]
+        for si, ps in enumerate(self._predecessors):
+            for p in ps:
+                succs[p].append(si)
+        self._successors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(s) for s in succs
+        )
+        # The stage-level DAG — the structural source of truth.  The
+        # earlier-only predecessor rule already guarantees acyclicity;
+        # the networkx check is a belt against future refactors.
+        self._stage_graph = nx.DiGraph()
+        self._stage_graph.add_nodes_from(names)
+        for si, ps in enumerate(self._predecessors):
+            for p in ps:
+                self._stage_graph.add_edge(names[p], names[si])
+        if not nx.is_directed_acyclic_graph(self._stage_graph):
+            raise TopologyError(  # pragma: no cover - unreachable belt
+                "stage predecessor edges form a cycle"
+            )
+
         seen: set[str] = set()
         for si, stage in enumerate(self._stages):
             for gi, group in enumerate(stage.groups):
@@ -116,13 +223,50 @@ class ServiceTopology:
     # ------------------------------------------------------------------
     @property
     def stages(self) -> List[Stage]:
-        """Stages in request-traversal order."""
+        """Stages in definition (topological, matrix-row) order."""
         return list(self._stages)
 
     @property
     def n_stages(self) -> int:
-        """Number of sequential stages (paper's S)."""
+        """Number of stages (paper's S)."""
         return len(self._stages)
+
+    @property
+    def predecessor_indices(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-stage predecessor stage indices (empty = entry stage)."""
+        return self._predecessors
+
+    @property
+    def successor_indices(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-stage successor stage indices (empty = exit stage)."""
+        return self._successors
+
+    @property
+    def exit_indices(self) -> Tuple[int, ...]:
+        """Indices of the exit stages (no successors)."""
+        return tuple(
+            si for si, succ in enumerate(self._successors) if not succ
+        )
+
+    @property
+    def is_chain(self) -> bool:
+        """Whether this DAG is exactly the paper's sequential chain.
+
+        True iff stage ``s`` waits on exactly stage ``s − 1`` (and the
+        first stage on nothing) and no group is optional — the
+        degenerate case every pre-DAG consumer assumed, kept on its own
+        fast path so chain scenarios stay bit-identical.
+        """
+        chain_edges = all(
+            ps == ((si - 1,) if si > 0 else ())
+            for si, ps in enumerate(self._predecessors)
+        )
+        return chain_edges and not self.has_optional_groups
+
+    @property
+    def has_optional_groups(self) -> bool:
+        """Whether any group is probabilistically skipped."""
+        return any(g.optional for s in self._stages for g in s.groups)
 
     @property
     def components(self) -> List[Component]:
@@ -156,39 +300,81 @@ class ServiceTopology:
         raise TopologyError(f"{component.name} is not part of this topology")
 
     # ------------------------------------------------------------------
-    # graph view
+    # graph views
     # ------------------------------------------------------------------
-    def to_graph(self) -> nx.DiGraph:
-        """Request-flow DAG: entry → stage fan-outs → exit.
+    @property
+    def stage_graph(self) -> nx.DiGraph:
+        """The stage-level request DAG (nodes are stage names)."""
+        return self._stage_graph.copy()
 
-        Useful for visualisation and for asserting structural properties
-        in tests; nodes are component names plus ``__entry__`` and
-        ``__exit__`` sentinels.
+    def to_graph(self) -> nx.DiGraph:
+        """Component-level request-flow DAG: entry → stages → exit.
+
+        Expanded from the stage DAG: every predecessor stage's
+        components feed every component of the dependent stage; entry
+        stages hang off the ``__entry__`` sentinel and exit stages feed
+        ``__exit__``.  Node attributes carry the component's stage and
+        its group's participation probability.
         """
         g = nx.DiGraph()
-        prev_layer = ["__entry__"]
         g.add_node("__entry__", kind="sentinel")
-        for stage in self._stages:
-            layer = []
-            for comp in stage.components:
-                g.add_node(comp.name, kind="component", stage=stage.name)
-                for p in prev_layer:
-                    g.add_edge(p, comp.name)
-                layer.append(comp.name)
-            prev_layer = layer
         g.add_node("__exit__", kind="sentinel")
-        for p in prev_layer:
-            g.add_edge(p, "__exit__")
+        for stage in self._stages:
+            for group in stage.groups:
+                for comp in group.components:
+                    g.add_node(
+                        comp.name,
+                        kind="component",
+                        stage=stage.name,
+                        participation=group.participation,
+                    )
+        for si, stage in enumerate(self._stages):
+            sources = (
+                [
+                    c.name
+                    for p in self._predecessors[si]
+                    for c in self._stages[p].components
+                ]
+                if self._predecessors[si]
+                else ["__entry__"]
+            )
+            for comp in stage.components:
+                for src in sources:
+                    g.add_edge(src, comp.name)
+        for si in self.exit_indices:
+            for comp in self._stages[si].components:
+                g.add_edge(comp.name, "__exit__")
         return g
 
     def describe(self) -> str:
-        """Human-readable ``stage(name): groups x replicas`` summary."""
+        """Human-readable summary.
+
+        Chains keep the familiar ``stage[GxR] -> stage[GxR]`` arrow
+        form; DAGs annotate each stage with its predecessors and each
+        stage's optional-group count, e.g.
+        ``blend[1x3 <- parse,web,ads]``.
+        """
+        chain = self.is_chain
         parts = []
-        for s in self._stages:
+        for si, s in enumerate(self._stages):
             reps = {g.n_replicas for g in s.groups}
             reps_s = str(reps.pop()) if len(reps) == 1 else "var"
-            parts.append(f"{s.name}[{s.n_groups}x{reps_s}]")
-        return " -> ".join(parts)
+            shape = f"{s.n_groups}x{reps_s}"
+            n_opt = sum(1 for g in s.groups if g.optional)
+            if n_opt:
+                shape += f" {n_opt}opt"
+            if chain:
+                parts.append(f"{s.name}[{shape}]")
+            else:
+                preds = self._predecessors[si]
+                origin = (
+                    "entry"
+                    if not preds
+                    else ",".join(self._stages[p].name for p in preds)
+                )
+                parts.append(f"{s.name}[{shape} <- {origin}]")
+        sep = " -> " if chain else " | "
+        return sep.join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ServiceTopology({self.describe()})"

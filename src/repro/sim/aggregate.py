@@ -712,6 +712,137 @@ class SweepSummary:
             out[name] = MetricStats.compute(deltas, rng, self.config)
         return out
 
+    # -- cross-run comparison --------------------------------------------
+    def compare(
+        self,
+        other: "SweepSummary",
+        metrics: Optional[Sequence[str]] = None,
+    ) -> Dict[Tuple[str, float], Dict[str, MetricStats]]:
+        """Paired per-seed differences ``self − other`` per shared cell.
+
+        The cross-run sibling of :meth:`paired_diff` (``aggregate
+        --compare DIR``): both runs evaluated the same (policy, rate)
+        cells under shared seeds, so the per-seed deltas cancel the
+        common seed-to-seed variation exactly as within-run pairing
+        does — the right uncertainty for "did this code/config change
+        move the metric?".  Cells present in only one run are skipped
+        (:meth:`unmatched_cells` lists them; the manifest-level
+        ``SweepCache.diff`` explains *why* they differ).  A shared
+        cell whose seed sets differ raises a clear
+        :class:`~repro.errors.ExperimentError` — a paired difference
+        over different seeds would be fiction.  Deterministic: the
+        bootstrap draws from streams named per (cell, metric).
+        """
+        shared = [cell for cell in self.groups if cell in other.groups]
+        if not shared:
+            raise ExperimentError(
+                "the two runs share no (policy, arrival rate) cells: "
+                f"mine has {sorted(self.groups)}, "
+                f"theirs {sorted(other.groups)}"
+            )
+        mismatched = [
+            (cell, self.groups[cell].seeds, other.groups[cell].seeds)
+            for cell in shared
+            if self.groups[cell].seeds != other.groups[cell].seeds
+        ]
+        if mismatched:
+            shown = "; ".join(
+                f"{policy} @ {rate:g} (mine seeds {list(sa)}, "
+                f"theirs {list(sb)})"
+                for (policy, rate), sa, sb in mismatched[:4]
+            )
+            raise ExperimentError(
+                f"{len(mismatched)} shared cell(s) were run under "
+                f"different seed sets — paired differences need identical "
+                f"seeds: {shown}"
+                + ("; ..." if len(mismatched) > 4 else "")
+            )
+        rngs = RngRegistry(self.config.bootstrap_seed)
+        out: Dict[Tuple[str, float], Dict[str, MetricStats]] = {}
+        for cell in shared:
+            a, b = self.groups[cell], other.groups[cell]
+            names = (
+                list(metrics)
+                if metrics is not None
+                else sorted(set(a.stats) & set(b.stats))
+            )
+            per_metric: Dict[str, MetricStats] = {}
+            for name in names:
+                deltas = [
+                    va - vb for va, vb in zip(a[name].values, b[name].values)
+                ]
+                rng = (
+                    rngs.get(
+                        f"aggregate.compare.{cell[0]}@{cell[1]!r}.{name}"
+                    )
+                    if len(deltas) > 1
+                    else None
+                )
+                per_metric[name] = MetricStats.compute(
+                    deltas, rng, self.config
+                )
+            out[cell] = per_metric
+        return out
+
+    def unmatched_cells(
+        self, other: "SweepSummary"
+    ) -> Tuple[List[Tuple[str, float]], List[Tuple[str, float]]]:
+        """Cells only in ``self`` and cells only in ``other``."""
+        mine = [cell for cell in self.groups if cell not in other.groups]
+        theirs = [cell for cell in other.groups if cell not in self.groups]
+        return mine, theirs
+
+    def render_compare_table(
+        self,
+        other: "SweepSummary",
+        metrics: Sequence[str] = DEFAULT_TABLE_METRICS,
+        unit_ms: bool = True,
+    ) -> str:
+        """``aggregate --compare``'s joint table: per shared cell, the
+        paired ``this − other`` delta (mean ± t-CI and bootstrap CI)
+        per metric, with unmatched cells footnoted."""
+        from repro.experiments.report import format_ci, render_table
+
+        diffs = self.compare(other, metrics=metrics)
+        f = 1e3 if unit_ms else 1.0
+        unit = "ms" if unit_ms else ""
+        headers = ["rate (req/s)", "policy"]
+        for metric in metrics:
+            headers.append(
+                f"Δ {metric} ({unit}, mean±{self.config.confidence:.0%})"
+            )
+            headers.append("boot CI")
+        rows = []
+        for rate in sorted({rate for _, rate in diffs}):
+            for name in self.policies():
+                if (name, rate) not in diffs:
+                    continue
+                row = [f"{rate:g}", name]
+                for metric in metrics:
+                    s = diffs[(name, rate)][metric]
+                    half = 0.5 * (s.t_hi - s.t_lo)
+                    row.append(f"{s.mean * f:+.2f} ± {half * f:.2f}")
+                    row.append(format_ci(s.boot_lo * f, s.boot_hi * f))
+                rows.append(row)
+        title = (
+            "Paired per-seed differences, this run − other run "
+            f"(seeds {list(self.seeds)}; {self.config.confidence:.0%} CIs)"
+        )
+        table = render_table(headers, rows, title=title)
+        only_mine, only_theirs = self.unmatched_cells(other)
+        notes = []
+        if only_mine:
+            notes.append(
+                "cells only in this run (skipped): "
+                + ", ".join(f"{p}@{r:g}" for p, r in only_mine)
+            )
+        if only_theirs:
+            notes.append(
+                "cells only in the other run (skipped): "
+                + ", ".join(f"{p}@{r:g}" for p, r in only_theirs)
+            )
+        return "\n".join([table] + notes)
+
     # -- serialisation --------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-serialisable form (groups keyed ``"policy@rate"``)."""

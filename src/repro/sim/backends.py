@@ -45,14 +45,25 @@ Choosing a backend
 ------------------
 - ``serial`` — debugging, tiny grids, and anything timing-sensitive.
 - ``thread`` — small pending sets (≲ :data:`THREAD_AUTO_THRESHOLD`
-  points), resumed sweeps with a handful of missing cells, and grids
-  dominated by predictor training (the memo is shared).
-- ``process`` — large grids of expensive points on multi-core hosts;
-  raise ``chunk_size`` above 1 when single points are cheap relative
-  to dispatch.
+  points) of *cheap* points, resumed sweeps with a handful of missing
+  cells, and grids dominated by predictor training (the memo is
+  shared).
+- ``process`` — grids of expensive points on multi-core hosts (the
+  GIL serialises threads regardless of batch size, so point cost —
+  not count — is what matters); raise ``chunk_size`` above 1 when
+  single points are cheap relative to dispatch.
 
-:func:`auto_backend` encodes exactly that rule; the sweep runner and
-CLI use it unless a backend is named explicitly.
+:func:`auto_backend` encodes exactly that rule — **cost-aware** when
+the caller supplies an expected per-point cost (``est_cost_s``): a
+point expected to outlast the ~:data:`PROCESS_SPAWN_TAX_S` per-worker
+spawn tax routes to processes even on a tiny pending set, because
+GIL-serialised threads would run the batch at serial speed while
+spawn's start-up cost is amortised by the very first point.  Without
+an estimate the rule falls back to the pending-point count.  The same
+estimate derives an automatic ``chunk_size`` (enough points per chunk
+to amortise the spawn tax).  The sweep runner estimates cost from its
+spec — or from measured cached timings — and the CLI uses it unless a
+backend is named explicitly.
 """
 
 from __future__ import annotations
@@ -71,6 +82,9 @@ __all__ = [
     "ProcessBackend",
     "BACKEND_NAMES",
     "THREAD_AUTO_THRESHOLD",
+    "PROCESS_SPAWN_TAX_S",
+    "EXPENSIVE_POINT_CUTOFF_S",
+    "auto_chunk_size",
     "auto_backend",
     "backend_from_name",
     "resolve_backend",
@@ -81,10 +95,22 @@ __all__ = [
 #: The names :func:`backend_from_name` accepts (the CLI adds ``auto``).
 BACKEND_NAMES = ("serial", "thread", "process")
 
-#: Pending sets at or below this size auto-route to :class:`ThreadBackend`:
-#: a spawn worker pays roughly an interpreter + numpy import per process,
-#: which on a small grid costs more than it saves.
+#: Pending sets at or below this size auto-route to :class:`ThreadBackend`
+#: *when no cost estimate says otherwise*: a spawn worker pays roughly an
+#: interpreter + numpy import per process, which on a small grid of cheap
+#: points costs more than it saves.
 THREAD_AUTO_THRESHOLD = 8
+
+#: Approximate per-worker start-up cost of the spawn process pool
+#: (interpreter + numpy import + cold predictor memo), in seconds —
+#: the tax the cost-aware auto rule weighs point cost against.
+PROCESS_SPAWN_TAX_S = 1.5
+
+#: Expected per-point cost above which ``auto`` routes to processes
+#: regardless of the pending-point count: one such point already
+#: outlasts its worker's spawn tax, and the GIL would serialise
+#: threads on pure-compute points anyway.
+EXPENSIVE_POINT_CUTOFF_S = 2.0
 
 
 def _wrap_failure(index: int, exc: BaseException) -> WorkerTaskError:
@@ -322,13 +348,13 @@ def cpu_bound_backend(
     mp_context: str = "spawn",
     chunk_size: int | None = None,
 ) -> ExecutionBackend:
-    """Default rule for batches the thread auto-rule misfits.
+    """Explicit rule for batches known to be expensive pure-Python compute.
 
-    For tasks that are each expensive pure-Python compute (the GIL
-    would serialise threads regardless of batch size) or that measure
-    wall-clock durations (thread contention would inflate them):
-    spawn processes when parallel, inline otherwise.  fig5/fig7 use
-    this so their pre-backend-seam behaviour is preserved.
+    Spawn processes when parallel, inline otherwise.  Mostly superseded
+    by the cost-aware :func:`auto_backend` (fig5/fig7 now pass their
+    cost estimates through ``auto`` instead of special-casing this);
+    kept for callers that *know* their batch is CPU-bound and have no
+    estimate to offer.
     """
     if workers > 1:
         return ProcessBackend(
@@ -355,22 +381,47 @@ def resolve_backend(
     n_tasks: int,
     mp_context: str = "spawn",
     chunk_size: int | None = None,
+    est_cost_s: float | None = None,
 ) -> ExecutionBackend:
     """Normalise a backend argument into an :class:`ExecutionBackend`.
 
     ``backend`` may be a ready instance (returned as-is), a name
     accepted by :func:`backend_from_name`, or ``None``/``"auto"`` for
-    the :func:`auto_backend` rule.
+    the :func:`auto_backend` rule (``est_cost_s`` — the expected
+    per-task cost — makes that rule cost-aware; it is ignored for
+    explicitly named backends).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend is None or backend == "auto":
         return auto_backend(
-            workers, n_tasks, mp_context=mp_context, chunk_size=chunk_size
+            workers,
+            n_tasks,
+            mp_context=mp_context,
+            chunk_size=chunk_size,
+            est_cost_s=est_cost_s,
         )
     return backend_from_name(
         backend, workers=workers, mp_context=mp_context, chunk_size=chunk_size
     )
+
+
+def auto_chunk_size(n_tasks: int, workers: int, est_cost_s: float) -> int:
+    """Points per process task that amortise the spawn tax.
+
+    Cheap points are batched until one chunk's expected compute is at
+    least :data:`PROCESS_SPAWN_TAX_S`; chunks never exceed an even
+    ``n_tasks / workers`` split (bigger chunks would idle workers), and
+    expensive points keep one-point tasks for the finest-grained
+    failure/caching behaviour.
+    """
+    if n_tasks < 1 or workers < 1:
+        raise ConfigurationError("n_tasks and workers must be >= 1")
+    if est_cost_s <= 0:
+        return 1
+    amortising = int(-(-PROCESS_SPAWN_TAX_S // est_cost_s))  # ceil
+    even_split = int(-(-n_tasks // workers))
+    return max(1, min(amortising, even_split))
 
 
 def auto_backend(
@@ -378,20 +429,42 @@ def auto_backend(
     n_tasks: int,
     mp_context: str = "spawn",
     chunk_size: int | None = None,
+    est_cost_s: float | None = None,
 ) -> ExecutionBackend:
     """The default backend rule (see the module docstring's guidance).
 
-    ``workers == 1`` or at most one task → :class:`SerialBackend`;
-    small task sets (≤ :data:`THREAD_AUTO_THRESHOLD`) → in-process
-    threads, whose zero start-up cost beats spawn there; anything
-    bigger → spawned processes for true parallel compute.
+    ``workers == 1`` or at most one task → :class:`SerialBackend`.
+    Otherwise the rule is **cost-aware** when ``est_cost_s`` (expected
+    per-task compute, seconds — from the sweep spec or measured cached
+    timings) is given: tasks expected to outlast the
+    :data:`EXPENSIVE_POINT_CUTOFF_S` ≈ spawn-tax threshold route to
+    spawn processes *whatever the count* — the GIL would serialise
+    threads on expensive pure-compute points, which is exactly the
+    small-expensive-grid trap the count-only rule used to fall into —
+    with ``chunk_size`` derived via :func:`auto_chunk_size` when not
+    set explicitly.  Cheap or unestimated tasks keep the count rule:
+    small sets (≤ :data:`THREAD_AUTO_THRESHOLD`) on in-process threads,
+    whose zero start-up cost beats spawn there; bigger sets on spawn
+    processes.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if est_cost_s is not None and est_cost_s < 0:
+        raise ConfigurationError(
+            f"est_cost_s must be >= 0, got {est_cost_s}"
+        )
     if workers == 1 or n_tasks <= 1:
         return SerialBackend()
+    if est_cost_s is not None and est_cost_s >= EXPENSIVE_POINT_CUTOFF_S:
+        return ProcessBackend(
+            workers,
+            mp_context=mp_context,
+            chunk_size=chunk_size or auto_chunk_size(n_tasks, workers, est_cost_s),
+        )
     if n_tasks <= THREAD_AUTO_THRESHOLD:
         return ThreadBackend(workers)
+    if chunk_size is None and est_cost_s is not None:
+        chunk_size = auto_chunk_size(n_tasks, workers, est_cost_s)
     return ProcessBackend(
         workers, mp_context=mp_context, chunk_size=chunk_size or 1
     )

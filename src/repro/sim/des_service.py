@@ -2,10 +2,13 @@
 
 The vectorised interval simulator feeds every stage the request's
 *original* arrival stream (dropping inter-stage jitter).  This DES
-models the true dynamics — a request reaches stage ``s+1`` exactly when
-its slowest stage-``s`` group responds — at per-event Python cost.  It
-exists to *bound the approximation*: integration tests compare the two
-simulators' latency distributions on identical configurations.
+models the true dynamics — a request reaches a stage exactly when its
+slowest *predecessor stage* responds, following the topology's request
+DAG (:attr:`~repro.service.topology.ServiceTopology.
+predecessor_indices`), with optional groups drawn per request — at
+per-event Python cost.  It exists to *bound the approximation*:
+integration tests compare the two simulators' latency distributions on
+identical configurations, chains and DAGs alike.
 
 It is also a usable small-scale simulator in its own right (see
 ``examples/des_vs_vectorized.py``).
@@ -14,8 +17,8 @@ It is also a usable small-scale simulator in its own right (see
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
 
 import numpy as np
 
@@ -57,19 +60,23 @@ class _Server:
 
 
 class _InFlight:
-    """Book-keeping for one request traversing the stages."""
+    """Book-keeping for one request traversing the stage DAG."""
 
-    __slots__ = ("arrival", "stage", "pending", "stage_entered")
+    __slots__ = ("arrival", "pending", "preds_remaining", "exits_remaining")
 
-    def __init__(self, arrival: float) -> None:
+    def __init__(
+        self, arrival: float, in_degrees: List[int], n_exits: int
+    ) -> None:
         self.arrival = arrival
-        self.stage = 0
-        self.pending = 0
-        self.stage_entered = arrival
+        #: Outstanding sub-requests per in-flight stage index.
+        self.pending: Dict[int, int] = {}
+        #: Predecessor stages still running, per stage index.
+        self.preds_remaining = list(in_degrees)
+        self.exits_remaining = n_exits
 
 
 class DESServiceSimulator:
-    """Event-driven Basic-routing service simulator."""
+    """Event-driven Basic-routing service simulator over the stage DAG."""
 
     def __init__(
         self,
@@ -87,6 +94,10 @@ class DESServiceSimulator:
         self._servers: Dict[str, _Server] = {
             c.name: _Server(service_dists[c.name]) for c in topology.components
         }
+        self._in_degrees = [
+            len(ps) for ps in topology.predecessor_indices
+        ]
+        self._exits = topology.exit_indices
         self._rr: Dict[str, int] = {}
         self._latencies: List[float] = []
         self._in_flight = 0
@@ -116,25 +127,43 @@ class DESServiceSimulator:
 
     # ------------------------------------------------------------------
     def _start_request(self, engine: SimulationEngine, now: float) -> None:
-        req = _InFlight(arrival=now)
+        req = _InFlight(now, self._in_degrees, len(self._exits))
         self._in_flight += 1
-        self._enter_stage(engine, req, now)
+        for si, ps in enumerate(self.topology.predecessor_indices):
+            if not ps:
+                self._enter_stage(engine, req, si, now)
 
-    def _enter_stage(self, engine: SimulationEngine, req: _InFlight, now: float) -> None:
-        stage = self.topology.stages[req.stage]
-        req.pending = stage.n_groups
-        req.stage_entered = now
-        for group in stage.groups:
+    def _enter_stage(
+        self, engine: SimulationEngine, req: _InFlight, si: int, now: float
+    ) -> None:
+        stage = self.topology.stages[si]
+        fanout = [
+            group
+            for group in stage.groups
+            if not group.optional or self.rng.random() < group.participation
+        ]
+        if not fanout:
+            # Every group skipped: the stage passes the request through
+            # with zero added latency.
+            self._complete_stage(engine, req, si, now)
+            return
+        req.pending[si] = len(fanout)
+        for group in fanout:
             counter = self._rr.get(group.name, 0)
             self._rr[group.name] = counter + 1
             replica = group.components[counter % group.n_replicas]
-            self._submit(engine, replica.name, req, now)
+            self._submit(engine, replica.name, req, si, now)
 
     def _submit(
-        self, engine: SimulationEngine, server_name: str, req: _InFlight, now: float
+        self,
+        engine: SimulationEngine,
+        server_name: str,
+        req: _InFlight,
+        si: int,
+        now: float,
     ) -> None:
         server = self._servers[server_name]
-        server.queue.append((req, now))
+        server.queue.append((req, si, now))
         if not server.busy:
             self._begin_service(engine, server_name)
 
@@ -144,12 +173,12 @@ class DESServiceSimulator:
             server.busy = False
             return
         server.busy = True
-        req, enqueued_at = server.queue.popleft()
+        req, si, enqueued_at = server.queue.popleft()
         service = float(server.dist.sample(self.rng))
         engine.schedule(
             service,
             lambda: self._complete(
-                engine, server_name, req, enqueued_at
+                engine, server_name, req, si, enqueued_at
             ),
         )
 
@@ -158,19 +187,32 @@ class DESServiceSimulator:
         engine: SimulationEngine,
         server_name: str,
         req: _InFlight,
+        si: int,
         enqueued_at: float,
     ) -> None:
         now = engine.now
         server = self._servers[server_name]
         server.sojourns.append(now - enqueued_at)
         self._begin_service(engine, server_name)
-        req.pending -= 1
-        if req.pending > 0:
+        req.pending[si] -= 1
+        if req.pending[si] > 0:
             return
+        del req.pending[si]
         # Stage complete (Eq. 3's max realised event-by-event).
-        if req.stage + 1 < self.topology.n_stages:
-            req.stage += 1
-            self._enter_stage(engine, req, now)
-        else:
-            self._latencies.append(now - req.arrival)
-            self._in_flight -= 1
+        self._complete_stage(engine, req, si, now)
+
+    def _complete_stage(
+        self, engine: SimulationEngine, req: _InFlight, si: int, now: float
+    ) -> None:
+        for succ in self.topology.successor_indices[si]:
+            req.preds_remaining[succ] -= 1
+            if req.preds_remaining[succ] == 0:
+                # The last predecessor just finished: `now` is the max
+                # over predecessor completions (events run in time
+                # order), i.e. the DAG's critical-path join.
+                self._enter_stage(engine, req, succ, now)
+        if si in self._exits:
+            req.exits_remaining -= 1
+            if req.exits_remaining == 0:
+                self._latencies.append(now - req.arrival)
+                self._in_flight -= 1

@@ -16,11 +16,19 @@ per interval via :func:`~repro.baselines.routing.routing_kernel_for`
 and never branches on policy types, so new policies plug in without
 touching the simulator.
 
-Stage semantics follow Eqs. 3–4: a request's stage latency is the max
-over the stage's groups; its overall latency the sum over stages.  All
-sub-requests of one stage share the stage's arrival stream (inter-stage
-jitter is dropped — the DES reference simulator in
-:mod:`repro.sim.des_service` bounds this approximation in tests).
+Stage semantics follow Eqs. 3–4, generalised to the topology's request
+DAG: a request's stage latency is the max over the stage's
+*participating* groups (optional groups are included per request with
+their ``participation`` probability, drawn from the caller's request
+stream), the stage's completion is the slowest predecessor stage's
+completion plus that latency, and the overall latency is the max over
+the exit stages' completions — the critical path.  On a chain topology
+this is exactly the old sum-over-stages and the sample paths are
+bit-identical (golden-pinned in ``tests/scenarios``).  All sub-requests
+of one stage share the stage's arrival stream (inter-stage jitter is
+dropped — the DES reference simulator in :mod:`repro.sim.des_service`
+traverses the same DAG event-by-event and bounds this approximation in
+tests).
 
 Per the paper's metric definition (§VI-A), the pooled component-latency
 sample records, for redundancy/reissue policies, the latency of the
@@ -122,16 +130,42 @@ def simulate_service_interval(
     services: Dict[str, List[np.ndarray]] = {
         c.name: [] for c in topology.components
     }
-    overall = np.zeros(n)
-    for stage in topology.stages:
+    predecessors = topology.predecessor_indices
+    completions: List[np.ndarray] = []
+    for si, stage in enumerate(topology.stages):
         stage_lat = np.zeros(n)
         for group in stage.groups:
+            if group.optional:
+                # Probabilistic branch: each request joins this group's
+                # fan-out with probability `participation`; skipped
+                # requests contribute nothing to the stage max.
+                take = rng.random(n) < group.participation
+                sub_lat = kernel.route_group(
+                    arrivals[take], group, service_dists, rng,
+                    sojourns, services,
+                )
+                if n:
+                    stage_lat[take] = np.maximum(stage_lat[take], sub_lat)
+                continue
             group_lat = kernel.route_group(
                 arrivals, group, service_dists, rng, sojourns, services
             )
             if n:
                 np.maximum(stage_lat, group_lat, out=stage_lat)  # Eq. 3
-        overall += stage_lat  # Eq. 4
+        preds = predecessors[si]
+        if preds:
+            # Critical path: the stage starts when its slowest
+            # predecessor completes (Eq. 4 on a chain).
+            ready = completions[preds[0]]
+            for p in preds[1:]:
+                ready = np.maximum(ready, completions[p])
+            completions.append(ready + stage_lat)
+        else:
+            completions.append(stage_lat)
+    exits = topology.exit_indices
+    overall = completions[exits[0]]
+    for si in exits[1:]:
+        overall = np.maximum(overall, completions[si])
     return IntervalOutcome(
         request_latencies=overall,
         component_sojourns={

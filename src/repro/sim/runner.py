@@ -306,13 +306,18 @@ class ExperimentRunner:
 
         # Serving requests consumes resources: set every component's
         # effective demand from the policy's executed-copy load.  This
-        # is what makes redundancy expensive cluster-wide.
+        # is what makes redundancy expensive cluster-wide.  An optional
+        # group only sees its participation share of the request stream
+        # (1.0 on chain topologies — bit-identical to the pre-DAG path).
         for comp in components:
             group = service.topology.stages[comp.stage_index].groups[
                 comp.group_index
             ]
             comp.set_load(
-                policy.load_multiplier * cfg.arrival_rate / group.n_replicas
+                group.participation
+                * policy.load_multiplier
+                * cfg.arrival_rate
+                / group.n_replicas
             )
 
         generator = BatchJobGenerator(cfg.generator, rngs.get("batch-churn"))
@@ -503,7 +508,9 @@ class ExperimentRunner:
             group = service.topology.stages[comp.stage_index].groups[
                 comp.group_index
             ]
-            lam[idx] = lam_service / group.n_replicas
+            # Optional groups receive only their participation share
+            # (exactly lam_service / n_replicas on chain topologies).
+            lam[idx] = group.participation * lam_service / group.n_replicas
         node_totals = np.stack(
             [
                 monitor.observe_node_window(node, cfg.interval_s).as_array()
@@ -514,6 +521,7 @@ class ExperimentRunner:
         service_slots = max(
             1, cfg.machine_slots - cfg.generator.max_batch_jobs_per_node
         )
+        topology = service.topology
         inputs = MatrixInputs(
             stage_of=np.array([c.stage_index for c in components]),
             classes=[c.cls for c in components],
@@ -523,6 +531,11 @@ class ExperimentRunner:
             arrival_rates=lam,
             node_limits=np.full(len(cluster), service_slots),
             group_of=self._global_group_ids(service),
+            # DAG topologies weight stragglers by critical-path
+            # membership; None keeps the exact chain-sum objective.
+            stage_predecessors=(
+                None if topology.is_chain else topology.predecessor_indices
+            ),
         )
         sched_outcome = scheduler.schedule(inputs)
         moved = executor.enforce(sched_outcome)

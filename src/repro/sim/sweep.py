@@ -57,9 +57,19 @@ how pending points execute; results are identical for every choice.
     points per task so that start-up cost is amortised per chunk.
 
 The default (``backend=None`` / CLI ``auto``) applies exactly that
-guidance: serial for one worker or one pending point, threads for
-small pending sets, processes otherwise
-(:func:`repro.sim.backends.auto_backend`).
+guidance, **cost-aware**: serial for one worker or one pending point;
+processes whenever the expected per-point cost exceeds the ~1–2 s
+per-worker spawn tax (:data:`repro.sim.backends.
+EXPENSIVE_POINT_CUTOFF_S`) — a small grid of expensive points must
+not run on GIL-serialised threads — with an automatic ``chunk_size``
+derived from the same estimate; otherwise threads for small pending
+sets and processes for large ones
+(:func:`repro.sim.backends.auto_backend`).  The per-point cost is
+estimated from the spec via :func:`estimated_point_cost_s`
+(``n_intervals × interval_s × n_nodes`` simulated node-seconds times
+a coarse wall-clock calibration) or, on a resumed sweep, from the
+*measured* wall-clock of the already-cached points — real timings
+beat any model.
 
 Failure hardening
 -----------------
@@ -159,6 +169,8 @@ __all__ = [
     "parallel_map",
     "point_cache_key",
     "policy_from_name",
+    "estimated_point_cost_s",
+    "SIM_WALL_S_PER_NODE_SECOND",
     "CACHE_VERSION",
     "MANIFEST_VERSION",
 ]
@@ -262,6 +274,34 @@ class SweepSpec:
             }
             for p in self.points()
         }
+
+
+# ----------------------------------------------------------------------
+# per-point cost estimation (feeds the cost-aware auto backend rule)
+# ----------------------------------------------------------------------
+#: Coarse wall-clock calibration: seconds of compute per *simulated
+#: node-second* of a sweep point (`n_intervals × interval_s × n_nodes`).
+#: Order-of-magnitude from the recorded sweep benchmarks — a 16-node,
+#: 6×30 s quick-fig6 point runs ~1–2 s.  It only has to rank a point
+#: against the ~1–2 s spawn tax, so a factor of a few either way does
+#: not change the routing decision; measured cache timings override it
+#: on resumed sweeps.
+SIM_WALL_S_PER_NODE_SECOND = 5e-4
+
+
+def estimated_point_cost_s(config: RunnerConfig) -> float:
+    """Expected wall-clock of one sweep point, from its spec alone.
+
+    The simulation work scales with how much cluster-time one point
+    simulates: every interval advances the churn engine and serves
+    requests across ``n_nodes`` nodes for ``interval_s`` seconds.  The
+    product times :data:`SIM_WALL_S_PER_NODE_SECOND` is deliberately
+    coarse — it exists to answer one question for
+    :func:`repro.sim.backends.auto_backend`: *is this point expensive
+    relative to a worker's spawn tax?*
+    """
+    node_seconds = config.n_intervals * config.interval_s * config.n_nodes
+    return float(node_seconds * SIM_WALL_S_PER_NODE_SECOND)
 
 
 # ----------------------------------------------------------------------
@@ -733,15 +773,18 @@ def parallel_map(
     mp_context: str = "spawn",
     backend: Union[str, ExecutionBackend, None] = None,
     chunk_size: Optional[int] = None,
+    est_cost_s: Optional[float] = None,
 ) -> list:
     """Order-preserving map over an execution backend.
 
     ``backend`` is an :class:`~repro.sim.backends.ExecutionBackend`, a
     name (``serial``/``thread``/``process``), or ``None``/``"auto"``
     for the default rule: inline for ``workers=1`` or ≤ 1 items,
-    in-process threads for small batches, spawn processes otherwise.
-    For the process backend ``fn`` must be a module-level function and
-    every item picklable (spawn re-imports the module in each worker);
+    spawn processes when ``est_cost_s`` (the caller's expected
+    per-item compute) marks the items expensive, in-process threads
+    for small cheap batches, spawn processes otherwise.  For the
+    process backend ``fn`` must be a module-level function and every
+    item picklable (spawn re-imports the module in each worker);
     ``chunk_size`` ships batches of items per process task.
 
     Failure contract (uniform across backends, including serial): a
@@ -757,7 +800,12 @@ def parallel_map(
         )
     items = list(items)
     resolved = resolve_backend(
-        backend, workers, len(items), mp_context=mp_context, chunk_size=chunk_size
+        backend,
+        workers,
+        len(items),
+        mp_context=mp_context,
+        chunk_size=chunk_size,
+        est_cost_s=est_cost_s,
     )
     return resolved.map(fn, items)
 
@@ -984,6 +1032,30 @@ class ParallelSweepRunner:
         if self.cache is not None:
             self.cache.store(key, point, result)
 
+    def _estimate_point_cost(self, cached) -> float:
+        """Expected per-point wall-clock for the auto backend rule.
+
+        Prefers the *measured* mean wall-clock of this run's cache
+        hits (same grid, same host — the best predictor of the pending
+        points) and falls back to the spec-based
+        :func:`estimated_point_cost_s` on a cold cache.
+        """
+        timed = [r.wall_time_s for r in cached if r.wall_time_s > 0]
+        if timed:
+            return float(sum(timed) / len(timed))
+        return estimated_point_cost_s(self.spec.base)
+
+    def _resolve_backend(self, n_pending: int, cached) -> ExecutionBackend:
+        """The backend the pending points will run on (cost-aware auto)."""
+        return resolve_backend(
+            self.backend,
+            self.workers,
+            n_pending,
+            mp_context=self.mp_context,
+            chunk_size=self.chunk_size,
+            est_cost_s=self._estimate_point_cost(cached),
+        )
+
     # -- public API -----------------------------------------------------
     def run(self) -> SweepResult:
         """Execute every grid point; returns all results in grid order."""
@@ -1010,17 +1082,14 @@ class ParallelSweepRunner:
 
         # The backend seam: auto picks serial for one worker or one
         # pending point (a spawn worker would pay an interpreter +
-        # numpy import and a cold predictor memo for nothing), threads
-        # for small pending sets, spawn processes otherwise; an
-        # explicit backend is honoured as given.
+        # numpy import and a cold predictor memo for nothing),
+        # processes when the estimated per-point cost outweighs the
+        # spawn tax (measured cache-hit timings when resuming, the
+        # spec-based estimate otherwise), threads for small cheap
+        # pending sets, processes for large ones; an explicit backend
+        # is honoured as given.
         if pending:
-            backend = resolve_backend(
-                self.backend,
-                self.workers,
-                len(pending),
-                mp_context=self.mp_context,
-                chunk_size=self.chunk_size,
-            )
+            backend = self._resolve_backend(len(pending), results.values())
             tasks = [(config, point.policy) for point, config, key in pending]
             try:
                 for index, result in backend.imap_unordered(

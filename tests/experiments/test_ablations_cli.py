@@ -170,3 +170,110 @@ class TestCLI:
         assert main(["fig5"]) == 0
         out = capsys.readouterr().out
         assert "prediction error" in out
+
+
+class TestCompareCLI:
+    """`aggregate --compare DIR`: spec diff + joint paired-delta table."""
+
+    def _sweep(self, cache_dir, nodes="6"):
+        return [
+            "sweep", "--policies", "Basic", "--rates", "40",
+            "--seeds", "0,1", "--nodes", nodes, "--search-groups", "3",
+            "--replicas-per-group", "2", "--intervals", "3",
+            "--interval-s", "8", "--warmup-intervals", "1",
+            "--cache-dir", cache_dir,
+        ]
+
+    def test_compare_flag_parses(self):
+        args = build_parser().parse_args(
+            ["aggregate", "--cache-dir", "/tmp/a", "--compare", "/tmp/b"]
+        )
+        assert args.compare == "/tmp/b"
+
+    def test_compare_prints_spec_diff_and_deltas(self, capsys, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        assert main(self._sweep(a)) == 0
+        assert main(self._sweep(b, nodes="8")) == 0
+        capsys.readouterr()
+        assert main(["aggregate", "--cache-dir", a, "--compare", b]) == 0
+        out = capsys.readouterr().out
+        assert "base.n_nodes: 6 -> 8" in out
+        assert "Paired per-seed differences" in out
+        assert "Basic" in out
+
+    def test_compare_identical_runs(self, capsys, tmp_path):
+        a = str(tmp_path / "a")
+        assert main(self._sweep(a)) == 0
+        capsys.readouterr()
+        assert main(["aggregate", "--cache-dir", a, "--compare", a]) == 0
+        out = capsys.readouterr().out
+        assert "spec diff: none" in out
+        assert "+0.00" in out  # zero deltas against itself
+
+    def test_compare_json_payload(self, capsys, tmp_path):
+        import json as json_mod
+
+        a = str(tmp_path / "a")
+        assert main(self._sweep(a)) == 0
+        capsys.readouterr()
+        assert main(
+            ["aggregate", "--cache-dir", a, "--compare", a, "--json"]
+        ) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["spec_diff"] == {}
+        assert payload["cells"][0]["policy"] == "Basic"
+        assert all(
+            s["diff"]["overall_latency.mean"]["mean"] == 0.0
+            for s in payload["cells"]
+        )
+
+    def test_compare_mismatched_seeds_fails_cleanly(self, capsys, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        assert main(self._sweep(a)) == 0
+        argv = self._sweep(b)
+        argv[argv.index("0,1")] = "0,2"  # different seed set
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["aggregate", "--cache-dir", a, "--compare", b]) == 2
+        assert "different seed sets" in capsys.readouterr().err
+
+    def test_compare_missing_dir_fails_cleanly(self, capsys, tmp_path):
+        a = str(tmp_path / "a")
+        assert main(self._sweep(a)) == 0
+        capsys.readouterr()
+        assert main(
+            ["aggregate", "--cache-dir", a, "--compare", str(tmp_path / "nope")]
+        ) == 2
+        assert "no such cache directory" in capsys.readouterr().err
+
+
+class TestScenarioCLI:
+    def test_scenarios_catalog_shows_dag_shapes(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "diamond-search" in out and "branchy-api" in out
+        assert "<-" in out  # DAG stages list their predecessors
+        assert "opt" in out  # optional groups are flagged
+
+    def test_fig6_paper_scale_rejects_presetless_scenario(self, capsys):
+        from repro.errors import ConfigurationError
+        from repro.scenarios import ScenarioSpec, register_scenario
+
+        register_scenario(
+            ScenarioSpec(
+                name="cli-no-preset", description="d", build=lambda c: None
+            ),
+            replace_existing=True,
+        )
+        with pytest.raises(ConfigurationError, match="paper-scale preset"):
+            main(["fig6", "--scale", "paper", "--scenario", "cli-no-preset"])
+
+    def test_shape_scale_defaults_to_unset_sentinel(self):
+        """--shape-scale left off parses as None so `fig6 --scale
+        paper` can tell it from an explicit `--shape-scale 1.0`."""
+        parser = build_parser()
+        assert parser.parse_args(["fig6"]).shape_scale is None
+        assert parser.parse_args(
+            ["fig6", "--shape-scale", "1.0"]
+        ).shape_scale == 1.0
+        assert parser.parse_args(["scenarios"]).shape_scale is None

@@ -259,3 +259,96 @@ class TestFig7:
             Fig7Config(sizes=())
         with pytest.raises(ExperimentError):
             Fig7Config(repeats=0)
+
+
+class TestPaperScalePresets:
+    """Fig6Config(paper_scale=True) resolves the *scenario's* preset."""
+
+    def test_nutch_preset_matches_paper_setup(self):
+        cfg = Fig6Config(paper_scale=True)
+        assert cfg.n_nodes == 30
+        assert cfg.nutch.n_search_groups * cfg.nutch.replicas_per_group == 100
+
+    @pytest.mark.parametrize(
+        "scenario", ["pipeline-deep", "fanout-feed", "diamond-search", "branchy-api"]
+    )
+    def test_every_builtin_has_a_distinct_preset(self, scenario):
+        from repro.scenarios import get_scenario
+
+        cfg = Fig6Config(paper_scale=True, scenario=scenario)
+        preset = get_scenario(scenario).paper_scale
+        assert cfg.n_nodes == preset["n_nodes"]
+        assert cfg.scale == preset["scale"]
+        # The fix's whole point: not the Nutch 30-node constant.
+        assert (cfg.n_nodes, cfg.scale) != (30, 1.0)
+
+    def test_explicit_arguments_beat_the_preset(self):
+        cfg = Fig6Config(paper_scale=True, scenario="pipeline-deep", n_nodes=7)
+        assert cfg.n_nodes == 7
+        assert cfg.scale == 3.0  # untouched fields still take the preset
+
+    def test_presetless_scenario_raises_named_error(self):
+        from repro.errors import ConfigurationError
+        from repro.scenarios import ScenarioSpec, register_scenario
+
+        register_scenario(
+            ScenarioSpec(
+                name="fig6-no-preset", description="d", build=lambda c: None
+            ),
+            replace_existing=True,
+        )
+        with pytest.raises(
+            ConfigurationError, match="fig6-no-preset.*paper-scale preset"
+        ):
+            Fig6Config(paper_scale=True, scenario="fig6-no-preset")
+
+    def test_bogus_preset_key_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.scenarios import ScenarioSpec, register_scenario
+
+        register_scenario(
+            ScenarioSpec(
+                name="fig6-bad-preset", description="d", build=lambda c: None,
+                paper_scale={"warp_factor": 9},
+            ),
+            replace_existing=True,
+        )
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            Fig6Config(paper_scale=True, scenario="fig6-bad-preset")
+
+    def test_quick_scale_never_touches_presets(self):
+        a = Fig6Config(scenario="pipeline-deep")
+        assert a.n_nodes == 12  # the scenario's quick default, not 36
+        assert not a.paper_scale
+
+    def test_explicitly_passed_default_value_beats_preset(self):
+        """Sentinel defaults: scale=1.0 passed explicitly must survive
+        paper_scale even though 1.0 is also the resolved default."""
+        cfg = Fig6Config(paper_scale=True, scenario="pipeline-deep", scale=1.0)
+        assert cfg.scale == 1.0
+        assert cfg.n_nodes == 36  # untouched field still takes the preset
+        nutch = NutchConfig(n_search_groups=20, replicas_per_group=5)
+        cfg = Fig6Config(paper_scale=True, nutch=nutch)
+        assert cfg.nutch == nutch
+
+    def test_unset_scale_and_nutch_resolve_to_defaults(self):
+        cfg = Fig6Config()
+        assert cfg.scale == 1.0
+        assert cfg.nutch == NutchConfig()
+
+    def test_non_sentinel_field_preset_key_rejected(self):
+        """Preset keys are restricted to the None-sentinel fields where
+        'left unset' is detectable — a key like `seed` could silently
+        override an explicitly passed default-equal value."""
+        from repro.errors import ConfigurationError
+        from repro.scenarios import ScenarioSpec, register_scenario
+
+        register_scenario(
+            ScenarioSpec(
+                name="fig6-seed-preset", description="d", build=lambda c: None,
+                paper_scale={"seed": 7},
+            ),
+            replace_existing=True,
+        )
+        with pytest.raises(ConfigurationError, match="not presettable"):
+            Fig6Config(paper_scale=True, scenario="fig6-seed-preset")

@@ -1,0 +1,209 @@
+"""Property-based tests for the DAG critical-path latency composition.
+
+Pins the algebraic contract of
+:func:`repro.model.service_latency.dag_overall_latency` (the Eq. 4
+generalisation every DAG-aware consumer shares):
+
+- on a **chain** it reduces exactly to the sum of stage latencies
+  (Eq. 4), which for grouped inputs is the sum of stage maxima;
+- it is **monotone** in any component's latency (bumping one component
+  can never shorten the predicted overall latency);
+- it is bounded below by the largest stage latency and above by the
+  sum of all stage latencies.
+
+Two engines drive the same properties, mirroring
+``tests/sim/test_metrics_properties.py``: ``hypothesis`` when
+importable, a seeded stdlib-``random`` fallback always.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.model.service_latency import (
+    dag_completion_times,
+    dag_overall_latency,
+    stage_offsets,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # minimal tier-1 environment
+    HAVE_HYPOTHESIS = False
+
+MAX_LATENCY_S = 1e3
+
+
+def _random_predecessors(n_stages, rng):
+    """A random valid DAG: each stage waits on a subset of earlier ones."""
+    preds = [()]
+    for s in range(1, n_stages):
+        k = rng.randint(0, s)
+        preds.append(tuple(sorted(rng.sample(range(s), k))))
+    return tuple(preds)
+
+
+def _chain(n_stages):
+    return tuple(() if s == 0 else (s - 1,) for s in range(n_stages))
+
+
+# ----------------------------------------------------------------------
+# the properties (engine-agnostic)
+# ----------------------------------------------------------------------
+def check_chain_reduces_to_sum(lats):
+    """Eq. 4's degenerate case: chain critical path == sum of stages."""
+    lats = np.asarray(lats, dtype=np.float64)
+    overall = dag_overall_latency(lats, _chain(lats.size))
+    assert overall == pytest.approx(float(lats.sum()), rel=1e-12, abs=1e-15)
+
+
+def check_monotone_in_stage_latency(lats, preds, stage, bump):
+    """Raising any stage's latency never lowers the overall latency."""
+    lats = np.asarray(lats, dtype=np.float64)
+    before = dag_overall_latency(lats, preds)
+    bumped = lats.copy()
+    bumped[stage] += bump
+    after = dag_overall_latency(bumped, preds)
+    assert after >= before - 1e-12
+
+
+def check_bounds(lats, preds):
+    """max stage <= critical path <= sum of stages."""
+    lats = np.asarray(lats, dtype=np.float64)
+    overall = dag_overall_latency(lats, preds)
+    assert overall >= float(lats.max()) - 1e-12
+    assert overall <= float(lats.sum()) + 1e-9
+
+    completion = dag_completion_times(lats, preds)
+    # Every completion is reachable-path work: within the same bounds.
+    assert np.all(completion >= lats - 1e-12)
+    assert np.all(completion <= float(lats.sum()) + 1e-9)
+
+
+def check_batched_matches_rows(rows, preds):
+    """The vectorised (batch, S) form equals the per-row scalar form."""
+    rows = np.asarray(rows, dtype=np.float64)
+    batched = dag_overall_latency(rows, preds)
+    singles = np.array([dag_overall_latency(r, preds) for r in rows])
+    np.testing.assert_array_equal(batched, singles)
+
+
+def check_component_monotone(comp_lats, stage_of, preds, index, bump):
+    """Through the grouped stage-max reduction, bumping one *component*
+    never lowers the DAG overall latency."""
+    comp_lats = np.asarray(comp_lats, dtype=np.float64)
+    offsets = stage_offsets(stage_of)
+
+    def overall(l):
+        stage_max = np.maximum.reduceat(l, offsets)
+        return dag_overall_latency(stage_max, preds)
+
+    before = overall(comp_lats)
+    bumped = comp_lats.copy()
+    bumped[index] += bump
+    assert overall(bumped) >= before - 1e-12
+
+
+def _component_case(rng, n_stages):
+    """Random stage-major component latencies + a DAG over the stages."""
+    stage_of = []
+    for s in range(n_stages):
+        stage_of.extend([s] * rng.randint(1, 4))
+    lats = [rng.uniform(0.0, MAX_LATENCY_S) for _ in stage_of]
+    preds = _random_predecessors(n_stages, rng)
+    return lats, np.asarray(stage_of), preds
+
+
+# ----------------------------------------------------------------------
+# engine 1: hypothesis
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+    stage_lats = st.lists(
+        st.floats(min_value=0.0, max_value=MAX_LATENCY_S, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    )
+
+    class TestHypothesisProperties:
+        @given(stage_lats)
+        @settings(max_examples=60, deadline=None)
+        def test_chain_reduces_to_sum(self, lats):
+            check_chain_reduces_to_sum(lats)
+
+        @given(stage_lats, st.randoms(use_true_random=False),
+               st.floats(min_value=0.0, max_value=MAX_LATENCY_S))
+        @settings(max_examples=60, deadline=None)
+        def test_monotone_and_bounded(self, lats, pyrng, bump):
+            preds = _random_predecessors(len(lats), pyrng)
+            stage = pyrng.randrange(len(lats))
+            check_monotone_in_stage_latency(lats, preds, stage, bump)
+            check_bounds(lats, preds)
+
+        @given(st.integers(min_value=1, max_value=6),
+               st.integers(min_value=1, max_value=5),
+               st.randoms(use_true_random=False))
+        @settings(max_examples=40, deadline=None)
+        def test_batched_matches_rows(self, n_stages, n_rows, pyrng):
+            preds = _random_predecessors(n_stages, pyrng)
+            rows = [
+                [pyrng.uniform(0.0, MAX_LATENCY_S) for _ in range(n_stages)]
+                for _ in range(n_rows)
+            ]
+            check_batched_matches_rows(rows, preds)
+
+        @given(st.integers(min_value=1, max_value=6),
+               st.randoms(use_true_random=False),
+               st.floats(min_value=0.0, max_value=MAX_LATENCY_S))
+        @settings(max_examples=60, deadline=None)
+        def test_component_monotone(self, n_stages, pyrng, bump):
+            lats, stage_of, preds = _component_case(pyrng, n_stages)
+            index = pyrng.randrange(len(lats))
+            check_component_monotone(lats, stage_of, preds, index, bump)
+
+
+# ----------------------------------------------------------------------
+# engine 2: stdlib fallback (always runs)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(12))
+def test_stdlib_chain_reduces_to_sum(seed):
+    rng = random.Random(seed)
+    n = rng.randint(1, 12)
+    check_chain_reduces_to_sum([rng.uniform(0.0, MAX_LATENCY_S) for _ in range(n)])
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_stdlib_monotone_and_bounded(seed):
+    rng = random.Random(1000 + seed)
+    n = rng.randint(1, 12)
+    lats = [rng.uniform(0.0, MAX_LATENCY_S) for _ in range(n)]
+    preds = _random_predecessors(n, rng)
+    check_monotone_in_stage_latency(
+        lats, preds, rng.randrange(n), rng.uniform(0.0, MAX_LATENCY_S)
+    )
+    check_bounds(lats, preds)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_stdlib_batched_matches_rows(seed):
+    rng = random.Random(2000 + seed)
+    n_stages = rng.randint(1, 6)
+    preds = _random_predecessors(n_stages, rng)
+    rows = [
+        [rng.uniform(0.0, MAX_LATENCY_S) for _ in range(n_stages)]
+        for _ in range(rng.randint(1, 5))
+    ]
+    check_batched_matches_rows(rows, preds)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_stdlib_component_monotone(seed):
+    rng = random.Random(3000 + seed)
+    lats, stage_of, preds = _component_case(rng, rng.randint(1, 6))
+    check_component_monotone(
+        lats, stage_of, preds,
+        rng.randrange(len(lats)), rng.uniform(0.0, MAX_LATENCY_S),
+    )

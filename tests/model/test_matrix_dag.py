@@ -1,0 +1,176 @@
+"""DAG-aware performance matrix: critical-path objective + validation.
+
+With ``MatrixInputs.stage_predecessors`` the matrix composes stage
+maxima along the topology's critical path instead of Eq. 4's chain
+sum, so ``L`` weights a straggler by whether its stage actually gates
+the join.  The fast/reference agreement property must keep holding,
+and chain predecessors must reproduce the chain objective exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.matrix import MatrixInputs, PerformanceMatrix
+from repro.service.component import ComponentClass
+
+from tests.model.test_matrix import StubPredictor, _random_inputs
+
+
+def _with_preds(inputs: MatrixInputs, preds) -> MatrixInputs:
+    return MatrixInputs(
+        stage_of=inputs.stage_of.copy(),
+        classes=list(inputs.classes),
+        demands=inputs.demands.copy(),
+        assignment=inputs.assignment.copy(),
+        node_totals=inputs.node_totals.copy(),
+        arrival_rates=inputs.arrival_rates.copy(),
+        stage_predecessors=preds,
+    )
+
+
+def _dag_inputs(rng, m=12, k=4, n_stages=4):
+    """Random instance + a diamond-ish DAG over its stages."""
+    inputs = _random_inputs(rng, m=m, k=k, n_stages=n_stages)
+    n = int(inputs.stage_of.max()) + 1
+    if n == 1:
+        preds = ((),)
+    elif n == 2:
+        preds = ((), (0,))
+    else:
+        # 0 -> {1..n-2} in parallel -> n-1 joins everything (skip edge
+        # from 0 included).
+        preds = ((),) + tuple((0,) for _ in range(1, n - 1)) + (
+            tuple(range(n - 1)),
+        )
+    return _with_preds(inputs, preds)
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self, ):
+        rng = np.random.default_rng(0)
+        inputs = _random_inputs(rng, n_stages=3)
+        n = int(inputs.stage_of.max()) + 1
+        with pytest.raises(ModelError, match="entries for"):
+            _with_preds(inputs, tuple(() for _ in range(n + 1)))
+
+    def test_forward_reference_rejected(self):
+        rng = np.random.default_rng(1)
+        inputs = _random_inputs(rng, n_stages=3)
+        n = int(inputs.stage_of.max()) + 1
+        bad = ((),) * (n - 1) + ((n - 1,),)  # self-reference in last
+        with pytest.raises(ModelError, match="earlier"):
+            _with_preds(inputs, bad)
+
+    def test_copy_carries_predecessors(self):
+        rng = np.random.default_rng(2)
+        inputs = _dag_inputs(rng)
+        assert inputs.copy().stage_predecessors == inputs.stage_predecessors
+
+
+class TestChainDegeneracy:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_explicit_chain_equals_implicit(self, seed):
+        """stage_predecessors=((), (0,), (1,), ...) is the same
+        objective as None — Eq. 4 is the chain's critical path."""
+        rng = np.random.default_rng(seed)
+        inputs = _random_inputs(rng, m=12 + seed, n_stages=3)
+        n = int(inputs.stage_of.max()) + 1
+        chain = tuple((s - 1,) if s else () for s in range(n))
+        pred = StubPredictor()
+        implicit = PerformanceMatrix(inputs.copy(), pred).build("fast")
+        explicit = PerformanceMatrix(
+            _with_preds(inputs, chain), pred
+        ).build("fast")
+        assert explicit.base_overall == pytest.approx(
+            implicit.base_overall, rel=1e-12
+        )
+        np.testing.assert_allclose(
+            explicit.L, implicit.L, rtol=1e-10, atol=1e-14
+        )
+        np.testing.assert_allclose(
+            explicit.R, implicit.R, rtol=1e-10, atol=1e-14
+        )
+
+
+class TestFastEqualsReferenceOnDags:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dag_instances(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        inputs = _dag_inputs(rng, m=10 + seed, k=3 + seed % 3)
+        pred = StubPredictor()
+        fast = PerformanceMatrix(inputs.copy(), pred).build("fast")
+        ref = PerformanceMatrix(inputs.copy(), pred).build("reference")
+        np.testing.assert_allclose(fast.L, ref.L, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(fast.R, ref.R, rtol=1e-10, atol=1e-12)
+
+    def test_algorithm2_update_stays_exact(self):
+        rng = np.random.default_rng(7)
+        inputs = _dag_inputs(rng, m=14, k=4)
+        pred = StubPredictor()
+        pm = PerformanceMatrix(inputs, pred).build("fast")
+        i = int(np.unravel_index(np.argmax(pm.L), pm.L.shape)[0])
+        j = int(np.unravel_index(np.argmax(pm.L), pm.L.shape)[1])
+        if j == int(inputs.assignment[i]):
+            j = (j + 1) % inputs.k
+        origin = pm.apply_migration(i, j)
+        candidates = [c for c in range(inputs.m) if c != i]
+        pm.algorithm2_update(i, origin, j, candidates)
+        fresh = PerformanceMatrix(inputs.copy(), pred).build("fast")
+        rows = np.asarray(candidates)
+        np.testing.assert_allclose(
+            pm.L[rows][:, [origin, j]],
+            fresh.L[rows][:, [origin, j]],
+            rtol=1e-9, atol=1e-12,
+        )
+
+
+class TestCriticalPathWeighting:
+    def _branching_inputs(self, dag: bool) -> MatrixInputs:
+        """Entry → {slow branch, fast branch} → join, on 3 nodes.
+
+        The fast-branch component (index 2) carries *zero* demand, so
+        migrating it perturbs nobody else's contention — its L row
+        isolates exactly the objective's view of its own stage.  It
+        sits on a semi-hot node with calmer nodes available, so a
+        chain-sum objective sees a genuine own-latency win there.
+        """
+        preds = ((), (0,), (0,), (1, 2)) if dag else None
+        stage_of = np.array([0, 1, 2, 3])
+        classes = [ComponentClass.GENERIC] * 4
+        demands = np.tile(np.array([0.2, 2.0, 8.0, 3.0]), (4, 1))
+        demands[2] = 0.0
+        k = 3
+        assignment = np.array([2, 0, 1, 2])
+        node_totals = np.zeros((k, 4))
+        for i in range(4):
+            node_totals[assignment[i]] += demands[i]
+        node_totals[0] += np.array([0.8, 30.0, 200.0, 80.0])  # hot: slow branch
+        node_totals[1] += np.array([0.3, 12.0, 80.0, 30.0])   # semi-hot: fast
+        arrival = np.full(4, 20.0)
+        return MatrixInputs(
+            stage_of=stage_of,
+            classes=classes,
+            demands=demands,
+            assignment=assignment,
+            node_totals=node_totals,
+            arrival_rates=arrival,
+            stage_predecessors=preds,
+        )
+
+    def test_off_critical_path_migration_gains_nothing(self):
+        """Under the DAG objective the fast branch has slack — moving
+        its component predicts zero overall gain; the slow branch's
+        straggler still shows a real reduction.  The chain-sum
+        objective (same instance, no predecessors) would credit the
+        fast branch's own-latency win, which is the mis-weighting the
+        critical path fixes."""
+        pred = StubPredictor()
+        dag = PerformanceMatrix(self._branching_inputs(True), pred).build("fast")
+        chain = PerformanceMatrix(self._branching_inputs(False), pred).build("fast")
+        # The chain objective sees a gain for the off-path component...
+        assert chain.L[2].max() > 1e-6
+        # ...the critical-path objective correctly sees none...
+        assert dag.L[2].max() <= 1e-12
+        # ...while the on-path straggler keeps a real predicted gain.
+        assert dag.L[1].max() > 1e-6

@@ -19,7 +19,13 @@ from repro.sim.runner import ExperimentRunner, RunnerConfig
 from repro.sim.sweep import ParallelSweepRunner, SweepCache, SweepSpec
 
 
-BUILTINS = ("fanout-feed", "nutch-search", "pipeline-deep")
+BUILTINS = (
+    "branchy-api",
+    "diamond-search",
+    "fanout-feed",
+    "nutch-search",
+    "pipeline-deep",
+)
 
 
 class TestRegistry:
@@ -98,7 +104,9 @@ class TestBuilders:
             per_class.setdefault(comp.cls, set()).add(moments)
         assert all(len(v) == 1 for v in per_class.values()), per_class
 
-    @pytest.mark.parametrize("name", ["pipeline-deep", "fanout-feed"])
+    @pytest.mark.parametrize(
+        "name", ["pipeline-deep", "fanout-feed", "diamond-search"]
+    )
     def test_scale_shrinks_shape(self, name):
         spec = get_scenario(name)
         full = spec.build_service(spec.runner_config())
@@ -186,6 +194,181 @@ class TestEndToEndGolden:
             runner.collect(state)
 
 
+class TestChainGoldenMetrics:
+    """The DAG refactor's bit-identity anchor: every *chain* scenario's
+    full ``metrics_dict()`` is pinned to the values captured from the
+    pre-DAG tree (PR 4 head) under exactly these configs."""
+
+    #: Captured pre-refactor, scenario → full metrics_dict().
+    GOLDEN = {
+        "nutch-search": {
+            "arrival_rate": 40.0,
+            "component_latency": {
+                "max": 0.02848187515636651, "mean": 0.0034055513014597093,
+                "n": 3260, "p50": 0.0023974346230048287,
+                "p95": 0.009484035222648037, "p99": 0.016676826590078464,
+            },
+            "n_migrations": 0,
+            "n_requests": 652,
+            "overall_latency": {
+                "max": 0.03158492559686175, "mean": 0.01067995006166851,
+                "n": 652, "p50": 0.009474671226809693,
+                "p95": 0.01999988411894576, "p99": 0.025287876275378658,
+            },
+            "per_interval_component_p99": [
+                0.01594612490513156, 0.017396587315645397,
+            ],
+            "per_interval_overall_mean": [
+                0.010510761135038398, 0.01083906821885635,
+            ],
+            "policy_name": "Basic",
+        },
+        "pipeline-deep": {
+            "arrival_rate": 40.0,
+            "component_latency": {
+                "max": 0.03823634661814249, "mean": 0.0030834398734233596,
+                "n": 3460, "p50": 0.0021273934987361635,
+                "p95": 0.0089867072888115, "p99": 0.014595674235166127,
+            },
+            "n_migrations": 0,
+            "n_requests": 692,
+            "overall_latency": {
+                "max": 0.04261899032825607, "mean": 0.015417199367116797,
+                "n": 692, "p50": 0.014656155798478624,
+                "p95": 0.02581964883883832, "p99": 0.03262948639763774,
+            },
+            "per_interval_component_p99": [
+                0.014585743150780654, 0.014595674235166127,
+            ],
+            "per_interval_overall_mean": [
+                0.015442174913744812, 0.015392935374523766,
+            ],
+            "policy_name": "Basic",
+        },
+        "fanout-feed": {
+            "arrival_rate": 40.0,
+            "component_latency": {
+                "max": 0.09530204407395518, "mean": 0.00427213382574739,
+                "n": 4585, "p50": 0.0032480006049004093,
+                "p95": 0.010450553393636817, "p99": 0.020405171464071094,
+            },
+            "n_migrations": 0,
+            "n_requests": 655,
+            "overall_latency": {
+                "max": 0.10056904557127704, "mean": 0.015570744512858434,
+                "n": 655, "p50": 0.013009434912588512,
+                "p95": 0.03005345403681821, "p99": 0.06569784087416465,
+            },
+            "per_interval_component_p99": [
+                0.021940572038812285, 0.018971918188083543,
+            ],
+            "per_interval_overall_mean": [
+                0.01665182863472759, 0.014389496047429513,
+            ],
+            "policy_name": "Basic",
+        },
+    }
+
+    SCALES = {"nutch-search": 1.0, "pipeline-deep": 0.5, "fanout-feed": 0.2}
+
+    @pytest.mark.parametrize(
+        "scenario", ["nutch-search", "pipeline-deep", "fanout-feed"]
+    )
+    def test_chain_metrics_bit_identical(self, scenario):
+        from repro.service.nutch import NutchConfig
+
+        spec = get_scenario(scenario)
+        kwargs = dict(
+            n_nodes=6, arrival_rate=40.0, interval_s=8.0, n_intervals=3,
+            warmup_intervals=1, seed=0, n_profiling_conditions=8,
+            scale=self.SCALES[scenario],
+        )
+        if scenario == "nutch-search":
+            kwargs["nutch"] = NutchConfig(
+                n_search_groups=3, replicas_per_group=2,
+                n_segmenters=1, n_aggregators=1,
+            )
+        cfg = spec.runner_config(**kwargs)
+        result = ExperimentRunner(cfg).run(BasicPolicy())
+        assert result.metrics_dict() == self.GOLDEN[scenario]
+
+
+class TestDagScenarios:
+    """The DAG built-ins: shape, sizing rule, end-to-end viability."""
+
+    def test_builders_are_dags(self):
+        for name in ("diamond-search", "branchy-api"):
+            spec = get_scenario(name)
+            topo = spec.build_service(spec.runner_config()).topology
+            assert not topo.is_chain
+            assert topo.has_optional_groups
+            # Both carry a genuine skip edge: the exit stage lists the
+            # entry stage among its predecessors.
+            exit_preds = topo.predecessor_indices[topo.exit_indices[0]]
+            assert 0 in exit_preds and len(exit_preds) > 1
+
+    def test_sizing_rule_pinned_to_built_shape(self):
+        """The registered n_nodes defaults derive from the *actual*
+        component count via suggested_n_nodes — a shape edit that
+        forgets the preset breaks here."""
+        from repro.scenarios import suggested_n_nodes
+        from repro.scenarios.builtin import (
+            BRANCHY_COMPONENTS,
+            DIAMOND_COMPONENTS,
+        )
+
+        for name, declared in (
+            ("diamond-search", DIAMOND_COMPONENTS),
+            ("branchy-api", BRANCHY_COMPONENTS),
+        ):
+            spec = get_scenario(name)
+            built = spec.build_service(spec.runner_config())
+            assert built.n_components == declared
+            assert spec.runner_defaults["n_nodes"] == suggested_n_nodes(
+                declared
+            )
+
+    def test_suggested_n_nodes_rule(self):
+        from repro.errors import ConfigurationError
+        from repro.scenarios import suggested_n_nodes
+
+        assert suggested_n_nodes(1) == 8  # the floor
+        assert suggested_n_nodes(30) == 10
+        assert suggested_n_nodes(31) == 11
+        with pytest.raises(ConfigurationError):
+            suggested_n_nodes(0)
+
+    def test_describe_shows_dag_shape(self):
+        line = get_scenario("diamond-search").describe()
+        assert "<-" in line and "opt" in line
+
+    @pytest.mark.parametrize("name", ["diamond-search", "branchy-api"])
+    def test_runs_end_to_end_with_pcs(self, name):
+        from repro.experiments.fig6 import paper_pcs_policy
+
+        spec = get_scenario(name)
+        cfg = spec.runner_config(
+            n_nodes=8, arrival_rate=40.0, interval_s=8.0, n_intervals=3,
+            warmup_intervals=1, seed=0, n_profiling_conditions=8, scale=0.5,
+        )
+        result = ExperimentRunner(cfg).run(paper_pcs_policy())
+        assert result.n_requests > 0
+        assert result.component_p99_s > 0
+
+    @pytest.mark.parametrize("name", ["diamond-search", "branchy-api"])
+    def test_deterministic_across_runs(self, name):
+        """Optional-group Bernoulli draws come from the seeded request
+        stream: two runs of one config agree exactly."""
+        spec = get_scenario(name)
+        cfg = spec.runner_config(
+            n_nodes=8, arrival_rate=30.0, interval_s=8.0, n_intervals=3,
+            warmup_intervals=1, seed=1, n_profiling_conditions=8, scale=0.5,
+        )
+        a = ExperimentRunner(cfg).run(BasicPolicy())
+        b = ExperimentRunner(cfg).run(BasicPolicy())
+        assert a.metrics_dict() == b.metrics_dict()
+
+
 class TestSweepRoundTrip:
     """Scenario name → spec → sweep cache manifest → rebuilt summary."""
 
@@ -206,7 +389,9 @@ class TestSweepRoundTrip:
             seeds=(0, 1),
         )
 
-    @pytest.mark.parametrize("scenario", ["pipeline-deep", "fanout-feed"])
+    @pytest.mark.parametrize(
+        "scenario", ["pipeline-deep", "fanout-feed", "diamond-search"]
+    )
     def test_cache_round_trip(self, scenario, tmp_path):
         spec = self._spec(scenario)
         assert spec.scenario == scenario

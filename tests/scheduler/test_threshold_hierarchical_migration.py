@@ -187,3 +187,70 @@ class TestMigrationExecutor:
         )
         with pytest.raises(SchedulingError):
             MigrationExecutor(cluster, comps).enforce(outcome)
+
+
+class TestHierarchicalDag:
+    """Chunked scheduling must keep the DAG critical-path objective
+    (restricted to each chunk's stage range), not silently revert to
+    the chain sum."""
+
+    def test_chunk_predecessors_restricts_and_renumbers(self):
+        from repro.scheduler.hierarchical import chunk_predecessors
+
+        # Diamond over stages 0..3 plus a tail 4 waiting on 3.
+        preds = ((), (0,), (0,), (0, 1, 2), (3,))
+        # Chunk covering stages 2..4: the edges into 0 and 1 drop
+        # (fixed outside), survivors renumber to the chunk frame —
+        # stage 3 keeps only its edge from stage 2 (local 0), stage 4
+        # its edge from stage 3 (local 1).
+        assert chunk_predecessors(preds, 2, 4) == ((), (0,), (1,))
+        # Full range is the identity.
+        assert chunk_predecessors(preds, 0, 4) == preds
+        # A single-stage chunk is one entry stage.
+        assert chunk_predecessors(preds, 3, 3) == ((),)
+
+    def test_chunks_receive_the_truncated_dag(self):
+        """Every per-chunk sub-MatrixInputs carries stage_predecessors
+        (restricted + renumbered), never None for a DAG instance."""
+        from tests.model.test_matrix import _random_inputs
+
+        rng = np.random.default_rng(5)
+        inputs = _random_inputs(rng, m=18, k=4, n_stages=4)
+        n = int(inputs.stage_of.max()) + 1
+        inputs.stage_predecessors = tuple(
+            () if s == 0 else ((0,) if s < n - 1 else tuple(range(n - 1)))
+            for s in range(n)
+        )
+        scheduler = HierarchicalScheduler(StubPredictor(), group_size=6)
+        seen = []
+        original = scheduler._inner.schedule
+
+        def capture(sub):
+            seen.append(sub.stage_predecessors)
+            return original(sub)
+
+        scheduler._inner.schedule = capture
+        scheduler.schedule(inputs)
+        assert len(seen) >= 2  # actually chunked
+        assert all(preds is not None for preds in seen)
+        for preds in seen:
+            # Valid local DAG: distinct earlier indices per stage.
+            for si, ps in enumerate(preds):
+                assert all(0 <= p < si for p in ps)
+
+    def test_chain_chunks_stay_on_the_exact_sum_path(self):
+        from tests.model.test_matrix import _random_inputs
+
+        rng = np.random.default_rng(6)
+        inputs = _random_inputs(rng, m=18, k=4, n_stages=4)
+        scheduler = HierarchicalScheduler(StubPredictor(), group_size=6)
+        seen = []
+        original = scheduler._inner.schedule
+
+        def capture(sub):
+            seen.append(sub.stage_predecessors)
+            return original(sub)
+
+        scheduler._inner.schedule = capture
+        scheduler.schedule(inputs)
+        assert seen and all(preds is None for preds in seen)

@@ -1,5 +1,6 @@
 """Tests for the seed-level statistics layer (:mod:`repro.sim.aggregate`)."""
 
+import dataclasses
 import json
 import math
 
@@ -19,7 +20,7 @@ from repro.sim.aggregate import (
     student_t_ppf,
 )
 from repro.sim.metrics import percentile
-from repro.sim.runner import RunnerConfig
+from repro.sim.runner import PolicyResult, RunnerConfig
 from repro.sim.sweep import ParallelSweepRunner, SweepCache, SweepSpec
 
 
@@ -323,3 +324,100 @@ class TestPairedDiff:
         diff = summary.paired_diff("RED-2", "Basic", 30.0, metrics=[metric])[metric]
         assert diff.n == 1
         assert diff.t_lo == diff.t_hi == diff.mean
+
+
+class TestCrossRunCompare:
+    """`aggregate --compare`'s engine: paired per-seed differences
+    between two summaries of the same grid (SweepSummary.compare)."""
+
+    def _two_summaries(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        mine = result.summary()
+        # A synthetic "other run": every metric shifted by a constant,
+        # so the paired deltas are exactly that constant with zero std.
+        shift = 0.001
+        grouped = {}
+        for point, res in result.results.items():
+            shifted = PolicyResult.from_dict(res.to_dict())
+            shifted.overall_latency = dataclasses.replace(
+                res.overall_latency, mean=res.overall_latency.mean + shift
+            )
+            grouped.setdefault(
+                (point.policy.name, point.arrival_rate), {}
+            )[point.seed] = shifted
+        return mine, SweepSummary.from_grouped(grouped), shift
+
+    def test_identical_runs_diff_to_zero(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        mine = result.summary()
+        diffs = mine.compare(result.summary())
+        for per_metric in diffs.values():
+            for stats in per_metric.values():
+                assert stats.mean == 0.0
+                assert stats.std == 0.0
+
+    def test_constant_shift_recovered_exactly(self, tiny_sweep):
+        mine, other, shift = self._two_summaries(tiny_sweep)
+        metric = "overall_latency.mean"
+        diffs = mine.compare(other, metrics=[metric])
+        for per_metric in diffs.values():
+            stats = per_metric[metric]
+            assert stats.mean == pytest.approx(-shift)
+            assert stats.std == pytest.approx(0.0, abs=1e-12)
+
+    def test_mismatched_seed_sets_is_clear_error(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        mine = result.summary()
+        grouped = {}
+        for point, res in result.results.items():
+            if point.seed == 2:
+                continue  # the other run used fewer seeds
+            grouped.setdefault(
+                (point.policy.name, point.arrival_rate), {}
+            )[point.seed] = res
+        other = SweepSummary.from_grouped(grouped)
+        with pytest.raises(ExperimentError, match="different seed sets"):
+            mine.compare(other)
+
+    def test_disjoint_grids_is_clear_error(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        mine = result.summary()
+        grouped = {
+            ("Basic", 999.0): {
+                p.seed: r
+                for p, r in result.results.items()
+                if p.policy.name == "Basic"
+            }
+        }
+        other = SweepSummary.from_grouped(grouped)
+        with pytest.raises(ExperimentError, match="share no"):
+            mine.compare(other)
+
+    def test_unmatched_cells_listed_not_fatal(self, tiny_sweep):
+        _, _, result = tiny_sweep
+        mine = result.summary()
+        grouped = {}
+        for point, res in result.results.items():
+            grouped.setdefault(
+                (point.policy.name, point.arrival_rate), {}
+            )[point.seed] = res
+        # The other run additionally swept a rate mine doesn't have.
+        grouped[("Basic", 777.0)] = grouped[("Basic", 30.0)]
+        other = SweepSummary.from_grouped(grouped)
+        only_mine, only_theirs = mine.unmatched_cells(other)
+        assert only_mine == []
+        assert only_theirs == [("Basic", 777.0)]
+        table = mine.render_compare_table(other)
+        assert "Basic@777" in table
+
+    def test_deterministic_across_calls(self, tiny_sweep):
+        mine, other, _ = self._two_summaries(tiny_sweep)
+        one = mine.compare(other)
+        two = mine.compare(other)
+        assert {
+            cell: {m: s.to_dict() for m, s in stats.items()}
+            for cell, stats in one.items()
+        } == {
+            cell: {m: s.to_dict() for m, s in stats.items()}
+            for cell, stats in two.items()
+        }

@@ -9,12 +9,15 @@ import pytest
 from repro.errors import ConfigurationError, WorkerTaskError
 from repro.sim.backends import (
     BACKEND_NAMES,
+    EXPENSIVE_POINT_CUTOFF_S,
+    PROCESS_SPAWN_TAX_S,
     THREAD_AUTO_THRESHOLD,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     auto_backend,
+    auto_chunk_size,
     backend_from_name,
     chunked,
     resolve_backend,
@@ -162,6 +165,70 @@ class TestFactories:
         assert resolve_backend(None, 4, 2).name == "thread"
         assert resolve_backend("auto", 4, 50).name == "process"
         assert resolve_backend("serial", 4, 50).name == "serial"
+
+
+class TestCostAwareAuto:
+    """The ROADMAP-documented routing bug, fixed: a small grid of
+    *expensive* points must spawn processes, not GIL-serialised
+    threads, when the caller supplies a cost estimate."""
+
+    def test_expensive_small_set_routes_to_process(self):
+        backend = auto_backend(
+            4, 4, est_cost_s=EXPENSIVE_POINT_CUTOFF_S * 5
+        )
+        assert isinstance(backend, ProcessBackend)
+        # Expensive points keep one-point tasks (finest-grained
+        # caching/failure behaviour).
+        assert backend.chunk_size == 1
+
+    def test_cheap_small_set_still_routes_to_threads(self):
+        assert auto_backend(4, 4, est_cost_s=0.1).name == "thread"
+
+    def test_cheap_large_set_gets_auto_chunking(self):
+        backend = auto_backend(4, 40, est_cost_s=0.1)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.chunk_size == auto_chunk_size(40, 4, 0.1)
+        assert backend.chunk_size > 1
+
+    def test_explicit_chunk_size_wins_over_auto(self):
+        backend = auto_backend(
+            4, 40, chunk_size=7, est_cost_s=EXPENSIVE_POINT_CUTOFF_S * 2
+        )
+        assert backend.chunk_size == 7
+
+    def test_no_estimate_keeps_count_rule(self):
+        assert auto_backend(4, THREAD_AUTO_THRESHOLD).name == "thread"
+        assert auto_backend(4, THREAD_AUTO_THRESHOLD + 1).name == "process"
+
+    def test_serial_short_circuits_regardless_of_cost(self):
+        assert auto_backend(1, 4, est_cost_s=1e6).name == "serial"
+        assert auto_backend(4, 1, est_cost_s=1e6).name == "serial"
+
+    def test_negative_estimate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            auto_backend(4, 4, est_cost_s=-1.0)
+
+    def test_resolve_forwards_estimate(self):
+        resolved = resolve_backend(
+            "auto", 4, 4, est_cost_s=EXPENSIVE_POINT_CUTOFF_S * 5
+        )
+        assert resolved.name == "process"
+        # Named backends ignore the estimate — explicit wins.
+        assert resolve_backend(
+            "thread", 4, 4, est_cost_s=EXPENSIVE_POINT_CUTOFF_S * 5
+        ).name == "thread"
+
+    def test_auto_chunk_size_bounds(self):
+        # Enough cheap points per chunk to amortise the spawn tax...
+        assert auto_chunk_size(100, 4, 0.1) == int(
+            -(-PROCESS_SPAWN_TAX_S // 0.1)
+        )
+        # ...but never beyond an even split across the workers...
+        assert auto_chunk_size(8, 4, 1e-6) == 2
+        # ...and expensive points stay one per task.
+        assert auto_chunk_size(100, 4, 10.0) == 1
+        with pytest.raises(ConfigurationError):
+            auto_chunk_size(0, 4, 1.0)
 
 
 class TestWorkerTaskError:

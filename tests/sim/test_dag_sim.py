@@ -1,0 +1,256 @@
+"""DAG traversal in the vectorised and DES simulators.
+
+Two layers of pinning:
+
+- **golden digests** — the chain scenarios' sample paths (request
+  latencies and pooled sojourns) must be byte-identical to the
+  pre-DAG-refactor simulator, captured from the pre-refactor tree;
+- **deterministic DAG semantics** — with ``Deterministic`` service
+  times and arrivals spaced far beyond the service times (no
+  queueing), every request's latency is exactly the critical path over
+  the stage DAG, so skip edges, parallel branches and optional stages
+  can be asserted to the float.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import BasicPolicy, REDPolicy, ReissuePolicy
+from repro.scenarios import get_scenario
+from repro.service.component import Component, ComponentClass
+from repro.service.topology import ReplicaGroup, ServiceTopology, Stage
+from repro.sim.des_service import DESServiceSimulator
+from repro.sim.queue_sim import simulate_service_interval
+from repro.simcore.distributions import Deterministic
+from repro.units import ms
+
+
+def _digest(arr) -> str:
+    return hashlib.blake2b(
+        np.ascontiguousarray(arr).tobytes(), digest_size=16
+    ).hexdigest()
+
+
+class TestChainGoldenSamplePaths:
+    """The DAG refactor must not move a single byte of any chain
+    scenario's sample path.  Digests captured from the pre-refactor
+    tree (PR 4 head) with exactly this driver code."""
+
+    GOLDEN = {
+        "nutch-search|Basic": (
+            "d13e917a762c3250f15ac9b7946fb4e8",
+            "71f6e61aa42ca401b178f8eab9051192",
+        ),
+        "nutch-search|RED-2": (
+            "1f06f05818a1a692d4f62800f9425ebc",
+            "425f855f85a7b3a7886cb36a992181bf",
+        ),
+        "nutch-search|RI-90": (
+            "1a9bd0005941c3185f6011d5332cd576",
+            "1b88bc0dcacb79ceee50dd78e2f3daeb",
+        ),
+        "pipeline-deep|Basic": (
+            "d2b00ba4152881541594c6d91313d84e",
+            "a26e8dbb8c535e6b52fc4df453355f02",
+        ),
+        "pipeline-deep|RED-2": (
+            "be8940e40068715de5fa3e946f7d42ce",
+            "00ff430d753d757f708d339c7e2d56bf",
+        ),
+        "pipeline-deep|RI-90": (
+            "a9efc4db6a00613d3cea950b9510ec1c",
+            "f7843bf67f8d74441042af0ba471c14c",
+        ),
+        "fanout-feed|Basic": (
+            "ad2eb2d3666f7885e601626178babb96",
+            "aec996385c3309edbe244a4e8170f4db",
+        ),
+        "fanout-feed|RED-2": (
+            "202eb03ad20644929860d523f6ee8bae",
+            "0d5ed20f9b709a90bff540d1d20fe3e3",
+        ),
+        "fanout-feed|RI-90": (
+            "2df1ebc9501a934779cbc32d29bae4a7",
+            "1f59750136c4c001ca7ec5b3c57bc637",
+        ),
+    }
+
+    SCALES = {"nutch-search": 1.0, "pipeline-deep": 0.5, "fanout-feed": 0.2}
+
+    @pytest.mark.parametrize(
+        "scenario", ["nutch-search", "pipeline-deep", "fanout-feed"]
+    )
+    @pytest.mark.parametrize(
+        "policy", [BasicPolicy(), REDPolicy(replicas=2), ReissuePolicy(0.90)],
+        ids=lambda p: p.name,
+    )
+    def test_sample_paths_bit_identical(self, scenario, policy):
+        spec = get_scenario(scenario)
+        topo = spec.build_service(
+            spec.runner_config(scale=self.SCALES[scenario])
+        ).topology
+        assert topo.is_chain
+        dists = {c.name: c.base_service for c in topo.components}
+        rng = np.random.default_rng(42)
+        out = simulate_service_interval(topo, policy, 50.0, 20.0, dists, rng)
+        got = (
+            _digest(out.request_latencies),
+            _digest(out.pooled_component_latencies()),
+        )
+        assert got == self.GOLDEN[f"{scenario}|{policy.name}"]
+
+
+def _det_stage(name, mean_s, preds=None, participation=1.0):
+    return Stage(
+        name,
+        [
+            ReplicaGroup(
+                f"{name}-g0",
+                [
+                    Component(
+                        name=f"{name}-r0",
+                        cls=ComponentClass.GENERIC,
+                        base_service=Deterministic(mean_s),
+                    )
+                ],
+                participation=participation,
+            )
+        ],
+        predecessors=preds,
+    )
+
+
+def _no_queue_latencies(topo, rate=0.4, duration=200.0, seed=3):
+    """Latencies with arrivals so sparse that queueing never happens."""
+    dists = {c.name: c.base_service for c in topo.components}
+    out = simulate_service_interval(
+        topo, BasicPolicy(), rate, duration, dists, np.random.default_rng(seed)
+    )
+    assert out.n_requests > 20
+    return out.request_latencies
+
+
+class TestDagSemanticsExact:
+    def test_diamond_critical_path(self):
+        """a -> {b, c} -> d: latency = a + max(b, c) + d, not the sum."""
+        topo = ServiceTopology(
+            [
+                _det_stage("a", ms(1)),
+                _det_stage("b", ms(5), preds=("a",)),
+                _det_stage("c", ms(3), preds=("a",)),
+                _det_stage("d", ms(2), preds=("b", "c")),
+            ]
+        )
+        lat = _no_queue_latencies(topo)
+        assert np.allclose(lat, ms(1) + ms(5) + ms(2))
+
+    def test_skip_edge_is_dominated_when_branch_runs(self):
+        """A skip edge never shortens the join while the long branch ran."""
+        topo = ServiceTopology(
+            [
+                _det_stage("a", ms(1)),
+                _det_stage("b", ms(5), preds=("a",)),
+                _det_stage("d", ms(2), preds=("a", "b")),
+            ]
+        )
+        lat = _no_queue_latencies(topo)
+        assert np.allclose(lat, ms(1) + ms(5) + ms(2))
+
+    def test_optional_stage_bimodal(self):
+        """With the middle stage optional, latency splits into exactly
+        two values: branch taken vs branch skipped via the skip edge."""
+        topo = ServiceTopology(
+            [
+                _det_stage("a", ms(1)),
+                _det_stage("b", ms(5), preds=("a",), participation=0.5),
+                _det_stage("d", ms(2), preds=("a", "b")),
+            ]
+        )
+        lat = _no_queue_latencies(topo, duration=400.0)
+        with_b = ms(1) + ms(5) + ms(2)
+        without_b = ms(1) + ms(2)
+        taken = np.isclose(lat, with_b)
+        skipped = np.isclose(lat, without_b)
+        assert np.all(taken | skipped)
+        # Both modes actually occur, roughly at the 0.5 split.
+        frac = taken.mean()
+        assert 0.3 < frac < 0.7
+
+    def test_parallel_entries_and_exits(self):
+        """Two independent entry stages; overall = max of the two."""
+        topo = ServiceTopology(
+            [
+                _det_stage("left", ms(4)),
+                _det_stage("right", ms(7), preds=()),
+            ]
+        )
+        lat = _no_queue_latencies(topo)
+        assert np.allclose(lat, ms(7))
+
+    def test_chain_equals_sum(self):
+        topo = ServiceTopology(
+            [
+                _det_stage("a", ms(1)),
+                _det_stage("b", ms(5)),
+                _det_stage("c", ms(2)),
+            ]
+        )
+        lat = _no_queue_latencies(topo)
+        assert np.allclose(lat, ms(8))
+
+    def test_des_matches_on_deterministic_dag(self):
+        """The DES realises the same critical path event-by-event."""
+        topo = ServiceTopology(
+            [
+                _det_stage("a", ms(1)),
+                _det_stage("b", ms(5), preds=("a",)),
+                _det_stage("c", ms(3), preds=("a",)),
+                _det_stage("d", ms(2), preds=("a", "b", "c")),
+            ]
+        )
+        dists = {c.name: c.base_service for c in topo.components}
+        out = DESServiceSimulator(
+            topo, dists, np.random.default_rng(5)
+        ).run(arrival_rate=0.4, duration_s=200.0)
+        assert out.completed > 20
+        assert out.abandoned_in_flight == 0
+        assert np.allclose(out.request_latencies, ms(1) + ms(5) + ms(2))
+
+    def test_des_optional_stage_bimodal(self):
+        topo = ServiceTopology(
+            [
+                _det_stage("a", ms(1)),
+                _det_stage("b", ms(5), preds=("a",), participation=0.5),
+                _det_stage("d", ms(2), preds=("a", "b")),
+            ]
+        )
+        dists = {c.name: c.base_service for c in topo.components}
+        out = DESServiceSimulator(
+            topo, dists, np.random.default_rng(6)
+        ).run(arrival_rate=0.4, duration_s=400.0)
+        lat = out.request_latencies
+        taken = np.isclose(lat, ms(8))
+        skipped = np.isclose(lat, ms(3))
+        assert np.all(taken | skipped)
+        assert 0.3 < taken.mean() < 0.7
+
+
+class TestOptionalGroupAccounting:
+    def test_skipped_requests_leave_no_sojourn_samples(self):
+        """An optional group records sojourns only for participants."""
+        topo = ServiceTopology(
+            [
+                _det_stage("a", ms(1)),
+                _det_stage("b", ms(5), preds=("a",), participation=0.4),
+            ]
+        )
+        dists = {c.name: c.base_service for c in topo.components}
+        out = simulate_service_interval(
+            topo, BasicPolicy(), 5.0, 100.0, dists, np.random.default_rng(9)
+        )
+        n = out.n_requests
+        n_b = out.component_sojourns["b-r0"].size
+        assert 0 < n_b < n
+        assert out.component_sojourns["a-r0"].size == n

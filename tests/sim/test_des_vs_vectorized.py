@@ -179,14 +179,18 @@ class TestCrossValidation:
 class TestScenarioCrossValidation:
     """The stage-alignment approximation must stay bounded on the
     registered non-Nutch scenarios too: a five-stage sequential chain
-    accumulates inter-stage jitter the most, and heavy-tailed fan-out
-    stresses the stage max."""
+    accumulates inter-stage jitter the most, heavy-tailed fan-out
+    stresses the stage max, and the DAG scenarios exercise the
+    critical-path join (parallel branches, optional groups, skip
+    edges) in both simulators."""
 
     @pytest.mark.parametrize(
         "scenario,scale,lam,rel_mean,rel_p99",
         [
             ("pipeline-deep", 0.5, 30.0, 0.08, 0.12),
             ("fanout-feed", 0.15, 25.0, 0.12, 0.18),
+            ("diamond-search", 0.5, 30.0, 0.08, 0.15),
+            ("branchy-api", 1.0, 30.0, 0.08, 0.15),
         ],
     )
     def test_mean_and_component_p99_agree(

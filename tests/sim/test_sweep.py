@@ -542,3 +542,68 @@ class TestPolicyFromName:
     def test_unknown_rejected(self, name):
         with pytest.raises(ConfigurationError):
             policy_from_name(name)
+
+
+class TestCostAwareBackendSelection:
+    """Regression for the ROADMAP-documented auto_backend bug: a small
+    grid of expensive points with --workers N must route to process
+    workers without the user having to pass --backend process."""
+
+    def _expensive_spec(self) -> SweepSpec:
+        # 10 intervals x 120 s x 60 nodes: well past the spawn-tax
+        # cutoff under the spec-based cost estimate.
+        base = _tiny_base(
+            n_nodes=60, interval_s=120.0, n_intervals=10, warmup_intervals=1
+        )
+        return SweepSpec(
+            base=base,
+            policies=(BasicPolicy(), REDPolicy(replicas=2)),
+            arrival_rates=(30.0, 70.0),
+            seeds=(0,),
+        )
+
+    def test_small_expensive_grid_auto_selects_process(self):
+        from repro.sim.backends import ProcessBackend
+        from repro.sim.sweep import estimated_point_cost_s
+
+        spec = self._expensive_spec()
+        assert spec.n_points == 4  # the ISSUE's regression shape
+        runner = ParallelSweepRunner(spec, workers=4)
+        backend = runner._resolve_backend(spec.n_points, [])
+        assert isinstance(backend, ProcessBackend)
+        assert estimated_point_cost_s(spec.base) >= 2.0
+
+    def test_small_cheap_grid_still_auto_selects_threads(self):
+        spec = _tiny_spec(seeds=(0,))  # 4 cheap points
+        runner = ParallelSweepRunner(spec, workers=4)
+        assert runner._resolve_backend(spec.n_points, []).name == "thread"
+
+    def test_explicit_backend_still_wins(self):
+        runner = ParallelSweepRunner(
+            self._expensive_spec(), workers=4, backend="thread"
+        )
+        assert runner._resolve_backend(4, []).name == "thread"
+
+    def test_measured_cache_timings_override_spec_estimate(self):
+        """On a resumed sweep the cache hits carry measured wall-clock;
+        the estimate must use them over the spec model."""
+        @dataclass
+        class _Timed:
+            wall_time_s: float
+
+        spec = _tiny_spec(seeds=(0,))  # cheap by the spec estimate
+        runner = ParallelSweepRunner(spec, workers=4)
+        cheap = runner._estimate_point_cost([])
+        assert cheap < 2.0
+        measured = runner._estimate_point_cost([_Timed(9.0), _Timed(11.0)])
+        assert measured == pytest.approx(10.0)
+        assert runner._resolve_backend(4, [_Timed(9.0), _Timed(11.0)]).name == (
+            "process"
+        )
+
+    def test_estimate_scales_with_spec_knobs(self):
+        from repro.sim.sweep import estimated_point_cost_s
+
+        small = estimated_point_cost_s(_tiny_base())
+        big = estimated_point_cost_s(_tiny_base(n_nodes=60, interval_s=120.0))
+        assert big > small > 0
