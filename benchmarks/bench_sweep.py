@@ -101,14 +101,24 @@ def test_sweep_parallel_speedup(benchmark, paper_scale):
         f"4 workers {parallel_s:.1f}s -> {speedup:.2f}x "
         f"({cores} usable cores)"
     )
+    base = spec.base
     record_benchmark(
         "sweep_parallel_speedup",
-        {"serial": serial_s, "parallel_4_workers": parallel_s, "speedup": speedup},
+        {
+            "serial": serial_s,
+            "parallel_4_workers": parallel_s,
+            "speedup": speedup,
+            # Feeds repro.sim.sweep.calibrate_wall_s_per_node_second.
+            "serial_s_per_point": serial_s / spec.n_points,
+        },
         config={
             "n_points": spec.n_points,
             "paper_scale": paper_scale,
             "usable_cores": cores,
             "scenario": spec.scenario,
+            "node_seconds_per_point": (
+                base.n_intervals * base.interval_s * base.n_nodes
+            ),
         },
     )
     if cores >= 4:

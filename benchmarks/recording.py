@@ -32,7 +32,7 @@ import time
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
-__all__ = ["record_benchmark", "bench_output_dir"]
+__all__ = ["record_benchmark", "load_benchmark_records", "bench_output_dir"]
 
 SCHEMA_VERSION = 1
 
@@ -90,3 +90,29 @@ def record_benchmark(
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
     os.replace(tmp, path)
     return path
+
+
+def load_benchmark_records(out_dir: Union[str, Path, None] = None) -> list:
+    """Read every ``BENCH_*.json`` record under ``out_dir``, sorted by name.
+
+    The inverse of :func:`record_benchmark`: returns the parsed payload
+    dicts of every record whose ``schema_version`` matches
+    :data:`SCHEMA_VERSION`.  Unparseable files and foreign schema
+    versions are skipped (a half-written record from a crashed run, or
+    one written by a newer harness, must not poison consumers such as
+    the sweep cost calibration) — an absent directory simply yields
+    ``[]``.
+    """
+    directory = Path(out_dir) if out_dir is not None else bench_output_dir()
+    records = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if (
+            isinstance(payload, dict)
+            and payload.get("schema_version") == SCHEMA_VERSION
+        ):
+            records.append(payload)
+    return records

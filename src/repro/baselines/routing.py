@@ -104,6 +104,7 @@ class RoutingKernel(ABC):
         rng: np.random.Generator,
         sojourns: Dict[str, List[np.ndarray]],
         services: Dict[str, List[np.ndarray]],
+        scale: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Serve ``arrivals`` on ``group``; return per-request latency.
 
@@ -111,6 +112,13 @@ class RoutingKernel(ABC):
         quickest copy's latency, attributed to the winning replica) to
         ``sojourns[name]`` and its *executed* service samples to
         ``services[name]``.
+
+        ``scale`` (aligned with ``arrivals``) multiplies each request's
+        sampled service times — the mixed-class simulator's per-class
+        service scaling.  ``None`` (the default, and the only value
+        single-class runs pass) leaves every sample untouched, and the
+        underlying draws are identical either way, so pre-class sample
+        paths are preserved bit for bit.
         """
 
 
@@ -119,7 +127,7 @@ class RandomSplitKernel(RoutingKernel):
     """One uniformly chosen replica per sub-request (Basic / PCS)."""
 
     def route_group(
-        self, arrivals, group, dists, rng, sojourns, services
+        self, arrivals, group, dists, rng, sojourns, services, scale=None
     ) -> np.ndarray:
         n = arrivals.size
         r_count = group.n_replicas
@@ -129,6 +137,8 @@ class RandomSplitKernel(RoutingKernel):
             mask = primary == r
             t = arrivals[mask]
             s = np.asarray(dists[comp.name].sample(rng, t.size), dtype=np.float64)
+            if scale is not None:
+                s = s * scale[mask]
             soj = lindley_waits(t, s, validate=False) + s
             group_lat[mask] = soj
             sojourns[comp.name].append(soj)
@@ -152,14 +162,14 @@ class RedundancyKernel(RoutingKernel):
             raise ConfigurationError("cancel_delay_s must be >= 0")
 
     def route_group(
-        self, arrivals, group, dists, rng, sojourns, services
+        self, arrivals, group, dists, rng, sojourns, services, scale=None
     ) -> np.ndarray:
         n = arrivals.size
         r_count = group.n_replicas
         k = min(self.replicas, r_count)
         if k == 1 or n == 0:
             return RandomSplitKernel().route_group(
-                arrivals, group, dists, rng, sojourns, services
+                arrivals, group, dists, rng, sojourns, services, scale
             )
         primary = _primary_choice(n, r_count, rng)
         # copy c of request i runs on replica (primary[i] + c) % r_count.
@@ -175,6 +185,8 @@ class RedundancyKernel(RoutingKernel):
                 continue
             t = arrivals[req_ids]
             s = np.asarray(dists[group.components[r].name].sample(rng, t.size))
+            if scale is not None:
+                s = s * scale[req_ids]
             w = lindley_waits(t, s, validate=False)
             c = copy_idx[req_ids]
             starts[c, req_ids] = t + w
@@ -234,13 +246,13 @@ class ReissueKernel(RoutingKernel):
         return float(np.percentile(soj1, self.quantile * 100.0)) if n else 0.0
 
     def route_group(
-        self, arrivals, group, dists, rng, sojourns, services
+        self, arrivals, group, dists, rng, sojourns, services, scale=None
     ) -> np.ndarray:
         n = arrivals.size
         r_count = group.n_replicas
         if r_count == 1 or n == 0:
             return RandomSplitKernel().route_group(
-                arrivals, group, dists, rng, sojourns, services
+                arrivals, group, dists, rng, sojourns, services, scale
             )
         primary = _primary_choice(n, r_count, rng)
         # Pass 1: primary-only sample paths give each request's would-be
@@ -251,6 +263,8 @@ class ReissueKernel(RoutingKernel):
             mask = primary == r
             t = arrivals[mask]
             s = np.asarray(dists[comp.name].sample(rng, t.size))
+            if scale is not None:
+                s = s * scale[mask]
             soj1[mask] = lindley_waits(t, s, validate=False) + s
             svc1[mask] = s
         threshold = self._threshold(soj1, n)
@@ -265,6 +279,8 @@ class ReissueKernel(RoutingKernel):
             t_s = arrivals[s_mask] + threshold
             s_p = svc1[p_mask]
             s_s = np.asarray(dists[comp.name].sample(rng, int(s_mask.sum())))
+            if scale is not None:
+                s_s = s_s * scale[s_mask]
             # Merge primary and secondary streams in arrival order.
             t_all = np.concatenate([t_p, t_s])
             s_all = np.concatenate([s_p, s_s])

@@ -33,7 +33,13 @@ completed points on disk so interrupted runs resume, and
 reduce them through the shared aggregate layer.  ``quick``/``sweep``/
 ``fig5``/``fig6``/``fig7`` accept ``--scenario NAME`` to run any
 registered scenario instead of the paper's Nutch-like service (plus
-``--scale`` to shrink/grow the non-Nutch shapes).
+``--scale`` to shrink/grow the non-Nutch shapes).  ``quick``/``sweep``/
+``fig6`` additionally accept ``--trace-profile`` (non-stationary
+arrival shapes from :mod:`repro.workloads.traces`: diurnal, burst,
+flash-crowd) and ``--classes name:weight,...`` to re-weight a
+scenario's declared request-class mix; mixed-class runs report
+per-class latency panels and the ``scenarios`` catalog appends each
+classed scenario's class table.
 """
 
 from __future__ import annotations
@@ -43,6 +49,39 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _class_mix(text: str):
+    """argparse type for ``--classes``: ``name:weight,name:weight,...``.
+
+    Returns the ``((name, weight), ...)`` tuple RunnerConfig's
+    ``class_mix`` field takes; unknown class names are caught downstream
+    by the topology resolution (where the declared classes are known).
+    """
+    pairs = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, weight_text = part.partition(":")
+        if not sep or not name.strip():
+            raise argparse.ArgumentTypeError(
+                f"expected name:weight, got {part!r}"
+            )
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad weight {weight_text!r} for class {name.strip()!r}"
+            )
+        if weight < 0:
+            raise argparse.ArgumentTypeError(
+                f"class {name.strip()!r} weight must be >= 0, got {weight}"
+            )
+        pairs.append((name.strip(), weight))
+    if not pairs:
+        raise argparse.ArgumentTypeError("--classes must name at least one class")
+    return tuple(pairs)
 
 
 def _positive_int(text: str) -> int:
@@ -107,6 +146,26 @@ def build_parser() -> argparse.ArgumentParser:
             "knobs instead)",
         )
 
+    def add_workload_args(p):
+        from repro.workloads.traces import arrival_profile_names
+
+        p.add_argument(
+            "--trace-profile",
+            choices=arrival_profile_names(),
+            default="stationary",
+            dest="trace_profile",
+            help="arrival-trace profile shaping per-interval rates "
+            "(repro.workloads.traces); stationary reproduces the "
+            "paper's open-loop stream exactly",
+        )
+        p.add_argument(
+            "--classes", type=_class_mix, default=None, dest="class_mix",
+            metavar="NAME:W,...",
+            help="re-weight the scenario's declared request classes "
+            "(e.g. search:0.5,autocomplete:0.5; weight 0 drops a "
+            "class); only valid for scenarios that declare classes",
+        )
+
     p5 = sub.add_parser("fig5", help="prediction-accuracy experiment")
     p5.add_argument("--seed", type=int, default=0)
     p5.add_argument(
@@ -142,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="memoize completed sweep points here; rerunning resumes",
     )
     add_scenario_args(p6)
+    add_workload_args(p6)
 
     p7 = sub.add_parser("fig7", help="scheduler scalability")
     p7.add_argument("--seed", type=int, default=0)
@@ -161,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("--rate", type=float, default=100.0)
     pq.add_argument("--seed", type=int, default=0)
     add_scenario_args(pq)
+    add_workload_args(pq)
 
     ps = sub.add_parser(
         "sweep",
@@ -185,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
         "16 for nutch-search)",
     )
     add_scenario_args(ps)
+    add_workload_args(ps)
     ps.add_argument(
         "--search-groups", type=int, default=10,
         help="searching-stage replica groups (nutch-search only; the "
@@ -301,6 +363,8 @@ def _run_sweep(args) -> int:
         warmup_intervals=args.warmup_intervals,
         seed=seeds[0],
         scale=_shape_scale(args),
+        trace_profile=args.trace_profile,
+        class_mix=args.class_mix,
     )
     if args.scenario == "nutch-search":
         overrides["nutch"] = NutchConfig(
@@ -485,6 +549,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scenario=args.scenario,
                 scale=args.shape_scale,
                 paper_scale=True,
+                trace_profile=args.trace_profile,
+                class_mix=args.class_mix,
             )
         else:
             cfg = Fig6Config(
@@ -497,6 +563,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 scenario=args.scenario,
                 scale=args.shape_scale,
                 nutch=NutchConfig(n_search_groups=10, replicas_per_group=4),
+                trace_profile=args.trace_profile,
+                class_mix=args.class_mix,
             )
         result = run_fig6(
             cfg,
@@ -534,6 +602,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             scenario=args.scenario,
             scale=_shape_scale(args),
+            trace_profile=args.trace_profile,
+            class_mix=args.class_mix,
         )
         print(result.render())
     elif args.command == "sweep":

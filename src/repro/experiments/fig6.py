@@ -121,6 +121,13 @@ class Fig6Config:
     seeds: Tuple[int, ...] = ()
     #: Apply the scenario's full-scale preset (see the class docstring).
     paper_scale: bool = False
+    #: Arrival-trace profile shaping per-interval rates
+    #: (:func:`~repro.workloads.traces.arrival_profile_names`); the
+    #: paper's open-loop stationary stream is the default.
+    trace_profile: str = "stationary"
+    #: Request-class mix re-weighting, ``((name, weight), ...)``; `None``
+    #: runs the scenario's declared mix (validated by the runner).
+    class_mix: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __post_init__(self) -> None:
         if not self.arrival_rates:
@@ -200,6 +207,8 @@ class Fig6Config:
             nutch=self.nutch,
             generator=self.generator,
             interference_noise=get_scenario(self.scenario).interference_noise,
+            trace_profile=self.trace_profile,
+            class_mix=self.class_mix,
         )
 
     def sweep_spec(self) -> SweepSpec:
@@ -362,6 +371,29 @@ class Fig6Result:
                     log=True,
                 )
             )
+            # Mixed-class runs: one per-class panel per rate, so the
+            # class-conditional tails are visible next to the pooled
+            # numbers (class-free runs render exactly as before).
+            class_rows = [
+                [
+                    name,
+                    cls,
+                    s.n,
+                    f"{s.mean * 1e3:.1f}",
+                    f"{s.p99 * 1e3:.1f}",
+                ]
+                for name, r in per_policy.items()
+                if r.per_class
+                for cls, s in sorted(r.per_class.items())
+            ]
+            if class_rows:
+                blocks.append(
+                    render_table(
+                        ["policy", "class", "n", "mean (ms)", "p99 (ms)"],
+                        class_rows,
+                        title=f"per-class overall latency @ {rate:g} req/s",
+                    )
+                )
         blocks.append(self.seed_summary().render_table())
         has_mitigation = any(
             p.startswith(("RED", "RI")) for p in self.policies()
@@ -421,6 +453,8 @@ def run_quick_comparison(
     n_intervals: int = 6,
     scenario: str = "nutch-search",
     scale: float = 1.0,
+    trace_profile: str = "stationary",
+    class_mix: Optional[Tuple[Tuple[str, float], ...]] = None,
 ) -> Fig6Result:
     """A minutes-scale Basic-vs-PCS taste of Fig. 6 (see quickstart)."""
     cfg = Fig6Config(
@@ -433,5 +467,7 @@ def run_quick_comparison(
         scale=scale,
         nutch=NutchConfig(n_search_groups=8, replicas_per_group=4),
         policies=(BasicPolicy(), paper_pcs_policy()),
+        trace_profile=trace_profile,
+        class_mix=class_mix,
     )
     return run_fig6(cfg)

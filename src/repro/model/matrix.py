@@ -94,6 +94,18 @@ class MatrixInputs:
         side branch that the join never waits on predicts (correctly)
         no overall gain.  ``None`` keeps the exact chain sum, which is
         what a chain DAG's critical path degenerates to.
+    class_weights:
+        Optional ``(C,)`` request-class mix weights (sum to 1).  Given
+        together with ``class_stage_participation``, the overall-latency
+        objective becomes the mix-weighted average of per-class
+        critical paths (:func:`repro.model.service_latency.
+        mixed_class_overall_latency`) — a straggler on a stage only a
+        light class visits is discounted by that class's weight.
+        ``None`` (with participation also ``None``) keeps the exact
+        homogeneous objective.
+    class_stage_participation:
+        Optional ``(C, S)`` per-class stage participation probabilities
+        in ``[0, 1]``; required iff ``class_weights`` is given.
     """
 
     stage_of: np.ndarray
@@ -105,6 +117,8 @@ class MatrixInputs:
     node_limits: Optional[np.ndarray] = None
     group_of: Optional[np.ndarray] = None
     stage_predecessors: Optional[Tuple[Tuple[int, ...], ...]] = None
+    class_weights: Optional[np.ndarray] = None
+    class_stage_participation: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.stage_of = np.asarray(self.stage_of, dtype=np.int64)
@@ -159,6 +173,42 @@ class MatrixInputs:
             self.stage_predecessors = validate_predecessors(
                 self.stage_predecessors, int(self.stage_of.max()) + 1
             )
+        if (self.class_weights is None) != (
+            self.class_stage_participation is None
+        ):
+            raise ModelError(
+                "class_weights and class_stage_participation must be "
+                "given together"
+            )
+        if self.class_weights is not None:
+            self.class_weights = np.asarray(
+                self.class_weights, dtype=np.float64
+            )
+            self.class_stage_participation = np.asarray(
+                self.class_stage_participation, dtype=np.float64
+            )
+            n_stages = int(self.stage_of.max()) + 1
+            c = self.class_weights.size
+            if self.class_weights.ndim != 1 or c == 0:
+                raise ModelError("class_weights must be a non-empty 1-D array")
+            if np.any(self.class_weights < 0) or not np.isclose(
+                self.class_weights.sum(), 1.0
+            ):
+                raise ModelError(
+                    "class_weights must be non-negative and sum to 1"
+                )
+            if self.class_stage_participation.shape != (c, n_stages):
+                raise ModelError(
+                    "class_stage_participation must be (C, S) = "
+                    f"({c}, {n_stages}), got "
+                    f"{self.class_stage_participation.shape}"
+                )
+            if np.any(self.class_stage_participation < 0) or np.any(
+                self.class_stage_participation > 1
+            ):
+                raise ModelError(
+                    "class_stage_participation must lie in [0, 1]"
+                )
 
     def component_counts(self) -> np.ndarray:
         """Components currently hosted per node."""
@@ -188,6 +238,16 @@ class MatrixInputs:
             ),
             group_of=None if self.group_of is None else self.group_of.copy(),
             stage_predecessors=self.stage_predecessors,
+            class_weights=(
+                None
+                if self.class_weights is None
+                else self.class_weights.copy()
+            ),
+            class_stage_participation=(
+                None
+                if self.class_stage_participation is None
+                else self.class_stage_participation.copy()
+            ),
         )
 
 
@@ -226,6 +286,11 @@ class PerformanceMatrix:
         self._dag_preds = inputs.stage_predecessors
         if self._dag_preds is not None:
             self._dag_exits = exits_from_predecessors(self._dag_preds)
+        # Request-class mix: None keeps the exact homogeneous objective
+        # (bit-identical to pre-class builds); with a mix, _compose
+        # averages per-class critical paths by weight.
+        self._mix_weights = inputs.class_weights
+        self._mix_participation = inputs.class_stage_participation
         # Class-batched index lists, computed once.
         self._class_rows: Dict[ComponentClass, np.ndarray] = {}
         for cls in set(inputs.classes):
@@ -269,7 +334,26 @@ class PerformanceMatrix:
         against the pre-validated predecessors and precomputed exit set
         — this runs per candidate evaluation inside the greedy loop, so
         the public function's per-call validation would be pure waste.
+
+        With a request-class mix
+        (:attr:`MatrixInputs.class_weights`/``class_stage_participation``)
+        the objective is the mix-weighted average of per-class
+        compositions, each over participation-scaled stage latencies —
+        the matrix form of :func:`~repro.model.service_latency.
+        mixed_class_overall_latency`, looped over the (small) class
+        axis so the batched sheets stay vectorised.
         """
+        if self._mix_weights is not None:
+            overall = np.zeros(stage_max.shape[:-1], dtype=np.float64)
+            for c in range(self._mix_weights.size):
+                overall = overall + self._mix_weights[c] * self._compose_one(
+                    stage_max * self._mix_participation[c]
+                )
+            return overall
+        return self._compose_one(stage_max)
+
+    def _compose_one(self, stage_max: np.ndarray) -> np.ndarray:
+        """One composition pass (chain sum or critical path)."""
         if self._dag_preds is None:
             return stage_max.sum(axis=-1)
         completion = np.empty_like(stage_max)

@@ -33,6 +33,7 @@ __all__ = [
     "exits_from_predecessors",
     "dag_completion_times",
     "dag_overall_latency",
+    "mixed_class_overall_latency",
 ]
 
 
@@ -189,6 +190,68 @@ def dag_overall_latency(
     overall = completion[..., exits[0]]
     for si in exits[1:]:
         overall = np.maximum(overall, completion[..., si])
+    if overall.ndim == 0:
+        return float(overall)
+    return overall
+
+
+def mixed_class_overall_latency(
+    stage_lats: np.ndarray,
+    class_weights: np.ndarray,
+    class_stage_participation: np.ndarray,
+    predecessors: "Sequence[Sequence[int]] | None" = None,
+) -> np.ndarray:
+    """Mix-weighted overall latency under class-conditional stage DAGs.
+
+    Each request class ``c`` sees stage ``s`` with probability
+    ``class_stage_participation[c, s]``; its expected contribution from
+    that stage is the participation-weighted stage latency, and its
+    overall latency composes those per Eq. 4 — the chain sum when
+    ``predecessors`` is ``None``, the DAG critical path otherwise.  The
+    service-level prediction is the mix-weighted average over classes::
+
+        l_overall = Σ_c w_c · Compose(stage_lats ∘ participation[c])
+
+    ``stage_lats`` is ``(..., S)`` with any leading batch dimensions
+    (the matrix's ``(k, S)`` sheets go through in one call per class);
+    ``class_weights`` is ``(C,)`` summing to 1; participation is
+    ``(C, S)`` in ``[0, 1]``.  With one class at full participation
+    this is exactly :func:`dag_overall_latency` / the chain sum.
+    """
+    lats = np.asarray(stage_lats, dtype=np.float64)
+    w = np.asarray(class_weights, dtype=np.float64)
+    part = np.asarray(class_stage_participation, dtype=np.float64)
+    if lats.ndim < 1 or lats.shape[-1] == 0:
+        raise ModelError("stage_lats must have a non-empty stage axis")
+    s = lats.shape[-1]
+    if w.ndim != 1 or w.size == 0:
+        raise ModelError("class_weights must be a non-empty 1-D array")
+    if part.shape != (w.size, s):
+        raise ModelError(
+            f"class_stage_participation must be (C, S) = ({w.size}, {s}), "
+            f"got {part.shape}"
+        )
+    if np.any(w < 0) or not np.isclose(w.sum(), 1.0):
+        raise ModelError("class_weights must be non-negative and sum to 1")
+    if np.any(part < 0) or np.any(part > 1):
+        raise ModelError("class_stage_participation must lie in [0, 1]")
+    preds = (
+        None
+        if predecessors is None
+        else validate_predecessors(predecessors, s)
+    )
+    exits = None if preds is None else exits_from_predecessors(preds)
+    overall = np.zeros(lats.shape[:-1], dtype=np.float64)
+    for c in range(w.size):
+        class_lats = lats * part[c]
+        if preds is None:
+            per_class = class_lats.sum(axis=-1)
+        else:
+            completion = _completion_times(class_lats, preds)
+            per_class = completion[..., exits[0]]
+            for si in exits[1:]:
+                per_class = np.maximum(per_class, completion[..., si])
+        overall = overall + w[c] * per_class
     if overall.ndim == 0:
         return float(overall)
     return overall

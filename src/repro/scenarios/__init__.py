@@ -43,11 +43,27 @@ Scenario catalog
     recommendation stages (per-request Bernoulli draws) behind a
     gateway, joined by a render stage reachable by a skip edge.
 
+``mixed-frontend``
+    The **request-class** showcase: three parallel branch stages
+    (search shards, optional image lookup, suggest) behind a gateway,
+    with three declared request classes (``search``/``autocomplete``/
+    ``image-heavy``) that restrict the DAG and rescale service demand
+    per class.  Runs report per-class latency summaries alongside the
+    pooled ones; ``--classes`` re-weights the mix from the CLI.
+
 Non-Nutch shapes scale with ``RunnerConfig.scale`` (group/replica
 counts are multiplied and rounded), so tests and quick CLI runs shrink
 a scenario without registering a new one.  ``repro-pcs scenarios``
 prints this catalog with live topology summaries (DAG scenarios show
-their stage predecessors and optional-group counts).
+their stage predecessors and optional-group counts; classed scenarios
+append their class table).
+
+Importing a scenario
+--------------------
+:mod:`repro.scenarios.callgraph` turns an Alibaba-style call-graph
+JSON edge list into a registered scenario
+(:func:`~repro.scenarios.callgraph.scenario_from_callgraph`), so real
+production traces can ride the same harness as the hand-built shapes.
 
 Adding a scenario
 -----------------
@@ -94,8 +110,13 @@ from repro.scenarios.builtin import (
     BRANCHY_API,
     DIAMOND_SEARCH,
     FANOUT_FEED,
+    MIXED_FRONTEND,
     NUTCH_SEARCH,
     PIPELINE_DEEP,
+)
+from repro.scenarios.callgraph import (
+    load_callgraph,
+    scenario_from_callgraph,
 )
 
 __all__ = [
@@ -105,9 +126,12 @@ __all__ = [
     "scenario_names",
     "all_scenarios",
     "suggested_n_nodes",
+    "load_callgraph",
+    "scenario_from_callgraph",
     "NUTCH_SEARCH",
     "PIPELINE_DEEP",
     "FANOUT_FEED",
     "DIAMOND_SEARCH",
     "BRANCHY_API",
+    "MIXED_FRONTEND",
 ]

@@ -39,6 +39,18 @@ the how-to-add guide):
     ran, reachable from the gateway by a skip edge for requests that
     skipped both branches.
 
+``mixed-frontend``
+    the **request-class** showcase: a gateway fans out to three
+    parallel branch stages — web-search shards, an optional image
+    lookup and a suggest service — joined by a blend stage.  Three
+    request classes restrict that DAG per class: full ``search``
+    queries (60 %), cheap ``autocomplete`` keystrokes (30 %, half the
+    service demand, suggest branch only) and ``image-heavy`` queries
+    (10 %, 1.6× demand, image branch mandatory) — so per-class latency
+    distributions differ by construction.  The search-shard *group
+    count* is fixed (class participation overrides name the groups
+    explicitly); ``config.scale`` widens the replica counts instead.
+
 Shape scaling: the non-Nutch builders multiply their replica/group
 counts by ``config.scale`` (a :class:`~repro.sim.runner.RunnerConfig`
 field, default 1.0), so tests and quick CLI runs can shrink a scenario
@@ -65,7 +77,12 @@ from repro.scenarios.spec import ScenarioSpec, register_scenario, suggested_n_no
 from repro.service.component import Component, ComponentClass
 from repro.service.nutch import build_nutch_service
 from repro.service.service import OnlineService
-from repro.service.topology import ReplicaGroup, ServiceTopology, Stage
+from repro.service.topology import (
+    ReplicaGroup,
+    RequestClass,
+    ServiceTopology,
+    Stage,
+)
 from repro.simcore.distributions import LogNormal, Pareto
 from repro.units import ms
 from repro.workloads.generator import GeneratorConfig
@@ -79,6 +96,7 @@ __all__ = [
     "FANOUT_FEED",
     "DIAMOND_SEARCH",
     "BRANCHY_API",
+    "MIXED_FRONTEND",
 ]
 
 
@@ -405,5 +423,119 @@ BRANCHY_API = register_scenario(
             "scale": 3.0,
         },
         tags=("dag", "optional-stages", "skip-edge"),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# mixed-frontend (request classes over a three-branch DAG)
+# ----------------------------------------------------------------------
+#: Unscaled mixed-frontend shape (gateway + 4 search shard groups +
+#: image + suggest + blend) — pinned to the built service by a test.
+MIXED_FRONTEND_COMPONENTS = 3 + 4 * 3 + 3 + 2 + 4
+
+#: The shard *group count* is deliberately scale-independent: the
+#: request classes below override these groups by name, and a name
+#: list baked into a frozen spec cannot track a scaled group count.
+#: ``config.scale`` widens the replica counts inside each group.
+_MIXED_SEARCH_GROUPS = 4
+
+
+def _build_mixed(config: "RunnerConfig") -> OnlineService:
+    s = config.scale
+    search_dist = LogNormal(ms(3.0), 0.6)
+    gateway = _shared_stage(
+        "gateway", "gateway-g0", ComponentClass.SEGMENTING,
+        LogNormal(ms(0.8), 0.3), _scaled(3, s),
+    )
+    search = Stage(
+        name="search",
+        groups=[
+            ReplicaGroup(
+                name=f"search-g{g:02d}",
+                components=[
+                    _component(
+                        ComponentClass.SEARCHING,
+                        f"search-g{g:02d}-r{r}",
+                        search_dist,
+                    )
+                    for r in range(_scaled(3, s))
+                ],
+            )
+            for g in range(_MIXED_SEARCH_GROUPS)
+        ],
+        predecessors=("gateway",),
+    )
+    image = _shared_stage(
+        "image", "image-g0", ComponentClass.GENERIC,
+        LogNormal(ms(4.5), 0.7), _scaled(3, s),
+        predecessors=("gateway",), participation=0.5,
+    )
+    # Suggest is a prefix search against the suggestion index — same
+    # component class (and base distribution) as the shards, per the
+    # one-profiling-campaign-per-class homogeneity rule.  Autocomplete
+    # requests reach it cheap through their 0.5x class service scale.
+    suggest = _shared_stage(
+        "suggest", "suggest-g0", ComponentClass.SEARCHING,
+        search_dist, _scaled(2, s),
+        predecessors=("gateway",),
+    )
+    blend = _shared_stage(
+        "blend", "blend-g0", ComponentClass.AGGREGATING,
+        LogNormal(ms(1.5), 0.4), _scaled(4, s),
+        # Every class keeps at least one branch mandatory, so unlike
+        # branchy-api the join needs no gateway->blend skip edge:
+        # class-skipped branch stages pass through at their
+        # predecessor's completion time.
+        predecessors=("search", "image", "suggest"),
+    )
+    return OnlineService(
+        "mixed-frontend",
+        ServiceTopology([gateway, search, image, suggest, blend]),
+    )
+
+
+MIXED_FRONTEND = register_scenario(
+    ScenarioSpec(
+        name="mixed-frontend",
+        description=(
+            "class-mixed frontend (gateway -> {search shards || optional "
+            "image || suggest} -> blend); three request classes restrict "
+            "the DAG and rescale service demand per class"
+        ),
+        build=_build_mixed,
+        runner_defaults={
+            "n_nodes": suggested_n_nodes(MIXED_FRONTEND_COMPONENTS)
+        },
+        paper_scale={
+            "n_nodes": suggested_n_nodes(3 * MIXED_FRONTEND_COMPONENTS),
+            "scale": 3.0,
+        },
+        tags=("dag", "classes", "optional-stages"),
+        request_classes=(
+            # Full search: shards always, image on its topology-default
+            # coin flip, never the suggest branch.
+            RequestClass(
+                "search", weight=0.6,
+                participation={"suggest-g0": 0.0},
+            ),
+            # Keystroke autocomplete: suggest only, half the demand.
+            RequestClass(
+                "autocomplete", weight=0.3, service_scale=0.5,
+                participation={
+                    **{
+                        f"search-g{g:02d}": 0.0
+                        for g in range(_MIXED_SEARCH_GROUPS)
+                    },
+                    "image-g0": 0.0,
+                    "suggest-g0": 1.0,
+                },
+            ),
+            # Image-heavy search: image mandatory, 1.6x the demand.
+            RequestClass(
+                "image-heavy", weight=0.1, service_scale=1.6,
+                participation={"image-g0": 1.0, "suggest-g0": 0.0},
+            ),
+        ),
     )
 )

@@ -1,0 +1,333 @@
+"""Import Alibaba-style microservice call graphs as scenarios.
+
+The cluster-trace-microservices releases describe a request's journey
+as a *call graph*: microservice nodes and caller → callee edges.  This
+module turns a JSON description in that spirit into a registered
+:class:`~repro.scenarios.spec.ScenarioSpec`, so a production-shaped
+topology rides the same harness (runner, sweep, figures, CLI) as the
+hand-built catalog.
+
+Input schema (one JSON object)::
+
+    {
+      "name": "alibaba-msXXXX",
+      "description": "optional catalog line",
+      "services": {
+        "<node>": {
+          "mean_service_ms": 3.0,      # required, > 0
+          "scv": 0.6,                  # optional, default 0.5
+          "replicas": 3,               # optional, default 2
+          "class": "searching",        # optional ComponentClass name,
+                                       # default "generic"
+          "participation": 1.0         # optional, (0, 1]
+        }, ...
+      },
+      "edges": [["caller", "callee"], ...],
+      "classes": [                     # optional request classes
+        {"name": "api", "weight": 0.7, "service_scale": 1.0,
+         "participation": {"<node>": 0.0, ...}}, ...
+      ]
+    }
+
+Each node becomes one stage holding one load-shared replica group (the
+group is named after the node, so class ``participation`` overrides
+address nodes directly); edges become stage predecessors.  Stages are
+ordered by a deterministic Kahn topological sort — ties resolve in
+``services`` declaration order — because
+:class:`~repro.service.topology.ServiceTopology` requires predecessors
+to appear earlier in the stage list.  Service times are LogNormal
+(mean, SCV), the same family the built-ins use; per-class resource
+demands come from the built-in footprint table so the scheduler has
+real vectors to balance.
+
+The call graph must have exactly one entry node (requests enter at the
+frontend) — multi-rooted graphs are rejected rather than silently
+merged.  Cycles (retry loops in real traces) are rejected too: the
+simulators model acyclic request DAGs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.scenarios.builtin import _component, _scaled
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    register_scenario,
+    suggested_n_nodes,
+)
+from repro.service.component import ComponentClass
+from repro.service.service import OnlineService
+from repro.service.topology import (
+    ReplicaGroup,
+    RequestClass,
+    ServiceTopology,
+    Stage,
+)
+from repro.simcore.distributions import LogNormal
+from repro.units import ms
+
+__all__ = ["load_callgraph", "scenario_from_callgraph"]
+
+_CLASS_NAMES = {c.name.lower(): c for c in ComponentClass}
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigurationError(message)
+
+
+def load_callgraph(
+    source: Union[str, Path, Mapping[str, object]],
+) -> Dict[str, object]:
+    """Parse and validate one call-graph description.
+
+    ``source`` is a path to a JSON file or an already-parsed mapping.
+    Returns a normalised dict with keys ``name``, ``description``,
+    ``services`` (declaration-ordered), ``edges`` and ``classes``;
+    raises :class:`~repro.errors.ConfigurationError` on every schema
+    violation (missing nodes, dangling edges, cycles, multiple entry
+    nodes, bad numbers) so callers never build half a topology.
+    """
+    if isinstance(source, (str, Path)):
+        try:
+            payload = json.loads(Path(source).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read call graph {source}: {exc}"
+            ) from exc
+    else:
+        payload = dict(source)
+    _require(isinstance(payload, dict), "call graph must be a JSON object")
+
+    name = payload.get("name")
+    _require(
+        isinstance(name, str) and bool(name),
+        "call graph needs a non-empty 'name'",
+    )
+    services = payload.get("services")
+    _require(
+        isinstance(services, dict) and bool(services),
+        f"call graph {name!r} needs a non-empty 'services' mapping",
+    )
+    normalised: Dict[str, Dict[str, object]] = {}
+    for node, attrs in services.items():
+        _require(
+            isinstance(attrs, dict),
+            f"call graph {name!r} service {node!r} must be an object",
+        )
+        mean = attrs.get("mean_service_ms")
+        _require(
+            isinstance(mean, (int, float)) and mean > 0,
+            f"service {node!r} needs mean_service_ms > 0",
+        )
+        scv = attrs.get("scv", 0.5)
+        _require(
+            isinstance(scv, (int, float)) and scv > 0,
+            f"service {node!r} scv must be > 0",
+        )
+        replicas = attrs.get("replicas", 2)
+        _require(
+            isinstance(replicas, int) and replicas >= 1,
+            f"service {node!r} replicas must be an int >= 1",
+        )
+        cls_name = str(attrs.get("class", "generic")).lower()
+        _require(
+            cls_name in _CLASS_NAMES,
+            f"service {node!r} class {cls_name!r} unknown "
+            f"(one of {sorted(_CLASS_NAMES)})",
+        )
+        participation = attrs.get("participation", 1.0)
+        _require(
+            isinstance(participation, (int, float))
+            and 0 < participation <= 1,
+            f"service {node!r} participation must lie in (0, 1]",
+        )
+        normalised[node] = {
+            "mean_service_ms": float(mean),
+            "scv": float(scv),
+            "replicas": int(replicas),
+            "class": _CLASS_NAMES[cls_name],
+            "participation": float(participation),
+        }
+
+    edges_raw = payload.get("edges", [])
+    _require(
+        isinstance(edges_raw, list),
+        f"call graph {name!r} 'edges' must be a list of [caller, callee]",
+    )
+    edges: List[Tuple[str, str]] = []
+    seen_edges = set()
+    for e in edges_raw:
+        _require(
+            isinstance(e, (list, tuple)) and len(e) == 2,
+            f"call graph {name!r} edge {e!r} must be [caller, callee]",
+        )
+        caller, callee = str(e[0]), str(e[1])
+        for endpoint in (caller, callee):
+            _require(
+                endpoint in normalised,
+                f"call graph {name!r} edge references unknown service "
+                f"{endpoint!r}",
+            )
+        _require(caller != callee, f"self-call on {caller!r}")
+        if (caller, callee) not in seen_edges:
+            seen_edges.add((caller, callee))
+            edges.append((caller, callee))
+
+    classes_raw = payload.get("classes", [])
+    _require(
+        isinstance(classes_raw, list),
+        f"call graph {name!r} 'classes' must be a list",
+    )
+    classes: List[RequestClass] = []
+    for c in classes_raw:
+        _require(
+            isinstance(c, dict) and isinstance(c.get("name"), str),
+            f"call graph {name!r} class entries need a 'name'",
+        )
+        part = c.get("participation", {})
+        _require(
+            isinstance(part, dict),
+            f"class {c['name']!r} participation must be a mapping",
+        )
+        unknown = set(part) - set(normalised)
+        _require(
+            not unknown,
+            f"class {c['name']!r} participation names unknown services "
+            f"{sorted(unknown)}",
+        )
+        # RequestClass validates weight/scale/participation ranges.
+        classes.append(
+            RequestClass(
+                name=c["name"],
+                weight=float(c.get("weight", 1.0)),
+                service_scale=float(c.get("service_scale", 1.0)),
+                participation={g: float(p) for g, p in part.items()},
+            )
+        )
+
+    return {
+        "name": name,
+        "description": str(
+            payload.get("description", f"imported call graph {name}")
+        ),
+        "services": normalised,
+        "edges": edges,
+        "classes": tuple(classes),
+    }
+
+
+def _topological_order(
+    nodes: Sequence[str], edges: Sequence[Tuple[str, str]], name: str
+) -> List[str]:
+    """Deterministic Kahn sort; declaration order breaks ties."""
+    indegree = {n: 0 for n in nodes}
+    for _, callee in edges:
+        indegree[callee] += 1
+    order: List[str] = []
+    ready = [n for n in nodes if indegree[n] == 0]
+    _require(
+        len(ready) >= 1,
+        f"call graph {name!r} has no entry service (cycle through "
+        "every node)",
+    )
+    _require(
+        len(ready) == 1,
+        f"call graph {name!r} must have exactly one entry service, "
+        f"found {sorted(ready)}",
+    )
+    successors: Dict[str, List[str]] = {n: [] for n in nodes}
+    for caller, callee in edges:
+        successors[caller].append(callee)
+    declared = {n: i for i, n in enumerate(nodes)}
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        newly = []
+        for callee in successors[node]:
+            indegree[callee] -= 1
+            if indegree[callee] == 0:
+                newly.append(callee)
+        ready.extend(sorted(newly, key=declared.__getitem__))
+        ready.sort(key=declared.__getitem__)
+    _require(
+        len(order) == len(nodes),
+        f"call graph {name!r} contains a cycle through "
+        f"{sorted(set(nodes) - set(order))}",
+    )
+    return order
+
+
+def scenario_from_callgraph(
+    source: Union[str, Path, Mapping[str, object]],
+    register: bool = True,
+    replace_existing: bool = False,
+) -> ScenarioSpec:
+    """Build (and by default register) a scenario from a call graph.
+
+    The builder closes over the parsed graph: each invocation rebuilds
+    the topology under the config's ``scale`` (replica counts scale,
+    the graph shape does not — class participation addresses nodes by
+    name).  Returns the :class:`~repro.scenarios.spec.ScenarioSpec`;
+    with ``register=False`` the spec is only returned, for callers that
+    manage their own registry lifetime (tests).
+    """
+    graph = load_callgraph(source)
+    node_order = _topological_order(
+        list(graph["services"]), graph["edges"], graph["name"]
+    )
+    predecessors: Dict[str, List[str]] = {n: [] for n in node_order}
+    for caller, callee in graph["edges"]:
+        predecessors[callee].append(caller)
+    services = graph["services"]
+    n_components = sum(s["replicas"] for s in services.values())
+
+    def build(config) -> OnlineService:
+        stages = []
+        for node in node_order:
+            attrs = services[node]
+            dist = LogNormal(ms(attrs["mean_service_ms"]), attrs["scv"])
+            stages.append(
+                Stage(
+                    name=node,
+                    groups=[
+                        ReplicaGroup(
+                            name=node,
+                            components=[
+                                _component(
+                                    attrs["class"], f"{node}-r{r}", dist
+                                )
+                                for r in range(
+                                    _scaled(attrs["replicas"], config.scale)
+                                )
+                            ],
+                            participation=attrs["participation"],
+                        )
+                    ],
+                    predecessors=tuple(predecessors[node]),
+                )
+            )
+        return OnlineService(graph["name"], ServiceTopology(stages))
+
+    tags = ("callgraph", "dag")
+    if graph["classes"]:
+        tags += ("classes",)
+    spec = ScenarioSpec(
+        name=graph["name"],
+        description=graph["description"],
+        build=build,
+        runner_defaults={"n_nodes": suggested_n_nodes(n_components)},
+        paper_scale={
+            "n_nodes": suggested_n_nodes(3 * n_components),
+            "scale": 3.0,
+        },
+        tags=tags,
+        request_classes=graph["classes"],
+    )
+    if register:
+        register_scenario(spec, replace_existing=replace_existing)
+    return spec

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple
 
 from repro.errors import ConfigurationError
+from repro.service.topology import RequestClass
 from repro.workloads.generator import GeneratorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -98,6 +99,13 @@ class ScenarioSpec:
     #: silently inheriting the Nutch-shaped constants.
     paper_scale: Mapping[str, object] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
+    #: Request classes the scenario's workload mixes
+    #: (:class:`~repro.service.topology.RequestClass`).  Empty — the
+    #: paper's homogeneous population — keeps every run on the exact
+    #: pre-class code path.  The runner resolves these against the
+    #: built topology (``ServiceTopology.resolve_classes``), optionally
+    #: re-weighted by ``RunnerConfig.class_mix``.
+    request_classes: Tuple[RequestClass, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -108,6 +116,12 @@ class ScenarioSpec:
             )
         if self.interference_noise < 0:
             raise ConfigurationError("interference_noise must be >= 0")
+        class_names = [c.name for c in self.request_classes]
+        if len(set(class_names)) != len(class_names):
+            raise ConfigurationError(
+                f"scenario {self.name!r} declares duplicate request "
+                f"class names {class_names}"
+            )
         for label, mapping in (
             ("runner_defaults", self.runner_defaults),
             ("paper_scale", self.paper_scale),
@@ -150,13 +164,23 @@ class ScenarioSpec:
         return service
 
     def describe(self, config: "RunnerConfig" = None) -> str:
-        """One catalog line: topology summary + description."""
+        """One catalog line: topology summary + description.
+
+        Mixed-class scenarios append their class table (name, mix
+        weight, service scale, per-group participation overrides);
+        class-free scenarios render exactly as before (golden-pinned).
+        """
         cfg = config if config is not None else self.runner_config()
         topo = self.build_service(cfg).topology
-        return (
+        line = (
             f"{self.name}: {topo.describe()} "
             f"({topo.n_components} components) — {self.description}"
         )
+        if self.request_classes:
+            resolved = topo.resolve_classes(self.request_classes)
+            if resolved is not None:
+                line += f" | classes: {resolved.describe()}"
+        return line
 
 
 # ----------------------------------------------------------------------

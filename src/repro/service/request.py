@@ -51,6 +51,9 @@ class Request:
     stage_finishes: Dict[int, float] = field(default_factory=dict)
     outcomes: Dict[str, SubRequestOutcome] = field(default_factory=dict)
     finish_time: Optional[float] = None
+    #: Request-class name under a mixed-class scenario (None when the
+    #: run is single-class — the homogeneous paper population).
+    class_name: Optional[str] = None
 
     @property
     def overall_latency(self) -> float:

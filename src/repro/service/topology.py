@@ -38,15 +38,22 @@ along the same edges (:mod:`repro.model.service_latency`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import TopologyError
 from repro.service.component import Component
 
-__all__ = ["ReplicaGroup", "Stage", "ServiceTopology"]
+__all__ = [
+    "ReplicaGroup",
+    "Stage",
+    "ServiceTopology",
+    "RequestClass",
+    "ResolvedClassMix",
+]
 
 
 @dataclass
@@ -139,6 +146,116 @@ class Stage:
 
     def __iter__(self) -> Iterator[ReplicaGroup]:
         return iter(self.groups)
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One heterogeneous request population over a shared topology.
+
+    A class restricts the topology's request DAG per request: its
+    ``participation`` mapping overrides group participation
+    probabilities by group name (``0.0`` means requests of this class
+    never fan out to that group — a class-conditional DAG restriction;
+    unnamed groups keep their topology default), ``service_scale``
+    multiplies every service time the class's requests experience
+    (autocomplete is lighter than full search), and ``weight`` is the
+    class's share of the arrival stream.
+    """
+
+    name: str
+    weight: float = 1.0
+    service_scale: float = 1.0
+    #: Group name -> participation probability in [0, 1] for this
+    #: class (overrides the group's default; 0 removes the group from
+    #: this class's DAG).
+    participation: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("request class name must be non-empty")
+        if self.weight < 0:
+            raise TopologyError(
+                f"class {self.name} weight must be >= 0, got {self.weight}"
+            )
+        if self.service_scale <= 0:
+            raise TopologyError(
+                f"class {self.name} service_scale must be positive, "
+                f"got {self.service_scale}"
+            )
+        for group, p in self.participation.items():
+            if not 0.0 <= p <= 1.0:
+                raise TopologyError(
+                    f"class {self.name} participation for group {group!r} "
+                    f"must be in [0, 1], got {p}"
+                )
+
+
+@dataclass(frozen=True)
+class ResolvedClassMix:
+    """A class mix resolved against one topology (the simulator view).
+
+    Built by :meth:`ServiceTopology.resolve_classes`; rows are classes,
+    group columns follow the topology's stage-major group order (the
+    same global-group order the performance matrix uses).  Pure data —
+    both simulators, the runner's load model and the predictor compose
+    from these arrays without re-deriving the mapping.
+    """
+
+    names: Tuple[str, ...]
+    #: (C,) normalised mix weights, all > 0.
+    weights: np.ndarray
+    #: (C,) per-class service-time multipliers.
+    service_scales: np.ndarray
+    #: (C, G) effective participation per class and stage-major group.
+    group_participation: np.ndarray
+    #: Stage-major group names aligned with the columns above.
+    group_names: Tuple[str, ...]
+    #: (C, S) per-class stage membership weight: the max participation
+    #: over the stage's groups — the model layer's critical-path weight.
+    stage_participation: np.ndarray
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.names)
+
+    @property
+    def multi_class(self) -> bool:
+        """Whether requests need a per-request class-assignment draw."""
+        return self.n_classes > 1
+
+    def expected_group_participation(self) -> np.ndarray:
+        """(G,) mix-weighted participation per group (load model input)."""
+        return self.weights @ self.group_participation
+
+    def class_of(self, u: np.ndarray) -> np.ndarray:
+        """Map uniforms in [0, 1) to class indices by mix weight."""
+        cum = np.cumsum(self.weights)
+        return np.minimum(
+            np.searchsorted(cum, u, side="right"), self.n_classes - 1
+        )
+
+    def describe(self) -> str:
+        """One line per class: weight, scale, DAG restrictions."""
+        lines = []
+        for c, name in enumerate(self.names):
+            restricted = [
+                f"{g}={self.group_participation[c, gi]:g}"
+                for gi, g in enumerate(self.group_names)
+                if not np.isclose(
+                    self.group_participation[c, gi],
+                    self._default_p[gi],
+                )
+            ]
+            extra = f" [{', '.join(restricted)}]" if restricted else ""
+            lines.append(
+                f"{name}(w={self.weights[c]:.2f}, "
+                f"x{self.service_scales[c]:g}){extra}"
+            )
+        return ", ".join(lines)
+
+    # Stashed by resolve_classes so describe() can show only the
+    # overrides that actually differ from the topology defaults.
+    _default_p: np.ndarray = field(default=None, repr=False, compare=False)
 
 
 class ServiceTopology:
@@ -267,6 +384,112 @@ class ServiceTopology:
     def has_optional_groups(self) -> bool:
         """Whether any group is probabilistically skipped."""
         return any(g.optional for s in self._stages for g in s.groups)
+
+    def resolve_classes(
+        self,
+        classes: Sequence[RequestClass],
+        mix: Optional[Mapping[str, float]] = None,
+    ) -> Optional[ResolvedClassMix]:
+        """Resolve a class declaration list against this topology.
+
+        ``mix`` optionally re-weights the declared classes by name (the
+        CLI's ``--classes``); weights of 0 drop a class from the run.
+        Returns ``None`` when the surviving mix is the **exact
+        degenerate case** — no classes declared, or a single class with
+        unit service scale and no participation overrides — so callers
+        branch to the pre-class code path and stay bit-identical.
+        Raises :class:`~repro.errors.TopologyError` on unknown class or
+        group names, or when every class is weighted out.
+        """
+        classes = list(classes or ())
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise TopologyError(f"duplicate request class names in {names}")
+        if mix is not None:
+            unknown = set(mix) - set(names)
+            if unknown:
+                raise TopologyError(
+                    f"mix names unknown classes {sorted(unknown)} "
+                    f"(declared: {names or 'none'})"
+                )
+            for w in mix.values():
+                if w < 0:
+                    raise TopologyError("mix weights must be >= 0")
+            classes = [
+                RequestClass(
+                    name=c.name,
+                    weight=float(mix.get(c.name, c.weight)),
+                    service_scale=c.service_scale,
+                    participation=c.participation,
+                )
+                for c in classes
+            ]
+        group_names = tuple(
+            g.name for s in self._stages for g in s.groups
+        )
+        known = set(group_names)
+        for c in classes:
+            bad = set(c.participation) - known
+            if bad:
+                raise TopologyError(
+                    f"class {c.name} overrides unknown groups {sorted(bad)}"
+                )
+        active = [c for c in classes if c.weight > 0]
+        if classes and not active:
+            raise TopologyError(
+                "every request class has zero weight; at least one must "
+                "remain in the mix"
+            )
+        if not active:
+            return None
+        default_p = np.array(
+            [g.participation for s in self._stages for g in s.groups]
+        )
+        part = np.stack(
+            [
+                np.array(
+                    [
+                        float(c.participation.get(g, default_p[gi]))
+                        for gi, g in enumerate(group_names)
+                    ]
+                )
+                for c in active
+            ]
+        )
+        scales = np.array([c.service_scale for c in active])
+        if (
+            len(active) == 1
+            and scales[0] == 1.0
+            and np.array_equal(part[0], default_p)
+        ):
+            # A single class that neither rescales nor restricts is the
+            # homogeneous population — take the pre-class fast path.
+            return None
+        weights = np.array([c.weight for c in active])
+        weights = weights / weights.sum()
+        # Per-class stage membership: the strongest group participation
+        # in the stage (a stage every group of which is skipped carries
+        # zero critical-path weight for the class).
+        offsets = []
+        gi = 0
+        for s in self._stages:
+            offsets.append((gi, gi + len(s.groups)))
+            gi += len(s.groups)
+        stage_part = np.stack(
+            [
+                np.array([part[c, lo:hi].max() for lo, hi in offsets])
+                for c in range(len(active))
+            ]
+        )
+        return ResolvedClassMix(
+            names=tuple(c.name for c in active),
+            weights=weights,
+            service_scales=scales,
+            group_participation=part,
+            group_names=group_names,
+            stage_participation=stage_part,
+            _default_p=default_p,
+        )
 
     @property
     def components(self) -> List[Component]:

@@ -18,12 +18,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.service.topology import ServiceTopology
+from repro.service.topology import ResolvedClassMix, ServiceTopology
 from repro.simcore.distributions import Distribution
 from repro.simcore.engine import SimulationEngine
 
@@ -38,6 +38,10 @@ class DESOutcome:
     component_sojourns: Dict[str, np.ndarray]
     completed: int
     abandoned_in_flight: int
+    #: Per-completed-request class index / names on mixed-class runs
+    #: (None for the homogeneous population).
+    class_of: Optional[np.ndarray] = None
+    class_names: Optional[Tuple[str, ...]] = None
 
     def pooled_component_latencies(self) -> np.ndarray:
         """All sub-request sojourns pooled (metric 1)."""
@@ -45,6 +49,18 @@ class DESOutcome:
         if not arrays:
             return np.empty(0)
         return np.concatenate(arrays)
+
+    def per_class_latencies(self) -> Dict[str, np.ndarray]:
+        """Overall request latencies split by request class."""
+        if self.class_of is None or self.class_names is None:
+            raise SimulationError(
+                "per-class latencies need a mixed-class DES run "
+                "(DESServiceSimulator.run(..., classes=...))"
+            )
+        return {
+            name: self.request_latencies[self.class_of == c]
+            for c, name in enumerate(self.class_names)
+        }
 
 
 class _Server:
@@ -62,10 +78,17 @@ class _Server:
 class _InFlight:
     """Book-keeping for one request traversing the stage DAG."""
 
-    __slots__ = ("arrival", "pending", "preds_remaining", "exits_remaining")
+    __slots__ = (
+        "arrival", "pending", "preds_remaining", "exits_remaining",
+        "class_idx",
+    )
 
     def __init__(
-        self, arrival: float, in_degrees: List[int], n_exits: int
+        self,
+        arrival: float,
+        in_degrees: List[int],
+        n_exits: int,
+        class_idx: int = 0,
     ) -> None:
         self.arrival = arrival
         #: Outstanding sub-requests per in-flight stage index.
@@ -73,6 +96,8 @@ class _InFlight:
         #: Predecessor stages still running, per stage index.
         self.preds_remaining = list(in_degrees)
         self.exits_remaining = n_exits
+        #: Request-class row in the resolved mix (0 when single-class).
+        self.class_idx = class_idx
 
 
 class DESServiceSimulator:
@@ -100,13 +125,36 @@ class DESServiceSimulator:
         self._exits = topology.exit_indices
         self._rr: Dict[str, int] = {}
         self._latencies: List[float] = []
+        self._latency_classes: List[int] = []
         self._in_flight = 0
+        self._classes: Optional[ResolvedClassMix] = None
+        #: Stage-major global group index per group name (the resolved
+        #: mix's matrix column), filled lazily on a classed run.
+        self._group_col: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def run(self, arrival_rate: float, duration_s: float) -> DESOutcome:
-        """Simulate arrivals over [0, duration); drain in-flight work."""
+    def run(
+        self,
+        arrival_rate: float,
+        duration_s: float,
+        classes: Optional[ResolvedClassMix] = None,
+    ) -> DESOutcome:
+        """Simulate arrivals over [0, duration); drain in-flight work.
+
+        ``classes`` enables mixed-class mode: each arriving request
+        draws its class by mix weight, participates per its class's
+        group probabilities and has its service times multiplied by the
+        class's ``service_scale`` — event-level mirrors of the
+        vectorised simulator's per-class arrays, so the cross-check
+        extends to heterogeneous populations.
+        """
         if arrival_rate <= 0 or duration_s <= 0:
             raise SimulationError("arrival_rate and duration_s must be positive")
+        self._classes = classes
+        if classes is not None:
+            self._group_col = {
+                name: col for col, name in enumerate(classes.group_names)
+            }
         engine = SimulationEngine()
         n = int(self.rng.poisson(arrival_rate * duration_s))
         arrivals = np.sort(self.rng.uniform(0.0, duration_s, n))
@@ -123,24 +171,46 @@ class DESServiceSimulator:
             },
             completed=len(self._latencies),
             abandoned_in_flight=self._in_flight,
+            class_of=(
+                np.asarray(self._latency_classes, dtype=np.int64)
+                if classes is not None
+                else None
+            ),
+            class_names=None if classes is None else classes.names,
         )
 
     # ------------------------------------------------------------------
     def _start_request(self, engine: SimulationEngine, now: float) -> None:
-        req = _InFlight(now, self._in_degrees, len(self._exits))
+        class_idx = 0
+        if self._classes is not None and self._classes.multi_class:
+            class_idx = int(
+                self._classes.class_of(np.array([self.rng.random()]))[0]
+            )
+        req = _InFlight(
+            now, self._in_degrees, len(self._exits), class_idx=class_idx
+        )
         self._in_flight += 1
         for si, ps in enumerate(self.topology.predecessor_indices):
             if not ps:
                 self._enter_stage(engine, req, si, now)
+
+    def _participates(self, req: _InFlight, group) -> bool:
+        """Whether this request's fan-out includes ``group``."""
+        if self._classes is None:
+            return not group.optional or self.rng.random() < group.participation
+        p = float(
+            self._classes.group_participation[
+                req.class_idx, self._group_col[group.name]
+            ]
+        )
+        return p >= 1.0 or self.rng.random() < p
 
     def _enter_stage(
         self, engine: SimulationEngine, req: _InFlight, si: int, now: float
     ) -> None:
         stage = self.topology.stages[si]
         fanout = [
-            group
-            for group in stage.groups
-            if not group.optional or self.rng.random() < group.participation
+            group for group in stage.groups if self._participates(req, group)
         ]
         if not fanout:
             # Every group skipped: the stage passes the request through
@@ -175,6 +245,8 @@ class DESServiceSimulator:
         server.busy = True
         req, si, enqueued_at = server.queue.popleft()
         service = float(server.dist.sample(self.rng))
+        if self._classes is not None:
+            service *= float(self._classes.service_scales[req.class_idx])
         engine.schedule(
             service,
             lambda: self._complete(
@@ -215,4 +287,5 @@ class DESServiceSimulator:
             req.exits_remaining -= 1
             if req.exits_remaining == 0:
                 self._latencies.append(now - req.arrival)
+                self._latency_classes.append(req.class_idx)
                 self._in_flight -= 1

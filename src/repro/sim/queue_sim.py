@@ -38,13 +38,13 @@ sample records, for redundancy/reissue policies, the latency of the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.baselines.policies import Policy, routing_kernel_for
 from repro.errors import SimulationError
-from repro.service.topology import ServiceTopology
+from repro.service.topology import ResolvedClassMix, ServiceTopology
 from repro.simcore.distributions import Distribution
 
 __all__ = ["IntervalOutcome", "simulate_service_interval", "poisson_arrivals"]
@@ -59,6 +59,10 @@ class IntervalOutcome:
     component_service_samples: Dict[str, np.ndarray]
     duration_s: float
     arrival_rate: float
+    #: Per-request class index / class names under a mixed-class run
+    #: (None on the homogeneous single-class path).
+    class_of: Optional[np.ndarray] = None
+    class_names: Optional[Tuple[str, ...]] = None
 
     @property
     def n_requests(self) -> int:
@@ -71,6 +75,22 @@ class IntervalOutcome:
         if not arrays:
             return np.empty(0)
         return np.concatenate(arrays)
+
+    def per_class_latencies(self) -> Dict[str, np.ndarray]:
+        """Overall request latencies split by request class.
+
+        Only meaningful on mixed-class runs; raises otherwise so a
+        caller cannot silently read an empty split.
+        """
+        if self.class_of is None or self.class_names is None:
+            raise SimulationError(
+                "per-class latencies need a mixed-class interval "
+                "(simulate_service_interval(..., classes=...))"
+            )
+        return {
+            name: self.request_latencies[self.class_of == c]
+            for c, name in enumerate(self.class_names)
+        }
 
 
 def poisson_arrivals(
@@ -96,6 +116,7 @@ def simulate_service_interval(
     duration_s: float,
     service_dists: Mapping[str, Distribution],
     rng: np.random.Generator,
+    classes: Optional[ResolvedClassMix] = None,
 ) -> IntervalOutcome:
     """Simulate one scheduling interval of the whole service.
 
@@ -115,6 +136,15 @@ def simulate_service_interval(
         Current true service-time distribution per component name.
     rng:
         Source of randomness for arrivals and service draws.
+    classes:
+        Resolved request-class mix
+        (:meth:`~repro.service.topology.ServiceTopology.resolve_classes`).
+        ``None`` — the homogeneous population — takes the pre-class
+        code path, whose RNG draw order and sample paths are preserved
+        bit for bit (golden-pinned).  With a mix, each request draws
+        its class once (mix weights), participates in each group with
+        its class's effective probability, and its service samples are
+        multiplied by the class's ``service_scale``.
     """
     missing = [
         c.name for c in topology.components if c.name not in service_dists
@@ -124,6 +154,17 @@ def simulate_service_interval(
     kernel = routing_kernel_for(policy)
     arrivals = poisson_arrivals(arrival_rate, duration_s, rng)
     n = arrivals.size
+    class_of: Optional[np.ndarray] = None
+    scale: Optional[np.ndarray] = None
+    if classes is not None:
+        # One class draw per request; single-active-class mixes skip
+        # the draw entirely (their RNG stream must not shift).
+        class_of = (
+            classes.class_of(rng.random(n))
+            if classes.multi_class
+            else np.zeros(n, dtype=np.int64)
+        )
+        scale = classes.service_scales[class_of]
     sojourns: Dict[str, List[np.ndarray]] = {
         c.name: [] for c in topology.components
     }
@@ -132,9 +173,34 @@ def simulate_service_interval(
     }
     predecessors = topology.predecessor_indices
     completions: List[np.ndarray] = []
+    gi = 0  # stage-major global group index (class-matrix column)
     for si, stage in enumerate(topology.stages):
         stage_lat = np.zeros(n)
         for group in stage.groups:
+            if classes is not None:
+                p_req = classes.group_participation[class_of, gi]
+                gi += 1
+                if np.all(p_req >= 1.0):
+                    group_lat = kernel.route_group(
+                        arrivals, group, service_dists, rng,
+                        sojourns, services, scale,
+                    )
+                    if n:
+                        np.maximum(stage_lat, group_lat, out=stage_lat)
+                    continue
+                # Class-conditional branch: each request joins with its
+                # *class's* effective participation (0 drops the group
+                # from that class's DAG without any draw noise — the
+                # comparison is still made, keeping draw counts fixed).
+                take = rng.random(n) < p_req
+                sub_lat = kernel.route_group(
+                    arrivals[take], group, service_dists, rng,
+                    sojourns, services,
+                    scale[take] if scale is not None else None,
+                )
+                if n:
+                    stage_lat[take] = np.maximum(stage_lat[take], sub_lat)
+                continue
             if group.optional:
                 # Probabilistic branch: each request joins this group's
                 # fan-out with probability `participation`; skipped
@@ -178,4 +244,6 @@ def simulate_service_interval(
         },
         duration_s=float(duration_s),
         arrival_rate=float(arrival_rate),
+        class_of=class_of,
+        class_names=None if classes is None else classes.names,
     )

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -53,11 +53,13 @@ from repro.scheduler.migration import MigrationCostModel, MigrationExecutor
 from repro.scheduler.pcs import PCSScheduler
 from repro.scenarios import ScenarioSpec, get_scenario
 from repro.service.nutch import NutchConfig
+from repro.service.topology import ResolvedClassMix
 from repro.sim.metrics import LatencySummary, percentile, pool, summarize
 from repro.sim.profiling import ProfilingConfig, train_predictor_for_service
 from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
 from repro.simcore.engine import SimulationEngine
 from repro.workloads.generator import BatchJobGenerator, GeneratorConfig
+from repro.workloads.traces import arrival_profile_names, arrival_rate_multipliers
 
 __all__ = ["RunnerConfig", "PolicyResult", "RunState", "ExperimentRunner"]
 
@@ -94,6 +96,17 @@ class RunnerConfig:
     profiling: ProfilingConfig = field(default_factory=ProfilingConfig)
     n_profiling_conditions: int = 60
     migration_cost: MigrationCostModel = field(default_factory=MigrationCostModel)
+    #: Arrival-rate trace profile (:mod:`repro.workloads.traces`):
+    #: every interval's rate is ``arrival_rate`` times the profile's
+    #: per-interval multiplier.  ``"stationary"`` multiplies by exactly
+    #: 1.0 — bit-identical to the pre-profile runner.
+    trace_profile: str = "stationary"
+    #: Optional ``((name, weight), ...)`` re-weighting of the
+    #: scenario's declared request classes (the CLI's ``--classes``).
+    #: ``None`` keeps the scenario's own mix weights; a weight of 0
+    #: drops that class from the run.  Stored canonically as a tuple of
+    #: ``(str, float)`` pairs so sweep manifests hash it stably.
+    class_mix: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -115,6 +128,40 @@ class RunnerConfig:
             raise ExperimentError("scenario name must be non-empty")
         if self.scale <= 0:
             raise ExperimentError("scale must be positive")
+        if self.trace_profile not in arrival_profile_names():
+            raise ExperimentError(
+                f"unknown trace profile {self.trace_profile!r} "
+                f"(registered: {', '.join(arrival_profile_names())})"
+            )
+        if self.class_mix is not None:
+            try:
+                canon = tuple(
+                    (str(name), float(weight))
+                    for name, weight in self.class_mix
+                )
+            except (TypeError, ValueError) as exc:
+                raise ExperimentError(
+                    f"class_mix must be (name, weight) pairs, got "
+                    f"{self.class_mix!r}"
+                ) from exc
+            if not canon:
+                raise ExperimentError(
+                    "class_mix must name at least one class (or be None)"
+                )
+            seen = set()
+            for name, weight in canon:
+                if not name:
+                    raise ExperimentError("class_mix names must be non-empty")
+                if name in seen:
+                    raise ExperimentError(
+                        f"class_mix names class {name!r} twice"
+                    )
+                seen.add(name)
+                if weight < 0:
+                    raise ExperimentError(
+                        f"class_mix weight for {name!r} must be >= 0"
+                    )
+            object.__setattr__(self, "class_mix", canon)
 
 
 @dataclass
@@ -131,6 +178,11 @@ class PolicyResult:
     n_migrations: int
     scheduling_time_s: float
     wall_time_s: float
+    #: Per-request-class overall-latency summaries, in class order —
+    #: present only on mixed-class runs.  ``None`` on single-class runs
+    #: keeps :meth:`metrics_dict` byte-identical to pre-class results
+    #: (the golden pins).
+    per_class: Optional[Dict[str, LatencySummary]] = None
 
     @property
     def component_p99_s(self) -> float:
@@ -168,7 +220,7 @@ class PolicyResult:
         ``repr``, the shortest exact representation), so a cache hit
         reproduces the original result byte-for-byte.
         """
-        return {
+        d = {
             "policy_name": self.policy_name,
             "arrival_rate": self.arrival_rate,
             "component_latency": self.component_latency.to_dict(),
@@ -180,6 +232,14 @@ class PolicyResult:
             "scheduling_time_s": self.scheduling_time_s,
             "wall_time_s": self.wall_time_s,
         }
+        if self.per_class is not None:
+            # Only serialised for mixed-class runs, so single-class
+            # cache entries (and their digests) are unchanged.
+            d["per_class"] = {
+                name: summary.to_dict()
+                for name, summary in self.per_class.items()
+            }
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "PolicyResult":
@@ -199,6 +259,14 @@ class PolicyResult:
             n_migrations=int(d["n_migrations"]),
             scheduling_time_s=float(d["scheduling_time_s"]),
             wall_time_s=float(d["wall_time_s"]),
+            per_class=(
+                None
+                if d.get("per_class") is None
+                else {
+                    str(name): LatencySummary.from_dict(summary)
+                    for name, summary in d["per_class"].items()
+                }
+            ),
         )
 
 
@@ -222,9 +290,17 @@ class RunState:
     drift_rng: np.random.Generator
     request_rng: np.random.Generator
     t_wall: float
+    #: Resolved request-class mix (None on single-class runs — the
+    #: exact pre-class code path).
+    classes: Optional[ResolvedClassMix] = None
+    #: Per-interval arrival-rate multipliers from the trace profile
+    #: (all exactly 1.0 under "stationary").
+    rate_multipliers: Optional[np.ndarray] = None
     warmup_set: Set[str] = field(default_factory=set)
     component_pool: List[np.ndarray] = field(default_factory=list)
     overall_pool: List[np.ndarray] = field(default_factory=list)
+    #: name -> per-interval overall-latency arrays (mixed-class only).
+    per_class_pools: Dict[str, List[np.ndarray]] = field(default_factory=dict)
     per_interval_p99: List[float] = field(default_factory=list)
     per_interval_mean: List[float] = field(default_factory=list)
     n_requests: int = 0
@@ -304,17 +380,42 @@ class ExperimentRunner:
         service.deploy(cluster, cfg.deployment, rng=rngs.get("deploy"))
         components = service.components
 
+        # Resolve the scenario's request classes (optionally re-weighted
+        # by the config's class_mix).  None — no classes, or the exact
+        # degenerate single class — keeps every downstream consumer on
+        # the pre-class code path.
+        classes = service.topology.resolve_classes(
+            self.scenario.request_classes,
+            None if cfg.class_mix is None else dict(cfg.class_mix),
+        )
+        expected_part = None
+        if classes is not None:
+            expected_part = {
+                name: float(p)
+                for name, p in zip(
+                    classes.group_names,
+                    classes.expected_group_participation(),
+                )
+            }
+
         # Serving requests consumes resources: set every component's
         # effective demand from the policy's executed-copy load.  This
         # is what makes redundancy expensive cluster-wide.  An optional
         # group only sees its participation share of the request stream
-        # (1.0 on chain topologies — bit-identical to the pre-DAG path).
+        # (1.0 on chain topologies — bit-identical to the pre-DAG path);
+        # under a class mix the share is the mix-weighted expected
+        # participation over classes.
         for comp in components:
             group = service.topology.stages[comp.stage_index].groups[
                 comp.group_index
             ]
-            comp.set_load(
+            participation = (
                 group.participation
+                if expected_part is None
+                else expected_part[group.name]
+            )
+            comp.set_load(
+                participation
                 * policy.load_multiplier
                 * cfg.arrival_rate
                 / group.n_replicas
@@ -362,6 +463,10 @@ class ExperimentRunner:
             drift_rng=rngs.get("interference-drift"),
             request_rng=rngs.get("requests"),
             t_wall=t_wall,
+            classes=classes,
+            rate_multipliers=arrival_rate_multipliers(
+                cfg.trace_profile, cfg.n_intervals
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -379,18 +484,26 @@ class ExperimentRunner:
             state.drift_rng,
             state.warmup_set,
         )
+        # The trace profile shapes the rate interval by interval; the
+        # stationary profile's multiplier is exactly 1.0 (bit-identical
+        # arrivals to the pre-profile runner).
+        rate = cfg.arrival_rate * float(state.rate_multipliers[interval])
         outcome = simulate_service_interval(
             state.service.topology,
             state.policy,
-            cfg.arrival_rate,
+            rate,
             cfg.interval_s,
             dists,
             state.request_rng,
+            classes=state.classes,
         )
         if interval >= cfg.warmup_intervals and outcome.n_requests:
             pooled = outcome.pooled_component_latencies()
             state.component_pool.append(pooled)
             state.overall_pool.append(outcome.request_latencies)
+            if state.classes is not None and state.classes.multi_class:
+                for name, lats in outcome.per_class_latencies().items():
+                    state.per_class_pools.setdefault(name, []).append(lats)
             # Shared metric kernel: nearest-rank, never interpolated
             # (must match the pooled LatencySummary convention).
             state.per_interval_p99.append(
@@ -413,6 +526,7 @@ class ExperimentRunner:
                 state.scheduler,
                 state.executor,
                 outcome,
+                state.classes,
             )
             state.scheduling_time_s += time.perf_counter() - t0
             state.n_migrations = state.executor.enforced
@@ -431,6 +545,15 @@ class ExperimentRunner:
                 f"seed {cfg.seed})"
             )
         run_label = f"{state.policy.name} @ {cfg.arrival_rate:g} req/s"
+        per_class: Optional[Dict[str, LatencySummary]] = None
+        if state.per_class_pools:
+            per_class = {}
+            for name, parts in state.per_class_pools.items():
+                arr = np.concatenate(parts)
+                if arr.size:
+                    per_class[name] = summarize(
+                        arr, label=f"{run_label} class {name!r} latencies"
+                    )
         return PolicyResult(
             policy_name=state.policy.name,
             arrival_rate=cfg.arrival_rate,
@@ -451,6 +574,7 @@ class ExperimentRunner:
             n_migrations=state.n_migrations,
             scheduling_time_s=state.scheduling_time_s,
             wall_time_s=time.perf_counter() - state.t_wall,
+            per_class=per_class,
         )
 
     # ------------------------------------------------------------------
@@ -495,7 +619,14 @@ class ExperimentRunner:
         return np.asarray(ids, dtype=np.int64)
 
     def _schedule_interval(
-        self, cluster, service, monitor, scheduler, executor, outcome
+        self,
+        cluster,
+        service,
+        monitor,
+        scheduler,
+        executor,
+        outcome,
+        classes: Optional[ResolvedClassMix] = None,
     ) -> Set[str]:
         """Monitor → matrix inputs → Algorithm 1 → enforcement."""
         cfg = self.config
@@ -503,14 +634,29 @@ class ExperimentRunner:
         # Arrival rate from the interval's own request count — the
         # paper's log-profiling (counting a Poisson stream).
         lam_service = outcome.n_requests / cfg.interval_s
+        expected_part = None
+        if classes is not None:
+            expected_part = {
+                name: float(p)
+                for name, p in zip(
+                    classes.group_names,
+                    classes.expected_group_participation(),
+                )
+            }
         lam = np.empty(len(components))
         for idx, comp in enumerate(components):
             group = service.topology.stages[comp.stage_index].groups[
                 comp.group_index
             ]
             # Optional groups receive only their participation share
-            # (exactly lam_service / n_replicas on chain topologies).
-            lam[idx] = group.participation * lam_service / group.n_replicas
+            # (exactly lam_service / n_replicas on chain topologies);
+            # under a class mix, the mix-weighted expected share.
+            participation = (
+                group.participation
+                if expected_part is None
+                else expected_part[group.name]
+            )
+            lam[idx] = participation * lam_service / group.n_replicas
         node_totals = np.stack(
             [
                 monitor.observe_node_window(node, cfg.interval_s).as_array()
@@ -535,6 +681,13 @@ class ExperimentRunner:
             # membership; None keeps the exact chain-sum objective.
             stage_predecessors=(
                 None if topology.is_chain else topology.predecessor_indices
+            ),
+            # A class mix turns the objective into the mix-weighted
+            # average of per-class critical paths (chain sums stay
+            # chain sums, scaled by each class's stage participation).
+            class_weights=None if classes is None else classes.weights,
+            class_stage_participation=(
+                None if classes is None else classes.stage_participation
             ),
         )
         sched_outcome = scheduler.schedule(inputs)

@@ -17,18 +17,31 @@ synthetic ones matching exactly those published marginals:
 
 :func:`trace_stats` recomputes the published marginals from a generated
 trace so tests can assert the calibration holds.
+
+Arrival-rate trace profiles
+---------------------------
+Besides the batch-job trace, this module owns the **request arrival
+profiles** the experiment runner drives its intervals with: a profile
+maps each scheduling interval to a deterministic multiplier on the
+configured base arrival rate, so a run can replay a diurnal cycle, a
+load burst, or a flash crowd instead of the stationary rate the paper
+uses.  The ``stationary`` profile multiplies by exactly ``1.0`` every
+interval, keeping stationary runs bit-identical to the pre-profile
+code path (golden-pinned).  Profiles are pure functions of the
+interval index and count — no RNG — so the request stream's draw order
+is untouched and runs stay deterministic per seed.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
-from scipy.stats import norm
 
 from repro.errors import WorkloadError
+from repro.stats import norm_ppf
 from repro.units import gb, mb, minutes
 from repro.workloads.profiles import ALL_PROFILES, get_profile
 
@@ -40,15 +53,20 @@ __all__ = [
     "trace_stats",
     "GOOGLE_MEDIAN_DURATION_S",
     "GOOGLE_DURATION_SIGMA",
+    "arrival_profile_names",
+    "arrival_rate_multipliers",
+    "register_arrival_profile",
 ]
 
 #: Median job duration implied by "50 % complete in 10 minutes".
 GOOGLE_MEDIAN_DURATION_S: float = minutes(10)
 
 #: Log-normal sigma implied by "94 % complete within 3 hours".
+#: The quantile comes from the package's own Φ⁻¹ (:mod:`repro.stats`)
+#: so the workload path carries no SciPy dependency.
 GOOGLE_DURATION_SIGMA: float = math.log(
     minutes(180) / GOOGLE_MEDIAN_DURATION_S
-) / float(norm.ppf(0.94))
+) / norm_ppf(0.94)
 
 
 @dataclass(frozen=True)
@@ -188,3 +206,94 @@ def trace_stats(records: Sequence[JobRecord]) -> TraceStats:
         mean_duration_s=float(durations.mean()),
         mean_input_mb=float(sizes.mean()),
     )
+
+
+# ----------------------------------------------------------------------
+# request arrival-rate trace profiles
+# ----------------------------------------------------------------------
+def _stationary(i: int, n: int) -> float:
+    # Exactly 1.0: `rate * 1.0` is IEEE-identical to `rate`, so the
+    # stationary profile is bit-for-bit the pre-profile code path.
+    return 1.0
+
+
+def _diurnal(i: int, n: int) -> float:
+    # One full day-night cycle across the run: sinusoid around 1.0
+    # with ±40 % swing, starting at the trough (overnight ramp-up).
+    phase = 2.0 * math.pi * (i + 0.5) / max(n, 1)
+    return 1.0 + 0.4 * -math.cos(phase)
+
+
+def _burst(i: int, n: int) -> float:
+    # A 2x plateau over the middle third of the run — the classic load
+    # spike a scheduler must absorb and then recover from.
+    lo, hi = n / 3.0, 2.0 * n / 3.0
+    return 2.0 if lo <= i < hi else 1.0
+
+
+def _flash_crowd(i: int, n: int) -> float:
+    # Sudden 3x onset at 40 % of the run, decaying geometrically back
+    # towards baseline — a flash crowd with a long cool-down tail.
+    onset = int(0.4 * n)
+    if i < onset:
+        return 1.0
+    return 1.0 + 2.0 * (0.5 ** (i - onset))
+
+
+#: Profile name -> multiplier(interval_index, n_intervals).
+_ARRIVAL_PROFILES: Dict[str, Callable[[int, int], float]] = {
+    "stationary": _stationary,
+    "diurnal": _diurnal,
+    "burst": _burst,
+    "flash-crowd": _flash_crowd,
+}
+
+
+def register_arrival_profile(
+    name: str, fn: Callable[[int, int], float], replace_existing: bool = False
+) -> None:
+    """Register a named arrival profile ``fn(interval, n_intervals)``.
+
+    Profiles must be pure (no RNG, no state): they are evaluated
+    independently in every worker process and inside cache-key hashing
+    paths, so the same name must always produce the same multipliers.
+    """
+    if not name:
+        raise WorkloadError("arrival profile name must be non-empty")
+    if not callable(fn):
+        raise WorkloadError(f"arrival profile {name!r} must be callable")
+    if name in _ARRIVAL_PROFILES and not replace_existing:
+        raise WorkloadError(
+            f"arrival profile {name!r} is already registered "
+            "(pass replace_existing=True to shadow it)"
+        )
+    _ARRIVAL_PROFILES[name] = fn
+
+
+def arrival_profile_names() -> List[str]:
+    """Registered arrival-profile names, sorted."""
+    return sorted(_ARRIVAL_PROFILES)
+
+
+def arrival_rate_multipliers(profile: str, n_intervals: int) -> np.ndarray:
+    """Per-interval rate multipliers for ``profile`` over a run.
+
+    Deterministic and positive; the runner multiplies its configured
+    base arrival rate by ``multipliers[interval]`` each interval.
+    """
+    if n_intervals < 1:
+        raise WorkloadError(f"n_intervals must be >= 1, got {n_intervals}")
+    try:
+        fn = _ARRIVAL_PROFILES[profile]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown arrival profile {profile!r} "
+            f"(registered: {', '.join(arrival_profile_names())})"
+        ) from None
+    out = np.array([float(fn(i, n_intervals)) for i in range(n_intervals)])
+    if not np.all(np.isfinite(out)) or np.any(out <= 0):
+        raise WorkloadError(
+            f"arrival profile {profile!r} produced non-positive or "
+            f"non-finite multipliers {out!r}"
+        )
+    return out

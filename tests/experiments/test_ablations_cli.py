@@ -265,8 +265,15 @@ class TestScenarioCLI:
             ),
             replace_existing=True,
         )
-        with pytest.raises(ConfigurationError, match="paper-scale preset"):
-            main(["fig6", "--scale", "paper", "--scenario", "cli-no-preset"])
+        try:
+            with pytest.raises(ConfigurationError, match="paper-scale preset"):
+                main(["fig6", "--scale", "paper", "--scenario", "cli-no-preset"])
+        finally:
+            # The stub's build returns None; leaving it registered would
+            # break any later test that walks the whole catalog.
+            from repro.scenarios.spec import _REGISTRY
+
+            _REGISTRY.pop("cli-no-preset", None)
 
     def test_shape_scale_defaults_to_unset_sentinel(self):
         """--shape-scale left off parses as None so `fig6 --scale
@@ -277,3 +284,50 @@ class TestScenarioCLI:
             ["fig6", "--shape-scale", "1.0"]
         ).shape_scale == 1.0
         assert parser.parse_args(["scenarios"]).shape_scale is None
+
+
+class TestWorkloadCliFlags:
+    """`--classes` / `--trace-profile` on quick, sweep and fig6."""
+
+    @pytest.mark.parametrize("cmd", ["quick", "sweep", "fig6"])
+    def test_defaults(self, cmd):
+        args = build_parser().parse_args([cmd])
+        assert args.trace_profile == "stationary"
+        assert args.class_mix is None
+
+    @pytest.mark.parametrize("cmd", ["quick", "sweep", "fig6"])
+    def test_classes_parse_to_pairs(self, cmd):
+        args = build_parser().parse_args(
+            [cmd, "--classes", "search:0.6,autocomplete:0.4"]
+        )
+        assert args.class_mix == (("search", 0.6), ("autocomplete", 0.4))
+
+    def test_classes_single_entry_and_zero_weight(self):
+        args = build_parser().parse_args(
+            ["quick", "--classes", "image-heavy:0"]
+        )
+        assert args.class_mix == (("image-heavy", 0.0),)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["search", "search:abc", "search:-1", ":0.5", ""],
+    )
+    def test_malformed_classes_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quick", "--classes", bad])
+        capsys.readouterr()
+
+    def test_trace_profile_choices(self):
+        parser = build_parser()
+        for profile in ("stationary", "diurnal", "burst", "flash-crowd"):
+            args = parser.parse_args(["quick", "--trace-profile", profile])
+            assert args.trace_profile == profile
+        with pytest.raises(SystemExit):
+            parser.parse_args(["quick", "--trace-profile", "full-moon"])
+
+    def test_scenarios_subcommand_lists_class_table(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "mixed-frontend" in out
+        assert "classes:" in out
+        assert "nutch-search" in out

@@ -286,3 +286,105 @@ class TestInputValidation:
         b = a.copy()
         b.assignment[0] = (b.assignment[0] + 1) % b.k
         assert a.assignment[0] != b.assignment[0] or a.k == 1
+
+
+class TestClassWeightedObjective:
+    """Request-class mix in the overall-latency objective."""
+
+    def _classed(self, inputs, weights, participation):
+        # Densify stage indices: random instances may skip a stage
+        # label, and participation columns must align with the stages
+        # that actually exist (runner-built inputs are always dense).
+        stage_of = np.unique(inputs.stage_of, return_inverse=True)[1]
+        n_stages = int(stage_of.max()) + 1
+        return MatrixInputs(
+            stage_of=stage_of,
+            classes=list(inputs.classes),
+            demands=inputs.demands.copy(),
+            assignment=inputs.assignment.copy(),
+            node_totals=inputs.node_totals.copy(),
+            arrival_rates=inputs.arrival_rates.copy(),
+            class_weights=np.asarray(weights, dtype=np.float64),
+            class_stage_participation=np.broadcast_to(
+                np.asarray(participation, dtype=np.float64),
+                (len(weights), n_stages),
+            ).copy(),
+        )
+
+    def test_single_unit_class_is_bit_identical_to_classless(self, rng):
+        """The degenerate mix must not perturb the objective at all —
+        the matrix-side face of the resolve_classes -> None contract."""
+        inputs = _random_inputs(rng, m=14, k=4)
+        plain = PerformanceMatrix(inputs.copy(), StubPredictor()).build("fast")
+        classed = PerformanceMatrix(
+            self._classed(inputs, [1.0], 1.0), StubPredictor()
+        ).build("fast")
+        np.testing.assert_array_equal(plain.L, classed.L)
+        np.testing.assert_array_equal(plain.R, classed.R)
+
+    def test_light_class_discounts_the_objective(self, rng):
+        """A class that skips stages shrinks predicted overall latency,
+        so migration gains on skipped stages are discounted."""
+        inputs = _random_inputs(rng, m=14, k=4)
+        full = PerformanceMatrix(
+            self._classed(inputs, [1.0], 1.0), StubPredictor()
+        )
+        mixed_inputs = self._classed(inputs, [0.5, 0.5], 1.0)
+        part = np.ones_like(mixed_inputs.class_stage_participation)
+        part[1, 1:] = 0.0  # class 2 only visits the entry stage
+        mixed_inputs.class_stage_participation = part
+        mixed = PerformanceMatrix(mixed_inputs, StubPredictor())
+        assert mixed.base_overall < full.base_overall
+
+    def test_fields_must_come_together(self, rng):
+        inputs = _random_inputs(rng)
+        with pytest.raises(ModelError, match="together"):
+            MatrixInputs(
+                stage_of=inputs.stage_of, classes=inputs.classes,
+                demands=inputs.demands, assignment=inputs.assignment,
+                node_totals=inputs.node_totals,
+                arrival_rates=inputs.arrival_rates,
+                class_weights=np.array([1.0]),
+            )
+        with pytest.raises(ModelError, match="together"):
+            MatrixInputs(
+                stage_of=inputs.stage_of, classes=inputs.classes,
+                demands=inputs.demands, assignment=inputs.assignment,
+                node_totals=inputs.node_totals,
+                arrival_rates=inputs.arrival_rates,
+                class_stage_participation=np.ones((1, 3)),
+            )
+
+    @pytest.mark.parametrize(
+        "weights,participation,message",
+        [
+            ([0.7, 0.7], 1.0, "sum to 1"),
+            ([1.5, -0.5], 1.0, "sum to 1"),
+            ([1.0], 1.5, r"\[0, 1\]"),
+        ],
+    )
+    def test_bad_values_rejected(self, rng, weights, participation, message):
+        inputs = _random_inputs(rng)
+        with pytest.raises(ModelError, match=message):
+            self._classed(inputs, weights, participation)
+
+    def test_bad_shape_rejected(self, rng):
+        inputs = _random_inputs(rng)
+        with pytest.raises(ModelError, match=r"\(C, S\)"):
+            MatrixInputs(
+                stage_of=inputs.stage_of, classes=inputs.classes,
+                demands=inputs.demands, assignment=inputs.assignment,
+                node_totals=inputs.node_totals,
+                arrival_rates=inputs.arrival_rates,
+                class_weights=np.array([1.0]),
+                class_stage_participation=np.ones((2, 99)),
+            )
+
+    def test_copy_carries_the_mix(self, rng):
+        inputs = self._classed(_random_inputs(rng), [0.5, 0.5], 1.0)
+        dup = inputs.copy()
+        np.testing.assert_array_equal(dup.class_weights, inputs.class_weights)
+        assert dup.class_weights is not inputs.class_weights
+        np.testing.assert_array_equal(
+            dup.class_stage_participation, inputs.class_stage_participation
+        )

@@ -75,3 +75,93 @@ class TestEquations34:
         l2 = l.copy()
         l2[1] = 5.0  # straggler of stage 0 improves
         assert overall_latency(l2, stage_of) < before
+
+
+class TestMixedClassOverallLatency:
+    """Class-weighted Eq. 4 composition over class-restricted DAGs."""
+
+    DIAMOND = ((), (0,), (0,), (1, 2))
+
+    def test_single_full_class_is_the_chain_sum(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([1.0, 2.0, 3.0])
+        got = mixed_class_overall_latency(
+            lats, np.array([1.0]), np.ones((1, 3))
+        )
+        assert got == pytest.approx(6.0)
+        assert isinstance(got, float)
+
+    def test_single_full_class_is_the_dag_critical_path(self):
+        from repro.model.service_latency import (
+            dag_overall_latency,
+            mixed_class_overall_latency,
+        )
+
+        lats = np.array([1.0, 5.0, 2.0, 1.0])
+        got = mixed_class_overall_latency(
+            lats, np.array([1.0]), np.ones((1, 4)), self.DIAMOND
+        )
+        assert got == pytest.approx(dag_overall_latency(lats, self.DIAMOND))
+        assert got == pytest.approx(7.0)  # 1 + max(5, 2) + 1
+
+    def test_mix_weights_average_per_class_chains(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([1.0, 2.0, 3.0])
+        part = np.array([[1.0, 1.0, 1.0], [1.0, 0.0, 1.0]])
+        got = mixed_class_overall_latency(
+            lats, np.array([0.5, 0.5]), part
+        )
+        assert got == pytest.approx(0.5 * 6.0 + 0.5 * 4.0)
+
+    def test_class_skipping_a_branch_shortens_its_critical_path(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([1.0, 5.0, 2.0, 1.0])
+        part = np.array([[1.0, 1.0, 1.0, 1.0], [1.0, 0.0, 1.0, 1.0]])
+        got = mixed_class_overall_latency(
+            lats, np.array([0.5, 0.5]), part, self.DIAMOND
+        )
+        # Full class: 7; slow-branch skipper: 1 + max(0, 2) + 1 = 4.
+        assert got == pytest.approx(0.5 * 7.0 + 0.5 * 4.0)
+
+    def test_fractional_participation_scales_the_stage(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([2.0, 4.0])
+        got = mixed_class_overall_latency(
+            lats, np.array([1.0]), np.array([[1.0, 0.25]])
+        )
+        assert got == pytest.approx(2.0 + 0.25 * 4.0)
+
+    def test_batched_sheets_go_through_in_one_call(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([[1.0, 2.0, 3.0], [10.0, 20.0, 30.0]])
+        got = mixed_class_overall_latency(
+            lats, np.array([1.0]), np.ones((1, 3))
+        )
+        np.testing.assert_allclose(got, [6.0, 60.0])
+
+    def test_validation_rejects_bad_inputs(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([1.0, 2.0])
+        ones = np.ones((1, 2))
+        with pytest.raises(ModelError):
+            mixed_class_overall_latency(np.empty(0), np.array([1.0]), ones)
+        with pytest.raises(ModelError):
+            mixed_class_overall_latency(lats, np.empty(0), ones)
+        with pytest.raises(ModelError):
+            mixed_class_overall_latency(lats, np.array([1.0]), np.ones((2, 2)))
+        with pytest.raises(ModelError):
+            mixed_class_overall_latency(lats, np.array([0.7, 0.7]), np.ones((2, 2)))
+        with pytest.raises(ModelError):
+            mixed_class_overall_latency(
+                lats, np.array([1.0]), np.array([[1.0, 1.5]])
+            )
+        with pytest.raises(ModelError):
+            mixed_class_overall_latency(
+                lats, np.array([1.5, -0.5]), np.ones((2, 2))
+            )

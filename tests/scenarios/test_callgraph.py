@@ -1,0 +1,227 @@
+"""The Alibaba-style call-graph importer (`scenarios/callgraph.py`):
+schema validation, deterministic topology construction, class
+declarations, and registry behaviour."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import get_scenario, scenario_from_callgraph
+from repro.scenarios.callgraph import load_callgraph
+from repro.scenarios.spec import _REGISTRY
+from repro.service.component import ComponentClass
+
+
+def _graph(**overrides):
+    g = {
+        "name": "cg-test",
+        "description": "frontend fanning out to two backends",
+        "services": {
+            "frontend": {"mean_service_ms": 1.0, "replicas": 2},
+            "search": {
+                "mean_service_ms": 4.0, "scv": 0.8, "replicas": 3,
+                "class": "searching",
+            },
+            "ads": {
+                "mean_service_ms": 2.0, "replicas": 2,
+                "participation": 0.5,
+            },
+            "blend": {
+                "mean_service_ms": 1.5, "replicas": 2,
+                "class": "aggregating",
+            },
+        },
+        "edges": [
+            ["frontend", "search"],
+            ["frontend", "ads"],
+            ["search", "blend"],
+            ["ads", "blend"],
+        ],
+        "classes": [
+            {"name": "organic", "weight": 0.7,
+             "participation": {"ads": 0.0}},
+            {"name": "monetised", "weight": 0.3, "service_scale": 1.2},
+        ],
+    }
+    g.update(overrides)
+    return g
+
+
+@pytest.fixture
+def registry_guard():
+    """Drop any scenario the test registered."""
+    before = set(_REGISTRY)
+    yield
+    for name in set(_REGISTRY) - before:
+        del _REGISTRY[name]
+
+
+class TestLoadCallgraph:
+    def test_normalises_and_defaults(self):
+        g = load_callgraph(_graph())
+        assert g["name"] == "cg-test"
+        front = g["services"]["frontend"]
+        assert front["scv"] == 0.5  # default
+        assert front["class"] is ComponentClass.GENERIC
+        assert front["participation"] == 1.0
+        assert g["services"]["search"]["class"] is ComponentClass.SEARCHING
+        assert [c.name for c in g["classes"]] == ["organic", "monetised"]
+
+    def test_duplicate_edges_deduped(self):
+        g = load_callgraph(
+            _graph(edges=[["frontend", "search"], ["frontend", "search"],
+                          ["frontend", "ads"], ["search", "blend"],
+                          ["ads", "blend"]])
+        )
+        assert g["edges"].count(("frontend", "search")) == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "graph.json"
+        path.write_text(json.dumps(_graph()))
+        assert load_callgraph(path) == load_callgraph(_graph())
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_callgraph(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_callgraph(bad)
+
+    @pytest.mark.parametrize(
+        "mutate,message",
+        [
+            (lambda g: g.pop("name"), "non-empty 'name'"),
+            (lambda g: g.update(services={}), "'services'"),
+            (
+                lambda g: g["services"]["search"].update(mean_service_ms=0),
+                "mean_service_ms",
+            ),
+            (lambda g: g["services"]["search"].update(scv=-1), "scv"),
+            (
+                lambda g: g["services"]["search"].update(replicas=0),
+                "replicas",
+            ),
+            (
+                lambda g: g["services"]["search"].update(replicas=2.5),
+                "replicas",
+            ),
+            (
+                lambda g: g["services"]["search"].update({"class": "webby"}),
+                "unknown",
+            ),
+            (
+                lambda g: g["services"]["ads"].update(participation=0.0),
+                r"participation must lie in \(0, 1\]",
+            ),
+            (
+                lambda g: g["edges"].append(["blend", "nowhere"]),
+                "unknown service 'nowhere'",
+            ),
+            (lambda g: g["edges"].append(["blend", "blend"]), "self-call"),
+            (
+                lambda g: g["classes"][0]["participation"].update(nope=0.5),
+                "unknown services",
+            ),
+            (lambda g: g["classes"].append({"weight": 1.0}), "need a 'name'"),
+        ],
+    )
+    def test_schema_violations_rejected(self, mutate, message):
+        g = _graph()
+        mutate(g)
+        with pytest.raises(ConfigurationError, match=message):
+            load_callgraph(g)
+
+
+class TestTopologyConstruction:
+    def test_builds_topologically_ordered_stages(self, registry_guard):
+        spec = scenario_from_callgraph(_graph())
+        topo = spec.build_service(spec.runner_config()).topology
+        names = [s.name for s in topo.stages]
+        assert names == ["frontend", "search", "ads", "blend"]
+        assert topo.stage("blend").predecessors == ("search", "ads")
+        assert not topo.is_chain
+        # One group per node, named after the node, replica counts kept.
+        assert [g.name for s in topo.stages for g in s.groups] == names
+        assert topo.n_components == 2 + 3 + 2 + 2
+
+    def test_declaration_order_breaks_sort_ties(self, registry_guard):
+        # ads is declared before blend but both become ready together;
+        # swapping declaration order must swap the stage order.
+        g = _graph()
+        g["services"] = {
+            k: g["services"][k]
+            for k in ["frontend", "ads", "search", "blend"]
+        }
+        spec = scenario_from_callgraph(g, replace_existing=True)
+        topo = spec.build_service(spec.runner_config()).topology
+        assert [s.name for s in topo.stages] == [
+            "frontend", "ads", "search", "blend",
+        ]
+
+    def test_scale_widens_replicas_not_shape(self, registry_guard):
+        spec = scenario_from_callgraph(_graph())
+        base = spec.build_service(spec.runner_config()).topology
+        wide = spec.build_service(spec.runner_config(scale=2.0)).topology
+        assert [s.name for s in wide.stages] == [s.name for s in base.stages]
+        assert wide.n_components == 2 * base.n_components
+
+    def test_classes_resolve_against_built_topology(self, registry_guard):
+        spec = scenario_from_callgraph(_graph())
+        assert spec.tags == ("callgraph", "dag", "classes")
+        topo = spec.build_service(spec.runner_config()).topology
+        mix = topo.resolve_classes(spec.request_classes)
+        assert mix is not None and mix.names == ("organic", "monetised")
+        ads_col = mix.group_names.index("ads")
+        assert mix.group_participation[0][ads_col] == 0.0
+        assert "classes:" in spec.describe()
+
+    def test_multiple_entry_nodes_rejected(self, registry_guard):
+        g = _graph(edges=[["frontend", "blend"], ["search", "blend"],
+                          ["ads", "blend"]])
+        with pytest.raises(ConfigurationError, match="exactly one entry"):
+            scenario_from_callgraph(g)
+
+    def test_full_cycle_rejected(self, registry_guard):
+        g = _graph(edges=[["frontend", "search"], ["search", "ads"],
+                          ["ads", "blend"], ["blend", "frontend"]])
+        with pytest.raises(ConfigurationError, match="no entry"):
+            scenario_from_callgraph(g)
+
+    def test_descendant_cycle_rejected(self, registry_guard):
+        g = _graph(edges=[["frontend", "search"], ["search", "ads"],
+                          ["ads", "blend"], ["blend", "search"]])
+        with pytest.raises(ConfigurationError, match="cycle"):
+            scenario_from_callgraph(g)
+
+
+class TestRegistration:
+    def test_registers_by_default(self, registry_guard):
+        scenario_from_callgraph(_graph())
+        assert get_scenario("cg-test").tags[0] == "callgraph"
+
+    def test_register_false_leaves_registry_alone(self):
+        before = set(_REGISTRY)
+        spec = scenario_from_callgraph(_graph(), register=False)
+        assert spec.name == "cg-test"
+        assert set(_REGISTRY) == before
+
+    def test_duplicate_name_needs_replace_existing(self, registry_guard):
+        scenario_from_callgraph(_graph())
+        with pytest.raises(Exception, match="already registered"):
+            scenario_from_callgraph(_graph())
+        scenario_from_callgraph(_graph(), replace_existing=True)
+
+    def test_imported_scenario_runs_end_to_end(self, registry_guard):
+        from repro.baselines.policies import BasicPolicy
+        from repro.sim.runner import ExperimentRunner
+
+        spec = scenario_from_callgraph(_graph())
+        cfg = spec.runner_config(
+            arrival_rate=25.0, interval_s=6.0, n_intervals=2,
+            warmup_intervals=1, seed=0, n_profiling_conditions=8,
+        )
+        result = ExperimentRunner(cfg).run(BasicPolicy())
+        assert result.n_requests > 0
+        assert set(result.per_class) == {"organic", "monetised"}

@@ -23,6 +23,7 @@ BUILTINS = (
     "branchy-api",
     "diamond-search",
     "fanout-feed",
+    "mixed-frontend",
     "nutch-search",
     "pipeline-deep",
 )
@@ -105,7 +106,8 @@ class TestBuilders:
         assert all(len(v) == 1 for v in per_class.values()), per_class
 
     @pytest.mark.parametrize(
-        "name", ["pipeline-deep", "fanout-feed", "diamond-search"]
+        "name",
+        ["pipeline-deep", "fanout-feed", "diamond-search", "mixed-frontend"],
     )
     def test_scale_shrinks_shape(self, name):
         spec = get_scenario(name)
@@ -367,6 +369,54 @@ class TestDagScenarios:
         a = ExperimentRunner(cfg).run(BasicPolicy())
         b = ExperimentRunner(cfg).run(BasicPolicy())
         assert a.metrics_dict() == b.metrics_dict()
+
+
+class TestMixedFrontendScenario:
+    """The classed built-in: shape pin, class declarations, catalog."""
+
+    def test_sizing_rule_pinned_to_built_shape(self):
+        from repro.scenarios import suggested_n_nodes
+        from repro.scenarios.builtin import MIXED_FRONTEND_COMPONENTS
+
+        spec = get_scenario("mixed-frontend")
+        built = spec.build_service(spec.runner_config())
+        assert built.n_components == MIXED_FRONTEND_COMPONENTS
+        assert spec.runner_defaults["n_nodes"] == suggested_n_nodes(
+            MIXED_FRONTEND_COMPONENTS
+        )
+
+    def test_declared_classes_restrict_the_dag(self):
+        spec = get_scenario("mixed-frontend")
+        topo = spec.build_service(spec.runner_config()).topology
+        mix = topo.resolve_classes(spec.request_classes)
+        assert mix is not None
+        assert mix.names == ("search", "autocomplete", "image-heavy")
+        col = {g: i for i, g in enumerate(mix.group_names)}
+        # Autocomplete keystrokes visit only gateway -> suggest -> blend.
+        auto = mix.group_participation[1]
+        assert all(auto[col[f"search-g{g:02d}"]] == 0.0 for g in range(4))
+        assert auto[col["image-g0"]] == 0.0
+        assert auto[col["suggest-g0"]] == 1.0
+        # Image-heavy queries make the optional image lookup mandatory.
+        assert mix.group_participation[2][col["image-g0"]] == 1.0
+        # Every class keeps >= 1 mandatory branch into blend, so
+        # class-skipped stages can pass through without a skip edge.
+        assert (mix.stage_participation.max(axis=1) == 1.0).all()
+
+    def test_class_group_names_stable_under_scale(self):
+        """Class participation bakes group names into the frozen spec:
+        scale may widen replica counts but must never rename or
+        renumber the groups the declarations address."""
+        spec = get_scenario("mixed-frontend")
+        for scale in (0.5, 1.0, 2.0):
+            topo = spec.build_service(spec.runner_config(scale=scale)).topology
+            assert topo.resolve_classes(spec.request_classes) is not None
+
+    def test_describe_shows_class_table(self):
+        line = get_scenario("mixed-frontend").describe()
+        assert "classes:" in line
+        assert "autocomplete(w=0.30, x0.5)" in line
+        assert "image-heavy(w=0.10, x1.6)" in line
 
 
 class TestSweepRoundTrip:

@@ -1,0 +1,201 @@
+"""Request classes: declaration, resolution, and the degenerate-case
+contract (`ServiceTopology.resolve_classes`)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.service.component import Component, ComponentClass
+from repro.service.topology import (
+    ReplicaGroup,
+    RequestClass,
+    ServiceTopology,
+    Stage,
+)
+from repro.simcore.distributions import LogNormal
+from repro.units import ms
+
+
+def _comp(name):
+    return Component(
+        name=name, cls=ComponentClass.GENERIC,
+        base_service=LogNormal(ms(2.0), 0.5),
+    )
+
+
+def _topology():
+    """front -> {a (mandatory) || b (p=0.5)} -> back."""
+    return ServiceTopology(
+        [
+            Stage("front", [ReplicaGroup("front-g", [_comp("f0")])]),
+            Stage(
+                "mid",
+                [
+                    ReplicaGroup("a-g", [_comp("a0"), _comp("a1")]),
+                    ReplicaGroup(
+                        "b-g", [_comp("b0")], participation=0.5
+                    ),
+                ],
+                predecessors=("front",),
+            ),
+            Stage(
+                "back",
+                [ReplicaGroup("back-g", [_comp("k0")])],
+                predecessors=("mid",),
+            ),
+        ]
+    )
+
+
+class TestRequestClassValidation:
+    def test_fields_validated(self):
+        with pytest.raises(TopologyError):
+            RequestClass("")
+        with pytest.raises(TopologyError):
+            RequestClass("x", weight=-0.1)
+        with pytest.raises(TopologyError):
+            RequestClass("x", service_scale=0.0)
+        with pytest.raises(TopologyError):
+            RequestClass("x", participation={"g": 1.5})
+
+    def test_defaults_are_the_homogeneous_request(self):
+        c = RequestClass("plain")
+        assert c.weight == 1.0
+        assert c.service_scale == 1.0
+        assert dict(c.participation) == {}
+
+
+class TestResolveClasses:
+    def test_no_classes_is_none(self):
+        assert _topology().resolve_classes(()) is None
+        assert _topology().resolve_classes(None) is None
+
+    def test_single_degenerate_class_is_none(self):
+        """One class with unit scale and no overrides IS the
+        homogeneous population — callers take the pre-class path."""
+        assert _topology().resolve_classes((RequestClass("only"),)) is None
+
+    def test_single_restricting_class_resolves(self):
+        mix = _topology().resolve_classes(
+            (RequestClass("only", participation={"b-g": 0.0}),)
+        )
+        assert mix is not None
+        assert not mix.multi_class
+        assert mix.group_participation[0].tolist() == [1.0, 1.0, 0.0, 1.0]
+
+    def test_single_rescaling_class_resolves(self):
+        mix = _topology().resolve_classes(
+            (RequestClass("only", service_scale=2.0),)
+        )
+        assert mix is not None
+        assert mix.service_scales.tolist() == [2.0]
+
+    def test_weights_normalised_and_overrides_applied(self):
+        mix = _topology().resolve_classes(
+            (
+                RequestClass("big", weight=3.0),
+                RequestClass(
+                    "small", weight=1.0, service_scale=0.5,
+                    participation={"b-g": 1.0, "a-g": 0.0},
+                ),
+            )
+        )
+        assert mix.names == ("big", "small")
+        assert mix.weights.tolist() == [0.75, 0.25]
+        # Columns are stage-major group order: front-g, a-g, b-g, back-g.
+        assert mix.group_names == ("front-g", "a-g", "b-g", "back-g")
+        assert mix.group_participation[0].tolist() == [1.0, 1.0, 0.5, 1.0]
+        assert mix.group_participation[1].tolist() == [1.0, 0.0, 1.0, 1.0]
+        # Stage participation is the max over the stage's groups.
+        assert mix.stage_participation[0].tolist() == [1.0, 1.0, 1.0]
+        assert mix.stage_participation[1].tolist() == [1.0, 1.0, 1.0]
+
+    def test_stage_participation_zero_when_all_groups_skipped(self):
+        mix = _topology().resolve_classes(
+            (
+                RequestClass("full"),
+                RequestClass(
+                    "thin", participation={"a-g": 0.0, "b-g": 0.0}
+                ),
+            )
+        )
+        assert mix.stage_participation[1].tolist() == [1.0, 0.0, 1.0]
+
+    def test_expected_group_participation_is_mix_weighted(self):
+        mix = _topology().resolve_classes(
+            (
+                RequestClass("x", weight=0.5, participation={"a-g": 0.0}),
+                RequestClass("y", weight=0.5),
+            )
+        )
+        np.testing.assert_allclose(
+            mix.expected_group_participation(), [1.0, 0.5, 0.5, 1.0]
+        )
+
+    def test_class_of_maps_uniforms_by_weight(self):
+        mix = _topology().resolve_classes(
+            (
+                RequestClass("x", weight=0.25, service_scale=2.0),
+                RequestClass("y", weight=0.75),
+            )
+        )
+        u = np.array([0.0, 0.2499, 0.25, 0.9999])
+        assert mix.class_of(u).tolist() == [0, 0, 1, 1]
+        # The top edge of [0, 1) still maps to the last class.
+        assert mix.class_of(np.array([1.0])).tolist() == [1]
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            _topology().resolve_classes(
+                (RequestClass("x"), RequestClass("x"))
+            )
+
+    def test_unknown_group_named(self):
+        with pytest.raises(TopologyError, match="nope"):
+            _topology().resolve_classes(
+                (RequestClass("x", participation={"nope": 0.5}),)
+            )
+
+    def test_describe_lists_only_overrides(self):
+        mix = _topology().resolve_classes(
+            (
+                RequestClass("x", weight=1.0, participation={"b-g": 0.0}),
+                RequestClass("y", weight=3.0, service_scale=0.5),
+            )
+        )
+        line = mix.describe()
+        assert "x(w=0.25, x1) [b-g=0]" in line
+        assert "y(w=0.75, x0.5)" in line
+        # y keeps the defaults, so no override bracket follows it.
+        assert "y(w=0.75, x0.5) [" not in line
+
+
+class TestMixReweighting:
+    CLASSES = (
+        RequestClass("x", weight=0.5, participation={"b-g": 0.0}),
+        RequestClass("y", weight=0.5, service_scale=2.0),
+    )
+
+    def test_mix_overrides_weights(self):
+        mix = _topology().resolve_classes(self.CLASSES, {"x": 3.0, "y": 1.0})
+        assert mix.weights.tolist() == [0.75, 0.25]
+
+    def test_zero_weight_drops_class(self):
+        mix = _topology().resolve_classes(self.CLASSES, {"y": 0.0})
+        assert mix is not None and mix.names == ("x",)
+
+    def test_dropping_to_pure_degenerate_returns_none(self):
+        classes = (RequestClass("plain"), RequestClass("heavy", service_scale=2.0))
+        assert _topology().resolve_classes(classes, {"heavy": 0.0}) is None
+
+    def test_all_zero_mix_rejected(self):
+        with pytest.raises(TopologyError, match="zero weight"):
+            _topology().resolve_classes(self.CLASSES, {"x": 0.0, "y": 0.0})
+
+    def test_unknown_mix_name_rejected(self):
+        with pytest.raises(TopologyError, match="unknown classes"):
+            _topology().resolve_classes(self.CLASSES, {"z": 1.0})
+
+    def test_negative_mix_weight_rejected(self):
+        with pytest.raises(TopologyError, match=">= 0"):
+            _topology().resolve_classes(self.CLASSES, {"x": -1.0})

@@ -421,3 +421,88 @@ class TestCrossRunCompare:
             cell: {m: s.to_dict() for m, s in stats.items()}
             for cell, stats in two.items()
         }
+
+
+class TestBCaBootstrap:
+    """``AggregateConfig(ci_method="bca")`` — bias-corrected and
+    accelerated intervals sharing the percentile method's RNG draw."""
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ExperimentError, match="ci_method"):
+            AggregateConfig(ci_method="jackknife")
+
+    def test_config_roundtrip_preserves_method(self):
+        cfg = AggregateConfig(ci_method="bca")
+        back = AggregateConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert back == cfg
+        # Pre-BCa payloads (no ci_method key) read as percentile.
+        legacy = dict(cfg.to_dict())
+        legacy.pop("ci_method")
+        assert AggregateConfig.from_dict(legacy).ci_method == "percentile"
+
+    def test_same_rng_stream_for_both_methods(self):
+        """Switching method must not perturb anything but the CI
+        bounds: mean/std/t-interval are bit-identical, and both sets of
+        bounds are observed resample means from the *same* draw."""
+        values = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        p = MetricStats.compute(
+            values, RngRegistry(0).get("b"), AggregateConfig()
+        )
+        b = MetricStats.compute(
+            values, RngRegistry(0).get("b"), AggregateConfig(ci_method="bca")
+        )
+        assert (b.n, b.mean, b.std, b.t_lo, b.t_hi) == (
+            p.n, p.mean, p.std, p.t_lo, p.t_hi,
+        )
+        replay = RngRegistry(0).get("b")
+        idx = replay.integers(0, 5, size=(1000, 5))
+        means = values[idx].mean(axis=1)
+        for bound in (p.boot_lo, p.boot_hi, b.boot_lo, b.boot_hi):
+            assert bound in means
+
+    def test_symmetric_sample_agrees_with_percentile(self):
+        """On a symmetric sample the bias correction and acceleration
+        are both ~0, so BCa lands within a fraction of the percentile
+        interval's width of the percentile bounds."""
+        rng = np.random.default_rng(5)
+        values = rng.normal(10.0, 1.0, size=40)
+        p = MetricStats.compute(
+            values, RngRegistry(0).get("s"), AggregateConfig()
+        )
+        b = MetricStats.compute(
+            values, RngRegistry(0).get("s"), AggregateConfig(ci_method="bca")
+        )
+        width = p.boot_hi - p.boot_lo
+        assert width > 0
+        assert abs(b.boot_lo - p.boot_lo) < 0.35 * width
+        assert abs(b.boot_hi - p.boot_hi) < 0.35 * width
+
+    def test_right_skewed_sample_shifts_upper_bound_right(self):
+        """Right-skewed seed metrics (latency-like) are exactly the
+        case BCa exists for: the interval shifts toward the long tail."""
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(0.0, 1.2, size=60)
+        p = MetricStats.compute(
+            values, RngRegistry(0).get("k"), AggregateConfig()
+        )
+        b = MetricStats.compute(
+            values, RngRegistry(0).get("k"), AggregateConfig(ci_method="bca")
+        )
+        assert b.boot_hi > p.boot_hi
+
+    def test_constant_sample_degenerates_cleanly(self):
+        """All-equal values: the bias correction is undefined (no
+        resample mean below the observed mean), so BCa falls back to
+        the plain percentile ranks instead of emitting NaNs."""
+        s = MetricStats.compute(
+            [3.0, 3.0, 3.0, 3.0], RngRegistry(0).get("c"),
+            AggregateConfig(ci_method="bca"),
+        )
+        assert s.boot_lo == s.boot_hi == 3.0
+
+    def test_deterministic_across_calls(self):
+        cfg = AggregateConfig(ci_method="bca")
+        values = [0.3, 1.1, 2.9, 7.7, 9.2]
+        a = MetricStats.compute(values, RngRegistry(4).get("d"), cfg)
+        b = MetricStats.compute(values, RngRegistry(4).get("d"), cfg)
+        assert a == b

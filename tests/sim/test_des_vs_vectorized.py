@@ -191,6 +191,7 @@ class TestScenarioCrossValidation:
             ("fanout-feed", 0.15, 25.0, 0.12, 0.18),
             ("diamond-search", 0.5, 30.0, 0.08, 0.15),
             ("branchy-api", 1.0, 30.0, 0.08, 0.15),
+            ("mixed-frontend", 0.5, 30.0, 0.08, 0.15),
         ],
     )
     def test_mean_and_component_p99_agree(
@@ -213,3 +214,57 @@ class TestScenarioCrossValidation:
         p99_des = np.percentile(out_des.pooled_component_latencies(), 99)
         p99_vec = np.percentile(out_vec.pooled_component_latencies(), 99)
         assert p99_vec == pytest.approx(p99_des, rel=rel_p99)
+
+
+class TestMixedClassCrossValidation:
+    """With request classes resolved, the two simulators must agree not
+    just on the pooled distribution but class by class: each class runs
+    a differently-restricted DAG with its own service scaling, so a
+    divergence in the class-conditional paths would hide in the pool."""
+
+    def _run_both(self):
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("mixed-frontend")
+        topo = spec.build_service(spec.runner_config(scale=0.5)).topology
+        classes = topo.resolve_classes(spec.request_classes)
+        assert classes is not None and classes.multi_class
+        dists = _dists(topo)
+        des = DESServiceSimulator(topo, dists, np.random.default_rng(10))
+        out_des = des.run(arrival_rate=30.0, duration_s=400.0, classes=classes)
+        out_vec = simulate_service_interval(
+            topo, BasicPolicy(), 30.0, 400.0, dists,
+            np.random.default_rng(11), classes=classes,
+        )
+        return out_des, out_vec
+
+    def test_pooled_and_per_class_means_agree(self):
+        out_des, out_vec = self._run_both()
+        assert out_vec.request_latencies.mean() == pytest.approx(
+            out_des.request_latencies.mean(), rel=0.08
+        )
+        des_cls = out_des.per_class_latencies()
+        vec_cls = out_vec.per_class_latencies()
+        assert set(des_cls) == set(vec_cls) == {
+            "search", "autocomplete", "image-heavy",
+        }
+        # Measured rels are ~0.013 at these seeds; 0.10 bounds noise
+        # while still catching a class routed down the wrong DAG.
+        for name in des_cls:
+            assert vec_cls[name].mean() == pytest.approx(
+                des_cls[name].mean(), rel=0.10
+            ), name
+
+    def test_classes_actually_separate(self):
+        # The cross-check is only meaningful if the classes differ:
+        # autocomplete (suggest-only, x0.5) must be far below the
+        # image-heavy class (mandatory image lookup, x1.6).
+        out_des, _ = self._run_both()
+        per = out_des.per_class_latencies()
+        assert per["autocomplete"].mean() < 0.5 * per["image-heavy"].mean()
+
+    def test_component_p99_agrees(self):
+        out_des, out_vec = self._run_both()
+        p99_des = np.percentile(out_des.pooled_component_latencies(), 99)
+        p99_vec = np.percentile(out_vec.pooled_component_latencies(), 99)
+        assert p99_vec == pytest.approx(p99_des, rel=0.15)

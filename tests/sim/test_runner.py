@@ -130,7 +130,9 @@ class TestPerIntervalP99Convention:
         lat = self.LATENCIES
         assert float(np.percentile(lat, 99)) != percentile(lat, 99)
 
-        def crafted_interval(topology, policy, rate, duration_s, dists, rng):
+        def crafted_interval(
+            topology, policy, rate, duration_s, dists, rng, classes=None
+        ):
             return IntervalOutcome(
                 request_latencies=lat.copy(),
                 component_sojourns={"comp": lat.copy()},

@@ -1,0 +1,172 @@
+"""Runner-level request-class behaviour: the degenerate-mix
+bit-identity guarantee, per-class reporting, trace profiles, and
+`PolicyResult` serialisation with `per_class`."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.policies import BasicPolicy
+from repro.errors import ExperimentError
+from repro.scenarios import get_scenario, register_scenario
+from repro.service.topology import RequestClass
+from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
+
+
+def _quick_config(scenario_name, **overrides):
+    spec = get_scenario(scenario_name)
+    kwargs = dict(
+        arrival_rate=30.0,
+        interval_s=8.0,
+        n_intervals=3,
+        warmup_intervals=1,
+        seed=0,
+        scale=0.5,
+        n_profiling_conditions=8,
+    )
+    kwargs.update(overrides)
+    return spec.runner_config(**kwargs)
+
+
+_CACHE = {}
+
+
+def _run(scenario_name, **overrides):
+    key = (scenario_name, tuple(sorted(overrides.items())))
+    if key not in _CACHE:
+        cfg = _quick_config(scenario_name, **overrides)
+        _CACHE[key] = ExperimentRunner(cfg).run(BasicPolicy())
+    return _CACHE[key]
+
+
+class TestDegenerateMixBitIdentity:
+    """Weighting a declared class out until a single default-shaped
+    class remains must reproduce the class-free harness exactly —
+    the contract that keeps the golden pins honest."""
+
+    def test_unit_mix_reproduces_classless_run_bit_for_bit(self):
+        baseline = _run("pipeline-deep")
+        original = get_scenario("pipeline-deep")
+        classed = dataclasses.replace(
+            original,
+            request_classes=(
+                RequestClass("plain"),
+                RequestClass("heavy", service_scale=2.0),
+            ),
+        )
+        register_scenario(classed, replace_existing=True)
+        try:
+            cfg = _quick_config(
+                "pipeline-deep",
+                class_mix=(("plain", 1.0), ("heavy", 0.0)),
+            )
+            result = ExperimentRunner(cfg).run(BasicPolicy())
+        finally:
+            register_scenario(original, replace_existing=True)
+        assert result.per_class is None
+        assert result.metrics_dict() == baseline.metrics_dict()
+
+    def test_classless_run_has_no_per_class_payload(self):
+        baseline = _run("pipeline-deep")
+        assert baseline.per_class is None
+        assert "per_class" not in baseline.to_dict()
+        assert "per_class" not in baseline.metrics_dict()
+
+    def test_mix_naming_undeclared_class_fails_loudly(self):
+        cfg = _quick_config(
+            "mixed-frontend", class_mix=(("no-such-class", 1.0),)
+        )
+        with pytest.raises(Exception, match="no-such-class"):
+            ExperimentRunner(cfg).run(BasicPolicy())
+
+
+class TestPerClassReporting:
+    def test_classes_report_distinct_latencies(self):
+        result = _run("mixed-frontend")
+        per = result.per_class
+        assert per is not None
+        assert set(per) == {"search", "autocomplete", "image-heavy"}
+        # Acceptance bar: the classes must visibly separate — the
+        # suggest-only x0.5 class far below the mandatory-image x1.6
+        # class, on both the mean and the tail.
+        assert per["autocomplete"].mean < per["search"].mean
+        assert per["autocomplete"].p99 < per["search"].p99
+        assert per["search"].mean < per["image-heavy"].mean
+        assert sum(s.n for s in per.values()) == result.n_requests
+
+    def test_per_class_pool_is_the_overall_pool(self):
+        result = _run("mixed-frontend")
+        assert result.overall_latency.n == result.n_requests
+
+    def test_same_seed_is_deterministic_including_per_class(self):
+        a = _run("mixed-frontend")
+        cfg = _quick_config("mixed-frontend")
+        b = ExperimentRunner(cfg).run(BasicPolicy())
+        assert a.metrics_dict() == b.metrics_dict()
+
+    def test_different_seed_differs(self):
+        a = _run("mixed-frontend")
+        b = _run("mixed-frontend", seed=1)
+        assert a.metrics_dict() != b.metrics_dict()
+
+    def test_class_mix_reweighting_changes_the_pool(self):
+        a = _run("mixed-frontend")
+        b = _run(
+            "mixed-frontend",
+            class_mix=(
+                ("search", 0.1),
+                ("autocomplete", 0.8),
+                ("image-heavy", 0.1),
+            ),
+        )
+        # Autocomplete-dominated traffic is much lighter overall.
+        assert b.overall_latency.mean < a.overall_latency.mean
+
+
+class TestTraceProfiles:
+    def test_explicit_stationary_equals_default(self):
+        default = _run("mixed-frontend")
+        explicit = _run("mixed-frontend", trace_profile="stationary")
+        assert explicit.metrics_dict() == default.metrics_dict()
+
+    def test_burst_profile_changes_the_run(self):
+        stationary = _run("mixed-frontend")
+        burst = _run("mixed-frontend", trace_profile="burst")
+        assert burst.metrics_dict() != stationary.metrics_dict()
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ExperimentError, match="trace profile"):
+            RunnerConfig(trace_profile="full-moon")
+
+
+class TestPolicyResultSerialisation:
+    def test_per_class_roundtrips(self):
+        result = _run("mixed-frontend")
+        assert result.per_class is not None
+        back = PolicyResult.from_dict(result.to_dict())
+        assert back.metrics_dict() == result.metrics_dict()
+        assert back.per_class == result.per_class
+
+    def test_classless_roundtrip_stays_classless(self):
+        result = _run("pipeline-deep")
+        back = PolicyResult.from_dict(result.to_dict())
+        assert back.per_class is None
+        assert back.metrics_dict() == result.metrics_dict()
+
+
+class TestRunnerConfigClassMix:
+    def test_mix_canonicalised_to_tuples(self):
+        cfg = RunnerConfig(class_mix=[["a", 1], ("b", 0.5)])
+        assert cfg.class_mix == (("a", 1.0), ("b", 0.5))
+
+    def test_bad_mixes_rejected(self):
+        with pytest.raises(ExperimentError):
+            RunnerConfig(class_mix=())
+        with pytest.raises(ExperimentError):
+            RunnerConfig(class_mix=(("a", 1.0), ("a", 2.0)))
+        with pytest.raises(ExperimentError):
+            RunnerConfig(class_mix=(("a", -1.0),))
+        with pytest.raises(ExperimentError):
+            RunnerConfig(class_mix=(("", 1.0),))
+        with pytest.raises(ExperimentError):
+            RunnerConfig(class_mix="search:1.0")

@@ -607,3 +607,117 @@ class TestCostAwareBackendSelection:
         small = estimated_point_cost_s(_tiny_base())
         big = estimated_point_cost_s(_tiny_base(n_nodes=60, interval_s=120.0))
         assert big > small > 0
+
+
+def _record(node_seconds, serial_s_per_point, schema_version=1):
+    """A minimal BENCH record payload as `load_benchmark_records` yields."""
+    return {
+        "schema_version": schema_version,
+        "name": "sweep_parallel_speedup",
+        "config": {"node_seconds_per_point": node_seconds},
+        "timings_s": {"serial_s_per_point": serial_s_per_point},
+    }
+
+
+class TestCostCalibration:
+    """`SIM_WALL_S_PER_NODE_SECOND` is recalibrated from recorded
+    BENCH_* artifacts instead of hand-tuned."""
+
+    def test_median_ratio_of_usable_records(self):
+        from repro.sim.sweep import calibrate_wall_s_per_node_second
+
+        records = [
+            _record(1000.0, 0.03),   # 3e-5
+            _record(2000.0, 0.10),   # 5e-5
+            _record(500.0, 0.045),   # 9e-5
+        ]
+        assert calibrate_wall_s_per_node_second(records) == pytest.approx(5e-5)
+
+    def test_even_count_takes_midpoint(self):
+        from repro.sim.sweep import calibrate_wall_s_per_node_second
+
+        records = [_record(1000.0, 0.02), _record(1000.0, 0.04)]
+        assert calibrate_wall_s_per_node_second(records) == pytest.approx(3e-5)
+
+    def test_unusable_records_skipped(self):
+        from repro.sim.sweep import calibrate_wall_s_per_node_second
+
+        records = [
+            {"config": {}, "timings_s": {}},                    # no fields
+            _record(0.0, 0.02),                                 # zero node-s
+            _record(1000.0, -1.0),                              # negative
+            {"config": {"node_seconds_per_point": "x"},
+             "timings_s": {"serial_s_per_point": 0.5}},         # non-numeric
+            _record(1000.0, 0.04),                              # usable
+        ]
+        assert calibrate_wall_s_per_node_second(records) == pytest.approx(4e-5)
+
+    def test_no_usable_records_falls_back_or_raises(self):
+        from repro.sim.sweep import calibrate_wall_s_per_node_second
+
+        assert calibrate_wall_s_per_node_second([], default=5e-4) == 5e-4
+        with pytest.raises(ConfigurationError, match="no benchmark record"):
+            calibrate_wall_s_per_node_second([])
+
+    def test_pinned_constant_within_measured_band(self):
+        """The shipped constant must stay the order of magnitude the
+        recorded benchmarks measure (recalibrate it when hosts drift)."""
+        from repro.sim.sweep import SIM_WALL_S_PER_NODE_SECOND
+
+        assert 1e-6 < SIM_WALL_S_PER_NODE_SECOND < 1e-3
+
+
+class TestBenchmarkRecordLoader:
+    """`benchmarks/recording.load_benchmark_records` — the calibration
+    helper's data source (loaded by file path: benchmarks/ is not a
+    package on the test path)."""
+
+    @staticmethod
+    def _recording_module():
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks" / "recording.py"
+        )
+        spec = importlib.util.spec_from_file_location("_recording", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_roundtrip_and_filtering(self, tmp_path):
+        rec = self._recording_module()
+        rec.record_benchmark(
+            "alpha", {"serial_s_per_point": 0.5},
+            config={"node_seconds_per_point": 100.0}, out_dir=tmp_path,
+        )
+        rec.record_benchmark("beta", {"x": 1.0}, out_dir=tmp_path)
+        # Corrupt and foreign-schema files must be skipped, not fatal.
+        (tmp_path / "BENCH_corrupt.json").write_text("{not json")
+        (tmp_path / "BENCH_foreign.json").write_text(
+            json.dumps({"schema_version": 99, "timings_s": {}})
+        )
+        (tmp_path / "unrelated.txt").write_text("ignored")
+        records = rec.load_benchmark_records(tmp_path)
+        assert [r["name"] for r in records] == ["alpha", "beta"]
+        assert records[0]["timings_s"]["serial_s_per_point"] == 0.5
+
+    def test_absent_directory_yields_empty(self, tmp_path):
+        rec = self._recording_module()
+        assert rec.load_benchmark_records(tmp_path / "missing") == []
+
+    def test_records_feed_calibration(self, tmp_path):
+        from repro.sim.sweep import calibrate_wall_s_per_node_second
+
+        rec = self._recording_module()
+        rec.record_benchmark(
+            "sweep_parallel_speedup",
+            {"serial_s_per_point": 0.04},
+            config={"node_seconds_per_point": 1000.0},
+            out_dir=tmp_path,
+        )
+        calibrated = calibrate_wall_s_per_node_second(
+            rec.load_benchmark_records(tmp_path)
+        )
+        assert calibrated == pytest.approx(4e-5)

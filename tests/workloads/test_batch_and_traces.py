@@ -82,10 +82,15 @@ class TestTraceCalibration:
 
     def test_sigma_calibration_closed_form(self):
         # P(duration <= 3h) = 0.94 pins sigma.
-        from scipy.stats import norm
+        from repro.stats import norm_cdf
 
         z = np.log(minutes(180) / GOOGLE_MEDIAN_DURATION_S) / GOOGLE_DURATION_SIGMA
-        assert norm.cdf(z) == pytest.approx(0.94, abs=1e-9)
+        assert norm_cdf(z) == pytest.approx(0.94, abs=1e-9)
+
+    def test_sigma_pinned_to_six_decimals(self):
+        # Regression pin: the self-contained Φ⁻¹ must keep reproducing
+        # the SciPy-era constant sigma = ln(18) / z_{0.94}.
+        assert round(GOOGLE_DURATION_SIGMA, 6) == 1.859031
 
     def test_half_complete_within_10min(self, trace):
         stats = trace_stats(trace)
@@ -139,3 +144,92 @@ class TestTraceCalibration:
     def test_invalid_duration_mode_rejected(self):
         with pytest.raises(WorkloadError):
             SyntheticTraceConfig(duration_mode="uniform")
+
+
+class TestArrivalProfiles:
+    """Trace-driven arrival-rate multipliers (`--trace-profile`)."""
+
+    def _mult(self, profile, n=12):
+        from repro.workloads.traces import arrival_rate_multipliers
+
+        return arrival_rate_multipliers(profile, n)
+
+    def test_builtin_names_registered(self):
+        from repro.workloads.traces import arrival_profile_names
+
+        assert {"stationary", "diurnal", "burst", "flash-crowd"} <= set(
+            arrival_profile_names()
+        )
+
+    def test_stationary_is_exactly_one(self):
+        """The contract golden pins rest on: stationary multiplies the
+        configured rate by exactly 1.0, bit-identical to no profile."""
+        assert (self._mult("stationary") == 1.0).all()
+
+    def test_burst_is_a_middle_plateau(self):
+        m = self._mult("burst", 12)
+        np.testing.assert_array_equal(m[:4], 1.0)
+        np.testing.assert_array_equal(m[4:8], 2.0)
+        np.testing.assert_array_equal(m[8:], 1.0)
+
+    def test_diurnal_swings_around_one(self):
+        m = self._mult("diurnal", 24)
+        assert m.min() < 0.7 and m.max() > 1.3
+        assert np.mean(m) == pytest.approx(1.0, abs=1e-9)
+
+    def test_flash_crowd_onsets_then_decays(self):
+        m = self._mult("flash-crowd", 20)
+        onset = 8  # 40 % of the run
+        np.testing.assert_array_equal(m[:onset], 1.0)
+        assert m[onset] == pytest.approx(3.0)
+        assert (np.diff(m[onset:]) < 0).all()
+        assert m[-1] > 1.0  # long cool-down tail never undershoots
+
+    def test_all_profiles_positive_and_deterministic(self):
+        from repro.workloads.traces import arrival_profile_names
+
+        for name in arrival_profile_names():
+            a, b = self._mult(name, 9), self._mult(name, 9)
+            np.testing.assert_array_equal(a, b)
+            assert (a > 0).all() and np.isfinite(a).all()
+
+    def test_unknown_profile_and_bad_intervals_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown arrival profile"):
+            self._mult("full-moon")
+        with pytest.raises(WorkloadError, match="n_intervals"):
+            self._mult("stationary", 0)
+
+    def test_registration_guardrails(self):
+        from repro.workloads.traces import (
+            _ARRIVAL_PROFILES,
+            arrival_rate_multipliers,
+            register_arrival_profile,
+        )
+
+        with pytest.raises(WorkloadError, match="non-empty"):
+            register_arrival_profile("", lambda i, n: 1.0)
+        with pytest.raises(WorkloadError, match="callable"):
+            register_arrival_profile("notfn", "nope")
+        with pytest.raises(WorkloadError, match="already registered"):
+            register_arrival_profile("stationary", lambda i, n: 1.0)
+        register_arrival_profile("cli-test-ramp", lambda i, n: 1.0 + i)
+        try:
+            np.testing.assert_array_equal(
+                arrival_rate_multipliers("cli-test-ramp", 3), [1.0, 2.0, 3.0]
+            )
+        finally:
+            del _ARRIVAL_PROFILES["cli-test-ramp"]
+
+    def test_non_positive_profile_output_rejected(self):
+        from repro.workloads.traces import (
+            _ARRIVAL_PROFILES,
+            arrival_rate_multipliers,
+            register_arrival_profile,
+        )
+
+        register_arrival_profile("cli-test-zero", lambda i, n: 0.0)
+        try:
+            with pytest.raises(WorkloadError, match="non-positive"):
+                arrival_rate_multipliers("cli-test-zero", 2)
+        finally:
+            del _ARRIVAL_PROFILES["cli-test-zero"]
