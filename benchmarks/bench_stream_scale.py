@@ -1,0 +1,107 @@
+"""Benchmark: memory-bounded streaming at million-request scale.
+
+One fanout-feed interval with ~10⁶ arrivals, run twice:
+
+- **monolithic exact** — the historical single pass keeping every
+  sample array resident (the "before": peak memory grows O(requests));
+- **chunked streaming** — ``chunk_requests`` + an
+  :class:`~repro.sim.estimators.IntervalAccumulatorSet` (the "after":
+  peak memory is O(chunk + reservoir), whatever the request count).
+
+Wall time and tracemalloc peak for both land in
+``BENCH_stream_scale.json`` (see :mod:`recording`), so the memory
+ratio is tracked commit over commit.  The tier-2 regression test
+(``tests/sim/test_stream_scale.py``) asserts the streamed ceiling; this
+benchmark records the before/after contrast.
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from recording import record_benchmark
+from repro.baselines.policies import BasicPolicy
+from repro.rng import RngRegistry
+from repro.scenarios import get_scenario
+from repro.sim.estimators import IntervalAccumulatorSet
+from repro.sim.queue_sim import simulate_service_interval
+
+#: fanout-feed is stable below ~1360 req/s (24 Pareto shard groups,
+#: 3 replicas each); 1200 req/s x 850 s ~ 1.02M arrivals per interval.
+RATE = 1200.0
+DURATION_S = 850.0
+CHUNK = 32768
+
+_CONFIG = {
+    "scenario": "fanout-feed",
+    "arrival_rate": RATE,
+    "duration_s": DURATION_S,
+    "chunk_requests": CHUNK,
+    "expected_requests": RATE * DURATION_S,
+}
+
+
+def _fanout():
+    spec = get_scenario("fanout-feed")
+    topology = spec.build_service(spec.runner_config()).topology
+    return topology, {c.name: c.base_service for c in topology.components}
+
+
+def _measure(fn):
+    """(result, wall seconds, tracemalloc peak bytes) for one call."""
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, wall, peak
+
+
+def test_stream_scale(capsys):
+    topology, dists = _fanout()
+
+    mono, wall_mono, peak_mono = _measure(
+        lambda: simulate_service_interval(
+            topology, BasicPolicy(), RATE, DURATION_S, dists,
+            np.random.default_rng(0),
+        )
+    )
+    n_mono = mono.request_latencies.size
+    del mono  # release the O(requests) arrays before the second pass
+
+    rngs = RngRegistry(0)
+    stream = IntervalAccumulatorSet.create(
+        rng_for=lambda role: rngs.get(f"estimator-{role}")
+    )
+    _, wall_stream, peak_stream = _measure(
+        lambda: simulate_service_interval(
+            topology, BasicPolicy(), RATE, DURATION_S, dists,
+            rngs.get("requests"),
+            chunk_requests=CHUNK, stream_into=stream,
+        )
+    )
+
+    assert n_mono > 1_000_000 and stream.overall.n > 1_000_000
+    # The point of the exercise: bounded working set at 10^6 requests.
+    assert peak_stream < peak_mono / 3
+
+    record_benchmark(
+        "stream_scale",
+        {
+            "monolithic_wall_s": wall_mono,
+            "streaming_wall_s": wall_stream,
+            "monolithic_peak_mib": peak_mono / 2**20,
+            "streaming_peak_mib": peak_stream / 2**20,
+            "peak_ratio": peak_mono / peak_stream,
+        },
+        config={**_CONFIG, "n_requests": int(n_mono)},
+    )
+    with capsys.disabled():
+        print(
+            f"\n[stream-scale] {n_mono:,} requests: "
+            f"monolithic {wall_mono:.1f}s / {peak_mono / 2**20:.0f} MiB, "
+            f"streaming {wall_stream:.1f}s / {peak_stream / 2**20:.0f} MiB "
+            f"({peak_mono / peak_stream:.0f}x less memory)"
+        )

@@ -55,18 +55,19 @@ Mechanics (see the paper's §VI-C descriptions)
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.service.topology import ReplicaGroup
 from repro.simcore.distributions import Distribution
-from repro.simcore.lindley import lindley_waits
+from repro.simcore.lindley import LindleyCarry, lindley_waits, lindley_waits_chunked
 
 __all__ = [
     "RoutingKernel",
+    "GroupDraws",
     "RandomSplitKernel",
     "RedundancyKernel",
     "ReissueKernel",
@@ -92,8 +93,54 @@ def _primary_choice(
     return rng.integers(0, n_replicas, n)
 
 
+@dataclass
+class GroupDraws:
+    """Pre-drawn randomness for one replica group's whole interval.
+
+    The exact chunked simulator cannot draw per chunk — the legacy
+    single-pass draw *order* (primary choices, then each replica's
+    service samples, group by group) is pinned by the golden sample
+    paths, and per-chunk draws would interleave differently.  So it
+    draws everything up front in exactly the legacy call order
+    (:meth:`RandomSplitKernel.predraw_group`) and each chunk consumes
+    consecutive slices via the cursors here.  O(interval) buffers — the
+    exact chunked path trades no memory for its bit-identity guarantee;
+    the O(chunk)-memory path is the streaming one, which re-draws per
+    chunk from a documented different (still seeded) stream.
+    """
+
+    primary: np.ndarray
+    samples: List[np.ndarray]
+    _primary_cursor: int = 0
+    _sample_cursors: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._sample_cursors:
+            self._sample_cursors = [0] * len(self.samples)
+
+    def next_primary(self, count: int) -> np.ndarray:
+        """The next ``count`` primary-replica choices."""
+        start = self._primary_cursor
+        self._primary_cursor = start + count
+        return self.primary[start : start + count]
+
+    def next_samples(self, replica: int, count: int) -> np.ndarray:
+        """The next ``count`` service samples for ``replica``."""
+        start = self._sample_cursors[replica]
+        self._sample_cursors[replica] = start + count
+        return self.samples[replica][start : start + count]
+
+
 class RoutingKernel(ABC):
     """How one replica group serves one interval's sub-requests."""
+
+    #: Whether this kernel can serve an interval in request chunks.
+    #: Chunking needs the group's sample path to be computable left to
+    #: right with per-component queue carry-over; kernels with
+    #: interval-global coupling (redundancy's sibling cancellation,
+    #: reissue's own-interval percentile threshold) cannot, and the
+    #: simulator falls back to the monolithic path for them.
+    supports_chunking: bool = False
 
     @abstractmethod
     def route_group(
@@ -105,6 +152,7 @@ class RoutingKernel(ABC):
         sojourns: Dict[str, List[np.ndarray]],
         services: Dict[str, List[np.ndarray]],
         scale: "np.ndarray | None" = None,
+        carries: "Optional[Dict[str, LindleyCarry]]" = None,
     ) -> np.ndarray:
         """Serve ``arrivals`` on ``group``; return per-request latency.
 
@@ -119,6 +167,11 @@ class RoutingKernel(ABC):
         single-class runs pass) leaves every sample untouched, and the
         underlying draws are identical either way, so pre-class sample
         paths are preserved bit for bit.
+
+        ``carries`` (chunk-capable kernels only) threads each
+        component's :class:`~repro.simcore.lindley.LindleyCarry` across
+        successive calls, so ``arrivals`` may be one chunk of a longer
+        stream; kernels that cannot chunk raise if it is passed.
         """
 
 
@@ -126,8 +179,11 @@ class RoutingKernel(ABC):
 class RandomSplitKernel(RoutingKernel):
     """One uniformly chosen replica per sub-request (Basic / PCS)."""
 
+    supports_chunking = True
+
     def route_group(
-        self, arrivals, group, dists, rng, sojourns, services, scale=None
+        self, arrivals, group, dists, rng, sojourns, services, scale=None,
+        carries=None,
     ) -> np.ndarray:
         n = arrivals.size
         r_count = group.n_replicas
@@ -139,7 +195,66 @@ class RandomSplitKernel(RoutingKernel):
             s = np.asarray(dists[comp.name].sample(rng, t.size), dtype=np.float64)
             if scale is not None:
                 s = s * scale[mask]
-            soj = lindley_waits(t, s, validate=False) + s
+            if carries is None:
+                w = lindley_waits(t, s, validate=False)
+            else:
+                w, carries[comp.name] = lindley_waits_chunked(
+                    t, s, carries.get(comp.name), validate=False
+                )
+            soj = w + s
+            group_lat[mask] = soj
+            sojourns[comp.name].append(soj)
+            services[comp.name].append(s)
+        return group_lat
+
+    def predraw_group(
+        self,
+        n_sub: int,
+        group: ReplicaGroup,
+        dists: Mapping[str, Distribution],
+        rng: np.random.Generator,
+    ) -> GroupDraws:
+        """Draw the whole interval's randomness in the legacy order.
+
+        One ``_primary_choice`` call, then one ``sample`` call per
+        replica sized by its primary count — call-for-call the draws
+        :meth:`route_group` makes, so the values (and every RNG
+        consumer after this group) are bit-identical to the monolithic
+        pass whatever chunk size later slices them.
+        """
+        primary = _primary_choice(n_sub, group.n_replicas, rng)
+        samples = []
+        for r, comp in enumerate(group.components):
+            count = int(np.count_nonzero(primary == r))
+            samples.append(
+                np.asarray(dists[comp.name].sample(rng, count), dtype=np.float64)
+            )
+        return GroupDraws(primary, samples)
+
+    def route_chunk(
+        self,
+        arrivals: np.ndarray,
+        group: ReplicaGroup,
+        draws: GroupDraws,
+        scale: "np.ndarray | None",
+        sojourns: Dict[str, List[np.ndarray]],
+        services: Dict[str, List[np.ndarray]],
+        carries: Dict[str, LindleyCarry],
+    ) -> np.ndarray:
+        """Serve one chunk from pre-drawn randomness with queue carry."""
+        m = arrivals.size
+        primary = draws.next_primary(m)
+        group_lat = np.empty(m)
+        for r, comp in enumerate(group.components):
+            mask = primary == r
+            t = arrivals[mask]
+            s = draws.next_samples(r, t.size)
+            if scale is not None:
+                s = s * scale[mask]
+            w, carries[comp.name] = lindley_waits_chunked(
+                t, s, carries.get(comp.name), validate=False
+            )
+            soj = w + s
             group_lat[mask] = soj
             sojourns[comp.name].append(soj)
             services[comp.name].append(s)
@@ -162,8 +277,14 @@ class RedundancyKernel(RoutingKernel):
             raise ConfigurationError("cancel_delay_s must be >= 0")
 
     def route_group(
-        self, arrivals, group, dists, rng, sojourns, services, scale=None
+        self, arrivals, group, dists, rng, sojourns, services, scale=None,
+        carries=None,
     ) -> np.ndarray:
+        if carries is not None:
+            raise SimulationError(
+                "RedundancyKernel cannot chunk: sibling cancellation "
+                "couples the whole interval"
+            )
         n = arrivals.size
         r_count = group.n_replicas
         k = min(self.replicas, r_count)
@@ -246,8 +367,14 @@ class ReissueKernel(RoutingKernel):
         return float(np.percentile(soj1, self.quantile * 100.0)) if n else 0.0
 
     def route_group(
-        self, arrivals, group, dists, rng, sojourns, services, scale=None
+        self, arrivals, group, dists, rng, sojourns, services, scale=None,
+        carries=None,
     ) -> np.ndarray:
+        if carries is not None:
+            raise SimulationError(
+                "ReissueKernel cannot chunk: its reissue timer is a "
+                "percentile of the whole interval's primary sojourns"
+            )
         n = arrivals.size
         r_count = group.n_replicas
         if r_count == 1 or n == 0:

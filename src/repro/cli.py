@@ -146,6 +146,26 @@ def build_parser() -> argparse.ArgumentParser:
             "knobs instead)",
         )
 
+    def add_streaming_args(p):
+        p.add_argument(
+            "--chunk-requests", type=_positive_int, default=None,
+            dest="chunk_requests",
+            help="simulate each interval's arrivals in chunks of this "
+            "many requests (Basic routing); exact-mode chunked runs "
+            "are bit-identical to monolithic ones, and large intervals "
+            "stream in O(chunk) memory",
+        )
+        p.add_argument(
+            "--summary-mode",
+            choices=["auto", "exact", "streaming"],
+            default="auto",
+            dest="summary_mode",
+            help="latency summaries: exact keeps every sample "
+            "(nearest-rank percentiles), streaming uses O(reservoir)-"
+            "memory estimators, auto streams only above the runner's "
+            "per-interval request threshold (default 10^6)",
+        )
+
     def add_workload_args(p):
         from repro.workloads.traces import arrival_profile_names
 
@@ -222,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("--seed", type=int, default=0)
     add_scenario_args(pq)
     add_workload_args(pq)
+    add_streaming_args(pq)
 
     ps = sub.add_parser(
         "sweep",
@@ -260,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--intervals", type=int, default=6)
     ps.add_argument("--interval-s", type=float, default=30.0)
     ps.add_argument("--warmup-intervals", type=int, default=1)
+    add_streaming_args(ps)
     ps.add_argument("--workers", type=_positive_int, default=1)
     add_backend_args(ps)
     ps.add_argument("--cache-dir", default=None)
@@ -365,6 +387,8 @@ def _run_sweep(args) -> int:
         scale=_shape_scale(args),
         trace_profile=args.trace_profile,
         class_mix=args.class_mix,
+        chunk_requests=args.chunk_requests,
+        summary_mode=args.summary_mode,
     )
     if args.scenario == "nutch-search":
         overrides["nutch"] = NutchConfig(
@@ -604,6 +628,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             scale=_shape_scale(args),
             trace_profile=args.trace_profile,
             class_mix=args.class_mix,
+            chunk_requests=args.chunk_requests,
+            summary_mode=args.summary_mode,
         )
         print(result.render())
     elif args.command == "sweep":

@@ -62,6 +62,16 @@ class MonitoringError(ReproError):
     """An error in the online monitor (e.g. empty sampling window)."""
 
 
+class EstimatorError(ReproError):
+    """A misuse of the streaming latency-estimator layer.
+
+    Raised by :mod:`repro.sim.estimators` when an accumulator is asked
+    for something its mode cannot honestly provide — e.g. merging P²
+    marker states (which are not mergeable) or summarising an empty
+    stream.
+    """
+
+
 class WorkloadError(ReproError, ValueError):
     """An invalid batch-workload specification."""
 

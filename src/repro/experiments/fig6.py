@@ -128,6 +128,12 @@ class Fig6Config:
     #: Request-class mix re-weighting, ``((name, weight), ...)``; `None``
     #: runs the scenario's declared mix (validated by the runner).
     class_mix: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: Chunked interval simulation (``RunnerConfig.chunk_requests``):
+    #: ``None`` keeps the monolithic exact path.
+    chunk_requests: Optional[int] = None
+    #: Latency summary mode forwarded to the runner (``"auto"`` /
+    #: ``"exact"`` / ``"streaming"``).
+    summary_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.arrival_rates:
@@ -209,6 +215,8 @@ class Fig6Config:
             interference_noise=get_scenario(self.scenario).interference_noise,
             trace_profile=self.trace_profile,
             class_mix=self.class_mix,
+            chunk_requests=self.chunk_requests,
+            summary_mode=self.summary_mode,
         )
 
     def sweep_spec(self) -> SweepSpec:
@@ -455,6 +463,8 @@ def run_quick_comparison(
     scale: float = 1.0,
     trace_profile: str = "stationary",
     class_mix: Optional[Tuple[Tuple[str, float], ...]] = None,
+    chunk_requests: Optional[int] = None,
+    summary_mode: str = "auto",
 ) -> Fig6Result:
     """A minutes-scale Basic-vs-PCS taste of Fig. 6 (see quickstart)."""
     cfg = Fig6Config(
@@ -469,5 +479,7 @@ def run_quick_comparison(
         policies=(BasicPolicy(), paper_pcs_policy()),
         trace_profile=trace_profile,
         class_mix=class_mix,
+        chunk_requests=chunk_requests,
+        summary_mode=summary_mode,
     )
     return run_fig6(cfg)

@@ -106,6 +106,14 @@ class MatrixInputs:
     class_stage_participation:
         Optional ``(C, S)`` per-class stage participation probabilities
         in ``[0, 1]``; required iff ``class_weights`` is given.
+    class_service_scales:
+        Optional ``(C,)`` positive per-class service-demand multipliers
+        (:attr:`repro.service.classes.RequestClass.service_scale`): a
+        class with scale ``σ_c`` works every stage it visits ``σ_c×``
+        longer, so its per-class composition sees
+        ``stage_lats · participation[c] · σ_c``.  Only meaningful with
+        ``class_weights``; ``None`` means all ones (bit-identical to
+        the unscaled objective).
     """
 
     stage_of: np.ndarray
@@ -119,6 +127,7 @@ class MatrixInputs:
     stage_predecessors: Optional[Tuple[Tuple[int, ...], ...]] = None
     class_weights: Optional[np.ndarray] = None
     class_stage_participation: Optional[np.ndarray] = None
+    class_service_scales: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.stage_of = np.asarray(self.stage_of, dtype=np.int64)
@@ -209,6 +218,26 @@ class MatrixInputs:
                 raise ModelError(
                     "class_stage_participation must lie in [0, 1]"
                 )
+        if self.class_service_scales is not None:
+            if self.class_weights is None:
+                raise ModelError(
+                    "class_service_scales requires class_weights"
+                )
+            self.class_service_scales = np.asarray(
+                self.class_service_scales, dtype=np.float64
+            )
+            if self.class_service_scales.shape != (self.class_weights.size,):
+                raise ModelError(
+                    "class_service_scales must be (C,) = "
+                    f"({self.class_weights.size},), got "
+                    f"{self.class_service_scales.shape}"
+                )
+            if np.any(self.class_service_scales <= 0) or not np.all(
+                np.isfinite(self.class_service_scales)
+            ):
+                raise ModelError(
+                    "class_service_scales must be finite and > 0"
+                )
 
     def component_counts(self) -> np.ndarray:
         """Components currently hosted per node."""
@@ -247,6 +276,11 @@ class MatrixInputs:
                 None
                 if self.class_stage_participation is None
                 else self.class_stage_participation.copy()
+            ),
+            class_service_scales=(
+                None
+                if self.class_service_scales is None
+                else self.class_service_scales.copy()
             ),
         )
 
@@ -288,9 +322,19 @@ class PerformanceMatrix:
             self._dag_exits = exits_from_predecessors(self._dag_preds)
         # Request-class mix: None keeps the exact homogeneous objective
         # (bit-identical to pre-class builds); with a mix, _compose
-        # averages per-class critical paths by weight.
+        # averages per-class critical paths by weight.  Per-class
+        # service scales fold into the participation factors once here
+        # (None keeps the unscaled factors bit-identical).
         self._mix_weights = inputs.class_weights
         self._mix_participation = inputs.class_stage_participation
+        if (
+            self._mix_participation is not None
+            and inputs.class_service_scales is not None
+        ):
+            self._mix_participation = (
+                self._mix_participation
+                * inputs.class_service_scales[:, None]
+            )
         # Class-batched index lists, computed once.
         self._class_rows: Dict[ComponentClass, np.ndarray] = {}
         for cls in set(inputs.classes):

@@ -200,6 +200,7 @@ def mixed_class_overall_latency(
     class_weights: np.ndarray,
     class_stage_participation: np.ndarray,
     predecessors: "Sequence[Sequence[int]] | None" = None,
+    class_service_scales: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Mix-weighted overall latency under class-conditional stage DAGs.
 
@@ -210,13 +211,17 @@ def mixed_class_overall_latency(
     ``predecessors`` is ``None``, the DAG critical path otherwise.  The
     service-level prediction is the mix-weighted average over classes::
 
-        l_overall = Σ_c w_c · Compose(stage_lats ∘ participation[c])
+        l_overall = Σ_c w_c · Compose(stage_lats ∘ participation[c] · σ_c)
 
     ``stage_lats`` is ``(..., S)`` with any leading batch dimensions
     (the matrix's ``(k, S)`` sheets go through in one call per class);
     ``class_weights`` is ``(C,)`` summing to 1; participation is
-    ``(C, S)`` in ``[0, 1]``.  With one class at full participation
-    this is exactly :func:`dag_overall_latency` / the chain sum.
+    ``(C, S)`` in ``[0, 1]``.  ``class_service_scales`` is an optional
+    ``(C,)`` positive multiplier ``σ_c`` on each class's service demand
+    (:attr:`repro.service.classes.RequestClass.service_scale` — a heavy
+    class works every stage it visits ``σ_c×`` longer); ``None`` means
+    all ones.  With one class at full participation and unit scale this
+    is exactly :func:`dag_overall_latency` / the chain sum.
     """
     lats = np.asarray(stage_lats, dtype=np.float64)
     w = np.asarray(class_weights, dtype=np.float64)
@@ -235,6 +240,16 @@ def mixed_class_overall_latency(
         raise ModelError("class_weights must be non-negative and sum to 1")
     if np.any(part < 0) or np.any(part > 1):
         raise ModelError("class_stage_participation must lie in [0, 1]")
+    scales = None
+    if class_service_scales is not None:
+        scales = np.asarray(class_service_scales, dtype=np.float64)
+        if scales.shape != (w.size,):
+            raise ModelError(
+                f"class_service_scales must be (C,) = ({w.size},), "
+                f"got {scales.shape}"
+            )
+        if np.any(scales <= 0) or not np.all(np.isfinite(scales)):
+            raise ModelError("class_service_scales must be finite and > 0")
     preds = (
         None
         if predecessors is None
@@ -244,6 +259,8 @@ def mixed_class_overall_latency(
     overall = np.zeros(lats.shape[:-1], dtype=np.float64)
     for c in range(w.size):
         class_lats = lats * part[c]
+        if scales is not None:
+            class_lats = class_lats * scales[c]
         if preds is None:
             per_class = class_lats.sum(axis=-1)
         else:

@@ -6,7 +6,12 @@
 - :mod:`repro.sim.queue_sim` — the vectorised per-interval sample-path
   simulator: exact Lindley queues per component, with the Basic, RED-k
   (two-pass imperfect cancellation) and RI-p (conditional reissue)
-  routing mechanics.
+  routing mechanics; Basic routing also runs chunked (bit-identical)
+  or fully streamed for 10⁶–10⁷-request intervals in O(chunk) memory.
+- :mod:`repro.sim.estimators` — the streaming latency-estimation layer
+  behind those large runs: a mergeable seeded bottom-k reservoir plus
+  Welford/Chan moments behind one ``LatencyAccumulator`` seam, with a
+  documented rank-error contract.
 - :mod:`repro.sim.des_service` — a fine-grained event-driven reference
   simulator used to bound the vectorised path's stage-alignment
   approximation in integration tests.
@@ -42,6 +47,11 @@ from repro.sim.backends import (
     SerialBackend,
     ThreadBackend,
 )
+from repro.sim.estimators import (
+    IntervalAccumulatorSet,
+    LatencyAccumulator,
+    ReservoirSampler,
+)
 from repro.sim.metrics import LatencySummary, percentile, pool, summarize
 from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
 from repro.sim.runner import PolicyResult, RunnerConfig, ExperimentRunner
@@ -60,6 +70,9 @@ __all__ = [
     "summarize",
     "IntervalOutcome",
     "simulate_service_interval",
+    "LatencyAccumulator",
+    "ReservoirSampler",
+    "IntervalAccumulatorSet",
     "RunnerConfig",
     "PolicyResult",
     "ExperimentRunner",

@@ -458,6 +458,25 @@ class SeedAggregate:
             raise ExperimentError(
                 f"no per-seed results for {policy_name} @ {arrival_rate:g}"
             )
+        # One cell must not blend exact and estimated percentiles: the
+        # summary_mode provenance string is dropped by flattening (it is
+        # not a statistic), so a mixed cell would silently average
+        # reservoir estimates with exact nearest-rank values.
+        modes = {
+            (
+                result.summary_mode
+                if isinstance(result, PolicyResult)
+                else result.get("summary_mode")
+            )
+            for result in per_seed.values()
+        }
+        if len(modes) > 1:
+            shown = sorted("exact" if m is None else str(m) for m in modes)
+            raise ExperimentError(
+                f"{policy_name} @ {arrival_rate:g} mixes summary modes "
+                f"{shown} across seeds; aggregate exact and streamed "
+                "runs separately"
+            )
         return cls.from_records(
             policy_name,
             arrival_rate,

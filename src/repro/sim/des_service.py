@@ -24,10 +24,15 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.service.topology import ResolvedClassMix, ServiceTopology
+from repro.sim.estimators import IntervalAccumulatorSet
 from repro.simcore.distributions import Distribution
 from repro.simcore.engine import SimulationEngine
 
 __all__ = ["DESOutcome", "DESServiceSimulator"]
+
+#: Streamed runs fold buffered observations into the accumulators once
+#: this many have piled up, bounding the Python-list high-water mark.
+_STREAM_FLUSH = 4096
 
 
 @dataclass
@@ -42,9 +47,17 @@ class DESOutcome:
     #: (None for the homogeneous population).
     class_of: Optional[np.ndarray] = None
     class_names: Optional[Tuple[str, ...]] = None
+    #: Filled (and the sample arrays left empty) when the run streamed
+    #: into an accumulator set instead of keeping every observation.
+    streaming: Optional[IntervalAccumulatorSet] = None
 
     def pooled_component_latencies(self) -> np.ndarray:
         """All sub-request sojourns pooled (metric 1)."""
+        if self.streaming is not None:
+            raise SimulationError(
+                "a streamed DES run keeps no sample arrays; read "
+                "outcome.streaming.component_pool instead"
+            )
         arrays = [a for a in self.component_sojourns.values() if a.size]
         if not arrays:
             return np.empty(0)
@@ -52,6 +65,11 @@ class DESOutcome:
 
     def per_class_latencies(self) -> Dict[str, np.ndarray]:
         """Overall request latencies split by request class."""
+        if self.streaming is not None:
+            raise SimulationError(
+                "a streamed DES run keeps no sample arrays; read "
+                "outcome.streaming.per_class instead"
+            )
         if self.class_of is None or self.class_names is None:
             raise SimulationError(
                 "per-class latencies need a mixed-class DES run "
@@ -128,6 +146,9 @@ class DESServiceSimulator:
         self._latency_classes: List[int] = []
         self._in_flight = 0
         self._classes: Optional[ResolvedClassMix] = None
+        self._stream: Optional[IntervalAccumulatorSet] = None
+        self._stream_pending = 0
+        self._stream_flushed = 0
         #: Stage-major global group index per group name (the resolved
         #: mix's matrix column), filled lazily on a classed run.
         self._group_col: Dict[str, int] = {}
@@ -138,6 +159,8 @@ class DESServiceSimulator:
         arrival_rate: float,
         duration_s: float,
         classes: Optional[ResolvedClassMix] = None,
+        *,
+        stream_into: Optional[IntervalAccumulatorSet] = None,
     ) -> DESOutcome:
         """Simulate arrivals over [0, duration); drain in-flight work.
 
@@ -147,6 +170,13 @@ class DESServiceSimulator:
         class's ``service_scale`` — event-level mirrors of the
         vectorised simulator's per-class arrays, so the cross-check
         extends to heterogeneous populations.
+
+        ``stream_into`` bounds memory: completed observations are
+        buffered in chunks of ``_STREAM_FLUSH`` and folded into the
+        given accumulator set instead of being kept, and the returned
+        outcome carries the set (empty sample arrays,
+        :attr:`DESOutcome.streaming` set).  The event path is
+        unchanged — only where finished samples land differs.
         """
         if arrival_rate <= 0 or duration_s <= 0:
             raise SimulationError("arrival_rate and duration_s must be positive")
@@ -155,6 +185,9 @@ class DESServiceSimulator:
             self._group_col = {
                 name: col for col, name in enumerate(classes.group_names)
             }
+        self._stream = stream_into
+        self._stream_pending = 0
+        self._stream_flushed = 0
         engine = SimulationEngine()
         n = int(self.rng.poisson(arrival_rate * duration_s))
         arrivals = np.sort(self.rng.uniform(0.0, duration_s, n))
@@ -163,6 +196,17 @@ class DESServiceSimulator:
                 float(t), lambda t=float(t): self._start_request(engine, t)
             )
         engine.run()  # drains all queues; every request completes
+        if self._stream is not None:
+            self._flush_stream()
+            return DESOutcome(
+                request_latencies=np.empty(0),
+                component_sojourns={name: np.empty(0) for name in self._servers},
+                completed=self._stream_flushed,
+                abandoned_in_flight=self._in_flight,
+                class_of=None,
+                class_names=None if classes is None else classes.names,
+                streaming=self._stream,
+            )
         return DESOutcome(
             request_latencies=np.asarray(self._latencies),
             component_sojourns={
@@ -178,6 +222,40 @@ class DESServiceSimulator:
             ),
             class_names=None if classes is None else classes.names,
         )
+
+    def _flush_stream(self) -> None:
+        """Drain buffered samples into the accumulator set."""
+        assert self._stream is not None
+        overall = np.asarray(self._latencies, dtype=np.float64)
+        sojourns = {
+            name: [np.asarray(server.sojourns, dtype=np.float64)]
+            for name, server in self._servers.items()
+            if server.sojourns
+        }
+        self._stream.add_chunk(
+            overall,
+            sojourns,
+            (
+                np.asarray(self._latency_classes, dtype=np.int64)
+                if self._classes is not None
+                else None
+            ),
+            None if self._classes is None else self._classes.names,
+        )
+        self._stream_flushed += overall.size
+        self._latencies.clear()
+        self._latency_classes.clear()
+        for server in self._servers.values():
+            server.sojourns.clear()
+        self._stream_pending = 0
+
+    def _note_stream_sample(self) -> None:
+        """Count one buffered observation; flush at the high-water mark."""
+        if self._stream is None:
+            return
+        self._stream_pending += 1
+        if self._stream_pending >= _STREAM_FLUSH:
+            self._flush_stream()
 
     # ------------------------------------------------------------------
     def _start_request(self, engine: SimulationEngine, now: float) -> None:
@@ -265,6 +343,7 @@ class DESServiceSimulator:
         now = engine.now
         server = self._servers[server_name]
         server.sojourns.append(now - enqueued_at)
+        self._note_stream_sample()
         self._begin_service(engine, server_name)
         req.pending[si] -= 1
         if req.pending[si] > 0:
@@ -289,3 +368,4 @@ class DESServiceSimulator:
                 self._latencies.append(now - req.arrival)
                 self._latency_classes.append(req.class_idx)
                 self._in_flight -= 1
+                self._note_stream_sample()

@@ -18,6 +18,12 @@ outside this module live in :mod:`repro.monitoring.streaming` (which
 documents its own estimator) and in policy-internal mechanics that are
 not reported metrics (e.g. the reissue timer in
 :mod:`repro.sim.queue_sim`).
+
+The streaming estimator layer (:mod:`repro.sim.estimators`) obeys the
+same rule: its reservoir quantiles call :func:`percentile` on the kept
+sample, so an estimated p99 is still an actually observed latency —
+only *which* observations are retained is sampled, with the rank-error
+contract documented (and property-tested) in that module.
 """
 
 from __future__ import annotations

@@ -33,6 +33,37 @@ tests).
 Per the paper's metric definition (§VI-A), the pooled component-latency
 sample records, for redundancy/reissue policies, the latency of the
 *quickest* replica of each sub-request.
+
+Scaling to 10⁶–10⁷ requests per interval
+----------------------------------------
+``chunk_requests`` processes the interval in fixed-size request chunks,
+threading each component's Lindley queue state across chunk boundaries
+(:class:`~repro.simcore.lindley.LindleyCarry`).  Two collection modes:
+
+- **exact chunked** (``chunk_requests`` set, no ``stream_into``): all
+  randomness is pre-drawn in the legacy single-pass call order and
+  sliced per chunk, and the Lindley carry replays the monolithic float
+  operations exactly — the returned :class:`IntervalOutcome` is
+  **bit-identical** to the unchunked one for any chunk size (the
+  identity tests' contract).  Sample arrays are still O(requests); this
+  mode exists as the provable stepping stone between the legacy path
+  and the streaming one.
+- **streaming chunked** (``chunk_requests`` + ``stream_into``): true
+  single-pass O(chunk) memory.  Arrivals are generated per time window
+  (Poisson count + sorted uniforms per window — an exact Poisson
+  process), service randomness is drawn per chunk (a different, still
+  fully seeded stream than the monolithic path — no bit-identity
+  contract, by design), and every chunk's latencies are folded into the
+  caller's :class:`~repro.sim.estimators.IntervalAccumulatorSet` and
+  freed.  The returned outcome carries the accumulators instead of
+  sample arrays.
+
+Only kernels with ``supports_chunking`` (random splitting — Basic/PCS)
+can chunk; for the others (redundancy's sibling cancellation and
+reissue's interval-global percentile timer are inherently
+whole-interval) the simulator silently falls back to the monolithic
+pass, still honouring ``stream_into`` by folding the monolithic arrays
+into the accumulators at the end.
 """
 
 from __future__ import annotations
@@ -45,7 +76,9 @@ import numpy as np
 from repro.baselines.policies import Policy, routing_kernel_for
 from repro.errors import SimulationError
 from repro.service.topology import ResolvedClassMix, ServiceTopology
+from repro.sim.estimators import IntervalAccumulatorSet
 from repro.simcore.distributions import Distribution
+from repro.simcore.lindley import LindleyCarry
 
 __all__ = ["IntervalOutcome", "simulate_service_interval", "poisson_arrivals"]
 
@@ -63,14 +96,25 @@ class IntervalOutcome:
     #: (None on the homogeneous single-class path).
     class_of: Optional[np.ndarray] = None
     class_names: Optional[Tuple[str, ...]] = None
+    #: Streaming-mode collection: the accumulator set the caller passed
+    #: as ``stream_into``, now holding the interval's summaries.  When
+    #: set, the per-sample arrays above are intentionally empty.
+    streaming: Optional[IntervalAccumulatorSet] = None
 
     @property
     def n_requests(self) -> int:
         """Number of requests simulated in the interval."""
+        if self.streaming is not None:
+            return int(self.streaming.overall.n)
         return int(self.request_latencies.size)
 
     def pooled_component_latencies(self) -> np.ndarray:
         """All per-component sub-request latencies, pooled (metric 1)."""
+        if self.streaming is not None:
+            raise SimulationError(
+                "a streamed interval keeps no sample arrays; read "
+                "outcome.streaming.component_pool instead"
+            )
         arrays = [a for a in self.component_sojourns.values() if a.size]
         if not arrays:
             return np.empty(0)
@@ -82,6 +126,11 @@ class IntervalOutcome:
         Only meaningful on mixed-class runs; raises otherwise so a
         caller cannot silently read an empty split.
         """
+        if self.streaming is not None:
+            raise SimulationError(
+                "a streamed interval keeps no sample arrays; read "
+                "outcome.streaming.per_class instead"
+            )
         if self.class_of is None or self.class_names is None:
             raise SimulationError(
                 "per-class latencies need a mixed-class interval "
@@ -109,6 +158,44 @@ def poisson_arrivals(
     return np.sort(rng.uniform(0.0, duration_s, n))
 
 
+def _class_draws(
+    classes: Optional[ResolvedClassMix], rng: np.random.Generator, n: int
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """One class draw per request (single-active-class mixes skip the
+    draw entirely — their RNG stream must not shift)."""
+    if classes is None:
+        return None, None
+    class_of = (
+        classes.class_of(rng.random(n))
+        if classes.multi_class
+        else np.zeros(n, dtype=np.int64)
+    )
+    return class_of, classes.service_scales[class_of]
+
+
+def _compose_overall(
+    topology: ServiceTopology, completions: List[np.ndarray]
+) -> np.ndarray:
+    """Critical path over exit stages (Eq. 4 generalised to the DAG)."""
+    exits = topology.exit_indices
+    overall = completions[exits[0]]
+    for si in exits[1:]:
+        overall = np.maximum(overall, completions[si])
+    return overall
+
+
+def _stage_completions(
+    preds: List[int], completions: List[np.ndarray], stage_lat: np.ndarray
+) -> np.ndarray:
+    """One stage's completion times from its predecessors' (Eq. 4)."""
+    if not preds:
+        return stage_lat
+    ready = completions[preds[0]]
+    for p in preds[1:]:
+        ready = np.maximum(ready, completions[p])
+    return ready + stage_lat
+
+
 def simulate_service_interval(
     topology: ServiceTopology,
     policy: Policy,
@@ -117,6 +204,9 @@ def simulate_service_interval(
     service_dists: Mapping[str, Distribution],
     rng: np.random.Generator,
     classes: Optional[ResolvedClassMix] = None,
+    *,
+    chunk_requests: Optional[int] = None,
+    stream_into: Optional[IntervalAccumulatorSet] = None,
 ) -> IntervalOutcome:
     """Simulate one scheduling interval of the whole service.
 
@@ -145,26 +235,76 @@ def simulate_service_interval(
         its class once (mix weights), participates in each group with
         its class's effective probability, and its service samples are
         multiplied by the class's ``service_scale``.
+    chunk_requests:
+        Process the interval in request chunks of this size (see the
+        module docstring).  ``None`` — the default — is the exact
+        legacy single pass.
+    stream_into:
+        Fold every latency into this accumulator set instead of
+        returning sample arrays (O(chunk) memory when combined with
+        ``chunk_requests`` on a chunk-capable kernel).
     """
     missing = [
         c.name for c in topology.components if c.name not in service_dists
     ]
     if missing:
         raise SimulationError(f"missing service distributions for {missing}")
+    if chunk_requests is not None and chunk_requests < 1:
+        raise SimulationError(
+            f"chunk_requests must be >= 1, got {chunk_requests}"
+        )
     kernel = routing_kernel_for(policy)
+    if chunk_requests is not None and kernel.supports_chunking:
+        if stream_into is None:
+            return _simulate_chunked_exact(
+                topology, kernel, arrival_rate, duration_s,
+                service_dists, rng, classes, chunk_requests,
+            )
+        return _simulate_chunked_streaming(
+            topology, kernel, arrival_rate, duration_s,
+            service_dists, rng, classes, chunk_requests, stream_into,
+        )
+    outcome = _simulate_monolithic(
+        topology, kernel, arrival_rate, duration_s, service_dists, rng,
+        classes,
+    )
+    if stream_into is None:
+        return outcome
+    # Monolithic fallback under streaming collection (chunk-incapable
+    # kernel, or no chunk size given): fold the arrays in at the end.
+    stream_into.add_chunk(
+        outcome.request_latencies,
+        {name: [arr] for name, arr in outcome.component_sojourns.items()},
+        outcome.class_of,
+        outcome.class_names,
+    )
+    return IntervalOutcome(
+        request_latencies=np.empty(0),
+        component_sojourns={c.name: np.empty(0) for c in topology.components},
+        component_service_samples={
+            c.name: np.empty(0) for c in topology.components
+        },
+        duration_s=float(duration_s),
+        arrival_rate=float(arrival_rate),
+        class_of=None,
+        class_names=outcome.class_names,
+        streaming=stream_into,
+    )
+
+
+def _simulate_monolithic(
+    topology: ServiceTopology,
+    kernel,
+    arrival_rate: float,
+    duration_s: float,
+    service_dists: Mapping[str, Distribution],
+    rng: np.random.Generator,
+    classes: Optional[ResolvedClassMix],
+) -> IntervalOutcome:
+    """The exact legacy single pass (golden-pinned sample paths)."""
     arrivals = poisson_arrivals(arrival_rate, duration_s, rng)
     n = arrivals.size
-    class_of: Optional[np.ndarray] = None
-    scale: Optional[np.ndarray] = None
-    if classes is not None:
-        # One class draw per request; single-active-class mixes skip
-        # the draw entirely (their RNG stream must not shift).
-        class_of = (
-            classes.class_of(rng.random(n))
-            if classes.multi_class
-            else np.zeros(n, dtype=np.int64)
-        )
-        scale = classes.service_scales[class_of]
+    class_of, scale = _class_draws(classes, rng, n)
     sojourns: Dict[str, List[np.ndarray]] = {
         c.name: [] for c in topology.components
     }
@@ -218,20 +358,10 @@ def simulate_service_interval(
             )
             if n:
                 np.maximum(stage_lat, group_lat, out=stage_lat)  # Eq. 3
-        preds = predecessors[si]
-        if preds:
-            # Critical path: the stage starts when its slowest
-            # predecessor completes (Eq. 4 on a chain).
-            ready = completions[preds[0]]
-            for p in preds[1:]:
-                ready = np.maximum(ready, completions[p])
-            completions.append(ready + stage_lat)
-        else:
-            completions.append(stage_lat)
-    exits = topology.exit_indices
-    overall = completions[exits[0]]
-    for si in exits[1:]:
-        overall = np.maximum(overall, completions[si])
+        completions.append(
+            _stage_completions(predecessors[si], completions, stage_lat)
+        )
+    overall = _compose_overall(topology, completions)
     return IntervalOutcome(
         request_latencies=overall,
         component_sojourns={
@@ -246,4 +376,198 @@ def simulate_service_interval(
         arrival_rate=float(arrival_rate),
         class_of=class_of,
         class_names=None if classes is None else classes.names,
+    )
+
+
+def _simulate_chunked_exact(
+    topology: ServiceTopology,
+    kernel,
+    arrival_rate: float,
+    duration_s: float,
+    service_dists: Mapping[str, Distribution],
+    rng: np.random.Generator,
+    classes: Optional[ResolvedClassMix],
+    chunk: int,
+) -> IntervalOutcome:
+    """Chunked pass, bit-identical to :func:`_simulate_monolithic`.
+
+    All randomness is drawn up front in exactly the legacy call order
+    (arrivals, class draws, then per stage/group: participation draws
+    and the kernel's pre-draw); the chunk loop only *slices* those
+    buffers, and the Lindley carry replays the monolithic float
+    operations exactly, so every output array matches bit for bit.
+    """
+    arrivals = poisson_arrivals(arrival_rate, duration_s, rng)
+    n = arrivals.size
+    class_of, scale = _class_draws(classes, rng, n)
+    # Phase 1: pre-draw per-(stage, group) randomness in legacy order.
+    plans: List[Tuple[Optional[np.ndarray], object]] = []
+    gi = 0
+    for stage in topology.stages:
+        for group in stage.groups:
+            take: Optional[np.ndarray] = None
+            if classes is not None:
+                p_req = classes.group_participation[class_of, gi]
+                gi += 1
+                if not np.all(p_req >= 1.0):
+                    take = rng.random(n) < p_req
+            elif group.optional:
+                take = rng.random(n) < group.participation
+            m = n if take is None else int(np.count_nonzero(take))
+            plans.append(
+                (take, kernel.predraw_group(m, group, service_dists, rng))
+            )
+    # Phase 2: slice per chunk, carrying queue state per component.
+    sojourns: Dict[str, List[np.ndarray]] = {
+        c.name: [] for c in topology.components
+    }
+    services: Dict[str, List[np.ndarray]] = {
+        c.name: [] for c in topology.components
+    }
+    carries: Dict[str, LindleyCarry] = {}
+    overall_parts: List[np.ndarray] = []
+    predecessors = topology.predecessor_indices
+    for a in range(0, n, chunk):
+        b = min(a + chunk, n)
+        t_chunk = arrivals[a:b]
+        scale_chunk = None if scale is None else scale[a:b]
+        completions: List[np.ndarray] = []
+        pi = 0
+        for si, stage in enumerate(topology.stages):
+            stage_lat = np.zeros(b - a)
+            for group in stage.groups:
+                take, draws = plans[pi]
+                pi += 1
+                if take is None:
+                    group_lat = kernel.route_chunk(
+                        t_chunk, group, draws, scale_chunk,
+                        sojourns, services, carries,
+                    )
+                    np.maximum(stage_lat, group_lat, out=stage_lat)
+                else:
+                    tk = take[a:b]
+                    sub_lat = kernel.route_chunk(
+                        t_chunk[tk], group, draws,
+                        None if scale_chunk is None else scale_chunk[tk],
+                        sojourns, services, carries,
+                    )
+                    stage_lat[tk] = np.maximum(stage_lat[tk], sub_lat)
+            completions.append(
+                _stage_completions(predecessors[si], completions, stage_lat)
+            )
+        overall_parts.append(_compose_overall(topology, completions))
+    return IntervalOutcome(
+        request_latencies=(
+            np.concatenate(overall_parts) if overall_parts else np.empty(0)
+        ),
+        component_sojourns={
+            name: (np.concatenate(parts) if parts else np.empty(0))
+            for name, parts in sojourns.items()
+        },
+        component_service_samples={
+            name: (np.concatenate(parts) if parts else np.empty(0))
+            for name, parts in services.items()
+        },
+        duration_s=float(duration_s),
+        arrival_rate=float(arrival_rate),
+        class_of=class_of,
+        class_names=None if classes is None else classes.names,
+    )
+
+
+def _simulate_chunked_streaming(
+    topology: ServiceTopology,
+    kernel,
+    arrival_rate: float,
+    duration_s: float,
+    service_dists: Mapping[str, Distribution],
+    rng: np.random.Generator,
+    classes: Optional[ResolvedClassMix],
+    chunk: int,
+    stream: IntervalAccumulatorSet,
+) -> IntervalOutcome:
+    """True single-pass streaming: O(chunk) peak memory.
+
+    Arrivals are generated one time window at a time (window length ≈
+    ``chunk / rate``): a Poisson count for the window plus sorted
+    uniforms within it is an exact Poisson process, so no O(requests)
+    arrivals array ever exists.  Per-chunk draws necessarily follow a
+    different (fully seeded, deterministic given chunk size) stream
+    than the monolithic pass — the exact-vs-streamed contract is
+    distributional, enforced by the estimator property tests, not
+    bit-identity.
+    """
+    if arrival_rate < 0 or duration_s <= 0:
+        raise SimulationError(
+            f"need rate >= 0 and duration > 0, got {arrival_rate}, {duration_s}"
+        )
+    names = None if classes is None else classes.names
+    window = (
+        duration_s if arrival_rate <= 0 else min(chunk / arrival_rate, duration_s)
+    )
+    n_windows = max(1, int(np.ceil(duration_s / window)))
+    carries: Dict[str, LindleyCarry] = {}
+    predecessors = topology.predecessor_indices
+    for wi in range(n_windows):
+        w_start = wi * window
+        w_end = min(duration_s, (wi + 1) * window)
+        if w_end <= w_start:
+            break
+        cnt = int(rng.poisson(arrival_rate * (w_end - w_start)))
+        t_chunk = np.sort(rng.uniform(0.0, w_end - w_start, cnt)) + w_start
+        class_chunk, scale_chunk = _class_draws(classes, rng, cnt)
+        if class_chunk is not None:
+            # Index narrowing: class rows fit comfortably in int16 and
+            # this is a per-request array we hold per chunk.
+            class_chunk = class_chunk.astype(np.int16)
+        chunk_soj: Dict[str, List[np.ndarray]] = {
+            c.name: [] for c in topology.components
+        }
+        chunk_svc: Dict[str, List[np.ndarray]] = {
+            c.name: [] for c in topology.components
+        }
+        completions: List[np.ndarray] = []
+        gi = 0
+        for si, stage in enumerate(topology.stages):
+            stage_lat = np.zeros(cnt)
+            for group in stage.groups:
+                take: Optional[np.ndarray] = None
+                sub_scale = scale_chunk
+                if classes is not None:
+                    p_req = classes.group_participation[class_chunk, gi]
+                    gi += 1
+                    if not np.all(p_req >= 1.0):
+                        take = rng.random(cnt) < p_req
+                elif group.optional:
+                    take = rng.random(cnt) < group.participation
+                if take is None:
+                    group_lat = kernel.route_group(
+                        t_chunk, group, service_dists, rng,
+                        chunk_soj, chunk_svc, sub_scale, carries=carries,
+                    )
+                    np.maximum(stage_lat, group_lat, out=stage_lat)
+                else:
+                    sub_lat = kernel.route_group(
+                        t_chunk[take], group, service_dists, rng,
+                        chunk_soj, chunk_svc,
+                        None if sub_scale is None else sub_scale[take],
+                        carries=carries,
+                    )
+                    stage_lat[take] = np.maximum(stage_lat[take], sub_lat)
+            completions.append(
+                _stage_completions(predecessors[si], completions, stage_lat)
+            )
+        overall = _compose_overall(topology, completions)
+        stream.add_chunk(overall, chunk_soj, class_chunk, names)
+    return IntervalOutcome(
+        request_latencies=np.empty(0),
+        component_sojourns={c.name: np.empty(0) for c in topology.components},
+        component_service_samples={
+            c.name: np.empty(0) for c in topology.components
+        },
+        duration_s=float(duration_s),
+        arrival_rate=float(arrival_rate),
+        class_of=None,
+        class_names=names,
+        streaming=stream,
     )

@@ -54,7 +54,8 @@ from repro.scheduler.pcs import PCSScheduler
 from repro.scenarios import ScenarioSpec, get_scenario
 from repro.service.nutch import NutchConfig
 from repro.service.topology import ResolvedClassMix
-from repro.sim.metrics import LatencySummary, percentile, pool, summarize
+from repro.sim.estimators import IntervalAccumulatorSet, LatencyAccumulator
+from repro.sim.metrics import LatencySummary, percentile
 from repro.sim.profiling import ProfilingConfig, train_predictor_for_service
 from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
 from repro.simcore.engine import SimulationEngine
@@ -107,6 +108,25 @@ class RunnerConfig:
     #: drops that class from the run.  Stored canonically as a tuple of
     #: ``(str, float)`` pairs so sweep manifests hash it stably.
     class_mix: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: Process each interval's requests in chunks of this size,
+    #: threading queue backlog across chunk boundaries
+    #: (:mod:`repro.sim.queue_sim`).  ``None`` — the default — is the
+    #: exact legacy single pass; with a value and the default exact
+    #: summaries the results are still **bit-identical** (identity-
+    #: tested), chunking only bounds the working set.
+    chunk_requests: Optional[int] = None
+    #: How latency samples are reduced to summaries: ``"exact"`` stores
+    #: every sample (nearest-rank percentiles, the golden-pinned path),
+    #: ``"streaming"`` uses O(reservoir)-memory estimators
+    #: (:mod:`repro.sim.estimators`), and ``"auto"`` — the default —
+    #: picks streaming only above :attr:`streaming_threshold` expected
+    #: requests per interval, so every existing configuration stays on
+    #: the exact path.
+    summary_mode: str = "auto"
+    #: ``auto`` switches to streaming summaries when the expected
+    #: per-interval request count (rate × interval × peak trace
+    #: multiplier) exceeds this.
+    streaming_threshold: int = 1_000_000
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -132,6 +152,20 @@ class RunnerConfig:
             raise ExperimentError(
                 f"unknown trace profile {self.trace_profile!r} "
                 f"(registered: {', '.join(arrival_profile_names())})"
+            )
+        if self.chunk_requests is not None and self.chunk_requests < 1:
+            raise ExperimentError(
+                f"chunk_requests must be >= 1, got {self.chunk_requests}"
+            )
+        if self.summary_mode not in ("auto", "exact", "streaming"):
+            raise ExperimentError(
+                f"summary_mode must be 'auto', 'exact' or 'streaming', "
+                f"got {self.summary_mode!r}"
+            )
+        if self.streaming_threshold < 1:
+            raise ExperimentError(
+                f"streaming_threshold must be >= 1, got "
+                f"{self.streaming_threshold}"
             )
         if self.class_mix is not None:
             try:
@@ -183,6 +217,13 @@ class PolicyResult:
     #: keeps :meth:`metrics_dict` byte-identical to pre-class results
     #: (the golden pins).
     per_class: Optional[Dict[str, LatencySummary]] = None
+    #: Estimator provenance: ``"streaming"`` when the summaries came
+    #: from the O(reservoir) estimator layer, ``None`` on the exact
+    #: path.  Serialised (and hence digested) only when set, so every
+    #: exact-mode cache entry and golden pin is byte-identical to
+    #: before this field existed — and a streamed result can never be
+    #: mistaken for an exact one.
+    summary_mode: Optional[str] = None
 
     @property
     def component_p99_s(self) -> float:
@@ -239,6 +280,10 @@ class PolicyResult:
                 name: summary.to_dict()
                 for name, summary in self.per_class.items()
             }
+        if self.summary_mode is not None:
+            # Only serialised for streamed runs — same pattern as
+            # per_class, for the same digest-stability reason.
+            d["summary_mode"] = self.summary_mode
         return d
 
     @classmethod
@@ -266,6 +311,11 @@ class PolicyResult:
                     str(name): LatencySummary.from_dict(summary)
                     for name, summary in d["per_class"].items()
                 }
+            ),
+            summary_mode=(
+                None
+                if d.get("summary_mode") is None
+                else str(d["summary_mode"])
             ),
         )
 
@@ -297,10 +347,19 @@ class RunState:
     #: (all exactly 1.0 under "stationary").
     rate_multipliers: Optional[np.ndarray] = None
     warmup_set: Set[str] = field(default_factory=set)
-    component_pool: List[np.ndarray] = field(default_factory=list)
-    overall_pool: List[np.ndarray] = field(default_factory=list)
-    #: name -> per-interval overall-latency arrays (mixed-class only).
-    per_class_pools: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    #: Resolved latency-reduction mode for this run ("exact" or
+    #: "streaming" — the config's "auto" is resolved in setup from the
+    #: expected per-interval request count).
+    summary_mode: str = "exact"
+    #: Exact mode: every sample flows through these store-everything
+    #: accumulators (bit-identical to the historical pool+summarize).
+    component_acc: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    overall_acc: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    #: name -> per-class overall-latency accumulator (mixed-class only).
+    per_class_accs: Dict[str, LatencyAccumulator] = field(default_factory=dict)
+    #: Streaming mode: the run-level accumulator set (the first measured
+    #: interval's set, with later intervals merged in).
+    run_stream: Optional[IntervalAccumulatorSet] = None
     per_interval_p99: List[float] = field(default_factory=list)
     per_interval_mean: List[float] = field(default_factory=list)
     n_requests: int = 0
@@ -451,6 +510,21 @@ class ExperimentRunner:
         # artificially empty cluster.
         engine.run_until(cfg.churn_prewarm_s)
 
+        multipliers = arrival_rate_multipliers(cfg.trace_profile, cfg.n_intervals)
+        # Resolve "auto": stream only when an interval is expected to
+        # produce more requests than the threshold — every historical
+        # configuration sits far below it and stays exact.
+        summary_mode = cfg.summary_mode
+        if summary_mode == "auto":
+            expected_peak = (
+                cfg.arrival_rate * cfg.interval_s * float(np.max(multipliers))
+            )
+            summary_mode = (
+                "streaming"
+                if expected_peak > cfg.streaming_threshold
+                else "exact"
+            )
+
         return RunState(
             policy=policy,
             rngs=rngs,
@@ -464,9 +538,8 @@ class ExperimentRunner:
             request_rng=rngs.get("requests"),
             t_wall=t_wall,
             classes=classes,
-            rate_multipliers=arrival_rate_multipliers(
-                cfg.trace_profile, cfg.n_intervals
-            ),
+            rate_multipliers=multipliers,
+            summary_mode=summary_mode,
         )
 
     # ------------------------------------------------------------------
@@ -488,6 +561,24 @@ class ExperimentRunner:
         # stationary profile's multiplier is exactly 1.0 (bit-identical
         # arrivals to the pre-profile runner).
         rate = cfg.arrival_rate * float(state.rate_multipliers[interval])
+        interval_stream: Optional[IntervalAccumulatorSet] = None
+        if state.summary_mode == "streaming":
+            # Fresh per-interval accumulators; their reservoirs draw
+            # priorities from persistent named streams, so the whole
+            # run is reproducible from the root seed.
+            multi = state.classes is not None and state.classes.multi_class
+            interval_stream = IntervalAccumulatorSet.create(
+                rng_for=lambda role: state.rngs.get(f"estimator-{role}"),
+                class_names=state.classes.names if multi else None,
+            )
+        # The chunk/stream kwargs are only passed when engaged, so the
+        # default path keeps the historical call signature (tests stub
+        # the simulator with positional-compatible fakes).
+        sim_kwargs: Dict[str, object] = {}
+        if cfg.chunk_requests is not None:
+            sim_kwargs["chunk_requests"] = cfg.chunk_requests
+        if interval_stream is not None:
+            sim_kwargs["stream_into"] = interval_stream
         outcome = simulate_service_interval(
             state.service.topology,
             state.policy,
@@ -496,26 +587,35 @@ class ExperimentRunner:
             dists,
             state.request_rng,
             classes=state.classes,
+            **sim_kwargs,
         )
         if interval >= cfg.warmup_intervals and outcome.n_requests:
-            pooled = outcome.pooled_component_latencies()
-            state.component_pool.append(pooled)
-            state.overall_pool.append(outcome.request_latencies)
-            if state.classes is not None and state.classes.multi_class:
-                for name, lats in outcome.per_class_latencies().items():
-                    state.per_class_pools.setdefault(name, []).append(lats)
-            # Shared metric kernel: nearest-rank, never interpolated
-            # (must match the pooled LatencySummary convention).
-            state.per_interval_p99.append(
-                percentile(
-                    pooled,
-                    99,
-                    label=f"interval {interval} pooled component latencies",
+            label = f"interval {interval} pooled component latencies"
+            if interval_stream is not None:
+                state.per_interval_p99.append(
+                    interval_stream.component_pool.summary(label=label).p99
                 )
-            )
-            state.per_interval_mean.append(
-                float(outcome.request_latencies.mean())
-            )
+                state.per_interval_mean.append(interval_stream.overall.mean)
+                state.run_stream = (
+                    interval_stream
+                    if state.run_stream is None
+                    else state.run_stream.merge(interval_stream)
+                )
+            else:
+                pooled = outcome.pooled_component_latencies()
+                state.component_acc.add(pooled)
+                state.overall_acc.add(outcome.request_latencies)
+                if state.classes is not None and state.classes.multi_class:
+                    for name, lats in outcome.per_class_latencies().items():
+                        state.per_class_accs.setdefault(
+                            name, LatencyAccumulator()
+                        ).add(lats)
+                # Shared metric kernel: nearest-rank, never interpolated
+                # (must match the pooled LatencySummary convention).
+                state.per_interval_p99.append(percentile(pooled, 99, label=label))
+                state.per_interval_mean.append(
+                    float(outcome.request_latencies.mean())
+                )
             state.n_requests += outcome.n_requests
         if state.scheduler is not None and interval + 1 < cfg.n_intervals:
             t0 = time.perf_counter()
@@ -536,37 +636,53 @@ class ExperimentRunner:
     # phase 3: collect
     # ------------------------------------------------------------------
     def collect(self, state: RunState) -> PolicyResult:
-        """Reduce the recorded intervals into a :class:`PolicyResult`."""
+        """Reduce the recorded intervals into a :class:`PolicyResult`.
+
+        Both summary modes flow through the same
+        :class:`~repro.sim.estimators.LatencyAccumulator` seam; the
+        exact mode's reduction is bit-identical to the historical
+        pool-then-summarise code, and a streamed run records its
+        provenance in :attr:`PolicyResult.summary_mode`.
+        """
         cfg = self.config
-        if not state.component_pool:
+        streaming = state.summary_mode == "streaming"
+        measured = (
+            state.run_stream is not None
+            if streaming
+            else state.component_acc.n_batches > 0
+        )
+        if not measured:
             raise ExperimentError(
                 f"no measured intervals produced requests "
                 f"({state.policy.name} @ {cfg.arrival_rate:g} req/s, "
                 f"seed {cfg.seed})"
             )
         run_label = f"{state.policy.name} @ {cfg.arrival_rate:g} req/s"
+        if streaming:
+            component_acc = state.run_stream.component_pool
+            overall_acc = state.run_stream.overall
+            class_accs = state.run_stream.per_class or {}
+        else:
+            component_acc = state.component_acc
+            overall_acc = state.overall_acc
+            class_accs = state.per_class_accs
         per_class: Optional[Dict[str, LatencySummary]] = None
-        if state.per_class_pools:
-            per_class = {}
-            for name, parts in state.per_class_pools.items():
-                arr = np.concatenate(parts)
-                if arr.size:
-                    per_class[name] = summarize(
-                        arr, label=f"{run_label} class {name!r} latencies"
-                    )
+        if class_accs:
+            per_class = {
+                name: acc.summary(
+                    label=f"{run_label} class {name!r} latencies"
+                )
+                for name, acc in class_accs.items()
+                if acc.n
+            }
         return PolicyResult(
             policy_name=state.policy.name,
             arrival_rate=cfg.arrival_rate,
-            component_latency=summarize(
-                pool(
-                    state.component_pool,
-                    label=f"{run_label} component latencies",
-                ),
-                label=f"{run_label} component latencies",
+            component_latency=component_acc.summary(
+                label=f"{run_label} component latencies"
             ),
-            overall_latency=summarize(
-                pool(state.overall_pool, label=f"{run_label} overall latencies"),
-                label=f"{run_label} overall latencies",
+            overall_latency=overall_acc.summary(
+                label=f"{run_label} overall latencies"
             ),
             per_interval_component_p99=state.per_interval_p99,
             per_interval_overall_mean=state.per_interval_mean,
@@ -575,6 +691,7 @@ class ExperimentRunner:
             scheduling_time_s=state.scheduling_time_s,
             wall_time_s=time.perf_counter() - state.t_wall,
             per_class=per_class,
+            summary_mode="streaming" if streaming else None,
         )
 
     # ------------------------------------------------------------------
@@ -688,6 +805,13 @@ class ExperimentRunner:
             class_weights=None if classes is None else classes.weights,
             class_stage_participation=(
                 None if classes is None else classes.stage_participation
+            ),
+            # Heavy classes work every stage they visit service_scale×
+            # longer (the simulators already apply this); folding the
+            # same multiplier into the objective keeps the predictor
+            # honest about where a mixed workload's latency comes from.
+            class_service_scales=(
+                None if classes is None else classes.service_scales
             ),
         )
         sched_outcome = scheduler.schedule(inputs)

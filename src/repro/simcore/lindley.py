@@ -25,12 +25,17 @@ approximated.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
 import numpy as np
 
 from repro.errors import SimulationError
 
 __all__ = [
     "lindley_waits",
+    "lindley_waits_chunked",
+    "LindleyCarry",
     "lindley_waits_reference",
     "sojourn_times",
     "fifo_departures",
@@ -102,6 +107,108 @@ def lindley_waits(
     np.minimum.accumulate(prefix, out=prefix)
     waits[1:] = c - prefix[1:]
     return waits
+
+
+@dataclass
+class LindleyCarry:
+    """Queue state threaded across chunk boundaries — **bit-exactly**.
+
+    A naive carry (resume with ``initial_work = last wait + service``)
+    re-associates the floating-point prefix sums and drifts off the
+    monolithic sample path in the last bits.  Instead we carry exactly
+    the four scalars the unrolled recursion needs —
+
+    - ``cumsum``: the drift prefix sum ``C`` at the last processed
+      request (``0.0`` right after the first request, whose ``C_0`` is
+      defined as zero),
+    - ``prefix_min``: ``min(-w0, C_1, …, C_last)``,
+    - ``last_arrival`` / ``last_service``: the boundary request's
+      arrival instant and service demand (they parameterise the next
+      chunk's first drift term)
+
+    — and replay the *same* float operations: ``np.cumsum`` seeded by
+    prepending ``cumsum`` (cumsum is strictly sequential, so the
+    additions associate identically), ``np.minimum.accumulate`` seeded
+    with ``prefix_min`` (min is exact), and the boundary drift computed
+    as ``last_service - (t[0] - last_arrival)`` — the very expression
+    the monolithic ``np.diff`` path evaluates.  Chunked waits are
+    therefore bit-for-bit the monolithic waits for any chunking
+    (property-tested in ``tests/simcore/test_lindley.py``).
+    """
+
+    cumsum: float
+    prefix_min: float
+    last_arrival: float
+    last_service: float
+
+
+def lindley_waits_chunked(
+    arrival_times,
+    service_times,
+    carry: Optional[LindleyCarry] = None,
+    initial_work: float = 0.0,
+    *,
+    validate: bool = True,
+) -> Tuple[np.ndarray, Optional[LindleyCarry]]:
+    """One chunk of the Lindley recursion, resumable across chunks.
+
+    The first chunk of a stream passes ``carry=None`` (and optionally
+    ``initial_work``, exactly as :func:`lindley_waits`); every later
+    chunk passes the carry returned by the previous call.  Returns
+    ``(waits, new_carry)``; concatenating the per-chunk waits is
+    bit-identical to one :func:`lindley_waits` call over the whole
+    stream.  An empty chunk returns the carry unchanged.
+    """
+    t = np.asarray(arrival_times, dtype=np.float64)
+    s = np.asarray(service_times, dtype=np.float64)
+    if validate:
+        _validate(t, s)
+        if carry is None and initial_work < 0:
+            raise SimulationError(
+                f"initial_work must be >= 0, got {initial_work}"
+            )
+        if carry is not None and t.size and t[0] < carry.last_arrival:
+            raise SimulationError(
+                "chunk arrivals must continue the carried stream "
+                f"(first arrival {t[0]} < carried {carry.last_arrival})"
+            )
+    n = t.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64), carry
+    if carry is None:
+        waits = lindley_waits(t, s, initial_work, validate=False)
+        if n == 1:
+            new = LindleyCarry(0.0, -float(initial_work), float(t[0]), float(s[0]))
+            return waits, new
+        # Recover C_last / prefix_min from the same intermediates the
+        # monolithic kernel computes (recomputed here; the kernel stays
+        # a single straight-line fast path).
+        drift = s[:-1] - np.diff(t)
+        c = np.cumsum(drift)
+        prefix = np.empty(n, dtype=np.float64)
+        prefix[0] = -float(initial_work)
+        prefix[1:] = c
+        np.minimum.accumulate(prefix, out=prefix)
+        return waits, LindleyCarry(
+            float(c[-1]), float(prefix[-1]), float(t[-1]), float(s[-1])
+        )
+    # Continuation: first drift spans the chunk boundary.
+    boundary = carry.last_service - (t[0] - carry.last_arrival)
+    if n == 1:
+        drift = np.array([boundary], dtype=np.float64)
+    else:
+        drift = np.empty(n, dtype=np.float64)
+        drift[0] = boundary
+        drift[1:] = s[:-1] - np.diff(t)
+    # Seeded cumsum: prepend the carried prefix sum so the sequential
+    # additions replay the monolithic order exactly.
+    c = np.cumsum(np.concatenate([[carry.cumsum], drift]))[1:]
+    prefix = np.concatenate([[carry.prefix_min], c])
+    np.minimum.accumulate(prefix, out=prefix)
+    waits = c - prefix[1:]
+    return waits, LindleyCarry(
+        float(c[-1]), float(prefix[-1]), float(t[-1]), float(s[-1])
+    )
 
 
 def lindley_waits_reference(

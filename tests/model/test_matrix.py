@@ -291,7 +291,7 @@ class TestInputValidation:
 class TestClassWeightedObjective:
     """Request-class mix in the overall-latency objective."""
 
-    def _classed(self, inputs, weights, participation):
+    def _classed(self, inputs, weights, participation, scales=None):
         # Densify stage indices: random instances may skip a stage
         # label, and participation columns must align with the stages
         # that actually exist (runner-built inputs are always dense).
@@ -309,6 +309,10 @@ class TestClassWeightedObjective:
                 np.asarray(participation, dtype=np.float64),
                 (len(weights), n_stages),
             ).copy(),
+            class_service_scales=(
+                None if scales is None
+                else np.asarray(scales, dtype=np.float64)
+            ),
         )
 
     def test_single_unit_class_is_bit_identical_to_classless(self, rng):
@@ -335,6 +339,74 @@ class TestClassWeightedObjective:
         mixed_inputs.class_stage_participation = part
         mixed = PerformanceMatrix(mixed_inputs, StubPredictor())
         assert mixed.base_overall < full.base_overall
+
+    def test_unit_service_scales_bit_identical(self, rng):
+        """All-ones σ must not perturb the objective — the matrix face
+        of the service_scale contract (None and ones are the same)."""
+        inputs = _random_inputs(rng, m=14, k=4)
+        plain = PerformanceMatrix(
+            self._classed(inputs, [0.5, 0.5], 1.0), StubPredictor()
+        ).build("fast")
+        scaled = PerformanceMatrix(
+            self._classed(inputs, [0.5, 0.5], 1.0, scales=[1.0, 1.0]),
+            StubPredictor(),
+        ).build("fast")
+        np.testing.assert_array_equal(plain.L, scaled.L)
+        np.testing.assert_array_equal(plain.R, scaled.R)
+
+    def test_doubling_a_class_scale_moves_the_objective(self, rng):
+        """PR-6 follow-up: a 2x service_scale class must raise the
+        predicted mixed objective (the simulators already charge it)."""
+        inputs = _random_inputs(rng, m=14, k=4)
+        plain = PerformanceMatrix(
+            self._classed(inputs, [0.5, 0.5], 1.0), StubPredictor()
+        )
+        heavy = PerformanceMatrix(
+            self._classed(inputs, [0.5, 0.5], 1.0, scales=[1.0, 2.0]),
+            StubPredictor(),
+        )
+        assert heavy.base_overall > plain.base_overall
+        # Full participation, equal weights: the heavy class's chain
+        # doubles, so the mix rises by exactly a quarter... of twice
+        # the base — i.e. 1.5x overall.
+        assert heavy.base_overall == pytest.approx(
+            1.5 * plain.base_overall, rel=1e-12
+        )
+
+    def test_scales_require_class_weights(self, rng):
+        inputs = _random_inputs(rng)
+        with pytest.raises(ModelError, match="requires class_weights"):
+            MatrixInputs(
+                stage_of=inputs.stage_of, classes=inputs.classes,
+                demands=inputs.demands, assignment=inputs.assignment,
+                node_totals=inputs.node_totals,
+                arrival_rates=inputs.arrival_rates,
+                class_service_scales=np.array([1.0]),
+            )
+
+    @pytest.mark.parametrize(
+        "scales,message",
+        [
+            ([1.0, 1.0, 1.0], r"\(C,\)"),
+            ([1.0, 0.0], "finite and > 0"),
+            ([1.0, -2.0], "finite and > 0"),
+            ([1.0, np.nan], "finite and > 0"),
+        ],
+    )
+    def test_bad_scales_rejected(self, rng, scales, message):
+        inputs = _random_inputs(rng)
+        with pytest.raises(ModelError, match=message):
+            self._classed(inputs, [0.5, 0.5], 1.0, scales=scales)
+
+    def test_copy_carries_the_scales(self, rng):
+        inputs = self._classed(
+            _random_inputs(rng), [0.5, 0.5], 1.0, scales=[1.0, 2.0]
+        )
+        dup = inputs.copy()
+        np.testing.assert_array_equal(
+            dup.class_service_scales, inputs.class_service_scales
+        )
+        assert dup.class_service_scales is not inputs.class_service_scales
 
     def test_fields_must_come_together(self, rng):
         inputs = _random_inputs(rng)

@@ -165,3 +165,83 @@ class TestMixedClassOverallLatency:
             mixed_class_overall_latency(
                 lats, np.array([1.5, -0.5]), np.ones((2, 2))
             )
+
+
+class TestClassServiceScales:
+    """RequestClass.service_scale in the predicted objective — the
+    simulators have applied σ_c to every sample since the classes PR;
+    the prediction must account for the same multiplier."""
+
+    def test_unit_scales_bit_identical_to_none(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([1.0, 2.0, 3.0])
+        w = np.array([0.25, 0.75])
+        part = np.array([[1.0, 1.0, 1.0], [1.0, 0.0, 1.0]])
+        plain = mixed_class_overall_latency(lats, w, part)
+        scaled = mixed_class_overall_latency(
+            lats, w, part, class_service_scales=np.ones(2)
+        )
+        assert scaled == plain
+
+    def test_doubling_a_class_scale_moves_the_mixed_objective(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([1.0, 2.0, 3.0])
+        w = np.array([0.5, 0.5])
+        part = np.ones((2, 3))
+        plain = mixed_class_overall_latency(lats, w, part)
+        moved = mixed_class_overall_latency(
+            lats, w, part, class_service_scales=np.array([1.0, 2.0])
+        )
+        # The heavy class's chain doubles: 0.5*6 + 0.5*12 vs 6.
+        assert moved == pytest.approx(9.0)
+        assert moved > plain
+
+    def test_scale_applies_only_to_visited_stages(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([2.0, 4.0])
+        got = mixed_class_overall_latency(
+            lats,
+            np.array([1.0]),
+            np.array([[1.0, 0.25]]),
+            class_service_scales=np.array([3.0]),
+        )
+        assert got == pytest.approx(3.0 * (2.0 + 0.25 * 4.0))
+
+    def test_dag_critical_path_respects_scales(self):
+        from repro.model.service_latency import (
+            dag_overall_latency,
+            mixed_class_overall_latency,
+        )
+
+        diamond = ((), (0,), (0,), (1, 2))
+        lats = np.array([1.0, 5.0, 2.0, 1.0])
+        got = mixed_class_overall_latency(
+            lats,
+            np.array([1.0]),
+            np.ones((1, 4)),
+            diamond,
+            class_service_scales=np.array([2.0]),
+        )
+        assert got == pytest.approx(dag_overall_latency(2.0 * lats, diamond))
+
+    def test_bad_scales_rejected(self):
+        from repro.model.service_latency import mixed_class_overall_latency
+
+        lats = np.array([1.0, 2.0])
+        w = np.array([1.0])
+        ones = np.ones((1, 2))
+        with pytest.raises(ModelError, match=r"\(C,\)"):
+            mixed_class_overall_latency(
+                lats, w, ones, class_service_scales=np.ones(3)
+            )
+        with pytest.raises(ModelError, match="finite and > 0"):
+            mixed_class_overall_latency(
+                lats, w, ones, class_service_scales=np.array([0.0])
+            )
+        with pytest.raises(ModelError, match="finite and > 0"):
+            mixed_class_overall_latency(
+                lats, w, ones, class_service_scales=np.array([np.inf])
+            )

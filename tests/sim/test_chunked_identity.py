@@ -1,0 +1,320 @@
+"""Chunked and streamed execution must not change what a run reports.
+
+The memory-bounded execution paths added for million-request intervals
+come with a two-part contract:
+
+- **exact mode + chunking is bit-identical**: for any
+  ``chunk_requests``, every built-in scenario reproduces the unchunked
+  ``metrics_dict()`` byte for byte (golden pins and sweep-cache
+  digests cannot tell the difference);
+- **streaming mode is honestly labelled**: a streamed run carries
+  ``summary_mode="streaming"`` provenance, keeps ``n``/``mean``/``max``
+  exact, and its estimated percentiles agree with the exact path within
+  the estimator error contract — and exact and streamed seeds refuse to
+  aggregate into one cell.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines.policies import BasicPolicy, REDPolicy, ReissuePolicy
+from repro.errors import ExperimentError, SimulationError
+from repro.rng import RngRegistry
+from repro.scenarios import get_scenario
+from repro.service.component import Component, ComponentClass
+from repro.service.topology import ReplicaGroup, ServiceTopology, Stage
+from repro.sim.aggregate import SeedAggregate
+from repro.sim.des_service import DESServiceSimulator
+from repro.sim.estimators import IntervalAccumulatorSet
+from repro.sim.metrics import percentile
+from repro.sim.queue_sim import simulate_service_interval
+from repro.sim.runner import ExperimentRunner, PolicyResult
+from repro.simcore.distributions import Exponential, LogNormal
+
+BUILTINS = (
+    "branchy-api",
+    "diamond-search",
+    "fanout-feed",
+    "mixed-frontend",
+    "nutch-search",
+    "pipeline-deep",
+)
+
+
+def _run(scenario: str, policy=None, **overrides) -> PolicyResult:
+    spec = get_scenario(scenario)
+    cfg = spec.runner_config(
+        arrival_rate=30.0,
+        interval_s=4.0,
+        n_intervals=3,
+        warmup_intervals=1,
+        seed=11,
+        **overrides,
+    )
+    return ExperimentRunner(cfg, scenario=spec).run(policy or BasicPolicy())
+
+
+# Unchunked exact baselines, one per scenario, shared across the chunk
+# sizes (module-level so the parametrised tests reuse them).
+_BASELINE: dict = {}
+
+
+def _baseline(scenario: str) -> PolicyResult:
+    if scenario not in _BASELINE:
+        _BASELINE[scenario] = _run(scenario)
+    return _BASELINE[scenario]
+
+
+class TestChunkedRunnerBitIdentity:
+    """Every built-in scenario, chunked == unchunked, byte for byte."""
+
+    @pytest.mark.parametrize("scenario", BUILTINS)
+    @pytest.mark.parametrize("chunk", [1, 7, 1000])
+    def test_metrics_dict_bit_identical(self, scenario, chunk):
+        base = _baseline(scenario)
+        chunked = _run(scenario, chunk_requests=chunk)
+        assert chunked.metrics_dict() == base.metrics_dict()
+
+    def test_exact_chunked_run_keeps_exact_provenance(self):
+        chunked = _run("nutch-search", chunk_requests=7)
+        assert chunked.summary_mode is None
+        assert "summary_mode" not in chunked.metrics_dict()
+
+    def test_per_class_latencies_chunk_invariant(self):
+        # mixed-frontend is the classed scenario: the per-class split
+        # must survive chunk boundaries exactly, class by class.
+        base = _baseline("mixed-frontend")
+        chunked = _run("mixed-frontend", chunk_requests=13)
+        assert base.per_class is not None
+        assert chunked.per_class == base.per_class
+
+
+class TestMonolithicFallback:
+    """Chunk-incapable kernels (redundancy, reissue) silently fall back
+    to the exact single pass — same results, chunk size or not."""
+
+    @pytest.mark.parametrize(
+        "policy", [REDPolicy(replicas=2), ReissuePolicy(quantile=0.9)],
+        ids=["RED-2", "RI-90"],
+    )
+    def test_fallback_bit_identical(self, policy):
+        base = _run("nutch-search", policy=policy)
+        chunked = _run("nutch-search", policy=policy, chunk_requests=5)
+        assert chunked.metrics_dict() == base.metrics_dict()
+
+
+def _topology():
+    def comp(name, cls, dist):
+        return Component(name=name, cls=cls, base_service=dist)
+
+    return ServiceTopology(
+        [
+            Stage(
+                "searching",
+                [
+                    ReplicaGroup(
+                        f"g{g}",
+                        [
+                            comp(
+                                f"s-{g}-{r}",
+                                ComponentClass.SEARCHING,
+                                LogNormal(0.006, 0.8),
+                            )
+                            for r in range(3)
+                        ],
+                    )
+                    for g in range(4)
+                ],
+            ),
+            Stage(
+                "aggregating",
+                [
+                    ReplicaGroup(
+                        "agg",
+                        [
+                            comp(
+                                f"agg-{r}",
+                                ComponentClass.AGGREGATING,
+                                Exponential(0.0015),
+                            )
+                            for r in range(2)
+                        ],
+                    )
+                ],
+            ),
+        ]
+    )
+
+
+def _dists(topo):
+    return {c.name: c.base_service for c in topo.components}
+
+
+class TestSimulatorChunkIdentity:
+    """Sample-path identity at the simulator level: the chunked pass
+    replays the exact legacy draw order, so every array matches to the
+    last bit, not just the summaries."""
+
+    @pytest.mark.parametrize("chunk", [1, 7, 250, 10_000])
+    def test_sample_paths_bit_identical(self, chunk):
+        topo = _topology()
+        whole = simulate_service_interval(
+            topo, BasicPolicy(), 120.0, 5.0, _dists(topo),
+            np.random.default_rng(42),
+        )
+        piecewise = simulate_service_interval(
+            topo, BasicPolicy(), 120.0, 5.0, _dists(topo),
+            np.random.default_rng(42), chunk_requests=chunk,
+        )
+        assert (
+            piecewise.request_latencies.tobytes()
+            == whole.request_latencies.tobytes()
+        )
+        for name in whole.component_sojourns:
+            assert (
+                piecewise.component_sojourns[name].tobytes()
+                == whole.component_sojourns[name].tobytes()
+            )
+
+
+class TestDESStreamParity:
+    """The event-driven simulator's streamed path: identical event
+    sequence, samples folded into accumulators instead of kept."""
+
+    def _pair(self, classes=None):
+        topo = _topology()
+        exact = DESServiceSimulator(
+            topo, _dists(topo), np.random.default_rng(3)
+        ).run(60.0, 20.0, classes=classes)
+        rngs = RngRegistry(5)
+        stream = IntervalAccumulatorSet.create(
+            rng_for=lambda role: rngs.get(f"estimator-{role}"),
+            class_names=None if classes is None else classes.names,
+        )
+        streamed = DESServiceSimulator(
+            topo, _dists(topo), np.random.default_rng(3)
+        ).run(60.0, 20.0, classes=classes, stream_into=stream)
+        return exact, streamed, stream
+
+    def test_counts_mean_max_exact(self):
+        exact, streamed, stream = self._pair()
+        assert streamed.streaming is stream
+        assert streamed.completed == exact.completed
+        assert stream.overall.n == exact.request_latencies.size
+        assert stream.overall.mean == pytest.approx(
+            float(exact.request_latencies.mean()), rel=1e-12
+        )
+        assert (
+            stream.component_pool.n
+            == exact.pooled_component_latencies().size
+        )
+        s = stream.overall.summary()
+        assert s.max == pytest.approx(
+            float(exact.request_latencies.max()), rel=1e-6
+        )
+
+    def test_small_run_percentiles_match_exact_kernel(self):
+        # Fewer observations than the reservoir capacity: the reservoir
+        # keeps *everything*, so percentiles agree with the exact
+        # nearest-rank kernel up to float32 storage rounding.
+        exact, _, stream = self._pair()
+        assert exact.request_latencies.size < 16384
+        s = stream.overall.summary()
+        assert s.p99 == pytest.approx(
+            percentile(exact.request_latencies, 99), rel=1e-6
+        )
+        assert s.p50 == pytest.approx(
+            percentile(exact.request_latencies, 50), rel=1e-6
+        )
+
+    def test_streamed_outcome_guards_sample_accessors(self):
+        _, streamed, _ = self._pair()
+        assert streamed.request_latencies.size == 0
+        with pytest.raises(SimulationError):
+            streamed.pooled_component_latencies()
+        with pytest.raises(SimulationError):
+            streamed.per_class_latencies()
+
+
+class TestStreamingRunnerMode:
+    """End-to-end streaming summaries: honest numbers, honest label."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return _run("nutch-search"), _run(
+            "nutch-search", summary_mode="streaming"
+        )
+
+    def test_provenance_recorded_and_round_trips(self, pair):
+        _, streamed = pair
+        assert streamed.summary_mode == "streaming"
+        assert streamed.metrics_dict()["summary_mode"] == "streaming"
+        assert PolicyResult.from_dict(streamed.to_dict()) == streamed
+
+    def test_exact_fields_agree_with_exact_run(self, pair):
+        exact, streamed = pair
+        assert streamed.n_requests == exact.n_requests
+        assert streamed.overall_latency.n == exact.overall_latency.n
+        assert streamed.overall_latency.mean == pytest.approx(
+            exact.overall_latency.mean, rel=1e-9
+        )
+        assert streamed.overall_latency.max == pytest.approx(
+            exact.overall_latency.max, rel=1e-6
+        )
+        assert streamed.per_interval_overall_mean == pytest.approx(
+            exact.per_interval_overall_mean, rel=1e-9
+        )
+
+    def test_small_run_percentiles_match_exact_run(self, pair):
+        # Below reservoir capacity the estimates equal the exact
+        # percentiles up to float32 rounding (see the DES twin above).
+        exact, streamed = pair
+        assert streamed.overall_latency.p99 == pytest.approx(
+            exact.overall_latency.p99, rel=1e-6
+        )
+        assert streamed.component_latency.p99 == pytest.approx(
+            exact.component_latency.p99, rel=1e-6
+        )
+
+    def test_auto_resolves_by_expected_interval_requests(self):
+        # 30 req/s × 4 s = 120 expected requests: a threshold below
+        # that flips auto to streaming, the default (10⁶) keeps exact.
+        streamed = _run("nutch-search", streaming_threshold=100)
+        assert streamed.summary_mode == "streaming"
+        assert _baseline("nutch-search").summary_mode is None
+
+    def test_mixed_class_streaming_keeps_per_class_split(self):
+        exact = _baseline("mixed-frontend")
+        streamed = _run("mixed-frontend", summary_mode="streaming")
+        assert streamed.per_class is not None
+        assert set(streamed.per_class) == set(exact.per_class)
+        for name, summary in streamed.per_class.items():
+            assert summary.n == exact.per_class[name].n
+            assert summary.mean == pytest.approx(
+                exact.per_class[name].mean, rel=1e-9
+            )
+
+
+class TestAggregateModeGuard:
+    def test_mixed_modes_in_one_cell_rejected(self):
+        exact = _baseline("nutch-search")
+        streamed = dataclasses.replace(exact, summary_mode="streaming")
+        with pytest.raises(ExperimentError, match="summary modes"):
+            SeedAggregate.from_results(
+                exact.policy_name,
+                exact.arrival_rate,
+                {0: exact, 1: streamed},
+            )
+
+    def test_uniform_mode_cell_accepted(self):
+        streamed = dataclasses.replace(
+            _baseline("nutch-search"), summary_mode="streaming"
+        )
+        agg = SeedAggregate.from_results(
+            streamed.policy_name,
+            streamed.arrival_rate,
+            {0: streamed, 1: dataclasses.replace(streamed)},
+        )
+        assert agg.seeds == (0, 1)

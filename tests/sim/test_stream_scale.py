@@ -1,0 +1,62 @@
+"""Tier-2 memory-ceiling regression: 10⁶ arrivals, O(chunk) memory.
+
+Drives one fanout-feed interval with over a million Poisson arrivals
+through the chunked streaming path and asserts — under tracemalloc —
+that peak memory stays below a fixed budget that the monolithic pass
+(O(requests) sample arrays, several hundred MiB at this scale) cannot
+possibly meet.  This is the enforcement half of the contract whose
+before/after numbers ``benchmarks/bench_stream_scale.py`` records.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.baselines.policies import BasicPolicy
+from repro.rng import RngRegistry
+from repro.scenarios import get_scenario
+from repro.sim.estimators import IntervalAccumulatorSet
+from repro.sim.queue_sim import simulate_service_interval
+
+#: Stable fanout-feed rate (shard bound ~1360 req/s) x duration that
+#: puts the expected arrival count just past one million.
+RATE = 1200.0
+DURATION_S = 850.0
+CHUNK = 32768
+
+#: Hard ceiling for the streamed pass.  The working set is O(chunk x
+#: groups) plus the reservoirs; measured peaks sit well under half of
+#: this, while the monolithic pass needs hundreds of MiB.
+PEAK_BUDGET_MIB = 120
+
+
+@pytest.mark.tier2
+def test_million_request_interval_within_memory_budget():
+    spec = get_scenario("fanout-feed")
+    topology = spec.build_service(spec.runner_config()).topology
+    dists = {c.name: c.base_service for c in topology.components}
+
+    rngs = RngRegistry(0)
+    stream = IntervalAccumulatorSet.create(
+        rng_for=lambda role: rngs.get(f"estimator-{role}")
+    )
+    tracemalloc.start()
+    outcome = simulate_service_interval(
+        topology, BasicPolicy(), RATE, DURATION_S, dists,
+        rngs.get("requests"),
+        chunk_requests=CHUNK, stream_into=stream,
+    )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert stream.overall.n > 1_000_000
+    assert outcome.streaming is stream
+    assert outcome.request_latencies.size == 0  # nothing retained
+    peak_mib = peak / 2**20
+    assert peak_mib < PEAK_BUDGET_MIB, (
+        f"streamed 10^6-request interval peaked at {peak_mib:.0f} MiB "
+        f"(budget {PEAK_BUDGET_MIB} MiB)"
+    )
+    # The summaries the memory bound pays for are actually usable.
+    summary = stream.overall.summary()
+    assert 0 < summary.p50 < summary.p99 <= summary.max

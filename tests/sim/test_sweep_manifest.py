@@ -401,6 +401,35 @@ class TestCrossBackendIdentity:
             == serial.summary().to_dict()
         )
 
+    @pytest.mark.parametrize(
+        "backend,workers", [("serial", 1), ("process", 2)],
+        ids=["serial", "process-2"],
+    )
+    def test_request_chunking_axis_bit_identical(
+        self, grid, serial, backend, workers
+    ):
+        # The streaming-scale axis: chunked interval execution
+        # (RunnerConfig.chunk_requests) must reproduce the unchunked
+        # grid byte for byte, whatever backend runs the points.  The
+        # grid's RED policy also covers the chunk-incapable-kernel
+        # fallback inside a sweep.
+        chunked_grid = _tiny_spec(
+            base=_tiny_base(chunk_requests=64),
+            policies=grid.policies,
+            arrival_rates=grid.arrival_rates,
+            seeds=grid.seeds,
+        )
+        chunked_run = ParallelSweepRunner(
+            chunked_grid, workers=workers, backend=backend
+        ).run()
+        for point, chunked_point in zip(
+            grid.points(), chunked_grid.points()
+        ):
+            assert (
+                chunked_run.results[chunked_point].metrics_dict()
+                == serial.results[point].metrics_dict()
+            ), point.describe()
+
     def test_parallel_cache_load_identical(self, grid, serial, tmp_path):
         from repro.sim.backends import ThreadBackend
 

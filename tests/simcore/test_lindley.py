@@ -8,9 +8,11 @@ from hypothesis.extra.numpy import arrays
 
 from repro.errors import SimulationError
 from repro.simcore.lindley import (
+    LindleyCarry,
     busy_fraction,
     fifo_departures,
     lindley_waits,
+    lindley_waits_chunked,
     lindley_waits_reference,
     sojourn_times,
 )
@@ -105,6 +107,87 @@ class TestHandComputedCases:
         dep = fifo_departures(arrivals, services)
         assert np.all(np.diff(dep) >= -1e-12)
         assert np.all(dep >= arrivals + services - 1e-12)
+
+
+def _chunk_bounds(rng, n, max_chunks=8):
+    """Random split points 0 = b0 < b1 < ... < bk = n."""
+    k = int(rng.integers(1, max_chunks + 1))
+    cuts = np.sort(rng.integers(0, n + 1, size=k - 1)) if k > 1 else np.array([], dtype=int)
+    return np.concatenate([[0], cuts, [n]]).astype(int)
+
+
+class TestChunkedContinuation:
+    """lindley_waits_chunked is *bit-identical* to the monolithic kernel
+    for any chunking — the invariant the streaming simulator rests on."""
+
+    @given(_arrivals_and_services(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_any_chunking_bit_identical(self, case, split_seed):
+        arrivals, services, w0 = case
+        n = arrivals.size
+        whole = lindley_waits(arrivals, services, w0)
+        rng = np.random.default_rng(split_seed)
+        bounds = _chunk_bounds(rng, n)
+        carry = None
+        parts = []
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            waits, carry = lindley_waits_chunked(
+                arrivals[a:b], services[a:b], carry, initial_work=w0
+            )
+            parts.append(waits)
+        chunked = np.concatenate(parts) if parts else np.empty(0)
+        # Bit-for-bit, not approximately: the carry replays the same
+        # float operations in the same order.
+        assert chunked.tobytes() == whole.tobytes()
+
+    def test_every_chunk_size_on_a_busy_stream(self):
+        rng = np.random.default_rng(11)
+        arrivals = np.cumsum(rng.exponential(0.01, 2000))
+        services = rng.exponential(0.011, 2000)  # overloaded: deep backlog
+        whole = lindley_waits(arrivals, services, 0.3)
+        for chunk in (1, 7, 64, 1999, 2000, 5000):
+            carry = None
+            parts = []
+            for a in range(0, 2000, chunk):
+                waits, carry = lindley_waits_chunked(
+                    arrivals[a : a + chunk],
+                    services[a : a + chunk],
+                    carry,
+                    initial_work=0.3,
+                )
+                parts.append(waits)
+            assert np.concatenate(parts).tobytes() == whole.tobytes()
+
+    def test_empty_chunk_returns_carry_unchanged(self):
+        waits, carry = lindley_waits_chunked([0.0, 1.0], [2.0, 2.0], None)
+        waits2, carry2 = lindley_waits_chunked([], [], carry)
+        assert waits2.size == 0
+        assert carry2 is carry
+
+    def test_first_chunk_matches_monolithic_and_carries(self):
+        arrivals = [0.0, 1.0, 2.0, 3.0]
+        services = [2.0, 2.0, 2.0, 2.0]
+        waits, carry = lindley_waits_chunked(arrivals, services, None)
+        np.testing.assert_array_equal(waits, lindley_waits(arrivals, services))
+        assert isinstance(carry, LindleyCarry)
+        assert carry.last_arrival == 3.0 and carry.last_service == 2.0
+
+    def test_single_request_first_chunk_carry(self):
+        waits, carry = lindley_waits_chunked([5.0], [1.5], None, initial_work=0.25)
+        assert waits[0] == pytest.approx(0.25)
+        assert carry.cumsum == 0.0
+        assert carry.prefix_min == -0.25
+        cont, _ = lindley_waits_chunked([5.1], [1.0], carry)
+        assert cont[0] == lindley_waits([5.0, 5.1], [1.5, 1.0], 0.25)[1]
+
+    def test_non_continuing_arrivals_rejected(self):
+        _, carry = lindley_waits_chunked([10.0], [1.0], None)
+        with pytest.raises(SimulationError):
+            lindley_waits_chunked([9.0], [1.0], carry)
+
+    def test_negative_initial_work_rejected(self):
+        with pytest.raises(SimulationError):
+            lindley_waits_chunked([0.0], [1.0], None, initial_work=-1.0)
 
 
 class TestBusyFraction:
