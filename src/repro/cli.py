@@ -16,8 +16,17 @@ Subcommands regenerate the paper's evaluation artifacts:
   ``--compare DIR`` to diff two sweep caches: manifest spec diff plus
   a joint table of paired per-seed differences over the shared
   (policy, rate) cells (identical seed sets required);
+- ``worker`` — a distributed sweep worker: claims job files from a
+  shared ``--spool``-style directory and executes them until the
+  spool's stop sentinel appears (``repro worker SPOOL --stop`` writes
+  it); the same loop as ``python -m repro.worker``;
 - ``scenarios`` — the registered workload-scenario catalog
   (:mod:`repro.scenarios`), with live topology summaries.
+
+``sweep`` additionally accepts ``--backend distributed --spool DIR
+[--wait-workers N]`` to fan points out over spool workers on any hosts
+sharing DIR (:mod:`repro.sim.distributed`; bit-identical results), and
+``auto`` with a ``--spool`` routes expensive grids there by itself.
 
 ``fig5``/``fig6``/``fig7``/``sweep`` accept ``--workers N`` to fan
 independent points out over workers and ``--backend
@@ -111,24 +120,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_backend_args(p, default="auto"):
+    def add_backend_args(p, default="auto", distributed=False):
+        choices = ["auto", "serial", "thread", "process"]
+        if distributed:
+            choices.append("distributed")
         p.add_argument(
             "--backend",
-            choices=["auto", "serial", "thread", "process"],
+            choices=choices,
             default=default,
             help="how workers execute (repro.sim.backends): auto picks "
             "serial for 1 worker, spawn processes for points whose "
             "estimated cost outweighs the per-worker spawn tax "
             "(cost-aware), in-process threads for small cheap pending "
-            "sets (no spawn import cost), spawn processes otherwise",
+            "sets (no spawn import cost), spawn processes otherwise"
+            + (
+                "; distributed ships points as job files through "
+                "--spool to repro.worker processes (auto also routes "
+                "expensive grids there when --spool is given)"
+                if distributed
+                else ""
+            ),
         )
         p.add_argument(
             "--chunk-size", type=_positive_int, default=None,
             dest="chunk_size",
-            help="points shipped per process task (process backend "
-            "only), amortising each spawn worker's interpreter + numpy "
-            "import across a chunk",
+            help="points shipped per process task (process/distributed "
+            "backends), amortising each worker's per-dispatch cost "
+            "across a chunk",
         )
+        if distributed:
+            p.add_argument(
+                "--spool", default=None,
+                help="shared spool directory for the distributed "
+                "backend (start workers with: python -m repro.worker "
+                "SPOOL)",
+            )
+            p.add_argument(
+                "--wait-workers", type=_positive_int, default=None,
+                dest="wait_workers",
+                help="block until this many live spool workers are "
+                "registered before dispatching (distributed only)",
+            )
 
     def add_scenario_args(p, default="nutch-search"):
         p.add_argument(
@@ -283,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--warmup-intervals", type=int, default=1)
     add_streaming_args(ps)
     ps.add_argument("--workers", type=_positive_int, default=1)
-    add_backend_args(ps)
+    add_backend_args(ps, distributed=True)
     ps.add_argument("--cache-dir", default=None)
     ps.add_argument("--verbose", action="store_true")
     ps.add_argument(
@@ -328,11 +360,48 @@ def build_parser() -> argparse.ArgumentParser:
         "(orphans from older grids) and leftover temp files",
     )
     pg.add_argument(
+        "--spool", default=None,
+        help="with --gc: also reap stale artifacts (expired claims, "
+        "dead-worker files, orphaned temp files) from this distributed "
+        "sweep spool directory",
+    )
+    pg.add_argument(
         "--workers", type=_positive_int, default=1,
         help="workers for loading the cache's point files "
         "(the summary is identical for any value)",
     )
     add_backend_args(pg)
+
+    pw = sub.add_parser(
+        "worker",
+        help="distributed sweep worker: claim and execute job files from "
+        "a shared spool directory until its stop sentinel appears",
+    )
+    pw.add_argument("spool", help="shared spool directory")
+    pw.add_argument(
+        "--poll-interval", type=_positive_float, default=0.2, metavar="S",
+        help="seconds between queue polls when idle (default 0.2)",
+    )
+    pw.add_argument(
+        "--lease", type=_positive_float, default=None, metavar="S",
+        help="claim heartbeat lease in seconds (default 30)",
+    )
+    pw.add_argument(
+        "--max-jobs", type=_positive_int, default=None, metavar="N",
+        help="exit after executing N jobs (default: run until stopped)",
+    )
+    pw.add_argument(
+        "--stop-when-idle", action="store_true",
+        help="exit when the queue drains instead of polling for more",
+    )
+    pw.add_argument(
+        "--stop", action="store_true",
+        help="write the stop sentinel (draining every worker) and exit",
+    )
+    pw.add_argument(
+        "--clear-stop", action="store_true",
+        help="remove a previously written stop sentinel and exit",
+    )
 
     pc = sub.add_parser(
         "scenarios",
@@ -345,6 +414,17 @@ def build_parser() -> argparse.ArgumentParser:
         "summaries (default 1.0)",
     )
     return parser
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for durations that must be > 0 (poll interval, lease)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value
 
 
 def _shape_scale(args) -> float:
@@ -408,6 +488,8 @@ def _run_sweep(args) -> int:
         progress=(lambda p: print(p.render())) if args.verbose else None,
         backend=args.backend,
         chunk_size=args.chunk_size,
+        spool=args.spool,
+        wait_workers=args.wait_workers or 0,
     )
     result = runner.run()
     if not args.verbose:
@@ -446,7 +528,7 @@ def _run_aggregate(args) -> int:
     cache = SweepCache(args.cache_dir)
     try:
         if args.gc:
-            removed = cache.gc()
+            removed = cache.gc(spool=args.spool)
             # stderr: stdout must stay parseable (tables / --json).
             print(
                 f"gc: removed {len(removed)} orphaned/temp file(s)",
@@ -534,6 +616,42 @@ def _run_compare(args, cache, summary, metrics, backend) -> int:
     else:
         print("spec diff: none (identical grids)\n")
     print(summary.render_compare_table(other, metrics=metrics))
+    return 0
+
+
+def _run_worker(args) -> int:
+    """``repro worker SPOOL``: same entrypoint as ``python -m repro.worker``."""
+    from repro.errors import ReproError
+    from repro.sim.distributed import (
+        DEFAULT_LEASE_S,
+        clear_stop,
+        request_stop,
+        run_worker,
+    )
+
+    try:
+        if args.stop:
+            request_stop(args.spool)
+            print(f"stop sentinel written to {args.spool}")
+            return 0
+        if args.clear_stop:
+            clear_stop(args.spool)
+            print(f"stop sentinel cleared from {args.spool}")
+            return 0
+        executed = run_worker(
+            args.spool,
+            poll_interval_s=args.poll_interval,
+            lease_s=args.lease if args.lease is not None else DEFAULT_LEASE_S,
+            max_jobs=args.max_jobs,
+            stop_when_idle=args.stop_when_idle,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 130
+    print(f"worker exiting after {executed} job(s)")
     return 0
 
 
@@ -636,6 +754,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sweep(args)
     elif args.command == "aggregate":
         return _run_aggregate(args)
+    elif args.command == "worker":
+        return _run_worker(args)
     elif args.command == "scenarios":
         from repro.scenarios import all_scenarios
 

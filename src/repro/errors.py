@@ -102,6 +102,23 @@ class WorkerTaskError(ExperimentError):
         return (type(self), (self.args[0], self.index))
 
 
+class SpoolError(ExperimentError):
+    """An error in the distributed sweep spool (job/claim/result protocol).
+
+    Raised by :mod:`repro.sim.distributed` for protocol violations the
+    caller must see: a spool directory written under a different schema
+    version, an undecodable job/result payload, or a coordinator that
+    waited past its deadline for live workers.  Transient races (a job
+    claimed by a faster worker, a result file not yet visible) are part
+    of normal operation and never raise.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        #: Filesystem path of the offending spool file, when known.
+        self.path = path
+
+
 class SweepExecutionError(ExperimentError):
     """A sweep point's evaluation failed.
 

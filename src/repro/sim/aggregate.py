@@ -59,6 +59,7 @@ import numpy as np
 
 from repro.errors import (
     CacheCorruptionError,
+    ConfigurationError,
     ExperimentError,
     SweepCacheError,
     WorkerTaskError,
@@ -644,6 +645,17 @@ class SweepSummary:
         """
         from repro.sim.sweep import SweepCache
 
+        # The distributed backend ships *sweep tasks* to remote workers;
+        # it cannot run arbitrary callables like ``cache.load``, and
+        # shipping local point-file reads through a spool would be
+        # nonsense anyway.  Reject it here with the real reason instead
+        # of letting its callable-identity guard produce a confusing
+        # message mid-load.
+        if getattr(backend, "name", None) == "distributed":
+            raise ConfigurationError(
+                "the distributed backend executes sweep tasks, not cache "
+                "loads; aggregate with the serial or thread backend"
+            )
         if not isinstance(cache, SweepCache):
             cache = SweepCache(cache)
         manifest = cache.manifest()

@@ -31,6 +31,20 @@ deterministic given its config), so it lives behind one interface:
     *chunking* ships batches of tasks per submission so the per-task
     pickling/dispatch overhead is amortised across each chunk.
 
+:class:`~repro.sim.distributed.DistributedBackend`
+    Sweep points run on worker processes on *other hosts*, coordinated
+    through a shared spool directory of atomically written job files
+    (claim-rename + heartbeat-lease protocol; see
+    :mod:`repro.sim.distributed`).  Each job pays a per-dispatch tax —
+    serialise, write, poll, read back — budgeted at
+    :data:`NETWORK_DISPATCH_TAX_S` (sized for NFS-style spools;
+    milliseconds on a local disk), so it beats processes
+    exactly when the fleet's extra cores outweigh that tax: expensive
+    points (≥ :data:`DISTRIBUTED_POINT_CUTOFF_S`) and more workers
+    than the coordinator has cores.  Only sweep tasks travel (the job
+    codec ships frozen configs, not pickled closures); generic maps
+    stay on the local backends.
+
 Failure contract (all backends)
 -------------------------------
 A task that raises does not poison its peers: the backend wraps the
@@ -84,6 +98,8 @@ __all__ = [
     "THREAD_AUTO_THRESHOLD",
     "PROCESS_SPAWN_TAX_S",
     "EXPENSIVE_POINT_CUTOFF_S",
+    "NETWORK_DISPATCH_TAX_S",
+    "DISTRIBUTED_POINT_CUTOFF_S",
     "auto_chunk_size",
     "auto_backend",
     "backend_from_name",
@@ -93,7 +109,8 @@ __all__ = [
 ]
 
 #: The names :func:`backend_from_name` accepts (the CLI adds ``auto``).
-BACKEND_NAMES = ("serial", "thread", "process")
+#: ``distributed`` additionally needs a spool directory.
+BACKEND_NAMES = ("serial", "thread", "process", "distributed")
 
 #: Pending sets at or below this size auto-route to :class:`ThreadBackend`
 #: *when no cost estimate says otherwise*: a spawn worker pays roughly an
@@ -111,6 +128,27 @@ PROCESS_SPAWN_TAX_S = 1.5
 #: outlasts its worker's spawn tax, and the GIL would serialise
 #: threads on pure-compute points anyway.
 EXPENSIVE_POINT_CUTOFF_S = 2.0
+
+#: Approximate per-*job* dispatch cost of the spool protocol (encode
+#: the tasks, atomic job write, worker claim-rename, result write,
+#: coordinator poll + decode), in seconds.  Calibrated the way
+#: :data:`PROCESS_SPAWN_TAX_S` was — measured by
+#: ``benchmarks/bench_sweep_distributed.py`` and persisted to
+#: ``BENCH_sweep_distributed.json``: the raw round-trip on a local
+#: filesystem measures ~0.002 s per job, but the constant is sized for
+#: the deployment the backend exists for — spools on *network*
+#: filesystems, where each step is an NFS round-trip and the
+#: coordinator's poll cadence rides on top.  Feeds the distributed
+#: ``auto_chunk_size``.
+NETWORK_DISPATCH_TAX_S = 0.05
+
+#: Expected per-point cost above which ``auto`` routes to the spool
+#: when one is configured.  Deliberately the same bar as
+#: :data:`EXPENSIVE_POINT_CUTOFF_S`: a point expensive enough that
+#: spawn processes beat threads is also expensive enough to dwarf the
+#: (much smaller) per-job dispatch tax, and cheap points are better
+#: served locally than shipped across a filesystem.
+DISTRIBUTED_POINT_CUTOFF_S = EXPENSIVE_POINT_CUTOFF_S
 
 
 def _wrap_failure(index: int, exc: BaseException) -> WorkerTaskError:
@@ -321,13 +359,16 @@ def backend_from_name(
     workers: int = 1,
     mp_context: str = "spawn",
     chunk_size: int | None = None,
+    spool=None,
+    wait_workers: int = 0,
 ) -> ExecutionBackend:
     """Build a backend from its CLI name.
 
-    ``chunk_size`` only shapes :class:`ProcessBackend` (serial and
-    thread execution have no per-process dispatch to amortise); passing
-    it with the other names is accepted and ignored so one CLI flag set
-    covers every backend choice.
+    ``chunk_size`` shapes :class:`ProcessBackend` and the distributed
+    backend (serial and thread execution have no per-dispatch cost to
+    amortise); ``spool``/``wait_workers`` configure ``distributed``
+    (a spool is required for it) and are ignored by the local names —
+    one CLI flag set covers every backend choice.
     """
     if name == "serial":
         return SerialBackend()
@@ -336,6 +377,19 @@ def backend_from_name(
     if name == "process":
         return ProcessBackend(
             workers, mp_context=mp_context, chunk_size=chunk_size or 1
+        )
+    if name == "distributed":
+        if spool is None:
+            raise ConfigurationError(
+                "the distributed backend needs a spool directory "
+                "(--spool DIR / spool=) shared with its workers"
+            )
+        # Late import: distributed layers on sweep, which imports this
+        # module — resolving it at call time keeps the layering acyclic.
+        from repro.sim.distributed import DistributedBackend
+
+        return DistributedBackend(
+            spool, chunk_size=chunk_size or 1, wait_workers=wait_workers
         )
     raise ConfigurationError(
         f"unknown execution backend {name!r} "
@@ -382,6 +436,8 @@ def resolve_backend(
     mp_context: str = "spawn",
     chunk_size: int | None = None,
     est_cost_s: float | None = None,
+    spool=None,
+    wait_workers: int = 0,
 ) -> ExecutionBackend:
     """Normalise a backend argument into an :class:`ExecutionBackend`.
 
@@ -389,7 +445,9 @@ def resolve_backend(
     accepted by :func:`backend_from_name`, or ``None``/``"auto"`` for
     the :func:`auto_backend` rule (``est_cost_s`` — the expected
     per-task cost — makes that rule cost-aware; it is ignored for
-    explicitly named backends).
+    explicitly named backends).  A ``spool`` makes ``auto`` consider
+    the distributed backend and is required for the explicit
+    ``"distributed"`` name.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -400,26 +458,39 @@ def resolve_backend(
             mp_context=mp_context,
             chunk_size=chunk_size,
             est_cost_s=est_cost_s,
+            spool=spool,
+            wait_workers=wait_workers,
         )
     return backend_from_name(
-        backend, workers=workers, mp_context=mp_context, chunk_size=chunk_size
+        backend,
+        workers=workers,
+        mp_context=mp_context,
+        chunk_size=chunk_size,
+        spool=spool,
+        wait_workers=wait_workers,
     )
 
 
-def auto_chunk_size(n_tasks: int, workers: int, est_cost_s: float) -> int:
-    """Points per process task that amortise the spawn tax.
+def auto_chunk_size(
+    n_tasks: int,
+    workers: int,
+    est_cost_s: float,
+    tax_s: float = PROCESS_SPAWN_TAX_S,
+) -> int:
+    """Points per task that amortise a per-dispatch tax.
 
     Cheap points are batched until one chunk's expected compute is at
-    least :data:`PROCESS_SPAWN_TAX_S`; chunks never exceed an even
-    ``n_tasks / workers`` split (bigger chunks would idle workers), and
-    expensive points keep one-point tasks for the finest-grained
-    failure/caching behaviour.
+    least ``tax_s`` (the spawn tax for process chunks, the much smaller
+    :data:`NETWORK_DISPATCH_TAX_S` for spool jobs); chunks never exceed
+    an even ``n_tasks / workers`` split (bigger chunks would idle
+    workers), and expensive points keep one-point tasks for the
+    finest-grained failure/caching behaviour.
     """
     if n_tasks < 1 or workers < 1:
         raise ConfigurationError("n_tasks and workers must be >= 1")
     if est_cost_s <= 0:
         return 1
-    amortising = int(-(-PROCESS_SPAWN_TAX_S // est_cost_s))  # ceil
+    amortising = int(-(-tax_s // est_cost_s))  # ceil
     even_split = int(-(-n_tasks // workers))
     return max(1, min(amortising, even_split))
 
@@ -430,6 +501,8 @@ def auto_backend(
     mp_context: str = "spawn",
     chunk_size: int | None = None,
     est_cost_s: float | None = None,
+    spool=None,
+    wait_workers: int = 0,
 ) -> ExecutionBackend:
     """The default backend rule (see the module docstring's guidance).
 
@@ -446,12 +519,37 @@ def auto_backend(
     small sets (≤ :data:`THREAD_AUTO_THRESHOLD`) on in-process threads,
     whose zero start-up cost beats spawn there; bigger sets on spawn
     processes.
+
+    With a ``spool`` configured, points expensive enough to amortise
+    the per-job dispatch tax (≥ :data:`DISTRIBUTED_POINT_CUTOFF_S`)
+    route to the spool's worker fleet instead of local processes —
+    the fleet's core count is unbounded where the local host's is not
+    — with a ``chunk_size`` amortising
+    :data:`NETWORK_DISPATCH_TAX_S` per job.  Cheap points never
+    travel: their dispatch tax would rival their compute, so they keep
+    the local thread/process rule even when a spool is offered.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if est_cost_s is not None and est_cost_s < 0:
         raise ConfigurationError(
             f"est_cost_s must be >= 0, got {est_cost_s}"
+        )
+    if spool is not None and (
+        n_tasks > 1
+        and est_cost_s is not None
+        and est_cost_s >= DISTRIBUTED_POINT_CUTOFF_S
+    ):
+        from repro.sim.distributed import DistributedBackend
+
+        fleet = max(workers, wait_workers, 1)
+        return DistributedBackend(
+            spool,
+            chunk_size=chunk_size
+            or auto_chunk_size(
+                n_tasks, fleet, est_cost_s, tax_s=NETWORK_DISPATCH_TAX_S
+            ),
+            wait_workers=wait_workers,
         )
     if workers == 1 or n_tasks <= 1:
         return SerialBackend()

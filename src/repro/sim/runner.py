@@ -39,7 +39,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.baselines.policies import PCSPolicy, Policy
+from repro.baselines.policies import PCSPolicy, Policy, routing_kernel_for
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import NodeCapacity
 from repro.errors import ExperimentError
@@ -224,6 +224,14 @@ class PolicyResult:
     #: before this field existed — and a streamed result can never be
     #: mistaken for an exact one.
     summary_mode: Optional[str] = None
+    #: Chunking provenance: ``True`` when ``chunk_requests`` was set
+    #: but this policy's routing kernel cannot chunk (redundancy /
+    #: reissue / hedging carry cross-request duplicate state), so the
+    #: run silently took the monolithic pass.  Serialised only when
+    #: set — same digest-stability pattern as :attr:`summary_mode` —
+    #: and surfaced by :meth:`render` so the fallback is visible in
+    #: sweep/quick output instead of saying nothing.
+    chunk_fallback: bool = False
 
     @property
     def component_p99_s(self) -> float:
@@ -237,12 +245,15 @@ class PolicyResult:
 
     def render(self) -> str:
         """One line in a Fig. 6-style table."""
-        return (
+        line = (
             f"{self.policy_name:>7s} @ {self.arrival_rate:7.1f} req/s | "
             f"component p99 = {self.component_p99_s * 1e3:8.2f} ms | "
             f"overall mean = {self.overall_mean_s * 1e3:8.2f} ms | "
             f"migrations = {self.n_migrations}"
         )
+        if self.chunk_fallback:
+            line += " | chunking: monolithic fallback"
+        return line
 
     def metrics_dict(self) -> dict:
         """Every *deterministic* field — :meth:`to_dict` minus the
@@ -284,6 +295,11 @@ class PolicyResult:
             # Only serialised for streamed runs — same pattern as
             # per_class, for the same digest-stability reason.
             d["summary_mode"] = self.summary_mode
+        if self.chunk_fallback:
+            # Only serialised when the fallback actually engaged, so
+            # every pre-existing cache entry and golden pin is
+            # byte-identical to before this field existed.
+            d["chunk_fallback"] = True
         return d
 
     @classmethod
@@ -317,6 +333,7 @@ class PolicyResult:
                 if d.get("summary_mode") is None
                 else str(d["summary_mode"])
             ),
+            chunk_fallback=bool(d.get("chunk_fallback", False)),
         )
 
 
@@ -351,6 +368,10 @@ class RunState:
     #: "streaming" — the config's "auto" is resolved in setup from the
     #: expected per-interval request count).
     summary_mode: str = "exact"
+    #: ``chunk_requests`` was requested but this policy's routing
+    #: kernel cannot chunk, so intervals run the monolithic pass
+    #: (recorded on the result as provenance).
+    chunk_fallback: bool = False
     #: Exact mode: every sample flows through these store-everything
     #: accumulators (bit-identical to the historical pool+summarize).
     component_acc: LatencyAccumulator = field(default_factory=LatencyAccumulator)
@@ -540,6 +561,13 @@ class ExperimentRunner:
             classes=classes,
             rate_multipliers=multipliers,
             summary_mode=summary_mode,
+            # Chunking was asked for but this policy's kernel cannot
+            # honour it (queue_sim takes the monolithic pass); record
+            # the fallback so results say so instead of nothing.
+            chunk_fallback=(
+                cfg.chunk_requests is not None
+                and not routing_kernel_for(policy).supports_chunking
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -692,6 +720,7 @@ class ExperimentRunner:
             wall_time_s=time.perf_counter() - state.t_wall,
             per_class=per_class,
             summary_mode="streaming" if streaming else None,
+            chunk_fallback=state.chunk_fallback,
         )
 
     # ------------------------------------------------------------------

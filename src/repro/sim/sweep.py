@@ -55,6 +55,22 @@ how pending points execute; results are identical for every choice.
     the right trade for many expensive points on multi-core hosts.
     ``chunk_size=k`` (CLI ``--chunk-size``) ships batches of ``k``
     points per task so that start-up cost is amortised per chunk.
+``distributed``
+    Points run on worker processes pulled from a shared spool
+    directory (CLI ``--spool DIR``; start workers with ``python -m
+    repro.worker DIR``), which may sit on other hosts behind a shared
+    filesystem — see :mod:`repro.sim.distributed` for the claim/lease
+    protocol.  It beats ``process`` when the fleet has more cores than
+    the coordinator and points are expensive enough to amortise the
+    per-job dispatch tax (~:data:`repro.sim.backends.
+    NETWORK_DISPATCH_TAX_S` per job); ``auto`` applies exactly that
+    rule when a spool is configured.  Resume interacts with the spool
+    only through this cache: workers never touch ``SweepCache`` —
+    results travel back through the spool and the **coordinator**
+    persists them — so an interrupted distributed sweep resumes from
+    the same cache files as any other backend, and stale spool
+    artifacts are mere garbage (reaped by :meth:`SweepCache.gc`
+    ``spool=``), never stale results.
 
 The default (``backend=None`` / CLI ``auto``) applies exactly that
 guidance, **cost-aware**: serial for one worker or one pending point;
@@ -681,7 +697,7 @@ class SweepCache:
             theirs = other
         return _config_diff(mine["spec"], theirs["spec"])
 
-    def gc(self) -> List[Path]:
+    def gc(self, spool=None, spool_lease_s: Optional[float] = None) -> List[Path]:
         """Remove point files not named by the manifest, plus temp
         files abandoned by dead writers; returns the removed paths.
 
@@ -691,6 +707,15 @@ class SweepCache:
         named ``*.tmp-<pid>``; one whose writer pid is still alive is
         an in-flight atomic write by a concurrent sweep and is left
         alone (deleting it would crash that writer's rename).
+
+        With ``spool`` (a directory path or
+        :class:`~repro.sim.distributed.SweepSpool`), stale *spool*
+        artifacts are reaped too — expired claim files, dead-worker
+        presence files, and orphaned ``tmp-`` job/result files — under
+        the same live-pid-spared rule; ``spool_lease_s`` overrides the
+        heartbeat lease the claim-expiry check uses.  Run spool gc on
+        idle spools (see :meth:`SweepSpool.gc <repro.sim.distributed.
+        SweepSpool.gc>`).
         """
         manifest = self.manifest()
         if manifest is None:
@@ -711,6 +736,20 @@ class SweepCache:
                 continue
             path.unlink(missing_ok=True)
             removed.append(path)
+        if spool is not None:
+            from repro.sim.distributed import DEFAULT_LEASE_S, SweepSpool
+
+            if not isinstance(spool, SweepSpool):
+                spool = SweepSpool(spool)
+            removed.extend(
+                spool.gc(
+                    lease_s=(
+                        DEFAULT_LEASE_S
+                        if spool_lease_s is None
+                        else spool_lease_s
+                    )
+                )
+            )
         return removed
 
     def __len__(self) -> int:
@@ -1020,6 +1059,13 @@ class ParallelSweepRunner:
         Points shipped per process task (process backend only), so a
         spawn worker amortises its interpreter + numpy import over a
         whole chunk.  Default: one point per task.
+    spool:
+        Shared spool directory for the distributed backend (required
+        with ``backend="distributed"``; offered to ``auto``, which
+        routes expensive grids there — see the module docstring).
+    wait_workers:
+        Distributed only: block until this many live spool workers are
+        registered before dispatching jobs.
     """
 
     def __init__(
@@ -1031,6 +1077,8 @@ class ParallelSweepRunner:
         mp_context: str = "spawn",
         backend: Union[str, ExecutionBackend, None] = None,
         chunk_size: Optional[int] = None,
+        spool: Union[str, Path, None] = None,
+        wait_workers: int = 0,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -1047,6 +1095,15 @@ class ParallelSweepRunner:
                 f"unknown execution backend {backend!r} (expected auto, "
                 f"{', '.join(BACKEND_NAMES)}, or an ExecutionBackend)"
             )
+        if backend == "distributed" and spool is None:
+            raise ConfigurationError(
+                "backend='distributed' needs a spool directory (spool=/"
+                "--spool DIR) shared with its workers"
+            )
+        if wait_workers < 0:
+            raise ConfigurationError(
+                f"wait_workers must be >= 0, got {wait_workers}"
+            )
         self.spec = spec
         self.workers = workers
         if cache is not None and not isinstance(cache, SweepCache):
@@ -1056,6 +1113,8 @@ class ParallelSweepRunner:
         self.mp_context = mp_context
         self.backend = backend
         self.chunk_size = chunk_size
+        self.spool = spool
+        self.wait_workers = wait_workers
 
     # -- internals ------------------------------------------------------
     def _emit(
@@ -1112,6 +1171,8 @@ class ParallelSweepRunner:
             mp_context=self.mp_context,
             chunk_size=self.chunk_size,
             est_cost_s=self._estimate_point_cost(cached),
+            spool=self.spool,
+            wait_workers=self.wait_workers,
         )
 
     # -- public API -----------------------------------------------------

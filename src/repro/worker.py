@@ -1,0 +1,130 @@
+"""``python -m repro.worker SPOOL`` — a distributed sweep worker.
+
+Starts the pull-and-execute loop of
+:func:`repro.sim.distributed.run_worker` against a shared spool
+directory (see :mod:`repro.sim.distributed` for the protocol).  The
+worker loops until the spool's ``stop`` sentinel appears; ``--stop``
+writes that sentinel (and exits) so a fleet can be drained with one
+command:
+
+.. code-block:: bash
+
+    python -m repro.worker /mnt/sweeps/spool &     # on each host
+    python -m repro sweep --backend distributed \\
+        --spool /mnt/sweeps/spool --wait-workers 2 ...
+    python -m repro.worker /mnt/sweeps/spool --stop
+
+``repro worker`` (the CLI subcommand) is the same entrypoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["build_parser", "main"]
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.worker",
+        description=(
+            "Distributed sweep worker: claims job files from a shared "
+            "spool directory, executes the sweep points, writes results "
+            "back, and loops until the spool's stop sentinel appears."
+        ),
+    )
+    parser.add_argument("spool", help="shared spool directory")
+    parser.add_argument(
+        "--poll-interval",
+        type=_positive_float,
+        default=0.2,
+        metavar="S",
+        help="seconds between queue polls when idle (default 0.2)",
+    )
+    parser.add_argument(
+        "--lease",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="claim heartbeat lease in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="exit after executing N jobs (default: run until stopped)",
+    )
+    parser.add_argument(
+        "--stop-when-idle",
+        action="store_true",
+        help="exit when the queue drains instead of polling for more",
+    )
+    parser.add_argument(
+        "--stop",
+        action="store_true",
+        help="write the stop sentinel (draining every worker) and exit",
+    )
+    parser.add_argument(
+        "--clear-stop",
+        action="store_true",
+        help="remove a previously written stop sentinel and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Import after argparse so ``--help`` stays instant.
+    from repro.sim.distributed import (
+        DEFAULT_LEASE_S,
+        clear_stop,
+        request_stop,
+        run_worker,
+    )
+
+    try:
+        if args.stop:
+            request_stop(args.spool)
+            print(f"stop sentinel written to {args.spool}")
+            return 0
+        if args.clear_stop:
+            clear_stop(args.spool)
+            print(f"stop sentinel cleared from {args.spool}")
+            return 0
+        executed = run_worker(
+            args.spool,
+            poll_interval_s=args.poll_interval,
+            lease_s=args.lease if args.lease is not None else DEFAULT_LEASE_S,
+            max_jobs=args.max_jobs,
+            stop_when_idle=args.stop_when_idle,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    except KeyboardInterrupt:
+        print("worker interrupted")
+        return 130
+    print(f"worker exiting after {executed} job(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

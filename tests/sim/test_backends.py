@@ -134,8 +134,11 @@ class TestChunked:
 
 class TestFactories:
     @pytest.mark.parametrize("name", BACKEND_NAMES)
-    def test_names_resolve(self, name):
-        backend = backend_from_name(name, workers=2)
+    def test_names_resolve(self, name, tmp_path):
+        # The distributed backend is the one name that cannot resolve
+        # without a spool directory; everything else ignores the kwarg.
+        spool = tmp_path / "spool" if name == "distributed" else None
+        backend = backend_from_name(name, workers=2, spool=spool)
         assert isinstance(backend, ExecutionBackend)
         assert backend.name == name
 

@@ -92,8 +92,9 @@ class TestChunkedRunnerBitIdentity:
 
 
 class TestMonolithicFallback:
-    """Chunk-incapable kernels (redundancy, reissue) silently fall back
-    to the exact single pass — same results, chunk size or not."""
+    """Chunk-incapable kernels (redundancy, reissue) fall back to the
+    exact single pass — same results, chunk size or not — and record
+    that they did via the ``chunk_fallback`` provenance flag."""
 
     @pytest.mark.parametrize(
         "policy", [REDPolicy(replicas=2), ReissuePolicy(quantile=0.9)],
@@ -102,7 +103,30 @@ class TestMonolithicFallback:
     def test_fallback_bit_identical(self, policy):
         base = _run("nutch-search", policy=policy)
         chunked = _run("nutch-search", policy=policy, chunk_requests=5)
-        assert chunked.metrics_dict() == base.metrics_dict()
+        # The fallback engaged and says so; everything *measured* is
+        # still bit-identical to the unchunked run.
+        assert chunked.chunk_fallback is True
+        assert base.chunk_fallback is False
+        stripped = chunked.metrics_dict()
+        assert stripped.pop("chunk_fallback") is True
+        assert stripped == base.metrics_dict()
+
+    def test_fallback_flag_round_trips_and_renders(self):
+        chunked = _run(
+            "nutch-search", policy=REDPolicy(replicas=2), chunk_requests=5
+        )
+        again = PolicyResult.from_dict(chunked.to_dict())
+        assert again.chunk_fallback is True
+        assert "chunking: monolithic fallback" in chunked.render()
+
+    def test_chunk_capable_run_omits_the_key(self):
+        # Digest stability: the key only exists when the fallback
+        # engaged, so chunk-capable runs (and old cache entries)
+        # serialise exactly as before the field existed.
+        chunked = _run("nutch-search", chunk_requests=7)
+        assert chunked.chunk_fallback is False
+        assert "chunk_fallback" not in chunked.to_dict()
+        assert "chunking" not in chunked.render()
 
 
 def _topology():
