@@ -1,0 +1,112 @@
+"""Benchmark: live control loop vs batch replay on fanout-feed.
+
+The control-plane refactor routes *both* execution modes through one
+:class:`~repro.controlplane.loop.ControlLoop` body; this benchmark
+records what the live mode costs on top of the replay:
+
+- **batch replay** — ``ExperimentRunner.run`` (a ControlLoop on a
+  :class:`~repro.controlplane.clock.VirtualClock`, exact summaries, a
+  decision between windows);
+- **live loop** — the same seeded world with ``live=True`` on a
+  heavily dilated :class:`~repro.controlplane.clock.WallClock`
+  (streaming summaries, a decision after *every* window, rolling
+  gauges, bounded history) — the hot path of ``repro serve`` with the
+  pacing cost made negligible by dilation.
+
+Recorded in ``BENCH_serve_loop.json``: windows/second for both modes
+and the live mode's mean/max per-window decision latency (the
+monitor→predict→decide→act pass a real deployment would pay between
+windows).
+"""
+
+import time
+
+from recording import record_benchmark
+from repro.controlplane.clock import WallClock
+from repro.controlplane.loop import ControlLoop
+from repro.experiments.fig6 import paper_pcs_policy
+from repro.scenarios import get_scenario
+from repro.sim.runner import ExperimentRunner
+
+N_WINDOWS = 24
+_CONFIG = {
+    "scenario": "fanout-feed",
+    "policy": "PCS",
+    "n_nodes": 8,
+    "arrival_rate": 40.0,
+    "window_s": 8.0,
+    "n_windows": N_WINDOWS,
+    "scale": 0.5,
+    "trace_profile": "burst",
+    "dilation": 1e6,
+}
+
+
+def _runner(summary_mode):
+    spec = get_scenario("fanout-feed")
+    return ExperimentRunner(
+        spec.runner_config(
+            n_nodes=8, arrival_rate=40.0, interval_s=8.0,
+            n_intervals=N_WINDOWS, warmup_intervals=0, seed=0,
+            n_profiling_conditions=8, scale=0.5, trace_profile="burst",
+            summary_mode=summary_mode,
+        )
+    )
+
+
+def test_serve_loop(capsys):
+    # Batch replay: the facade path (VirtualClock, exact summaries).
+    runner = _runner("exact")
+    t0 = time.perf_counter()
+    result = runner.run(paper_pcs_policy())
+    wall_batch = time.perf_counter() - t0
+    assert result.n_requests > 0
+
+    # Live loop: same seeded world, decisions after every window, on a
+    # wall clock dilated hard enough that pacing costs ~nothing.
+    runner = _runner("streaming")
+    state = runner.setup(paper_pcs_policy())
+    clock = WallClock(
+        origin=runner.config.churn_prewarm_s, dilation=_CONFIG["dilation"]
+    )
+    loop = ControlLoop(
+        runner, state, clock=clock, live=True, history_limit=N_WINDOWS,
+    )
+    latencies = []
+    t0 = time.perf_counter()
+    for window in range(N_WINDOWS):
+        loop.run_window(window)
+        latencies.append(loop.last_decision_latency_s)
+    wall_live = time.perf_counter() - t0
+    assert loop.decide.n_decisions == N_WINDOWS
+    assert all(lat is not None for lat in latencies)
+
+    batch_wps = N_WINDOWS / wall_batch
+    live_wps = N_WINDOWS / wall_live
+    mean_decision = sum(latencies) / len(latencies)
+    max_decision = max(latencies)
+    # The live loop must stay within the paper's online budget: the
+    # decision pass is a small fraction of an 8 s window.
+    assert max_decision < runner.config.interval_s
+
+    record_benchmark(
+        "serve_loop",
+        {
+            "batch_wall_s": wall_batch,
+            "live_wall_s": wall_live,
+            "batch_windows_per_s": batch_wps,
+            "live_windows_per_s": live_wps,
+            "live_over_batch_wall": wall_live / wall_batch,
+            "decision_latency_mean_s": mean_decision,
+            "decision_latency_max_s": max_decision,
+        },
+        config={**_CONFIG, "n_requests_live": int(state.n_requests)},
+    )
+    with capsys.disabled():
+        print(
+            f"\n[serve-loop] {N_WINDOWS} windows: "
+            f"batch {batch_wps:.1f} w/s, live {live_wps:.1f} w/s "
+            f"({wall_live / wall_batch:.2f}x batch wall); "
+            f"decision latency mean {mean_decision * 1e3:.1f} ms, "
+            f"max {max_decision * 1e3:.1f} ms"
+        )

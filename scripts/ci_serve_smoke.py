@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""CI smoke for the live control plane (`repro serve`).
+
+Boots the service as a real subprocess on an ephemeral port, then
+drives the whole advertised lifecycle over HTTP:
+
+1. poll ``/status`` until the world is warm and at least one live PCS
+   decision has fired under the burst trace;
+2. poll ``/metrics`` until the Prometheus latency gauges appear;
+3. POST a background sweep to ``/sweeps`` and drain it to ``done``;
+4. POST ``/shutdown`` and require a clean exit (code 0, no orphan
+   process left behind).
+
+Exits non-zero (with the captured server log) on any missed step, so
+the tier-2 CI job fails loudly.  Stdlib only.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+BOOT_TIMEOUT_S = 120.0
+DECISION_TIMEOUT_S = 180.0
+SWEEP_TIMEOUT_S = 300.0
+SHUTDOWN_TIMEOUT_S = 30.0
+
+SERVE_ARGS = [
+    sys.executable, "-m", "repro", "serve",
+    "--scenario", "fanout-feed",
+    "--policy", "PCS",
+    "--trace-profile", "burst",
+    "--rate", "25",
+    "--window-s", "4",
+    "--dilation", "50",
+    "--profiling-conditions", "6",
+    "--shape-scale", "0.2",
+    "--nodes", "6",
+    "--port", "0",
+]
+
+SWEEP_REQUEST = {
+    "scenario": "fanout-feed",
+    "policies": ["Basic", "PCS"],
+    "rates": [20.0],
+    "seeds": [0],
+    "intervals": 2,
+    "warmup_intervals": 0,
+    "window_s": 4.0,
+    "scale": 0.2,
+    "n_nodes": 6,
+}
+
+
+def get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        return resp.read().decode()
+
+
+def post(base, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else b""
+    request = urllib.request.Request(base + path, data=data, method="POST")
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.read().decode()
+
+
+def wait_for(label, deadline_s, predicate):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value is not None:
+            print(f"ok: {label}")
+            return value
+        time.sleep(0.5)
+    raise SystemExit(f"FAIL: timed out waiting for {label}")
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        SERVE_ARGS,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        announce = proc.stdout.readline()
+        print("serve:", announce.strip())
+        match = re.search(r"http://[\d.]+:(\d+)", announce)
+        if not match:
+            raise SystemExit(f"FAIL: no listening address in {announce!r}")
+        base = f"http://127.0.0.1:{match.group(1)}"
+
+        def warm():
+            status = json.loads(get(base, "/status"))
+            loop = status.get("loop") or {}
+            if status["status"] == "failed":
+                raise SystemExit(f"FAIL: serve failed: {status.get('error')}")
+            if loop.get("n_decisions", 0) >= 1 and loop.get("n_requests", 0) > 0:
+                return status
+            return None
+
+        status = wait_for(
+            "live loop running with >= 1 PCS decision",
+            max(BOOT_TIMEOUT_S, DECISION_TIMEOUT_S), warm,
+        )
+        print(
+            "  windows={windows_completed} decisions={n_decisions} "
+            "migrations={n_migrations}".format(**status["loop"])
+        )
+
+        def gauges():
+            metrics = get(base, "/metrics")
+            wanted = (
+                "pcs_window_p99_seconds", "pcs_window_mean_seconds",
+                "pcs_decisions_total",
+            )
+            return metrics if all(g in metrics for g in wanted) else None
+
+        wait_for("latency gauges on /metrics", 60.0, gauges)
+
+        scenarios = json.loads(get(base, "/scenarios"))["scenarios"]
+        assert any(s["name"] == "fanout-feed" for s in scenarios)
+        print(f"ok: /scenarios lists {len(scenarios)} scenarios")
+
+        job = json.loads(post(base, "/sweeps", SWEEP_REQUEST))
+        print(f"ok: sweep {job['id']} started ({job['total']} points)")
+
+        def drained():
+            jobs = json.loads(get(base, "/sweeps"))["sweeps"]
+            state = next(j for j in jobs if j["id"] == job["id"])
+            if state["status"] == "done":
+                return state
+            if state["status"] in ("failed", "stopped"):
+                raise SystemExit(f"FAIL: sweep ended {state}")
+            return None
+
+        state = wait_for("background sweep drained", SWEEP_TIMEOUT_S, drained)
+        for line in state["results"]:
+            print("  ", line)
+
+        print(post(base, "/shutdown").strip())
+        code = proc.wait(timeout=SHUTDOWN_TIMEOUT_S)
+        if code != 0:
+            raise SystemExit(f"FAIL: serve exited {code}")
+        print("ok: clean shutdown (exit 0, no orphans)")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+            print("WARN: serve process had to be killed", file=sys.stderr)
+        tail = proc.stdout.read()
+        if tail:
+            print("--- serve log tail ---")
+            print(tail)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -413,6 +413,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="shape multiplier applied to the printed topology "
         "summaries (default 1.0)",
     )
+
+    pv = sub.add_parser(
+        "serve",
+        help="live control-plane service: an open-loop arrival stream "
+        "with PCS decisions between windows and an HTTP control "
+        "surface (/status, /scenarios, /metrics, /sweeps, /shutdown)",
+    )
+    pv.add_argument(
+        "--scenario", default="fanout-feed",
+        help="registered scenario to serve (default fanout-feed)",
+    )
+    pv.add_argument(
+        "--policy", default="PCS",
+        help="policy name: Basic, RED-k, RI-p, Hedge[-ms], PCS "
+        "(default PCS)",
+    )
+    pv.add_argument(
+        "--rate", type=_positive_float, default=40.0, metavar="REQ_S",
+        help="mean arrival rate of the open-loop stream (default 40)",
+    )
+    pv.add_argument(
+        "--window-s", type=_positive_float, default=8.0, metavar="S",
+        help="monitoring/decision window length in sim seconds "
+        "(default 8)",
+    )
+    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument(
+        "--trace-profile", default="burst",
+        choices=["stationary", "diurnal", "burst", "flash-crowd"],
+        help="arrival profile replayed cyclically (default burst)",
+    )
+    pv.add_argument(
+        "--trace-cycle", type=_positive_int, default=12, metavar="N",
+        help="profile cycle length in windows (default 12)",
+    )
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument(
+        "--port", type=int, default=8092,
+        help="control-surface port; 0 binds an ephemeral one "
+        "(default 8092)",
+    )
+    pv.add_argument(
+        "--dilation", type=_positive_float, default=1.0, metavar="X",
+        help="sim seconds per wall second — >1 fast-forwards the live "
+        "world (default 1.0, real time)",
+    )
+    pv.add_argument(
+        "--max-windows", type=_positive_int, default=None, metavar="N",
+        help="stop the stream after N windows (default: until "
+        "/shutdown)",
+    )
+    pv.add_argument(
+        "--retrain-every", type=int, default=0, metavar="N",
+        help="refit the Eq. 1 predictor every N windows on rolling "
+        "monitor data (default 0 = off)",
+    )
+    pv.add_argument(
+        "--profiling-conditions", type=_positive_int, default=12,
+        metavar="N",
+        help="initial profiling campaign size (default 12; the batch "
+        "default of 60 is slow to warm)",
+    )
+    pv.add_argument(
+        "--nodes", type=_positive_int, default=None, metavar="N",
+        help="cluster size override (default: scenario default)",
+    )
+    pv.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="shared spool directory offered to POSTed distributed "
+        "sweeps",
+    )
+    pv.add_argument(
+        "--shape-scale", type=float, default=None, dest="shape_scale",
+        help="scenario shape multiplier (default 1.0)",
+    )
     return parser
 
 
@@ -500,6 +575,38 @@ def _run_sweep(args) -> int:
         print()
         print(result.summary().render_table())
     return 0
+
+
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.controlplane.service import LiveControlPlane, ServeConfig
+
+    config = ServeConfig(
+        scenario=args.scenario,
+        policy=args.policy,
+        arrival_rate=args.rate,
+        window_s=args.window_s,
+        seed=args.seed,
+        trace_profile=args.trace_profile,
+        trace_cycle=args.trace_cycle,
+        host=args.host,
+        port=args.port,
+        dilation=args.dilation,
+        max_windows=args.max_windows,
+        retrain_every=args.retrain_every,
+        n_profiling_conditions=args.profiling_conditions,
+        n_nodes=args.nodes,
+        spool=args.spool,
+        scale=_shape_scale(args),
+    )
+    plane = LiveControlPlane(
+        config, announce=lambda line: print(line, flush=True)
+    )
+    try:
+        return asyncio.run(plane.run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _run_aggregate(args) -> int:
@@ -764,6 +871,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(spec.describe(cfg))
             if spec.tags:
                 print(f"    tags: {', '.join(spec.tags)}")
+    elif args.command == "serve":
+        return _run_serve(args)
     return 0
 
 

@@ -80,6 +80,19 @@ class ExperimentError(ReproError):
     """A failure while driving one of the paper's experiments."""
 
 
+class ControlPlaneError(ExperimentError):
+    """An error in the control-plane loop or the live service mode.
+
+    Raised by :mod:`repro.controlplane` for contract violations the
+    caller must see: driving a window whose clock cannot reach it, a
+    live-mode sweep request naming an unknown scenario or policy, or a
+    control-surface shutdown race.  Derives from
+    :class:`ExperimentError` because the control loop *is* the
+    experiment loop — existing ``except ExperimentError`` call sites
+    keep working.
+    """
+
+
 class WorkerTaskError(ExperimentError):
     """A task shipped to an execution backend raised inside its worker.
 

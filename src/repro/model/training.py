@@ -29,16 +29,33 @@ __all__ = [
 
 
 class TrainingSet:
-    """Accumulated (contention vector, observed service time) pairs."""
+    """Accumulated (contention vector, observed service time) pairs.
 
-    def __init__(self) -> None:
+    ``max_samples`` turns the set into a bounded rolling window: once
+    full, each :meth:`add` evicts the oldest pair.  The live control
+    plane's predict phase retrains on such a window so a long-running
+    service tracks contention drift with O(window) memory; the default
+    (``None``, unbounded) is the batch profiling pipeline's behaviour,
+    unchanged.
+    """
+
+    def __init__(self, max_samples: Optional[int] = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ModelError(
+                f"max_samples must be >= 1 or None, got {max_samples}"
+            )
+        self.max_samples = max_samples
         self._u: List[np.ndarray] = []
         self._x: List[float] = []
 
     def add(self, contention: ResourceVector, service_time: float) -> None:
-        """Record one profiling observation."""
+        """Record one profiling observation (evicting the oldest when
+        the rolling window is full)."""
         if service_time <= 0:
             raise ModelError(f"service time must be positive, got {service_time}")
+        if self.max_samples is not None and len(self._x) >= self.max_samples:
+            drop = len(self._x) - self.max_samples + 1
+            del self._u[:drop], self._x[:drop]
         self._u.append(contention.as_array().copy())
         self._x.append(float(service_time))
 

@@ -23,7 +23,11 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import ResourceVector
 from repro.errors import MonitoringError
-from repro.monitoring.samples import ContentionSample, SampleWindow
+from repro.monitoring.samples import (
+    ContentionSample,
+    FrozenSampleWindow,
+    SampleWindow,
+)
 from repro.service.component import Component
 from repro.simcore.engine import SimulationEngine
 
@@ -212,6 +216,19 @@ class OnlineMonitor:
                 f"no samples for {component.name}; monitor not attached?"
             )
         return window.mean()
+
+    def snapshot(self) -> Dict[str, FrozenSampleWindow]:
+        """Frozen point-in-time views of every component's window.
+
+        The control loop's monitor phase hands this across the phase
+        boundary instead of the live :attr:`windows`, so a decision is
+        always made against a consistent set of readings: samples
+        recorded (or windows cleared) after the snapshot never mutate
+        a view already taken.
+        """
+        return {
+            name: window.freeze() for name, window in self.windows.items()
+        }
 
     def reset_windows(self) -> None:
         """Clear all windows at a scheduling-interval boundary."""

@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster.resources import ResourceVector
 from repro.errors import MonitoringError
 
-__all__ = ["ContentionSample", "SampleWindow"]
+__all__ = ["ContentionSample", "FrozenSampleWindow", "SampleWindow"]
 
 
 @dataclass(frozen=True)
@@ -25,6 +25,50 @@ class ContentionSample:
     time: float
     vector: ResourceVector
     cache_valid: bool = True
+
+
+def _cadence_aware_mean(samples) -> ResourceVector:
+    """Mean contention vector weighting the two cadences correctly."""
+    if not samples:
+        raise MonitoringError("cannot average an empty sample window")
+    arr = np.stack([s.vector.as_array() for s in samples])
+    mean = arr.mean(axis=0)
+    fresh = [s for s in samples if s.cache_valid]
+    if fresh:
+        mean[1] = float(np.mean([s.vector.cache_mpki for s in fresh]))
+    return ResourceVector(*np.maximum(mean, 0.0))
+
+
+@dataclass(frozen=True)
+class FrozenSampleWindow:
+    """An immutable point-in-time view of one component's window.
+
+    Produced by :meth:`SampleWindow.freeze` (and, for whole monitors,
+    :meth:`~repro.monitoring.monitor.OnlineMonitor.snapshot`) so the
+    control loop can hand a window across a phase boundary without
+    aliasing the live, still-appending state: observations recorded
+    after the freeze never appear in a frozen view.
+    """
+
+    samples: Tuple[ContentionSample, ...]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the window held no samples at freeze time."""
+        return not self.samples
+
+    def mean(self) -> ResourceVector:
+        """Cadence-aware mean contention vector over the frozen view."""
+        return _cadence_aware_mean(self.samples)
+
+    def last(self) -> ContentionSample:
+        """Most recent sample at freeze time."""
+        if not self.samples:
+            raise MonitoringError("sample window is empty")
+        return self.samples[-1]
 
 
 class SampleWindow:
@@ -61,16 +105,16 @@ class SampleWindow:
 
     def mean(self) -> ResourceVector:
         """Cadence-aware mean contention vector over the window."""
-        if not self._samples:
-            raise MonitoringError("cannot average an empty sample window")
-        arr = np.stack([s.vector.as_array() for s in self._samples])
-        mean = arr.mean(axis=0)
-        fresh = [s for s in self._samples if s.cache_valid]
-        if fresh:
-            mean[1] = float(
-                np.mean([s.vector.cache_mpki for s in fresh])
-            )
-        return ResourceVector(*np.maximum(mean, 0.0))
+        return _cadence_aware_mean(self._samples)
+
+    def freeze(self) -> FrozenSampleWindow:
+        """An immutable view of the samples recorded so far.
+
+        ``ContentionSample`` is a frozen dataclass, so sharing the
+        sample objects is safe; the tuple decouples the view from any
+        later :meth:`append` or :meth:`clear`.
+        """
+        return FrozenSampleWindow(samples=tuple(self._samples))
 
     def last(self) -> ContentionSample:
         """Most recent sample."""

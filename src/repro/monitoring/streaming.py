@@ -19,13 +19,14 @@ property-tested against exact NumPy computations.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from collections import deque
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import MonitoringError
 
-__all__ = ["StreamingMoments", "P2Quantile"]
+__all__ = ["StreamingMoments", "P2Quantile", "RollingGauge"]
 
 
 class StreamingMoments:
@@ -224,3 +225,88 @@ class P2Quantile:
                 np.percentile(self._heights, self.q * 100.0, method="higher")
             )
         return self._heights[2]
+
+
+class RollingGauge:
+    """Latency gauges over a rolling horizon of scheduling windows.
+
+    The live control plane's monitor phase feeds one ``(p99, mean, n)``
+    record per completed window.  The gauge keeps the last ``horizon``
+    records exactly (the rolling window a dashboard reads) plus two
+    constant-memory cumulative estimators over the whole stream: a
+    :class:`P2Quantile` of the per-window p99 series — the incremental
+    tail-of-tails a long-running service exposes without ever buffering
+    raw latencies — and :class:`StreamingMoments` of the per-window
+    means.  Deterministic, RNG-free, and never consulted by the batch
+    replay path (bit-identity there is untouched).
+    """
+
+    def __init__(self, horizon: int = 60, q: float = 0.99) -> None:
+        if horizon < 1:
+            raise MonitoringError(f"horizon must be >= 1, got {horizon}")
+        self.horizon = int(horizon)
+        self._records: deque = deque(maxlen=self.horizon)
+        self._p99_tail = P2Quantile(q)
+        self._mean_moments = StreamingMoments()
+        self._total_requests = 0
+        self._windows = 0
+
+    def observe_window(self, p99: float, mean: float, n: int) -> None:
+        """Fold one completed window's summary in."""
+        if n < 1:
+            raise MonitoringError(f"window request count must be >= 1, got {n}")
+        if not (math.isfinite(p99) and math.isfinite(mean)):
+            raise MonitoringError(
+                f"window summaries must be finite, got p99={p99}, mean={mean}"
+            )
+        self._records.append((float(p99), float(mean), int(n)))
+        self._p99_tail.add(float(p99))
+        self._mean_moments.add(float(mean))
+        self._total_requests += int(n)
+        self._windows += 1
+
+    @property
+    def windows(self) -> int:
+        """Completed windows observed (including rolled-off ones)."""
+        return self._windows
+
+    @property
+    def total_requests(self) -> int:
+        """Requests observed across all windows."""
+        return self._total_requests
+
+    @property
+    def last(self) -> Optional[Dict[str, float]]:
+        """Latest window's record, or ``None`` before the first."""
+        if not self._records:
+            return None
+        p99, mean, n = self._records[-1]
+        return {"p99": p99, "mean": mean, "n": float(n)}
+
+    def rolling(self) -> Optional[Dict[str, float]]:
+        """Aggregates over the rolling horizon, or ``None`` when empty.
+
+        The rolling mean is request-weighted (each window contributes
+        its own traffic), the rolling p99 is the max of the per-window
+        p99s — the conservative dashboard convention for "worst tail
+        seen recently".
+        """
+        if not self._records:
+            return None
+        records: List = list(self._records)
+        total = sum(n for _, _, n in records)
+        return {
+            "p99": max(p99 for p99, _, _ in records),
+            "mean": sum(mean * n for _, mean, n in records) / total,
+            "windows": float(len(records)),
+        }
+
+    @property
+    def p99_tail_estimate(self) -> float:
+        """P² estimate of the per-window p99 series' own tail."""
+        return self._p99_tail.estimate
+
+    @property
+    def mean_of_window_means(self) -> float:
+        """Cumulative mean of the per-window means (Welford)."""
+        return self._mean_moments.mean

@@ -110,6 +110,24 @@ class SchedulingOutcome:
         """Analysis + search wall-clock (the Fig. 7 quantity)."""
         return self.analysis_time_s + self.search_time_s
 
+    def summary(self) -> dict:
+        """JSON-serialisable digest for status surfaces.
+
+        What a control plane reports about one decision without
+        shipping the full migration list or the allocation array: how
+        many moves, the predicted overall before/after, and where the
+        time went (the control surface's ``/status`` consumes this).
+        """
+        return {
+            "n_migrations": self.n_migrations,
+            "initial_overall_s": self.initial_overall_s,
+            "final_overall_s": self.final_overall_s,
+            "predicted_reduction_s": self.predicted_reduction_s,
+            "analysis_time_s": self.analysis_time_s,
+            "search_time_s": self.search_time_s,
+            "total_time_s": self.total_time_s,
+        }
+
 
 class PCSScheduler:
     """Algorithm 1 over a :class:`PerformanceMatrix`."""

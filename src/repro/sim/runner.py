@@ -4,8 +4,10 @@ One :class:`ExperimentRunner` evaluates one policy on one arrival rate
 for one *scenario* (:mod:`repro.scenarios` — the Nutch-like search
 service by default, selected by ``RunnerConfig.scenario``).
 
-The loop is decomposed into three composable phases, each usable on its
-own (the sweep subsystem and tests drive them through :meth:`run`):
+Since the control-plane refactor the loop body lives in
+:class:`repro.controlplane.loop.ControlLoop` — four named phases
+(monitor → predict → decide → act) driven by a clock seam — and this
+module's phase methods *delegate* to it:
 
 :meth:`ExperimentRunner.setup`
     build the cluster, deploy the scenario's service, start the Poisson
@@ -15,24 +17,27 @@ own (the sweep subsystem and tests drive them through :meth:`run`):
     :class:`RunState` the other phases thread through.
 
 :meth:`ExperimentRunner.run_interval`
-    one scheduling interval: advance the event engine (jobs
-    arrive/finish, contention moves), derive every component's *true*
-    current service distribution from the ground-truth interference
-    model (plus the migration warm-up penalty where applicable),
-    simulate the interval's requests with the policy's routing kernel
+    one scheduling interval, delegated to the state's control loop on a
+    virtual clock: advance the event engine, derive every component's
+    *true* current service distribution, simulate the interval's
+    requests with the policy's routing kernel
     (:mod:`repro.sim.queue_sim`), record latencies, and — for PCS —
-    read the monitor, build the performance-matrix inputs, run
-    Algorithm 1 and enforce the migrations on the cluster.
+    run the monitor/predict/decide/actuate phases.
 
 :meth:`ExperimentRunner.collect`
-    reduce the recorded intervals into a :class:`PolicyResult`.
+    reduce the recorded intervals into a :class:`PolicyResult` (the
+    control loop's reduction).
 
-Identical seeds produce identical churn and arrival patterns across
-policies, so Fig. 6's comparisons are paired.
+The batch replay is the control loop's virtual-clock degenerate case
+and stays **bit-identical** on :meth:`PolicyResult.metrics_dict` to
+the pre-refactor inline loop (golden-pinned).  Identical seeds produce
+identical churn and arrival patterns across policies, so Fig. 6's
+comparisons are paired.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple
@@ -42,9 +47,8 @@ import numpy as np
 from repro.baselines.policies import PCSPolicy, Policy, routing_kernel_for
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import NodeCapacity
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.interference.ground_truth import InterferenceModel, default_interference_model
-from repro.model.matrix import MatrixInputs
 from repro.model.predictor import LatencyPredictor, OraclePredictor
 from repro.monitoring.monitor import MonitorConfig, OnlineMonitor
 from repro.rng import RngRegistry
@@ -55,8 +59,12 @@ from repro.scenarios import ScenarioSpec, get_scenario
 from repro.service.nutch import NutchConfig
 from repro.service.topology import ResolvedClassMix
 from repro.sim.estimators import IntervalAccumulatorSet, LatencyAccumulator
-from repro.sim.metrics import LatencySummary, percentile
+from repro.sim.metrics import LatencySummary
 from repro.sim.profiling import ProfilingConfig, train_predictor_for_service
+
+# simulate_service_interval must stay a *module attribute*: the control
+# loop invokes it as `runner_mod.simulate_service_interval`, preserving
+# the seam tests monkeypatch here.
 from repro.sim.queue_sim import IntervalOutcome, simulate_service_interval
 from repro.simcore.engine import SimulationEngine
 from repro.workloads.generator import BatchJobGenerator, GeneratorConfig
@@ -133,8 +141,20 @@ class RunnerConfig:
             raise ExperimentError("n_nodes must be >= 1")
         if self.arrival_rate <= 0:
             raise ExperimentError("arrival_rate must be positive")
-        if self.interval_s <= 0:
-            raise ExperimentError("interval_s must be positive")
+        # interval_s / n_intervals get the named ConfigurationError
+        # (a ValueError, still catchable as ReproError): a nonpositive
+        # window would otherwise surface as a deep numpy empty-array
+        # failure inside the loop.
+        if not math.isfinite(self.interval_s) or self.interval_s <= 0:
+            raise ConfigurationError(
+                f"RunnerConfig.interval_s must be a positive finite "
+                f"number of seconds, got {self.interval_s!r}"
+            )
+        if self.n_intervals < 1:
+            raise ConfigurationError(
+                f"RunnerConfig.n_intervals must be >= 1, got "
+                f"{self.n_intervals!r}"
+            )
         if not 0 <= self.warmup_intervals < self.n_intervals:
             raise ExperimentError(
                 "need 0 <= warmup_intervals < n_intervals "
@@ -386,6 +406,10 @@ class RunState:
     n_requests: int = 0
     n_migrations: int = 0
     scheduling_time_s: float = 0.0
+    #: The state's :class:`~repro.controlplane.loop.ControlLoop`,
+    #: created lazily on first use so the phase objects (and their
+    #: decision counters) persist across ``run_interval`` calls.
+    control_loop: Optional[object] = None
 
 
 class ExperimentRunner:
@@ -571,157 +595,45 @@ class ExperimentRunner:
         )
 
     # ------------------------------------------------------------------
-    # phase 2: one interval
+    # the control loop (phases 2 and 3 delegate to it)
     # ------------------------------------------------------------------
-    def run_interval(self, state: RunState, interval: int) -> IntervalOutcome:
-        """Advance churn, serve one interval, record, maybe reschedule."""
-        cfg = self.config
-        state.engine.run_until(
-            cfg.churn_prewarm_s + (interval + 1) * cfg.interval_s
-        )
-        dists = self._service_distributions(
-            state.cluster,
-            state.service.components,
-            state.drift_rng,
-            state.warmup_set,
-        )
-        # The trace profile shapes the rate interval by interval; the
-        # stationary profile's multiplier is exactly 1.0 (bit-identical
-        # arrivals to the pre-profile runner).
-        rate = cfg.arrival_rate * float(state.rate_multipliers[interval])
-        interval_stream: Optional[IntervalAccumulatorSet] = None
-        if state.summary_mode == "streaming":
-            # Fresh per-interval accumulators; their reservoirs draw
-            # priorities from persistent named streams, so the whole
-            # run is reproducible from the root seed.
-            multi = state.classes is not None and state.classes.multi_class
-            interval_stream = IntervalAccumulatorSet.create(
-                rng_for=lambda role: state.rngs.get(f"estimator-{role}"),
-                class_names=state.classes.names if multi else None,
-            )
-        # The chunk/stream kwargs are only passed when engaged, so the
-        # default path keeps the historical call signature (tests stub
-        # the simulator with positional-compatible fakes).
-        sim_kwargs: Dict[str, object] = {}
-        if cfg.chunk_requests is not None:
-            sim_kwargs["chunk_requests"] = cfg.chunk_requests
-        if interval_stream is not None:
-            sim_kwargs["stream_into"] = interval_stream
-        outcome = simulate_service_interval(
-            state.service.topology,
-            state.policy,
-            rate,
-            cfg.interval_s,
-            dists,
-            state.request_rng,
-            classes=state.classes,
-            **sim_kwargs,
-        )
-        if interval >= cfg.warmup_intervals and outcome.n_requests:
-            label = f"interval {interval} pooled component latencies"
-            if interval_stream is not None:
-                state.per_interval_p99.append(
-                    interval_stream.component_pool.summary(label=label).p99
-                )
-                state.per_interval_mean.append(interval_stream.overall.mean)
-                state.run_stream = (
-                    interval_stream
-                    if state.run_stream is None
-                    else state.run_stream.merge(interval_stream)
-                )
-            else:
-                pooled = outcome.pooled_component_latencies()
-                state.component_acc.add(pooled)
-                state.overall_acc.add(outcome.request_latencies)
-                if state.classes is not None and state.classes.multi_class:
-                    for name, lats in outcome.per_class_latencies().items():
-                        state.per_class_accs.setdefault(
-                            name, LatencyAccumulator()
-                        ).add(lats)
-                # Shared metric kernel: nearest-rank, never interpolated
-                # (must match the pooled LatencySummary convention).
-                state.per_interval_p99.append(percentile(pooled, 99, label=label))
-                state.per_interval_mean.append(
-                    float(outcome.request_latencies.mean())
-                )
-            state.n_requests += outcome.n_requests
-        if state.scheduler is not None and interval + 1 < cfg.n_intervals:
-            t0 = time.perf_counter()
-            state.warmup_set = self._schedule_interval(
-                state.cluster,
-                state.service,
-                state.monitor,
-                state.scheduler,
-                state.executor,
-                outcome,
-                state.classes,
-            )
-            state.scheduling_time_s += time.perf_counter() - t0
-            state.n_migrations = state.executor.enforced
-        return outcome
+    def control_loop(self, state: RunState, **kwargs):
+        """The state's :class:`~repro.controlplane.loop.ControlLoop`.
 
-    # ------------------------------------------------------------------
-    # phase 3: collect
-    # ------------------------------------------------------------------
+        Created lazily (and cached on the state) so repeated
+        ``run_interval`` calls drive the *same* phase objects; the
+        default is the virtual-clock batch replay.  Keyword arguments
+        (``clock``, ``live``, ...) are honoured only on first creation.
+        """
+        if state.control_loop is None:
+            # Imported lazily: the control plane sits *above* this
+            # module in the layering (it imports the runner, not the
+            # other way around at import time).
+            from repro.controlplane.loop import ControlLoop
+
+            state.control_loop = ControlLoop(self, state, **kwargs)
+        return state.control_loop
+
+    def run_interval(self, state: RunState, interval: int) -> IntervalOutcome:
+        """Advance churn, serve one interval, record, maybe reschedule.
+
+        Delegates to the control loop's virtual-clock window — the
+        statement-for-statement equivalent of the historical inline
+        body (bit-identical on ``metrics_dict()``).
+        """
+        return self.control_loop(state).run_window(interval)
+
     def collect(self, state: RunState) -> PolicyResult:
         """Reduce the recorded intervals into a :class:`PolicyResult`.
 
-        Both summary modes flow through the same
+        Delegates to the control loop's reduction.  Both summary modes
+        flow through the same
         :class:`~repro.sim.estimators.LatencyAccumulator` seam; the
         exact mode's reduction is bit-identical to the historical
         pool-then-summarise code, and a streamed run records its
         provenance in :attr:`PolicyResult.summary_mode`.
         """
-        cfg = self.config
-        streaming = state.summary_mode == "streaming"
-        measured = (
-            state.run_stream is not None
-            if streaming
-            else state.component_acc.n_batches > 0
-        )
-        if not measured:
-            raise ExperimentError(
-                f"no measured intervals produced requests "
-                f"({state.policy.name} @ {cfg.arrival_rate:g} req/s, "
-                f"seed {cfg.seed})"
-            )
-        run_label = f"{state.policy.name} @ {cfg.arrival_rate:g} req/s"
-        if streaming:
-            component_acc = state.run_stream.component_pool
-            overall_acc = state.run_stream.overall
-            class_accs = state.run_stream.per_class or {}
-        else:
-            component_acc = state.component_acc
-            overall_acc = state.overall_acc
-            class_accs = state.per_class_accs
-        per_class: Optional[Dict[str, LatencySummary]] = None
-        if class_accs:
-            per_class = {
-                name: acc.summary(
-                    label=f"{run_label} class {name!r} latencies"
-                )
-                for name, acc in class_accs.items()
-                if acc.n
-            }
-        return PolicyResult(
-            policy_name=state.policy.name,
-            arrival_rate=cfg.arrival_rate,
-            component_latency=component_acc.summary(
-                label=f"{run_label} component latencies"
-            ),
-            overall_latency=overall_acc.summary(
-                label=f"{run_label} overall latencies"
-            ),
-            per_interval_component_p99=state.per_interval_p99,
-            per_interval_overall_mean=state.per_interval_mean,
-            n_requests=state.n_requests,
-            n_migrations=state.n_migrations,
-            scheduling_time_s=state.scheduling_time_s,
-            wall_time_s=time.perf_counter() - state.t_wall,
-            per_class=per_class,
-            summary_mode="streaming" if streaming else None,
-            chunk_fallback=state.chunk_fallback,
-        )
+        return self.control_loop(state).collect()
 
     # ------------------------------------------------------------------
     # the composed loop
@@ -729,9 +641,7 @@ class ExperimentRunner:
     def run(self, policy: Policy) -> PolicyResult:
         """Evaluate one policy; deterministic given the config seed."""
         state = self.setup(policy)
-        for interval in range(self.config.n_intervals):
-            self.run_interval(state, interval)
-        return self.collect(state)
+        return self.control_loop(state).run()
 
     # ------------------------------------------------------------------
     # helpers
@@ -774,75 +684,33 @@ class ExperimentRunner:
         outcome,
         classes: Optional[ResolvedClassMix] = None,
     ) -> Set[str]:
-        """Monitor → matrix inputs → Algorithm 1 → enforcement."""
-        cfg = self.config
-        components = service.components
-        # Arrival rate from the interval's own request count — the
-        # paper's log-profiling (counting a Poisson stream).
-        lam_service = outcome.n_requests / cfg.interval_s
-        expected_part = None
-        if classes is not None:
-            expected_part = {
-                name: float(p)
-                for name, p in zip(
-                    classes.group_names,
-                    classes.expected_group_participation(),
-                )
-            }
-        lam = np.empty(len(components))
-        for idx, comp in enumerate(components):
-            group = service.topology.stages[comp.stage_index].groups[
-                comp.group_index
-            ]
-            # Optional groups receive only their participation share
-            # (exactly lam_service / n_replicas on chain topologies);
-            # under a class mix, the mix-weighted expected share.
-            participation = (
-                group.participation
-                if expected_part is None
-                else expected_part[group.name]
-            )
-            lam[idx] = participation * lam_service / group.n_replicas
-        node_totals = np.stack(
-            [
-                monitor.observe_node_window(node, cfg.interval_s).as_array()
-                for node in cluster.nodes
-            ]
+        """Monitor → matrix inputs → Algorithm 1 → enforcement.
+
+        Compatibility wrapper over the control-plane phases for callers
+        holding the pieces but no :class:`RunState`; the in-loop path
+        drives the same phases through the state's control loop.
+        """
+        from repro.controlplane.phases import (
+            ActuatePhase,
+            DecidePhase,
+            MonitorPhase,
+            PredictPhase,
         )
-        # Service slots left per node after reserving the batch-VM budget.
+
+        cfg = self.config
         service_slots = max(
             1, cfg.machine_slots - cfg.generator.max_batch_jobs_per_node
         )
-        topology = service.topology
-        inputs = MatrixInputs(
-            stage_of=np.array([c.stage_index for c in components]),
-            classes=[c.cls for c in components],
-            demands=np.stack([c.demand.as_array() for c in components]),
-            assignment=np.array(cluster.placement_indices(components)),
-            node_totals=node_totals,
-            arrival_rates=lam,
-            node_limits=np.full(len(cluster), service_slots),
-            group_of=self._global_group_ids(service),
-            # DAG topologies weight stragglers by critical-path
-            # membership; None keeps the exact chain-sum objective.
-            stage_predecessors=(
-                None if topology.is_chain else topology.predecessor_indices
-            ),
-            # A class mix turns the objective into the mix-weighted
-            # average of per-class critical paths (chain sums stay
-            # chain sums, scaled by each class's stage participation).
-            class_weights=None if classes is None else classes.weights,
-            class_stage_participation=(
-                None if classes is None else classes.stage_participation
-            ),
-            # Heavy classes work every stage they visit service_scale×
-            # longer (the simulators already apply this); folding the
-            # same multiplier into the objective keeps the predictor
-            # honest about where a mixed workload's latency comes from.
-            class_service_scales=(
-                None if classes is None else classes.service_scales
-            ),
+        snapshot = MonitorPhase(monitor, cluster, cfg.interval_s).observe(
+            0, outcome
         )
-        sched_outcome = scheduler.schedule(inputs)
-        moved = executor.enforce(sched_outcome)
-        return set(moved)
+        inputs = PredictPhase(
+            service,
+            cluster,
+            classes,
+            cfg.interval_s,
+            service_slots,
+            self._global_group_ids(service),
+        ).inputs(snapshot)
+        decision = DecidePhase(scheduler).decide(inputs)
+        return ActuatePhase(executor).apply(decision)

@@ -54,6 +54,7 @@ __all__ = [
     "GOOGLE_MEDIAN_DURATION_S",
     "GOOGLE_DURATION_SIGMA",
     "arrival_profile_names",
+    "arrival_rate_multiplier",
     "arrival_rate_multipliers",
     "register_arrival_profile",
 ]
@@ -297,3 +298,32 @@ def arrival_rate_multipliers(profile: str, n_intervals: int) -> np.ndarray:
             f"non-finite multipliers {out!r}"
         )
     return out
+
+
+def arrival_rate_multiplier(profile: str, interval: int, cycle: int) -> float:
+    """One multiplier for an *unbounded* open-loop stream.
+
+    Profiles are defined over a finite horizon; a long-running service
+    replays them cyclically, so window ``interval`` of a live stream
+    maps to interval ``interval % cycle`` of a ``cycle``-interval run.
+    For ``interval < cycle`` this is exactly
+    ``arrival_rate_multipliers(profile, cycle)[interval]``.
+    """
+    if cycle < 1:
+        raise WorkloadError(f"cycle must be >= 1, got {cycle}")
+    if interval < 0:
+        raise WorkloadError(f"interval must be >= 0, got {interval}")
+    try:
+        fn = _ARRIVAL_PROFILES[profile]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown arrival profile {profile!r} "
+            f"(registered: {', '.join(arrival_profile_names())})"
+        ) from None
+    value = float(fn(interval % cycle, cycle))
+    if not math.isfinite(value) or value <= 0:
+        raise WorkloadError(
+            f"arrival profile {profile!r} produced non-positive or "
+            f"non-finite multiplier {value!r} at interval {interval}"
+        )
+    return value

@@ -1,0 +1,88 @@
+"""The clock seam: virtual replay time vs dilated wall time."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.controlplane.clock import Clock, VirtualClock, WallClock
+from repro.errors import ControlPlaneError
+from repro.simcore.engine import SimulationEngine
+
+
+class TestVirtualClock:
+    def test_advance_runs_engine_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append("a"), "a")
+        engine.schedule_at(15.0, lambda: fired.append("b"), "b")
+        clock = VirtualClock(engine)
+        clock.advance_to(10.0)
+        assert fired == ["a"]
+        assert clock.now() == 10.0
+        clock.advance_to(20.0)
+        assert fired == ["a", "b"]
+
+    def test_advance_to_past_is_noop(self):
+        engine = SimulationEngine()
+        clock = VirtualClock(engine)
+        clock.advance_to(10.0)
+        # Asking for time already reached must not raise (the loop's
+        # compute re-asserts the window boundary after the clock).
+        clock.advance_to(10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+
+    def test_wait_until_is_instant(self):
+        engine = SimulationEngine()
+        clock = VirtualClock(engine)
+        t0 = time.monotonic()
+        asyncio.run(clock.wait_until(1e6))
+        assert time.monotonic() - t0 < 1.0
+        assert clock.now() == 1e6
+
+
+class TestWallClock:
+    def test_dilation_must_be_positive(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ControlPlaneError):
+                WallClock(dilation=bad)
+
+    def test_now_starts_at_origin(self):
+        clock = WallClock(origin=300.0, dilation=1.0)
+        assert clock.now() == pytest.approx(300.0, abs=0.2)
+
+    def test_dilation_scales_sim_time(self):
+        clock = WallClock(origin=0.0, dilation=1000.0)
+        time.sleep(0.05)
+        # 50 ms of wall time is ~50 sim seconds at 1000x.
+        assert 10.0 < clock.now() < 500.0
+
+    def test_advance_to_blocks_until_target(self):
+        clock = WallClock(origin=0.0, dilation=100.0)
+        t0 = time.monotonic()
+        clock.advance_to(5.0)  # 5 sim s = 50 ms wall
+        elapsed = time.monotonic() - t0
+        assert elapsed >= 0.02
+        assert clock.now() >= 5.0
+
+    def test_advance_to_past_returns_immediately(self):
+        clock = WallClock(origin=100.0, dilation=1.0)
+        t0 = time.monotonic()
+        clock.advance_to(50.0)
+        assert time.monotonic() - t0 < 0.5
+
+    def test_wait_until_async(self):
+        clock = WallClock(origin=0.0, dilation=100.0)
+        asyncio.run(clock.wait_until(2.0))
+        assert clock.now() >= 2.0
+
+    def test_engine_free(self):
+        # The loop advances the environment itself under a wall clock.
+        assert WallClock().engine is None
+
+
+class TestClockContract:
+    def test_abstract_interface(self):
+        with pytest.raises(TypeError):
+            Clock()  # type: ignore[abstract]

@@ -249,3 +249,67 @@ class TestArrivalRateEstimator:
     def test_negative_count_rejected(self):
         with pytest.raises(MonitoringError):
             ArrivalRateEstimator().record_count(-1)
+
+
+class TestSnapshot:
+    """The monitor's frozen window views (the control plane's
+    phase-boundary handoff): observations recorded after a snapshot
+    must never appear in it."""
+
+    def _monitor(self, setup):
+        cluster, comp = setup
+        return (
+            OnlineMonitor(
+                MonitorConfig(), cluster, [comp], np.random.default_rng(0)
+            ),
+            comp,
+        )
+
+    def test_snapshot_covers_every_component(self, setup):
+        monitor, comp = self._monitor(setup)
+        snap = monitor.snapshot()
+        assert set(snap) == {comp.name}
+        assert snap[comp.name].empty
+
+    def test_post_snapshot_observe_does_not_mutate_snapshot(self, setup):
+        monitor, comp = self._monitor(setup)
+        monitor._sample_all(0.0, fresh_cache=True)
+        snap = monitor.snapshot()
+        view = snap[comp.name]
+        assert len(view) == 1
+        frozen_last = view.last()
+        frozen_mean = view.mean().as_array().copy()
+        # The live window keeps accumulating...
+        monitor._sample_all(1.0, fresh_cache=False)
+        monitor._sample_all(2.0, fresh_cache=True)
+        assert len(monitor.windows[comp.name]) == 3
+        # ...but the taken snapshot is frozen in time.
+        assert len(view) == 1
+        assert view.last() is frozen_last
+        np.testing.assert_array_equal(view.mean().as_array(), frozen_mean)
+
+    def test_snapshot_survives_window_reset(self, setup):
+        monitor, comp = self._monitor(setup)
+        monitor._sample_all(0.0, fresh_cache=True)
+        view = monitor.snapshot()[comp.name]
+        monitor.reset_windows()
+        assert monitor.windows[comp.name].empty
+        assert len(view) == 1
+
+    def test_frozen_view_rejects_mutation(self, setup):
+        monitor, comp = self._monitor(setup)
+        monitor._sample_all(0.0, fresh_cache=True)
+        view = monitor.snapshot()[comp.name]
+        with pytest.raises(AttributeError):
+            view.samples = ()
+        assert not hasattr(view, "append")
+
+    def test_empty_frozen_view_fails_loudly(self):
+        from repro.monitoring.samples import FrozenSampleWindow
+
+        view = FrozenSampleWindow(samples=())
+        assert view.empty and len(view) == 0
+        with pytest.raises(MonitoringError):
+            view.mean()
+        with pytest.raises(MonitoringError):
+            view.last()

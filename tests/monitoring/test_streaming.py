@@ -142,3 +142,53 @@ class TestP2Quantile:
     def test_nonfinite_rejected(self):
         with pytest.raises(MonitoringError):
             P2Quantile(0.9).add(float("inf"))
+
+
+class TestRollingGauge:
+    def _gauge(self, horizon=3):
+        from repro.monitoring.streaming import RollingGauge
+
+        return RollingGauge(horizon=horizon)
+
+    def test_empty_gauge(self):
+        g = self._gauge()
+        assert g.windows == 0
+        assert g.total_requests == 0
+        assert g.last is None
+        assert g.rolling() is None
+
+    def test_last_and_rolling(self):
+        g = self._gauge(horizon=3)
+        g.observe_window(p99=0.030, mean=0.010, n=100)
+        g.observe_window(p99=0.050, mean=0.020, n=300)
+        assert g.last == {"p99": 0.050, "mean": 0.020, "n": 300.0}
+        rolling = g.rolling()
+        assert rolling["p99"] == 0.050
+        # Request-weighted: (0.010*100 + 0.020*300) / 400.
+        assert rolling["mean"] == pytest.approx(0.0175)
+        assert rolling["windows"] == 2.0
+
+    def test_horizon_rolls_off_but_counters_persist(self):
+        g = self._gauge(horizon=2)
+        g.observe_window(p99=9.0, mean=9.0, n=10)
+        for _ in range(2):
+            g.observe_window(p99=0.01, mean=0.01, n=10)
+        # The spike rolled out of the horizon...
+        assert g.rolling()["p99"] == 0.01
+        assert g.rolling()["windows"] == 2.0
+        # ...but cumulative counters still saw it.
+        assert g.windows == 3
+        assert g.total_requests == 30
+        assert g.p99_tail_estimate > 0.0
+        assert g.mean_of_window_means == pytest.approx((9.0 + 0.02) / 3)
+
+    def test_validation(self):
+        from repro.monitoring.streaming import RollingGauge
+
+        with pytest.raises(MonitoringError):
+            RollingGauge(horizon=0)
+        g = self._gauge()
+        with pytest.raises(MonitoringError):
+            g.observe_window(p99=0.1, mean=0.1, n=0)
+        with pytest.raises(MonitoringError):
+            g.observe_window(p99=float("nan"), mean=0.1, n=5)

@@ -28,6 +28,23 @@ BUILTINS = (
     "pipeline-deep",
 )
 
+#: The two ways to drive a policy evaluation that must agree byte for
+#: byte: the runner facade and an explicitly constructed control loop
+#: on a virtual clock (the control-plane refactor's identity contract).
+DRIVERS = ("runner", "control-loop")
+
+
+def _drive(runner, policy, driver):
+    """Run ``policy`` through the chosen driver."""
+    if driver == "runner":
+        return runner.run(policy)
+    from repro.controlplane import ControlLoop, VirtualClock
+
+    state = runner.setup(policy)
+    return ControlLoop(
+        runner, state, clock=VirtualClock(state.engine)
+    ).run()
+
 
 class TestRegistry:
     def test_builtins_registered(self):
@@ -167,8 +184,11 @@ class TestEndToEndGolden:
         kwargs.update(overrides)
         return RunnerConfig(**kwargs)
 
-    def test_nutch_scenario_reproduces_pre_refactor_run(self):
-        result = ExperimentRunner(self._config()).run(BasicPolicy())
+    @pytest.mark.parametrize("driver", DRIVERS)
+    def test_nutch_scenario_reproduces_pre_refactor_run(self, driver):
+        result = _drive(
+            ExperimentRunner(self._config()), BasicPolicy(), driver
+        )
         got = (
             result.component_p99_s,
             result.overall_mean_s,
@@ -273,10 +293,11 @@ class TestChainGoldenMetrics:
 
     SCALES = {"nutch-search": 1.0, "pipeline-deep": 0.5, "fanout-feed": 0.2}
 
+    @pytest.mark.parametrize("driver", DRIVERS)
     @pytest.mark.parametrize(
         "scenario", ["nutch-search", "pipeline-deep", "fanout-feed"]
     )
-    def test_chain_metrics_bit_identical(self, scenario):
+    def test_chain_metrics_bit_identical(self, scenario, driver):
         from repro.service.nutch import NutchConfig
 
         spec = get_scenario(scenario)
@@ -291,7 +312,7 @@ class TestChainGoldenMetrics:
                 n_segmenters=1, n_aggregators=1,
             )
         cfg = spec.runner_config(**kwargs)
-        result = ExperimentRunner(cfg).run(BasicPolicy())
+        result = _drive(ExperimentRunner(cfg), BasicPolicy(), driver)
         assert result.metrics_dict() == self.GOLDEN[scenario]
 
 

@@ -159,7 +159,6 @@ class TestConfigValidation:
         [
             {"n_nodes": 0},
             {"arrival_rate": 0.0},
-            {"interval_s": 0.0},
             {"warmup_intervals": 9, "n_intervals": 5},
             {"interference_noise": -0.1},
             {"churn_prewarm_s": -1.0},
@@ -167,4 +166,25 @@ class TestConfigValidation:
     )
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ExperimentError):
+            _small_config(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"interval_s": 0.0}, "interval_s"),
+            ({"interval_s": -8.0}, "interval_s"),
+            ({"interval_s": float("inf")}, "interval_s"),
+            ({"n_intervals": 0, "warmup_intervals": 0}, "n_intervals"),
+            ({"n_intervals": -3, "warmup_intervals": 0}, "n_intervals"),
+        ],
+    )
+    def test_window_shape_gets_named_configuration_error(self, kwargs, match):
+        """Nonpositive window shapes raise a *named* ConfigurationError
+        at construction (also a ValueError) instead of surfacing as a
+        deep numpy empty-array failure inside the loop."""
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match=match):
+            _small_config(**kwargs)
+        with pytest.raises(ValueError):
             _small_config(**kwargs)
