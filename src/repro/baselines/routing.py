@@ -50,13 +50,30 @@ Mechanics (see the paper's §VI-C descriptions)
     (The Tail at Scale).  Implemented as a :class:`ReissueKernel`
     subclass overriding only the threshold rule, which is exactly the
     extension seam the kernel layer exists for.
+
+:class:`AdaptiveReissueKernel` / :class:`AdaptiveHedgeKernel` (ARI-p / AHedge)
+    the same two-pass mechanics, but the timer is tuned *online*: each
+    window the kernel pushes its own-window percentile observation into
+    a :class:`ThresholdFeed` (the monitor's streaming-quantile gauge,
+    :class:`repro.monitoring.streaming.ReissueThresholdFeed`) and
+    routes with the feed's cross-window estimate instead of the noisy
+    own-window value.  With no feed bound they degrade exactly to
+    their fixed counterparts.
+
+Besides latencies, every kernel *reports* its realized duplicate
+executions per call (:class:`RoutingOutcome.duplicates`) — the extra
+copies that actually consumed service time, i.e. redundancy copies that
+escaped cancellation and reissued/hedged secondaries.  This is
+bookkeeping on arrays the kernels already compute; no RNG draw is
+added, so pre-existing sample paths stay pinned bit for bit.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Protocol
 
 import numpy as np
 
@@ -67,15 +84,51 @@ from repro.simcore.lindley import LindleyCarry, lindley_waits, lindley_waits_chu
 
 __all__ = [
     "RoutingKernel",
+    "RoutingOutcome",
+    "ThresholdFeed",
     "GroupDraws",
     "RandomSplitKernel",
     "RedundancyKernel",
     "ReissueKernel",
     "HedgedKernel",
+    "AdaptiveReissueKernel",
+    "AdaptiveHedgeKernel",
     "register_routing_kernel",
     "routing_kernel_for",
     "registered_kernel_types",
 ]
+
+
+class ThresholdFeed(Protocol):
+    """What an adaptive kernel needs from the monitor's streaming gauges.
+
+    Deliberately narrow — one write, one read — so the kernel layer
+    depends on a shape, not on :mod:`repro.monitoring`.  The concrete
+    implementation is
+    :class:`repro.monitoring.streaming.ReissueThresholdFeed`, a P²
+    streaming quantile over the per-window threshold observations.
+    """
+
+    def observe_window(self, threshold_s: float, n: int) -> None:
+        """Record one window's own-percentile observation over ``n`` requests."""
+
+    def current_threshold_s(self) -> Optional[float]:
+        """The tuned threshold, or ``None`` until the feed has warmed up."""
+
+
+@dataclass(frozen=True)
+class RoutingOutcome:
+    """One :meth:`RoutingKernel.route_group_outcome` call's result.
+
+    ``duplicates`` counts the *realized* extra executed copies beyond
+    one per sub-request: redundancy copies that escaped cancellation
+    and reissue/hedge secondaries actually sent.  The policy-induced
+    load the predictor models (:class:`repro.baselines.policies
+    .InducedLoad`) predicts exactly this quantity.
+    """
+
+    latencies: np.ndarray
+    duplicates: int = 0
 
 
 def _primary_choice(
@@ -173,6 +226,39 @@ class RoutingKernel(ABC):
         successive calls, so ``arrivals`` may be one chunk of a longer
         stream; kernels that cannot chunk raise if it is passed.
         """
+
+    def route_group_outcome(
+        self,
+        arrivals: np.ndarray,
+        group: ReplicaGroup,
+        dists: Mapping[str, Distribution],
+        rng: np.random.Generator,
+        sojourns: Dict[str, List[np.ndarray]],
+        services: Dict[str, List[np.ndarray]],
+        scale: "np.ndarray | None" = None,
+        carries: "Optional[Dict[str, LindleyCarry]]" = None,
+    ) -> RoutingOutcome:
+        """:meth:`route_group` plus realized duplicate accounting.
+
+        The default wraps :meth:`route_group` with ``duplicates=0`` —
+        correct for every single-copy kernel, and what third-party
+        kernels implementing only :meth:`route_group` inherit.
+        Duplicate-producing kernels override this with their real body
+        (and implement :meth:`route_group` as the ``.latencies``
+        projection), so both entry points share one sample path.
+        """
+        return RoutingOutcome(
+            self.route_group(
+                arrivals, group, dists, rng, sojourns, services, scale,
+                carries,
+            ),
+            0,
+        )
+
+    def bind_threshold_feed(self, feed: ThresholdFeed) -> "RoutingKernel":
+        """Return a kernel wired to ``feed``; non-adaptive kernels are
+        feed-blind and return themselves unchanged."""
+        return self
 
 
 @dataclass(frozen=True)
@@ -280,6 +366,14 @@ class RedundancyKernel(RoutingKernel):
         self, arrivals, group, dists, rng, sojourns, services, scale=None,
         carries=None,
     ) -> np.ndarray:
+        return self.route_group_outcome(
+            arrivals, group, dists, rng, sojourns, services, scale, carries
+        ).latencies
+
+    def route_group_outcome(
+        self, arrivals, group, dists, rng, sojourns, services, scale=None,
+        carries=None,
+    ) -> RoutingOutcome:
         if carries is not None:
             raise SimulationError(
                 "RedundancyKernel cannot chunk: sibling cancellation "
@@ -289,8 +383,11 @@ class RedundancyKernel(RoutingKernel):
         r_count = group.n_replicas
         k = min(self.replicas, r_count)
         if k == 1 or n == 0:
-            return RandomSplitKernel().route_group(
-                arrivals, group, dists, rng, sojourns, services, scale
+            return RoutingOutcome(
+                RandomSplitKernel().route_group(
+                    arrivals, group, dists, rng, sojourns, services, scale
+                ),
+                0,
             )
         primary = _primary_choice(n, r_count, rng)
         # copy c of request i runs on replica (primary[i] + c) % r_count.
@@ -340,7 +437,10 @@ class RedundancyKernel(RoutingKernel):
             won = winner_replica == r
             if won.any():
                 sojourns[comp.name].append(group_lat[won])
-        return group_lat
+        # Realized duplicates: copies that escaped cancellation and
+        # consumed service time, beyond the one execution per request.
+        duplicates = int(k * n - np.count_nonzero(cancelled) - n)
+        return RoutingOutcome(group_lat, duplicates)
 
 
 @dataclass(frozen=True)
@@ -370,6 +470,14 @@ class ReissueKernel(RoutingKernel):
         self, arrivals, group, dists, rng, sojourns, services, scale=None,
         carries=None,
     ) -> np.ndarray:
+        return self.route_group_outcome(
+            arrivals, group, dists, rng, sojourns, services, scale, carries
+        ).latencies
+
+    def route_group_outcome(
+        self, arrivals, group, dists, rng, sojourns, services, scale=None,
+        carries=None,
+    ) -> RoutingOutcome:
         if carries is not None:
             raise SimulationError(
                 "ReissueKernel cannot chunk: its reissue timer is a "
@@ -378,8 +486,11 @@ class ReissueKernel(RoutingKernel):
         n = arrivals.size
         r_count = group.n_replicas
         if r_count == 1 or n == 0:
-            return RandomSplitKernel().route_group(
-                arrivals, group, dists, rng, sojourns, services, scale
+            return RoutingOutcome(
+                RandomSplitKernel().route_group(
+                    arrivals, group, dists, rng, sojourns, services, scale
+                ),
+                0,
             )
         primary = _primary_choice(n, r_count, rng)
         # Pass 1: primary-only sample paths give each request's would-be
@@ -432,7 +543,9 @@ class ReissueKernel(RoutingKernel):
             won = won_primary | won_secondary
             if won.any():
                 sojourns[comp.name].append(group_lat[won])
-        return group_lat
+        # Every reissued request executed its secondary to completion —
+        # the realized duplicate count is exactly the reissue count.
+        return RoutingOutcome(group_lat, int(np.count_nonzero(reissue)))
 
 
 @dataclass(frozen=True)
@@ -454,6 +567,63 @@ class HedgedKernel(ReissueKernel):
 
     def _threshold(self, soj1: np.ndarray, n: int) -> float:
         return float(self.hedge_delay_s)
+
+
+@dataclass(frozen=True)
+class AdaptiveReissueKernel(ReissueKernel):
+    """Reissue whose timer is tuned online from the monitor's gauges.
+
+    Each call computes the own-window percentile the fixed kernel would
+    have used, pushes it into the bound :class:`ThresholdFeed`, and
+    routes with the feed's streaming cross-window estimate instead —
+    a stabler timer than any single noisy window, re-tuned every
+    window.  Unbound (``feed is None``, e.g. a bare kernel test) it is
+    behaviour-identical to :class:`ReissueKernel`.
+    """
+
+    feed: Optional[ThresholdFeed] = None
+
+    def bind_threshold_feed(self, feed: ThresholdFeed) -> "AdaptiveReissueKernel":
+        return dataclasses.replace(self, feed=feed)
+
+    def _threshold(self, soj1: np.ndarray, n: int) -> float:
+        own = super()._threshold(soj1, n)
+        if self.feed is None:
+            return own
+        tuned = self.feed.current_threshold_s()
+        if n:
+            self.feed.observe_window(own, n)
+        return own if tuned is None else float(tuned)
+
+
+@dataclass(frozen=True)
+class AdaptiveHedgeKernel(HedgedKernel):
+    """Hedging whose delay tracks an observed latency quantile.
+
+    The fixed :class:`HedgedKernel` fires backups after a configured
+    delay whatever the load; here ``hedge_delay_s`` is only the
+    cold-start value, and once the bound :class:`ThresholdFeed` warms
+    up the delay follows the streamed ``quantile``-th percentile of
+    observed group latencies — the Tail-at-Scale recommendation of
+    hedging at "the 95th-percentile expected latency", kept current
+    window over window.
+    """
+
+    quantile: float = 0.95  # the tracked latency quantile (used here)
+    feed: Optional[ThresholdFeed] = None
+
+    def bind_threshold_feed(self, feed: ThresholdFeed) -> "AdaptiveHedgeKernel":
+        return dataclasses.replace(self, feed=feed)
+
+    def _threshold(self, soj1: np.ndarray, n: int) -> float:
+        if self.feed is None:
+            return float(self.hedge_delay_s)
+        tuned = self.feed.current_threshold_s()
+        if n:
+            # The percentile observation reuses the one sanctioned
+            # raw-percentile site (ReissueKernel._threshold).
+            self.feed.observe_window(ReissueKernel._threshold(self, soj1, n), n)
+        return float(self.hedge_delay_s) if tuned is None else float(tuned)
 
 
 # ----------------------------------------------------------------------

@@ -284,7 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--policies", default="Basic,PCS",
         help="comma-separated legend names (Basic, RED-3, RED-5, "
-        "RI-90, RI-99, Hedge[-<ms>], PCS)",
+        "RI-90, RI-99, ARI-<p>, Hedge[-<ms>], AHedge[-<p>], PCS)",
     )
     ps.add_argument(
         "--rates", default="50,200",
@@ -426,8 +426,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pv.add_argument(
         "--policy", default="PCS",
-        help="policy name: Basic, RED-k, RI-p, Hedge[-ms], PCS "
-        "(default PCS)",
+        help="policy name: Basic, RED-k, RI-p, ARI-p, Hedge[-ms], "
+        "AHedge[-p], PCS (default PCS)",
     )
     pv.add_argument(
         "--rate", type=_positive_float, default=40.0, metavar="REQ_S",

@@ -16,6 +16,9 @@ Routes
     Prometheus text exposition (``pcs_*`` gauges/counters).
 ``GET /sweeps`` / ``POST /sweeps`` / ``POST /sweeps/<id>/stop``
     List, start, and cooperatively cancel background sweep grids.
+``POST /policy``
+    Swap the active routing policy between windows
+    (``{"policy": "RI-95"}``, ``policy_from_name`` grammar).
 ``POST /shutdown``
     Clean shutdown of the whole service.
 """
@@ -149,6 +152,23 @@ def _route(plane, method: str, path: str, body: bytes) -> bytes:
             return _json_response(200, plane.sweeps.stop(job_id))
         except KeyError:
             return _error(404, f"no such sweep {job_id!r}")
+    if path == "/policy":
+        if method != "POST":
+            return _error(405, "use POST /policy")
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _error(400, f"body is not valid JSON: {exc}")
+        if not isinstance(request, dict) or "policy" not in request:
+            return _error(
+                400, 'body must be a JSON object like {"policy": "RI-95"}'
+            )
+        try:
+            return _json_response(
+                200, plane.switch_policy(str(request["policy"]))
+            )
+        except (ConfigurationError, ControlPlaneError) as exc:
+            return _error(400, str(exc))
     if path == "/shutdown":
         if method != "POST":
             return _error(405, "use POST /shutdown")
@@ -157,7 +177,7 @@ def _route(plane, method: str, path: str, body: bytes) -> bytes:
     return _error(
         404,
         f"no route {path!r} (have /status, /scenarios, /metrics, "
-        f"/sweeps, /shutdown)",
+        f"/sweeps, /policy, /shutdown)",
     )
 
 

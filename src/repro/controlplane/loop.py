@@ -33,8 +33,9 @@ from repro.controlplane.phases import (
     MonitorSnapshot,
     PredictPhase,
 )
+from repro.baselines.policies import routing_kernel_for
 from repro.errors import ControlPlaneError, ExperimentError
-from repro.monitoring.streaming import RollingGauge
+from repro.monitoring.streaming import ReissueThresholdFeed, RollingGauge
 from repro.sim import runner as runner_mod
 from repro.sim.estimators import IntervalAccumulatorSet, LatencyAccumulator
 from repro.sim.metrics import LatencySummary, percentile
@@ -103,6 +104,7 @@ class ControlLoop:
             state.cluster,
             cfg.interval_s,
             gauge=RollingGauge(horizon=gauge_horizon) if self.live else None,
+            threshold_feed=state.threshold_feed,
         )
         self.predict = PredictPhase(
             state.service,
@@ -113,6 +115,7 @@ class ControlLoop:
             runner._global_group_ids(state.service),
             retrain_every=retrain_every if self.live else 0,
             training_window=training_window,
+            induced_load=state.policy.induced_load(),
         )
         self.decide = DecidePhase(state.scheduler)
         self.actuate = ActuatePhase(state.executor)
@@ -186,6 +189,11 @@ class ControlLoop:
             sim_kwargs["chunk_requests"] = cfg.chunk_requests
         if interval_stream is not None:
             sim_kwargs["stream_into"] = interval_stream
+        if state.threshold_feed is not None:
+            # Adaptive policies: the kernel reads the tuned threshold
+            # from the shared feed and pushes this window's own tail
+            # observation back into it — closing the loop per window.
+            sim_kwargs["threshold_feed"] = state.threshold_feed
         outcome = runner_mod.simulate_service_interval(
             state.service.topology,
             state.policy,
@@ -223,6 +231,10 @@ class ControlLoop:
                 state.per_interval_mean.append(
                     float(outcome.request_latencies.mean())
                 )
+            if state.per_interval_duplicate_load is not None:
+                state.per_interval_duplicate_load.append(
+                    outcome.duplicate_load
+                )
             state.n_requests += outcome.n_requests
             if self.live:
                 self.monitor.record_window(
@@ -233,6 +245,10 @@ class ControlLoop:
                 if self.history_limit is not None:
                     del state.per_interval_p99[: -self.history_limit]
                     del state.per_interval_mean[: -self.history_limit]
+                    if state.per_interval_duplicate_load is not None:
+                        del state.per_interval_duplicate_load[
+                            : -self.history_limit
+                        ]
         # Replay decides between windows (never after the last); a live
         # stream has no last window and decides after every one.
         if self.decide.active and (
@@ -260,6 +276,50 @@ class ControlLoop:
         inputs = self.predict.inputs(snapshot)
         decision = self.decide.decide(inputs)
         return self.actuate.apply(decision)
+
+    # ------------------------------------------------------------------
+    # live policy switching
+    # ------------------------------------------------------------------
+    def switch_policy(self, policy) -> None:
+        """Swap the active routing policy between windows (live serve).
+
+        Re-derives everything the policy determines: the components'
+        induced demand (:meth:`ExperimentRunner._apply_induced_load`),
+        the predict phase's duplicate-load model, a fresh adaptive
+        threshold feed (stale tail estimates from the old policy must
+        not seed the new one), and the chunk-fallback flag.  Callers
+        synchronise with the window loop (the service layer holds its
+        compute lock), so the swap is only ever observed at a window
+        boundary.  Scheduling policies cannot be switched in or out:
+        their predictor/scheduler/executor stack is built in ``setup``.
+        """
+        state = self.state
+        if policy.schedules or state.policy.schedules:
+            raise ControlPlaneError(
+                f"cannot switch between scheduling and routing policies "
+                f"mid-run ({state.policy.name!r} -> {policy.name!r}); "
+                f"scheduling runs are configured at setup"
+            )
+        expected_part = None
+        if state.classes is not None:
+            expected_part = {
+                name: float(p)
+                for name, p in zip(
+                    state.classes.group_names,
+                    state.classes.expected_group_participation(),
+                )
+            }
+        self.runner._apply_induced_load(state.service, policy, expected_part)
+        state.policy = policy
+        state.threshold_feed = (
+            ReissueThresholdFeed() if policy.adapts_threshold else None
+        )
+        state.chunk_fallback = state.chunk_fallback or (
+            self.config.chunk_requests is not None
+            and not routing_kernel_for(policy).supports_chunking
+        )
+        self.monitor.threshold_feed = state.threshold_feed
+        self.predict.induced_load = policy.induced_load()
 
     # ------------------------------------------------------------------
     # the composed run + reduction
@@ -329,6 +389,7 @@ class ControlLoop:
             per_class=per_class,
             summary_mode="streaming" if streaming else None,
             chunk_fallback=state.chunk_fallback,
+            per_interval_duplicate_load=state.per_interval_duplicate_load,
         )
 
     # ------------------------------------------------------------------
@@ -339,6 +400,8 @@ class ControlLoop:
         state = self.state
         last_decision = self.decide.last_outcome
         return {
+            "active_policy": state.policy.name,
+            "adaptive_threshold_s": self.monitor.adaptive_threshold_s(),
             "windows_completed": self.windows_completed,
             "n_requests": state.n_requests,
             "n_decisions": self.decide.n_decisions,

@@ -20,13 +20,14 @@ from typing import Dict, Mapping, Optional, Set
 
 import numpy as np
 
+from repro.baselines.policies import InducedLoad
 from repro.errors import ControlPlaneError
 from repro.model.matrix import MatrixInputs
 from repro.model.predictor import LatencyPredictor, TrainedPredictor
 from repro.model.training import TrainingSet, train_combined_model
 from repro.monitoring.monitor import OnlineMonitor
 from repro.monitoring.samples import FrozenSampleWindow
-from repro.monitoring.streaming import RollingGauge
+from repro.monitoring.streaming import ReissueThresholdFeed, RollingGauge
 from repro.scheduler.migration import MigrationExecutor
 from repro.scheduler.pcs import SchedulingOutcome
 from repro.service.topology import ResolvedClassMix
@@ -86,11 +87,18 @@ class MonitorPhase:
         cluster,
         interval_s: float,
         gauge: Optional[RollingGauge] = None,
+        threshold_feed: Optional[ReissueThresholdFeed] = None,
     ) -> None:
         self.monitor = monitor
         self.cluster = cluster
         self.interval_s = float(interval_s)
         self.gauge = gauge
+        #: Streaming reissue-threshold estimate shared with the run's
+        #: adaptive routing kernel (None for fixed-threshold policies).
+        #: The kernel writes per-window tail observations into it during
+        #: simulation; the monitor phase owns it so the control plane
+        #: can report the currently tuned threshold.
+        self.threshold_feed = threshold_feed
 
     def observe(self, interval: int, outcome) -> MonitorSnapshot:
         """One windowed observation of every node and component.
@@ -120,6 +128,14 @@ class MonitorPhase:
         if self.gauge is not None and n:
             self.gauge.observe_window(p99, mean, n)
 
+    def adaptive_threshold_s(self) -> Optional[float]:
+        """The routing kernel's currently tuned reissue/hedge threshold
+        — ``None`` for fixed-threshold policies or before the feed has
+        warmed up."""
+        if self.threshold_feed is None:
+            return None
+        return self.threshold_feed.current_threshold_s()
+
 
 class PredictPhase:
     """Phase 2: turn monitored state into performance-matrix inputs.
@@ -143,6 +159,7 @@ class PredictPhase:
         group_ids: np.ndarray,
         retrain_every: int = 0,
         training_window: int = 256,
+        induced_load: Optional[InducedLoad] = None,
     ) -> None:
         if retrain_every < 0:
             raise ControlPlaneError(
@@ -154,6 +171,12 @@ class PredictPhase:
         self.interval_s = float(interval_s)
         self.service_slots = int(service_slots)
         self.group_ids = group_ids
+        #: Duplicate-load model of the active routing policy; the
+        #: predicted per-replica arrival rates are inflated by its
+        #: group-capped multiplier so Algorithm 1 sees the load the
+        #: policy actually induces.  ``None`` keeps the historical
+        #: policy-blind expression bit-for-bit.
+        self.induced_load = induced_load
         #: Refit cadence in windows; 0 disables the rolling retrain.
         self.retrain_every = int(retrain_every)
         self._training: Dict[object, TrainingSet] = {}
@@ -189,7 +212,17 @@ class PredictPhase:
                 if expected_part is None
                 else expected_part[group.name]
             )
-            lam[idx] = participation * lam_service / group.n_replicas
+            if self.induced_load is None:
+                lam[idx] = participation * lam_service / group.n_replicas
+            else:
+                # Redundancy/reissue executes extra copies: each replica
+                # sees the group-capped multiple of its nominal share.
+                lam[idx] = (
+                    participation
+                    * self.induced_load.group_multiplier(group.n_replicas)
+                    * lam_service
+                    / group.n_replicas
+                )
         topology = service.topology
         return MatrixInputs(
             stage_of=np.array([c.stage_index for c in components]),

@@ -520,6 +520,36 @@ class LiveControlPlane:
         if self._shutdown is not None:
             self._shutdown.set()
 
+    def switch_policy(self, policy_name: str) -> Dict[str, object]:
+        """Swap the live loop's routing policy (the POST /policy
+        handler).
+
+        Resolves ``policy_name`` through the sweep grammar
+        (``policy_from_name``), then swaps under the compute lock — the
+        same lock every window's compute holds — so the new policy only
+        ever takes effect at a window boundary.  Raises
+        :class:`~repro.errors.ConfigurationError` on an unknown name
+        and :class:`~repro.errors.ControlPlaneError` when there is no
+        running loop or the swap crosses the scheduling/routing divide
+        (both map to a 400 at the HTTP layer).
+        """
+        from repro.sim.sweep import policy_from_name
+
+        policy = policy_from_name(str(policy_name))
+        with self._lock:
+            if self.loop is None:
+                raise ControlPlaneError(
+                    f"cannot switch policy while the session is "
+                    f"{self.status!r}: the live loop is not running yet"
+                )
+            self.loop.switch_policy(policy)
+            return {
+                "ok": True,
+                "active_policy": policy.name,
+                "adapts_threshold": bool(policy.adapts_threshold),
+                "windows_completed": self.loop.windows_completed,
+            }
+
     # ------------------------------------------------------------------
     # read surface (what HTTP exposes)
     # ------------------------------------------------------------------
@@ -542,6 +572,9 @@ class LiveControlPlane:
                 payload["error"] = self.error
             if self.loop is not None:
                 payload["loop"] = self.loop.summary()
+                # The configured policy never changes; POST /policy can
+                # swap the *active* one, so surface it at top level too.
+                payload["active_policy"] = payload["loop"]["active_policy"]
                 gauge = self.loop.monitor.gauge
                 if gauge is not None and gauge.windows:
                     payload["rolling"] = gauge.rolling()

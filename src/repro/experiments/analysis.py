@@ -31,6 +31,9 @@ __all__ = [
     "crossover_rate",
     "dominance_table",
     "pcs_convergence",
+    "predicted_policy_latency",
+    "predicted_latency_curve",
+    "predicted_crossover_rate",
     "summary_crossover_rate",
     "summary_dominance_table",
 ]
@@ -107,6 +110,153 @@ def summary_crossover_rate(
         technique,
         baseline,
     )
+
+
+def _group_benefit(induced, sojourn: float, n_replicas: int) -> float:
+    """One group's expected latency after the policy's tail-cutting.
+
+    Dispatches on the :class:`~repro.baselines.policies.InducedLoad`
+    shape, so any policy expressible through the descriptor seam gets
+    the right closed form without this module naming policy classes.
+    Single-replica groups cannot duplicate (the kernels fall back to
+    plain random split there) and keep the raw sojourn.
+    """
+    from repro.model.queueing import (
+        hedged_latency,
+        quickest_of_k_latency,
+        reissue_latency,
+    )
+
+    if n_replicas <= 1:
+        return float(sojourn)
+    k = min(induced.copies, n_replicas)
+    if k > 1:
+        return float(quickest_of_k_latency(sojourn, k))
+    if induced.reissue_fraction > 0.0:
+        if induced.hedge_delay_s is not None:
+            return float(hedged_latency(sojourn, induced.hedge_delay_s))
+        return float(reissue_latency(sojourn, 1.0 - induced.reissue_fraction))
+    return float(sojourn)
+
+
+def predicted_policy_latency(
+    topology,
+    policy,
+    arrival_rate: float,
+    rho_max: Optional[float] = None,
+    service_scale: float = 1.0,
+) -> float:
+    """Model-predicted mean overall latency of ``policy`` at one rate.
+
+    The analytic side of §VI-C: each replica is an M/G/1 server (Eq. 2)
+    whose arrival rate is the policy's *induced* per-replica rate
+    (:meth:`~repro.baselines.policies.InducedLoad.replica_rate` — the
+    group-capped executed-copy multiplier times the participation share
+    of the stream), so duplicate executions are priced as utilisation.
+    Each group's sojourn then gets the policy's exponential-model
+    benefit transform (:mod:`repro.model.queueing`), and groups compose
+    group-mean → stage-max → DAG critical path exactly as the measured
+    objective does (:mod:`repro.model.service_latency`).
+
+    ``service_scale`` inflates every component's base mean service time
+    — the knob for folding in average cluster interference, which the
+    base (idle-node) demands do not see.  Predictions are comparable
+    *across policies* at any fixed scale; crossovers are ratios, so
+    they are insensitive to it to first order.
+    """
+    from repro.model.queueing import DEFAULT_RHO_MAX, mg1_latency_array
+    from repro.model.service_latency import (
+        dag_overall_latency,
+        stage_latencies,
+    )
+
+    if arrival_rate <= 0:
+        raise ExperimentError(
+            f"arrival_rate must be positive, got {arrival_rate!r}"
+        )
+    if service_scale <= 0:
+        raise ExperimentError(
+            f"service_scale must be positive, got {service_scale!r}"
+        )
+    induced = policy.induced_load()
+    cap = DEFAULT_RHO_MAX if rho_max is None else rho_max
+    group_lats: List[float] = []
+    stage_of_group: List[int] = []
+    for si, stage in enumerate(topology.stages):
+        for group in stage.groups:
+            n = group.n_replicas
+            lam_r = induced.replica_rate(
+                arrival_rate, group.participation, n
+            )
+            sojourns = mg1_latency_array(
+                np.array([c.base_mean * service_scale for c in group]),
+                np.array([c.base_scv for c in group]),
+                lam_r,
+                rho_max=cap,
+            )
+            group_lats.append(
+                _group_benefit(induced, float(np.mean(sojourns)), n)
+            )
+            stage_of_group.append(si)
+    stage_lats = stage_latencies(
+        np.asarray(group_lats), np.asarray(stage_of_group)
+    )
+    return float(
+        dag_overall_latency(stage_lats, topology.predecessor_indices)
+    )
+
+
+def predicted_latency_curve(
+    topology,
+    policy,
+    rates: Sequence[float],
+    service_scale: float = 1.0,
+) -> Dict[float, float]:
+    """:func:`predicted_policy_latency` over a rate grid."""
+    return {
+        float(rate): predicted_policy_latency(
+            topology, policy, float(rate), service_scale=service_scale
+        )
+        for rate in rates
+    }
+
+
+def predicted_crossover_rate(
+    topology,
+    technique,
+    rates: Sequence[float],
+    baseline=None,
+    service_scale: float = 1.0,
+) -> Optional[float]:
+    """Model-*derived* help→hurt crossover of a duplication policy.
+
+    The analytic counterpart of :func:`summary_crossover_rate`: scans
+    :func:`predicted_policy_latency` curves of ``technique`` vs
+    ``baseline`` (default :class:`~repro.baselines.policies.BasicPolicy`)
+    over ``rates`` through the same
+    :func:`_crossover_from_values` kernel the measured scan uses, so
+    "crossover" means the same thing on both sides of the comparison.
+    Returns ``None`` when the technique still helps at the highest
+    rate, and the lowest rate when it never helps.
+    """
+    from repro.baselines.policies import BasicPolicy
+
+    if baseline is None:
+        baseline = BasicPolicy()
+    values = {
+        float(rate): {
+            technique.name: predicted_policy_latency(
+                topology, technique, float(rate),
+                service_scale=service_scale,
+            ),
+            baseline.name: predicted_policy_latency(
+                topology, baseline, float(rate),
+                service_scale=service_scale,
+            ),
+        }
+        for rate in rates
+    }
+    return _crossover_from_values(values, technique.name, baseline.name)
 
 
 def dominance_table(

@@ -71,7 +71,16 @@ class MatrixInputs:
         ``(k, 4)`` estimated total resource consumption per node
         (all residents + background) — the monitor's node view.
     arrival_rates:
-        ``(m,)`` per-component request arrival rate (req/s).
+        ``(m,)`` per-component *induced* request arrival rate (req/s):
+        the replica's nominal share of the service stream inflated by
+        the active policy's duplicate load
+        (:meth:`repro.baselines.policies.InducedLoad.replica_rate` —
+        the predict phase folds the group-capped executed-copy
+        multiplier in before building these inputs).  The M/G/1 stage
+        therefore prices redundancy/reissue as the extra utilisation it
+        really is.  For a policy that executes no duplicates the
+        multiplier is exactly 1.0 and this is the historical
+        policy-blind vector, bit for bit.
     node_limits:
         Optional ``(k,)`` cap on how many *components* each node can
         host (VM slots left after batch VMs).  ``None`` = unlimited.

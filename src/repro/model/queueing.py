@@ -30,6 +30,9 @@ __all__ = [
     "mg1_latency",
     "mm1_latency",
     "mg1_latency_array",
+    "quickest_of_k_latency",
+    "reissue_latency",
+    "hedged_latency",
 ]
 
 DEFAULT_RHO_MAX = 0.98
@@ -102,3 +105,73 @@ def mg1_latency_array(
     lam_eff = rho / x
     wait = lam_eff * (1.0 + c2) * x * x / (2.0 * (1.0 - rho))
     return x + wait
+
+
+# ----------------------------------------------------------------------
+# Policy-benefit transforms (§VI-C's analytic side)
+# ----------------------------------------------------------------------
+# The three duplication techniques of §VI-C cut the tail of one
+# replica's sojourn at the price of extra induced load.  The closed
+# forms below are exact for exponentially distributed sojourns (the
+# M/M/1 case; memorylessness makes every cancellation argument a plain
+# minimum of fresh exponentials) and are used as a first-order
+# approximation otherwise — the sojourn fed in should already include
+# the policy's induced load (``InducedLoad.replica_rate`` through
+# Eq. 2), which is what makes the help→hurt crossover derivable: the
+# benefit factor is load-free, the penalty grows with ρ.
+
+
+def quickest_of_k_latency(sojourn, k: int) -> np.ndarray:
+    """Expected latency of the quickest of ``k`` redundant copies.
+
+    The minimum of ``k`` iid Exp(1/W) sojourns is Exp(k/W), so the
+    expected latency is ``W/k`` — RED's benefit factor.  ``k`` must
+    already be capped at the group's replica count (``min(copies, n)``,
+    exactly :meth:`~repro.baselines.policies.InducedLoad
+    .group_multiplier`'s cap).
+    """
+    if k < 1:
+        raise UnstableQueueError(f"k must be >= 1, got {k}")
+    return np.asarray(sojourn, dtype=np.float64) / float(k)
+
+
+def reissue_latency(sojourn, quantile: float) -> np.ndarray:
+    """Expected latency under reissue-at-the-``quantile``-threshold.
+
+    For an Exp(1/W) sojourn with threshold ``T`` at the ``q``-quantile
+    (``T = −W·ln(1−q)``): a fraction ``q`` completes below ``T`` with
+    conditional mean ``(W·q − T(1−q))/q``; the rest reissues at ``T``
+    and finishes after the minimum of the (memoryless) original and a
+    fresh copy, mean ``T + W/2``.  The ``T`` terms cancel::
+
+        E[L] = W·q − T(1−q) + (1−q)(T + W/2) = W(1+q)/2
+
+    — the benefit factor ``(1+q)/2`` is threshold- and load-free, which
+    is why percentile reissue trades a *fixed* latency discount against
+    a *growing* utilisation penalty (the §VI-C crossover).
+    """
+    if not 0 < quantile < 1:
+        raise UnstableQueueError(
+            f"quantile must be in (0, 1), got {quantile}"
+        )
+    return np.asarray(sojourn, dtype=np.float64) * (1.0 + quantile) / 2.0
+
+
+def hedged_latency(sojourn, hedge_delay_s: float) -> np.ndarray:
+    """Expected latency under hedge-after-``hedge_delay_s``.
+
+    Same argument as :func:`reissue_latency` with the *fixed* threshold
+    ``T``: the hedged fraction is ``p = exp(−T/W)``, and::
+
+        E[L] = W(1 − p) − T·p + p(T + W/2) = W(1 − exp(−T/W)/2)
+
+    Unlike the percentile rule, the benefit factor is load-*dependent*
+    — as W grows past T nearly every request hedges (p → 1, factor
+    → 1/2) while the induced load approaches full duplication.
+    """
+    if hedge_delay_s < 0:
+        raise UnstableQueueError(
+            f"hedge_delay_s must be >= 0, got {hedge_delay_s}"
+        )
+    w = np.asarray(sojourn, dtype=np.float64)
+    return w * (1.0 - np.exp(-hedge_delay_s / np.maximum(w, 1e-300)) / 2.0)

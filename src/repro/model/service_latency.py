@@ -28,6 +28,7 @@ __all__ = [
     "stage_latencies",
     "overall_latency",
     "stage_offsets",
+    "grouped_stage_latencies",
     "grouped_overall_latency",
     "validate_predecessors",
     "exits_from_predecessors",
@@ -69,19 +70,20 @@ def overall_latency(latencies: np.ndarray, stage_of: np.ndarray) -> float:
     return float(stage_latencies(latencies, stage_of).sum())
 
 
-def grouped_overall_latency(
+def grouped_stage_latencies(
     latencies: np.ndarray, group_of: np.ndarray, stage_of: np.ndarray
-) -> float:
-    """Eqs. 3–4 generalised to replica groups.
+) -> np.ndarray:
+    """Eq. 3 generalised to replica groups: per-stage maxima of
+    per-group means.
 
-    In the paper every component of a stage serves every request, so
-    Eq. 3 is a plain max over components.  In a topology with replica
-    *groups* (interchangeable servers sharing one shard), a request is
-    served by **one** replica per group, so the group's expected
-    request latency is the *mean* over its replicas; Eq. 3's max then
-    ranges over groups.  With one component per group
-    (``group_of = arange(m)``) this reduces exactly to the paper's
-    formula — property-tested in ``tests/model``.
+    A request is served by **one** replica per group, so the group's
+    expected request latency is the *mean* over its replicas; Eq. 3's
+    max then ranges over the stage's groups.  Returns the ``(S,)``
+    per-stage latencies, composable by chain sum
+    (:func:`grouped_overall_latency`) or along a stage DAG
+    (:func:`dag_overall_latency`) — the analytic crossover predictor
+    (:func:`repro.experiments.analysis.predicted_crossover_rate`)
+    composes induced-load sojourns exactly this way.
     """
     l = np.asarray(latencies, dtype=np.float64)
     group_of = np.asarray(group_of)
@@ -93,7 +95,25 @@ def grouped_overall_latency(
     means = np.add.reduceat(l, g_offsets) / sizes
     stage_of_group = stage_of[g_offsets]
     s_offsets = stage_offsets(stage_of_group)
-    return float(np.maximum.reduceat(means, s_offsets).sum())
+    return np.maximum.reduceat(means, s_offsets)
+
+
+def grouped_overall_latency(
+    latencies: np.ndarray, group_of: np.ndarray, stage_of: np.ndarray
+) -> float:
+    """Eqs. 3–4 generalised to replica groups.
+
+    In the paper every component of a stage serves every request, so
+    Eq. 3 is a plain max over components.  In a topology with replica
+    *groups* (interchangeable servers sharing one shard), the per-stage
+    reduction is :func:`grouped_stage_latencies` (group mean, stage
+    max); Eq. 4 then sums the stages.  With one component per group
+    (``group_of = arange(m)``) this reduces exactly to the paper's
+    formula — property-tested in ``tests/model``.
+    """
+    return float(
+        grouped_stage_latencies(latencies, group_of, stage_of).sum()
+    )
 
 
 def validate_predecessors(

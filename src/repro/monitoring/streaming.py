@@ -26,7 +26,12 @@ import numpy as np
 
 from repro.errors import MonitoringError
 
-__all__ = ["StreamingMoments", "P2Quantile", "RollingGauge"]
+__all__ = [
+    "StreamingMoments",
+    "P2Quantile",
+    "RollingGauge",
+    "ReissueThresholdFeed",
+]
 
 
 class StreamingMoments:
@@ -310,3 +315,57 @@ class RollingGauge:
     def mean_of_window_means(self) -> float:
         """Cumulative mean of the per-window means (Welford)."""
         return self._mean_moments.mean
+
+
+class ReissueThresholdFeed:
+    """Streaming reissue-timer gauge behind the adaptive routing kernels.
+
+    Implements the narrow ``ThresholdFeed`` protocol the kernel layer
+    declares (:class:`repro.baselines.routing.ThresholdFeed` — this
+    module deliberately does not import it; the coupling is structural).
+    Each window every replica group pushes the own-window percentile
+    the fixed kernel would have used; the feed streams a
+    :class:`P2Quantile` *median* over those observations, so the
+    threshold an adaptive kernel routes with is the cross-window
+    consensus rather than any single group's noisy window.  O(1)
+    memory, RNG-free, deterministic in observation order.
+    """
+
+    def __init__(self, min_observations: int = 1) -> None:
+        if min_observations < 1:
+            raise MonitoringError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self.min_observations = int(min_observations)
+        self._median = P2Quantile(0.5)
+        self._observations = 0
+        self._requests = 0
+
+    def observe_window(self, threshold_s: float, n: int) -> None:
+        """Fold one window/group's own-percentile observation in."""
+        if n < 1:
+            return  # empty windows carry no information
+        if not math.isfinite(threshold_s) or threshold_s < 0:
+            raise MonitoringError(
+                f"threshold observation must be finite and >= 0, "
+                f"got {threshold_s}"
+            )
+        self._median.add(float(threshold_s))
+        self._observations += 1
+        self._requests += int(n)
+
+    def current_threshold_s(self) -> Optional[float]:
+        """The tuned timer, or ``None`` until warmed up."""
+        if self._observations < self.min_observations:
+            return None
+        return float(self._median.estimate)
+
+    @property
+    def observations(self) -> int:
+        """Per-window/group observations folded in so far."""
+        return self._observations
+
+    @property
+    def total_requests(self) -> int:
+        """Requests behind those observations."""
+        return self._requests

@@ -133,6 +133,8 @@ def register_codec_class(cls: type) -> type:
 def _register_builtin_codec_classes() -> None:
     """Everything a built-in (config, policy) task tree can contain."""
     from repro.baselines.policies import (
+        AdaptiveHedgePolicy,
+        AdaptiveReissuePolicy,
         BasicPolicy,
         HedgedPolicy,
         PCSPolicy,
@@ -164,6 +166,8 @@ def _register_builtin_codec_classes() -> None:
         REDPolicy,
         ReissuePolicy,
         HedgedPolicy,
+        AdaptiveReissuePolicy,
+        AdaptiveHedgePolicy,
         PCSPolicy,
     ):
         register_codec_class(cls)

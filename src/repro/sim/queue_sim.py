@@ -100,6 +100,11 @@ class IntervalOutcome:
     #: as ``stream_into``, now holding the interval's summaries.  When
     #: set, the per-sample arrays above are intentionally empty.
     streaming: Optional[IntervalAccumulatorSet] = None
+    #: Realized duplicate executions this interval, summed over groups —
+    #: redundancy copies that escaped cancellation plus reissued/hedged
+    #: secondaries (:class:`repro.baselines.routing.RoutingOutcome`).
+    #: Always 0 for single-copy kernels.
+    duplicates: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -107,6 +112,14 @@ class IntervalOutcome:
         if self.streaming is not None:
             return int(self.streaming.overall.n)
         return int(self.request_latencies.size)
+
+    @property
+    def duplicate_load(self) -> float:
+        """Realized duplicates per request — the measured counterpart of
+        the policy's :class:`~repro.baselines.policies.InducedLoad`
+        prediction (0.0 for an empty or duplicate-free interval)."""
+        n = self.n_requests
+        return self.duplicates / n if n else 0.0
 
     def pooled_component_latencies(self) -> np.ndarray:
         """All per-component sub-request latencies, pooled (metric 1)."""
@@ -207,6 +220,7 @@ def simulate_service_interval(
     *,
     chunk_requests: Optional[int] = None,
     stream_into: Optional[IntervalAccumulatorSet] = None,
+    threshold_feed=None,
 ) -> IntervalOutcome:
     """Simulate one scheduling interval of the whole service.
 
@@ -243,6 +257,13 @@ def simulate_service_interval(
         Fold every latency into this accumulator set instead of
         returning sample arrays (O(chunk) memory when combined with
         ``chunk_requests`` on a chunk-capable kernel).
+    threshold_feed:
+        A :class:`~repro.baselines.routing.ThresholdFeed` bound to the
+        interval's kernel when the policy adapts its timer online
+        (:attr:`~repro.baselines.policies.Policy.adapts_threshold`).
+        ``None`` — the default, and the only value non-adaptive runs
+        pass — leaves the kernel untouched (RNG streams and sample
+        paths are identical either way).
     """
     missing = [
         c.name for c in topology.components if c.name not in service_dists
@@ -254,6 +275,8 @@ def simulate_service_interval(
             f"chunk_requests must be >= 1, got {chunk_requests}"
         )
     kernel = routing_kernel_for(policy)
+    if threshold_feed is not None:
+        kernel = kernel.bind_threshold_feed(threshold_feed)
     if chunk_requests is not None and kernel.supports_chunking:
         if stream_into is None:
             return _simulate_chunked_exact(
@@ -289,6 +312,7 @@ def simulate_service_interval(
         class_of=None,
         class_names=outcome.class_names,
         streaming=stream_into,
+        duplicates=outcome.duplicates,
     )
 
 
@@ -313,6 +337,7 @@ def _simulate_monolithic(
     }
     predecessors = topology.predecessor_indices
     completions: List[np.ndarray] = []
+    duplicates = 0
     gi = 0  # stage-major global group index (class-matrix column)
     for si, stage in enumerate(topology.stages):
         stage_lat = np.zeros(n)
@@ -321,43 +346,47 @@ def _simulate_monolithic(
                 p_req = classes.group_participation[class_of, gi]
                 gi += 1
                 if np.all(p_req >= 1.0):
-                    group_lat = kernel.route_group(
+                    out = kernel.route_group_outcome(
                         arrivals, group, service_dists, rng,
                         sojourns, services, scale,
                     )
+                    duplicates += out.duplicates
                     if n:
-                        np.maximum(stage_lat, group_lat, out=stage_lat)
+                        np.maximum(stage_lat, out.latencies, out=stage_lat)
                     continue
                 # Class-conditional branch: each request joins with its
                 # *class's* effective participation (0 drops the group
                 # from that class's DAG without any draw noise — the
                 # comparison is still made, keeping draw counts fixed).
                 take = rng.random(n) < p_req
-                sub_lat = kernel.route_group(
+                out = kernel.route_group_outcome(
                     arrivals[take], group, service_dists, rng,
                     sojourns, services,
                     scale[take] if scale is not None else None,
                 )
+                duplicates += out.duplicates
                 if n:
-                    stage_lat[take] = np.maximum(stage_lat[take], sub_lat)
+                    stage_lat[take] = np.maximum(stage_lat[take], out.latencies)
                 continue
             if group.optional:
                 # Probabilistic branch: each request joins this group's
                 # fan-out with probability `participation`; skipped
                 # requests contribute nothing to the stage max.
                 take = rng.random(n) < group.participation
-                sub_lat = kernel.route_group(
+                out = kernel.route_group_outcome(
                     arrivals[take], group, service_dists, rng,
                     sojourns, services,
                 )
+                duplicates += out.duplicates
                 if n:
-                    stage_lat[take] = np.maximum(stage_lat[take], sub_lat)
+                    stage_lat[take] = np.maximum(stage_lat[take], out.latencies)
                 continue
-            group_lat = kernel.route_group(
+            out = kernel.route_group_outcome(
                 arrivals, group, service_dists, rng, sojourns, services
             )
+            duplicates += out.duplicates
             if n:
-                np.maximum(stage_lat, group_lat, out=stage_lat)  # Eq. 3
+                np.maximum(stage_lat, out.latencies, out=stage_lat)  # Eq. 3
         completions.append(
             _stage_completions(predecessors[si], completions, stage_lat)
         )
@@ -376,6 +405,7 @@ def _simulate_monolithic(
         arrival_rate=float(arrival_rate),
         class_of=class_of,
         class_names=None if classes is None else classes.names,
+        duplicates=duplicates,
     )
 
 

@@ -51,6 +51,7 @@ from repro.errors import ConfigurationError, ExperimentError
 from repro.interference.ground_truth import InterferenceModel, default_interference_model
 from repro.model.predictor import LatencyPredictor, OraclePredictor
 from repro.monitoring.monitor import MonitorConfig, OnlineMonitor
+from repro.monitoring.streaming import ReissueThresholdFeed
 from repro.rng import RngRegistry
 from repro.scheduler.hierarchical import HierarchicalScheduler
 from repro.scheduler.migration import MigrationCostModel, MigrationExecutor
@@ -135,6 +136,17 @@ class RunnerConfig:
     #: per-interval request count (rate × interval × peak trace
     #: multiplier) exceeds this.
     streaming_threshold: int = 1_000_000
+    #: Record the realized duplicate load (extra executed copies per
+    #: request, per measured interval) on the result
+    #: (:attr:`PolicyResult.per_interval_duplicate_load`).  Off by
+    #: default and omitted from sweep digests while off
+    #: (``__digest_default_omit__``), so every pre-existing cache
+    #: entry, golden pin and spool payload is byte-identical.
+    record_induced_load: bool = False
+
+    #: See :func:`repro.sim.sweep._canonical`: fields held at these
+    #: values are left out of cache digests and spool payloads.
+    __digest_default_omit__ = {"record_induced_load": False}
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -252,6 +264,14 @@ class PolicyResult:
     #: and surfaced by :meth:`render` so the fallback is visible in
     #: sweep/quick output instead of saying nothing.
     chunk_fallback: bool = False
+    #: Realized duplicate load per measured interval — extra executed
+    #: copies per request (redundancy copies that escaped cancellation,
+    #: reissued/hedged secondaries), the measured counterpart of the
+    #: policy's :class:`~repro.baselines.policies.InducedLoad`
+    #: prediction.  Recorded only under
+    #: ``RunnerConfig.record_induced_load`` and serialised only when
+    #: present — same digest-stability pattern as :attr:`summary_mode`.
+    per_interval_duplicate_load: Optional[List[float]] = None
 
     @property
     def component_p99_s(self) -> float:
@@ -263,6 +283,15 @@ class PolicyResult:
         """Metric 2: mean overall service latency."""
         return self.overall_latency.mean
 
+    @property
+    def duplicate_load(self) -> Optional[float]:
+        """Mean realized duplicates per request over measured intervals
+        (``None`` unless the run recorded induced load)."""
+        if self.per_interval_duplicate_load is None:
+            return None
+        vals = self.per_interval_duplicate_load
+        return sum(vals) / len(vals) if vals else 0.0
+
     def render(self) -> str:
         """One line in a Fig. 6-style table."""
         line = (
@@ -273,6 +302,8 @@ class PolicyResult:
         )
         if self.chunk_fallback:
             line += " | chunking: monolithic fallback"
+        if self.duplicate_load is not None:
+            line += f" | dup load = {self.duplicate_load:.3f}/req"
         return line
 
     def metrics_dict(self) -> dict:
@@ -320,6 +351,12 @@ class PolicyResult:
             # every pre-existing cache entry and golden pin is
             # byte-identical to before this field existed.
             d["chunk_fallback"] = True
+        if self.per_interval_duplicate_load is not None:
+            # Only serialised when induced-load recording was on —
+            # same digest-stability reason as the fields above.
+            d["per_interval_duplicate_load"] = list(
+                self.per_interval_duplicate_load
+            )
         return d
 
     @classmethod
@@ -354,6 +391,11 @@ class PolicyResult:
                 else str(d["summary_mode"])
             ),
             chunk_fallback=bool(d.get("chunk_fallback", False)),
+            per_interval_duplicate_load=(
+                None
+                if d.get("per_interval_duplicate_load") is None
+                else [float(x) for x in d["per_interval_duplicate_load"]]
+            ),
         )
 
 
@@ -403,6 +445,17 @@ class RunState:
     run_stream: Optional[IntervalAccumulatorSet] = None
     per_interval_p99: List[float] = field(default_factory=list)
     per_interval_mean: List[float] = field(default_factory=list)
+    #: Realized duplicate load of each measured interval (recorded only
+    #: under ``RunnerConfig.record_induced_load``; ``None`` otherwise —
+    #: the exact pre-feature reduction).
+    per_interval_duplicate_load: Optional[List[float]] = None
+    #: The streaming-quantile feed behind an adaptive policy's kernel
+    #: (:class:`repro.monitoring.streaming.ReissueThresholdFeed`),
+    #: created in setup only when ``policy.adapts_threshold`` and
+    #: threaded into every interval by the control loop.  It *is* the
+    #: adaptive state — persisting it here is what makes the timer
+    #: learn across windows.
+    threshold_feed: Optional[object] = None
     n_requests: int = 0
     n_migrations: int = 0
     scheduling_time_s: float = 0.0
@@ -504,26 +557,8 @@ class ExperimentRunner:
 
         # Serving requests consumes resources: set every component's
         # effective demand from the policy's executed-copy load.  This
-        # is what makes redundancy expensive cluster-wide.  An optional
-        # group only sees its participation share of the request stream
-        # (1.0 on chain topologies — bit-identical to the pre-DAG path);
-        # under a class mix the share is the mix-weighted expected
-        # participation over classes.
-        for comp in components:
-            group = service.topology.stages[comp.stage_index].groups[
-                comp.group_index
-            ]
-            participation = (
-                group.participation
-                if expected_part is None
-                else expected_part[group.name]
-            )
-            comp.set_load(
-                participation
-                * policy.load_multiplier
-                * cfg.arrival_rate
-                / group.n_replicas
-            )
+        # is what makes redundancy expensive cluster-wide.
+        self._apply_induced_load(service, policy, expected_part)
 
         generator = BatchJobGenerator(cfg.generator, rngs.get("batch-churn"))
         generator.start(engine, cluster)
@@ -592,7 +627,52 @@ class ExperimentRunner:
                 cfg.chunk_requests is not None
                 and not routing_kernel_for(policy).supports_chunking
             ),
+            per_interval_duplicate_load=(
+                [] if cfg.record_induced_load else None
+            ),
+            threshold_feed=(
+                ReissueThresholdFeed() if policy.adapts_threshold else None
+            ),
         )
+
+    def _apply_induced_load(
+        self,
+        service,
+        policy: Policy,
+        expected_part: Optional[Dict[str, float]],
+    ) -> None:
+        """Set every component's demand from the policy's induced load.
+
+        Per group: the (class-weighted) participation share of the
+        request stream, split over the group's replicas, times the
+        policy's *group-capped* executed-copy multiplier
+        (:meth:`~repro.baselines.policies.InducedLoad.group_multiplier`
+        — a RED-5 sub-request on a 2-replica group executes at most
+        twice, and a 1-replica group sees no duplication at all,
+        matching the kernels' fallbacks).  On groups with at least
+        ``copies`` replicas the multiplier equals the legacy scalar
+        exactly, so pre-existing scenario × policy sample paths are
+        bit-identical.  Shared by :meth:`setup` and live policy
+        switching (:meth:`~repro.controlplane.loop.ControlLoop
+        .switch_policy`).
+        """
+        cfg = self.config
+        induced = policy.induced_load()
+        for comp in service.components:
+            group = service.topology.stages[comp.stage_index].groups[
+                comp.group_index
+            ]
+            participation = (
+                group.participation
+                if expected_part is None
+                else expected_part[group.name]
+            )
+            comp.set_load(
+                participation
+                * induced.group_multiplier(group.n_replicas)
+                * cfg.arrival_rate
+                / group.n_replicas
+            )
 
     # ------------------------------------------------------------------
     # the control loop (phases 2 and 3 delegate to it)

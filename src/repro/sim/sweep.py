@@ -151,6 +151,8 @@ from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.baselines.policies import (
+    AdaptiveHedgePolicy,
+    AdaptiveReissuePolicy,
     BasicPolicy,
     HedgedPolicy,
     PCSPolicy,
@@ -379,11 +381,22 @@ def _canonical(obj):
     Dataclass instances carry their class name so that, e.g., a
     ``StaticThreshold`` and an ``AdaptiveThreshold`` with coincidentally
     equal field values hash differently.
+
+    A dataclass may declare ``__digest_default_omit__`` — a mapping of
+    field name to its *inert* value — and such fields are omitted from
+    the canonical form while they hold that value.  This is how a field
+    added after caches exist keeps every pre-existing digest (and spool
+    job payload — the codec's decoder defaults missing fields) byte-
+    identical until someone actually turns the feature on.
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         out = {"__class__": type(obj).__name__}
+        omit = getattr(type(obj), "__digest_default_omit__", None)
         for f in dataclasses.fields(obj):
-            out[f.name] = _canonical(getattr(obj, f.name))
+            value = getattr(obj, f.name)
+            if omit is not None and f.name in omit and value == omit[f.name]:
+                continue
+            out[f.name] = _canonical(value)
         return out
     if isinstance(obj, bool) or obj is None or isinstance(obj, str):
         return obj
@@ -1258,7 +1271,9 @@ def policy_from_name(name: str) -> Policy:
 
     Accepts ``Basic``, ``RED-<k>`` (k >= 2), ``RI-<p>`` (percent in
     (0, 100)), ``Hedge`` / ``Hedge-<ms>`` (fixed-delay hedging,
-    optionally with the delay in milliseconds), and ``PCS`` (the
+    optionally with the delay in milliseconds), their online-tuned
+    counterparts ``ARI-<p>`` (adaptive reissue) and ``AHedge`` /
+    ``AHedge-<p>`` (quantile-tracking hedge), and ``PCS`` (the
     adaptive-threshold configuration the Fig. 6 reproduction uses).
     """
     label = name.strip()
@@ -1266,6 +1281,8 @@ def policy_from_name(name: str) -> Policy:
         return BasicPolicy()
     if label.lower() == "hedge":
         return HedgedPolicy()
+    if label.lower() == "ahedge":
+        return AdaptiveHedgePolicy()
     if label.lower() == "pcs":
         # Late import: experiments sits above sim in the layering.
         from repro.experiments.fig6 import paper_pcs_policy
@@ -1282,12 +1299,22 @@ def policy_from_name(name: str) -> Policy:
             return ReissuePolicy(quantile=int(tail) / 100.0)
         except ValueError as exc:
             raise ConfigurationError(f"bad RI policy {name!r}") from exc
+    if sep and head.upper() == "ARI":
+        try:
+            return AdaptiveReissuePolicy(quantile=int(tail) / 100.0)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad ARI policy {name!r}") from exc
+    if sep and head.upper() == "AHEDGE":
+        try:
+            return AdaptiveHedgePolicy(quantile=int(tail) / 100.0)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad AHedge policy {name!r}") from exc
     if sep and head.upper() == "HEDGE":
         try:
             return HedgedPolicy(hedge_delay_s=float(tail.rstrip("ms")) / 1e3)
         except ValueError as exc:
             raise ConfigurationError(f"bad Hedge policy {name!r}") from exc
     raise ConfigurationError(
-        f"unknown policy {name!r} "
-        "(expected Basic, RED-<k>, RI-<p>, Hedge[-<ms>] or PCS)"
+        f"unknown policy {name!r} (expected Basic, RED-<k>, RI-<p>, "
+        "Hedge[-<ms>], ARI-<p>, AHedge[-<p>] or PCS)"
     )

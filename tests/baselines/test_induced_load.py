@@ -1,0 +1,183 @@
+"""The induced-load descriptor seam: the ``InducedLoad`` model, its
+exact degenerate-case contract with the legacy ``load_multiplier``
+scalar, the group-capped fan-out fix, and the adaptive-policy
+descriptors plus their CLI names."""
+
+import math
+
+import pytest
+
+from repro.baselines.policies import (
+    AdaptiveHedgePolicy,
+    AdaptiveReissuePolicy,
+    BasicPolicy,
+    HedgedPolicy,
+    InducedLoad,
+    PCSPolicy,
+    Policy,
+    REDPolicy,
+    ReissuePolicy,
+    standard_policies,
+)
+from repro.errors import ConfigurationError
+from repro.sim.sweep import policy_from_name
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"copies": 0}, "copies"),
+            ({"copies": -2}, "copies"),
+            ({"reissue_fraction": -0.1}, "reissue_fraction"),
+            ({"reissue_fraction": 1.5}, "reissue_fraction"),
+            ({"cancel_delay_s": -0.001}, "cancel_delay_s"),
+            ({"hedge_delay_s": 0.0}, "hedge_delay_s"),
+            ({"hedge_delay_s": -0.01}, "hedge_delay_s"),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            InducedLoad(**kwargs)
+
+    def test_replica_rate_rejects_empty_group(self):
+        with pytest.raises(ConfigurationError, match="n_replicas"):
+            InducedLoad().replica_rate(100.0, 1.0, 0)
+
+
+class TestDegenerateCaseContract:
+    """``scalar`` must reproduce the retired ``load_multiplier``
+    float expression bit for bit — the refactor's identity bar."""
+
+    @pytest.mark.parametrize(
+        "policy, expected",
+        [
+            (BasicPolicy(), 1.0),
+            (PCSPolicy(), 1.0),
+            (Policy(), 1.0),
+            (REDPolicy(replicas=3), 3.0),
+            (REDPolicy(replicas=5), 5.0),
+            # The historical expressions, not rounded literals: the
+            # scalar must equal them to the last bit.
+            (ReissuePolicy(quantile=0.90), 1.0 + (1.0 - 0.90)),
+            (ReissuePolicy(quantile=0.99), 1.0 + (1.0 - 0.99)),
+            (HedgedPolicy(), 1.0 + 0.05),
+            (AdaptiveReissuePolicy(quantile=0.90), 1.0 + (1.0 - 0.90)),
+            (AdaptiveHedgePolicy(), 1.0 + (1.0 - 0.95)),
+        ],
+    )
+    def test_scalar_is_the_exact_legacy_multiplier(self, policy, expected):
+        assert policy.induced_load().scalar == expected
+        assert policy.load_multiplier == expected
+
+    def test_load_multiplier_is_derived_not_stored(self):
+        # The property reads through induced_load(), so a policy
+        # overriding the descriptor never desynchronises the scalar.
+        class Doubling(Policy):
+            def induced_load(self):
+                return InducedLoad(copies=2)
+
+        assert Doubling().load_multiplier == 2.0
+
+
+class TestGroupMultiplier:
+    def test_single_replica_group_degenerates_to_one(self):
+        # Kernels random-split on 1-replica groups; the accounting
+        # agrees even for heavy duplication policies.
+        assert InducedLoad(copies=5).group_multiplier(1) == 1.0
+        assert InducedLoad(reissue_fraction=0.5).group_multiplier(1) == 1.0
+
+    def test_fanout_capped_at_group_size(self):
+        # A RED-5 sub-request on a 2-replica group executes at most
+        # twice — the full-fan-out accounting bug this seam fixes.
+        red5 = REDPolicy(replicas=5).induced_load()
+        assert red5.group_multiplier(2) == 2.0
+        assert red5.group_multiplier(5) == 5.0
+        assert red5.group_multiplier(9) == 5.0
+
+    def test_reissue_fraction_rides_on_top_of_copies(self):
+        il = InducedLoad(copies=2, reissue_fraction=0.25)
+        assert il.group_multiplier(4) == 2.25
+        assert il.scalar == 2.25
+
+    def test_replica_rate_composes_participation_cap_and_split(self):
+        il = REDPolicy(replicas=5).induced_load()
+        # 0.5 participation x capped 2 copies x 120 req/s over 2 replicas.
+        assert il.replica_rate(120.0, 0.5, 2) == 0.5 * 2.0 * 120.0 / 2
+        # Above the cap the multiplier saturates at 5 copies.
+        assert il.replica_rate(120.0, 1.0, 8) == 5.0 * 120.0 / 8
+
+
+class TestExpectedGroupMultiplier:
+    """The load-dependent refinement of the static planning bound."""
+
+    def test_empty_queue_runs_every_copy(self):
+        il = REDPolicy(replicas=3).induced_load()
+        assert il.expected_group_multiplier(3, queue_wait_s=0.0) == 3.0
+
+    def test_heavy_queueing_collapses_cancellation_toward_one(self):
+        il = REDPolicy(replicas=3).induced_load()
+        light = il.expected_group_multiplier(3, queue_wait_s=1e-4)
+        heavy = il.expected_group_multiplier(3, queue_wait_s=10.0)
+        assert 1.0 < heavy < light <= 3.0
+        # Exact closed form: 1 + (k-1)(1 - exp(-delay/wait)).
+        assert heavy == 1.0 + 2 * (1.0 - math.exp(-0.002 / 10.0))
+
+    def test_hedge_fraction_tracks_overstay_probability(self):
+        il = HedgedPolicy(hedge_delay_s=0.010).induced_load()
+        # Sojourns far below the delay: almost nothing hedges.
+        calm = il.expected_group_multiplier(3, sojourn_s=0.001)
+        # Sojourns far above the delay: almost everything hedges.
+        slammed = il.expected_group_multiplier(3, sojourn_s=1.0)
+        assert calm == pytest.approx(1.0, abs=1e-4)
+        assert slammed == pytest.approx(2.0, abs=2e-2)
+        assert il.expected_group_multiplier(3, sojourn_s=0.0) == 1.0
+
+    def test_percentile_reissue_needs_no_correction(self):
+        il = ReissuePolicy(quantile=0.9).induced_load()
+        assert il.expected_group_multiplier(3, queue_wait_s=5.0) == il.group_multiplier(3)
+
+
+class TestAdaptiveDescriptors:
+    def test_adapts_threshold_flags(self):
+        for p in standard_policies() + [HedgedPolicy()]:
+            assert not p.adapts_threshold, p.name
+        assert AdaptiveReissuePolicy(quantile=0.9).adapts_threshold
+        assert AdaptiveHedgePolicy().adapts_threshold
+
+    def test_legend_names(self):
+        assert AdaptiveReissuePolicy(quantile=0.9).name == "ARI-90"
+        assert AdaptiveHedgePolicy(quantile=0.99).name == "AHedge-99"
+
+    def test_ahedge_accounts_as_percentile_reissue(self):
+        # Once tuned, the delay sits at the q-th latency percentile, so
+        # the declared induced load is the (1 - q) backup fraction, not
+        # the fixed-delay estimate.
+        il = AdaptiveHedgePolicy(quantile=0.95).induced_load()
+        assert il.reissue_fraction == 1.0 - 0.95
+        assert il.hedge_delay_s is None
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ConfigurationError, match="quantile"):
+            AdaptiveHedgePolicy(quantile=1.0)
+
+
+class TestPolicyNames:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("ARI-90", AdaptiveReissuePolicy(quantile=0.90)),
+            ("ari-95", AdaptiveReissuePolicy(quantile=0.95)),
+            ("AHedge", AdaptiveHedgePolicy()),
+            ("AHedge-99", AdaptiveHedgePolicy(quantile=0.99)),
+            ("Hedge", HedgedPolicy()),
+            ("Hedge-25ms", HedgedPolicy(hedge_delay_s=0.025)),
+        ],
+    )
+    def test_adaptive_legend_names_parse(self, name, expected):
+        assert policy_from_name(name) == expected
+
+    @pytest.mark.parametrize("name", ["ARI-nope", "AHedge-x", "ARI-0"])
+    def test_bad_adaptive_names_rejected(self, name):
+        with pytest.raises(ConfigurationError):
+            policy_from_name(name)

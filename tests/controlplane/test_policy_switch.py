@@ -1,0 +1,269 @@
+"""Live policy switching: ``ControlLoop.switch_policy`` between
+windows, the ``POST /policy`` HTTP surface, and one real serve session
+swapping its routing policy mid-run."""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.baselines.policies import (
+    AdaptiveReissuePolicy,
+    BasicPolicy,
+    REDPolicy,
+    ReissuePolicy,
+)
+from repro.controlplane import ControlLoop
+from repro.controlplane.http import _route
+from repro.controlplane.service import LiveControlPlane, ServeConfig, SweepManager
+from repro.errors import ConfigurationError, ControlPlaneError
+from repro.experiments.fig6 import paper_pcs_policy
+from repro.scenarios import get_scenario
+from repro.sim.runner import ExperimentRunner
+
+
+def _live_loop(policy=None, **kwargs):
+    cfg = get_scenario("fanout-feed").runner_config(
+        n_nodes=8, arrival_rate=30.0, interval_s=8.0, n_intervals=4,
+        warmup_intervals=0, seed=0, n_profiling_conditions=6, scale=0.2,
+        summary_mode="streaming", trace_profile="burst",
+    )
+    runner = ExperimentRunner(cfg)
+    state = runner.setup(policy if policy is not None else BasicPolicy())
+    defaults = dict(live=True, history_limit=3)
+    defaults.update(kwargs)
+    return runner, state, ControlLoop(runner, state, **defaults)
+
+
+def _group_of(state, comp):
+    return state.service.topology.stages[comp.stage_index].groups[
+        comp.group_index
+    ]
+
+
+class TestLoopSwitch:
+    def test_switch_swaps_policy_and_reapplies_load(self):
+        runner, state, loop = _live_loop(BasicPolicy())
+        loop.run_window(0)
+        before = {c.name: c.load_rps for c in state.service.components}
+        loop.switch_policy(REDPolicy(replicas=3))
+        assert state.policy == REDPolicy(replicas=3)
+        induced = REDPolicy(replicas=3).induced_load()
+        for comp in state.service.components:
+            group = _group_of(state, comp)
+            assert comp.load_rps == induced.replica_rate(
+                runner.config.arrival_rate, group.participation,
+                group.n_replicas,
+            )
+            if group.n_replicas > 1:
+                assert comp.load_rps > before[comp.name]
+        # The loop keeps running under the new policy.
+        loop.run_window(1)
+        assert loop.windows_completed == 2
+
+    def test_summary_reports_active_policy(self):
+        runner, state, loop = _live_loop(BasicPolicy())
+        loop.run_window(0)
+        assert loop.summary()["active_policy"] == "Basic"
+        loop.switch_policy(ReissuePolicy(quantile=0.95))
+        assert loop.summary()["active_policy"] == "RI-95"
+
+    def test_switch_to_adaptive_creates_a_fresh_feed(self):
+        runner, state, loop = _live_loop(BasicPolicy())
+        assert state.threshold_feed is None
+        assert loop.summary()["adaptive_threshold_s"] is None
+        loop.switch_policy(AdaptiveReissuePolicy(quantile=0.90))
+        assert state.threshold_feed is not None
+        assert state.threshold_feed.observations == 0
+        loop.run_window(0)
+        # The window populated the feed and /status surfaces the timer.
+        assert state.threshold_feed.observations > 0
+        assert loop.summary()["adaptive_threshold_s"] > 0
+        assert loop.monitor.adaptive_threshold_s() > 0
+
+    def test_switch_away_from_adaptive_drops_the_feed(self):
+        runner, state, loop = _live_loop(AdaptiveReissuePolicy(quantile=0.9))
+        loop.run_window(0)
+        assert state.threshold_feed is not None
+        loop.switch_policy(BasicPolicy())
+        assert state.threshold_feed is None
+        assert loop.summary()["adaptive_threshold_s"] is None
+
+    def test_switch_between_adaptives_does_not_leak_stale_estimates(self):
+        runner, state, loop = _live_loop(AdaptiveReissuePolicy(quantile=0.9))
+        loop.run_window(0)
+        old_feed = state.threshold_feed
+        assert old_feed.observations > 0
+        loop.switch_policy(AdaptiveReissuePolicy(quantile=0.99))
+        assert state.threshold_feed is not old_feed
+        assert state.threshold_feed.observations == 0
+
+    def test_scheduling_policies_cannot_be_switched(self):
+        runner, state, loop = _live_loop(BasicPolicy())
+        with pytest.raises(ControlPlaneError, match="scheduling"):
+            loop.switch_policy(paper_pcs_policy())
+        # ...and not out of a scheduling run either.
+        runner2, state2, loop2 = _live_loop(paper_pcs_policy())
+        with pytest.raises(ControlPlaneError, match="scheduling"):
+            loop2.switch_policy(BasicPolicy())
+
+    def test_predict_phase_tracks_the_new_induced_load(self):
+        runner, state, loop = _live_loop(BasicPolicy())
+        assert loop.predict.induced_load == BasicPolicy().induced_load()
+        loop.switch_policy(REDPolicy(replicas=3))
+        assert loop.predict.induced_load == REDPolicy(
+            replicas=3
+        ).induced_load()
+
+
+class _StubPlane:
+    """The duck-typed surface POST /policy needs from the plane."""
+
+    def __init__(self, fail=None):
+        self.sweeps = SweepManager()
+        self.switched = []
+        self._fail = fail
+
+    def status_payload(self):
+        return {"status": "running"}
+
+    def metrics_text(self):
+        return ""
+
+    def request_shutdown(self):
+        pass
+
+    def switch_policy(self, name):
+        if self._fail is not None:
+            raise self._fail
+        self.switched.append(name)
+        return {"ok": True, "active_policy": name}
+
+
+def _parse(raw: bytes):
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body
+
+
+class TestHttpRoute:
+    def _req(self, plane, method, path, body=b""):
+        return _parse(_route(plane, method, path, body))
+
+    def test_valid_switch(self):
+        plane = _StubPlane()
+        status, body = self._req(
+            plane, "POST", "/policy", json.dumps({"policy": "RI-95"}).encode()
+        )
+        assert status == 200
+        assert json.loads(body)["active_policy"] == "RI-95"
+        assert plane.switched == ["RI-95"]
+
+    def test_get_is_405(self):
+        assert self._req(_StubPlane(), "GET", "/policy")[0] == 405
+
+    def test_bad_json_400(self):
+        assert self._req(_StubPlane(), "POST", "/policy", b"{nope")[0] == 400
+
+    def test_missing_key_400(self):
+        status, body = self._req(
+            plane := _StubPlane(), "POST", "/policy",
+            json.dumps({"name": "RI-95"}).encode(),
+        )
+        assert status == 400 and b"policy" in body
+        assert plane.switched == []
+
+    def test_unknown_policy_maps_to_400(self):
+        plane = _StubPlane(fail=ConfigurationError("unknown policy 'x'"))
+        status, body = self._req(
+            plane, "POST", "/policy", json.dumps({"policy": "x"}).encode()
+        )
+        assert status == 400 and b"unknown policy" in body
+
+    def test_loop_not_running_maps_to_400(self):
+        plane = _StubPlane(
+            fail=ControlPlaneError("the live loop is not running yet")
+        )
+        status, body = self._req(
+            plane, "POST", "/policy",
+            json.dumps({"policy": "Basic"}).encode(),
+        )
+        assert status == 400 and b"not running" in body
+
+    def test_404_lists_the_policy_route(self):
+        status, body = self._req(_StubPlane(), "GET", "/nope")
+        assert status == 404 and b"/policy" in body
+
+
+class TestPlaneGuards:
+    def test_switch_before_boot_rejected(self):
+        plane = LiveControlPlane(ServeConfig(policy="Basic"))
+        with pytest.raises(ControlPlaneError, match="not running"):
+            plane.switch_policy("RI-95")
+
+    def test_unknown_name_rejected_before_touching_the_loop(self):
+        plane = LiveControlPlane(ServeConfig(policy="Basic"))
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            plane.switch_policy("NOPE-9")
+
+
+class TestLiveSessionSwitch:
+    """One real serve session: boot on Basic, swap to ARI-90 over
+    HTTP, and watch /status report the new policy and its tuned
+    threshold."""
+
+    CONFIG = ServeConfig(
+        scenario="fanout-feed", policy="Basic", arrival_rate=25.0,
+        window_s=4.0, seed=0, port=0, dilation=400.0,
+        n_profiling_conditions=6, scale=0.2, n_nodes=6,
+    )
+
+    def _boot(self):
+        plane = LiveControlPlane(self.CONFIG)
+        thread = threading.Thread(
+            target=lambda: asyncio.run(plane.run()), daemon=True
+        )
+        thread.start()
+        assert plane.ready.wait(30), "HTTP surface never bound"
+        return plane, thread
+
+    def _call(self, plane, path, data=None):
+        url = f"http://127.0.0.1:{plane.bound_port}{path}"
+        req = urllib.request.Request(
+            url, data=data, method="GET" if data is None else "POST"
+        )
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return json.loads(resp.read().decode())
+
+    def test_switch_over_http(self):
+        plane, thread = self._boot()
+        try:
+            deadline = time.monotonic() + 90
+            while time.monotonic() < deadline:
+                status = self._call(plane, "/status")
+                if status.get("loop", {}).get("windows_completed", 0) >= 1:
+                    break
+                time.sleep(0.25)
+            assert status["active_policy"] == "Basic"
+            reply = self._call(
+                plane, "/policy", json.dumps({"policy": "ARI-90"}).encode()
+            )
+            assert reply["ok"] is True
+            assert reply["active_policy"] == "ARI-90"
+            assert reply["adapts_threshold"] is True
+            # The next window routes (and reports) under the new policy.
+            deadline = time.monotonic() + 90
+            while time.monotonic() < deadline:
+                status = self._call(plane, "/status")
+                if status["loop"].get("adaptive_threshold_s") is not None:
+                    break
+                time.sleep(0.25)
+            assert status["active_policy"] == "ARI-90"
+            assert status["loop"]["active_policy"] == "ARI-90"
+            assert status["loop"]["adaptive_threshold_s"] > 0
+        finally:
+            self._call(plane, "/shutdown", data=b"")
+            thread.join(30)
+        assert not thread.is_alive()

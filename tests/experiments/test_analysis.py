@@ -162,3 +162,105 @@ class TestPCSConvergence:
         result = runner.run(paper_pcs_policy())
         conv = pcs_convergence(result)
         assert conv["relative_improvement"] > -0.5  # not diverging
+
+
+class TestPredictedCrossover:
+    """The analytic side of §VI-C: the M/G/1 + benefit-transform
+    predictor derives the help→hurt crossover Fig. 6 measures."""
+
+    @pytest.fixture(scope="class")
+    def topology(self):
+        from repro.service.nutch import NutchConfig, build_nutch_service
+
+        return build_nutch_service(
+            NutchConfig(
+                n_search_groups=4, replicas_per_group=5,
+                n_segmenters=2, n_aggregators=2,
+            )
+        ).topology
+
+    def test_latency_positive_and_increasing_in_load(self, topology):
+        from repro.baselines.policies import BasicPolicy
+        from repro.experiments.analysis import predicted_latency_curve
+
+        curve = predicted_latency_curve(
+            topology, BasicPolicy(), (10.0, 50.0, 200.0)
+        )
+        vals = [curve[r] for r in (10.0, 50.0, 200.0)]
+        assert all(v > 0 for v in vals)
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_red_helps_light_hurts_heavy(self, topology):
+        from repro.baselines.policies import BasicPolicy, REDPolicy
+        from repro.experiments.analysis import predicted_policy_latency
+
+        red, basic = REDPolicy(replicas=3), BasicPolicy()
+        assert predicted_policy_latency(
+            topology, red, 10.0
+        ) < predicted_policy_latency(topology, basic, 10.0)
+        assert predicted_policy_latency(
+            topology, red, 500.0
+        ) > predicted_policy_latency(topology, basic, 500.0)
+
+    def test_crossover_found_inside_the_grid(self, topology):
+        from repro.baselines.policies import REDPolicy
+        from repro.experiments.analysis import predicted_crossover_rate
+
+        rates = (10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+        x = predicted_crossover_rate(topology, REDPolicy(replicas=3), rates)
+        assert x is not None and rates[0] < x < rates[-1]
+
+    def test_heavier_redundancy_crosses_earlier(self, topology):
+        from repro.baselines.policies import REDPolicy
+        from repro.experiments.analysis import predicted_crossover_rate
+
+        rates = tuple(float(r) for r in range(10, 520, 10))
+        x3 = predicted_crossover_rate(topology, REDPolicy(replicas=3), rates)
+        x5 = predicted_crossover_rate(topology, REDPolicy(replicas=5), rates)
+        assert x5 < x3
+
+    def test_reissue_is_conservative(self, topology):
+        # RI-99 duplicates ~1% of sub-requests: it must still help (or
+        # cross far later than RED) on the same grid.
+        from repro.baselines.policies import REDPolicy, ReissuePolicy
+        from repro.experiments.analysis import predicted_crossover_rate
+
+        rates = (10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+        x_red = predicted_crossover_rate(topology, REDPolicy(replicas=3), rates)
+        x_ri = predicted_crossover_rate(
+            topology, ReissuePolicy(quantile=0.99), rates
+        )
+        assert x_ri is None or x_ri > x_red
+
+    def test_participation_weighted_dag_topology_supported(self):
+        from repro.baselines.policies import REDPolicy
+        from repro.experiments.analysis import predicted_policy_latency
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("branchy-api")
+        topo = spec.build_service(spec.runner_config()).topology
+        assert predicted_policy_latency(topo, REDPolicy(replicas=5), 30.0) > 0
+
+    def test_bad_inputs_rejected(self, topology):
+        from repro.baselines.policies import BasicPolicy
+        from repro.experiments.analysis import predicted_policy_latency
+
+        with pytest.raises(ExperimentError, match="arrival_rate"):
+            predicted_policy_latency(topology, BasicPolicy(), 0.0)
+        with pytest.raises(ExperimentError, match="service_scale"):
+            predicted_policy_latency(
+                topology, BasicPolicy(), 10.0, service_scale=0.0
+            )
+
+    def test_service_scale_cancels_in_the_ratio_to_first_order(self, topology):
+        # Crossovers are ratios; a modest uniform service inflation
+        # must not move the predicted crossover much.
+        from repro.baselines.policies import REDPolicy
+        from repro.experiments.analysis import predicted_crossover_rate
+
+        rates = tuple(float(r) for r in range(10, 520, 10))
+        x1 = predicted_crossover_rate(topology, REDPolicy(replicas=3), rates)
+        x2 = predicted_crossover_rate(
+            topology, REDPolicy(replicas=3), rates, service_scale=1.2
+        )
+        assert x2 == pytest.approx(x1, rel=0.35)

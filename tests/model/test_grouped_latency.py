@@ -150,3 +150,61 @@ class TestMatrixGroupedConsistency:
                 arrival_rates=np.ones(2),
                 group_of=np.array([0, 0]),  # spans stages 0 and 1
             )
+
+
+class TestGroupedStageLatencies:
+    """The per-stage extraction the DAG-composing crossover predictor
+    consumes (``grouped_stage_latencies``)."""
+
+    def test_per_stage_vector_matches_the_sum(self):
+        from repro.model.service_latency import grouped_stage_latencies
+
+        rng = np.random.default_rng(3)
+        m = 12
+        stage_of = np.sort(rng.integers(0, 3, m))
+        group_of = np.sort(rng.integers(0, 6, m))
+        # group ids must be non-decreasing within the stage-major order
+        # and refine stages; sorting both keeps that true here because
+        # groups never span stages in this construction.
+        order = np.lexsort((group_of, stage_of))
+        stage_of, group_of = stage_of[order], group_of[order]
+        # Re-label groups so (stage, group) pairs are globally sorted.
+        pairs = stage_of * 100 + group_of
+        group_of = np.unique(pairs, return_inverse=True)[1]
+        lat = rng.uniform(0.001, 0.1, m)
+        per_stage = grouped_stage_latencies(lat, group_of, stage_of)
+        assert float(per_stage.sum()) == pytest.approx(
+            grouped_overall_latency(lat, group_of, stage_of)
+        )
+
+    def test_group_mean_then_stage_max(self):
+        from repro.model.service_latency import grouped_stage_latencies
+
+        lat = np.array([10.0, 30.0, 5.0, 7.0, 2.0])
+        group_of = np.array([0, 0, 1, 1, 2])
+        stage_of = np.array([0, 0, 0, 0, 1])
+        per_stage = grouped_stage_latencies(lat, group_of, stage_of)
+        assert per_stage.tolist() == [20.0, 2.0]
+
+    def test_dag_composition_equals_chain_on_a_chain(self):
+        from repro.model.service_latency import (
+            dag_overall_latency,
+            grouped_stage_latencies,
+        )
+
+        lat = np.array([4.0, 6.0, 1.0, 3.0, 9.0])
+        group_of = np.array([0, 0, 1, 1, 2])
+        stage_of = np.array([0, 0, 1, 1, 2])
+        per_stage = grouped_stage_latencies(lat, group_of, stage_of)
+        chain = [(s - 1,) if s else () for s in range(3)]
+        assert dag_overall_latency(per_stage, chain) == pytest.approx(
+            grouped_overall_latency(lat, group_of, stage_of)
+        )
+
+    def test_misaligned_shapes_rejected(self):
+        from repro.model.service_latency import grouped_stage_latencies
+
+        with pytest.raises(ModelError):
+            grouped_stage_latencies(
+                np.ones(3), np.zeros(3, int), np.zeros(2, int)
+            )

@@ -8,10 +8,13 @@ from hypothesis import strategies as st
 
 from repro.errors import UnstableQueueError
 from repro.model.queueing import (
+    hedged_latency,
     mg1_latency,
     mg1_latency_array,
     mg1_waiting_time,
     mm1_latency,
+    quickest_of_k_latency,
+    reissue_latency,
     utilisation,
 )
 from repro.simcore.distributions import Deterministic, Exponential, LogNormal
@@ -130,3 +133,74 @@ class TestArrayForm:
         stable = mg1_latency_array(0.01, 1.0, 80.0)
         saturated = mg1_latency_array(0.01, 1.0, 120.0)
         assert saturated > stable
+
+
+class TestBenefitTransforms:
+    """The §VI-C closed forms: exact for exponential sojourns, checked
+    against Monte Carlo on the exact cases and on their limits."""
+
+    def test_quickest_of_k_is_w_over_k(self):
+        assert quickest_of_k_latency(0.030, 3) == pytest.approx(0.010)
+        assert quickest_of_k_latency(0.030, 1) == pytest.approx(0.030)
+        with pytest.raises(UnstableQueueError):
+            quickest_of_k_latency(0.030, 0)
+
+    def test_quickest_of_k_matches_monte_carlo(self):
+        rng = np.random.default_rng(7)
+        w, k = 0.020, 4
+        sims = rng.exponential(w, size=(200_000, k)).min(axis=1).mean()
+        assert quickest_of_k_latency(w, k) == pytest.approx(sims, rel=0.02)
+
+    def test_reissue_factor_is_threshold_free(self):
+        # E[L] = W(1+q)/2 whatever the threshold: the T terms cancel.
+        w = 0.040
+        assert reissue_latency(w, 0.90) == pytest.approx(w * 0.95)
+        assert reissue_latency(w, 0.99) == pytest.approx(w * 0.995)
+        with pytest.raises(UnstableQueueError):
+            reissue_latency(w, 1.0)
+        with pytest.raises(UnstableQueueError):
+            reissue_latency(w, 0.0)
+
+    def test_reissue_matches_monte_carlo(self):
+        rng = np.random.default_rng(11)
+        w, q = 0.025, 0.9
+        n = 200_000
+        primary = rng.exponential(w, n)
+        threshold = -w * np.log(1.0 - q)  # exact q-quantile of Exp(1/W)
+        backup = threshold + rng.exponential(w, n)
+        # Memorylessness: past T the original's residual is a fresh
+        # Exp(W); the finish is the min of the two copies.
+        finished = np.where(
+            primary <= threshold, primary, np.minimum(primary, backup)
+        )
+        assert reissue_latency(w, q) == pytest.approx(
+            finished.mean(), rel=0.02
+        )
+
+    def test_hedged_limits(self):
+        w = 0.030
+        # T -> 0: hedge immediately == RED-2, factor 1/2.
+        assert hedged_latency(w, 0.0) == pytest.approx(w / 2)
+        # T -> inf: never hedge, factor 1.
+        assert hedged_latency(w, 10.0) == pytest.approx(w)
+        # Monotone increasing in the delay between the limits.
+        delays = np.array([0.001, 0.010, 0.050, 0.200])
+        vals = np.array([float(hedged_latency(w, t)) for t in delays])
+        assert np.all(np.diff(vals) > 0)
+        with pytest.raises(UnstableQueueError):
+            hedged_latency(w, -0.001)
+
+    def test_hedged_matches_monte_carlo(self):
+        rng = np.random.default_rng(13)
+        w, t = 0.020, 0.015
+        n = 200_000
+        primary = rng.exponential(w, n)
+        backup = t + rng.exponential(w, n)
+        finished = np.where(primary <= t, primary, np.minimum(primary, backup))
+        assert hedged_latency(w, t) == pytest.approx(finished.mean(), rel=0.02)
+
+    def test_transforms_vectorise(self):
+        w = np.array([0.010, 0.020, 0.040])
+        assert quickest_of_k_latency(w, 2).shape == (3,)
+        assert reissue_latency(w, 0.9).shape == (3,)
+        assert hedged_latency(w, 0.01).shape == (3,)

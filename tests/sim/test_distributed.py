@@ -68,8 +68,7 @@ class SpoolExplodingPolicy(Policy):
 
     name: str = "SpoolExploding"
 
-    @property
-    def load_multiplier(self) -> float:
+    def induced_load(self):
         raise RuntimeError("deliberate spool-point failure")
 
 

@@ -1,0 +1,288 @@
+"""Induced load end-to-end in the simulator: the effective-load
+identity every kernel must satisfy after setup, the branchy-api
+participation/fan-out-cap regression, realized duplicate load vs the
+``InducedLoad`` prediction, adaptive-vs-fixed paired comparison, and
+the digest/serialisation stability of the new recording knob."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.policies import (
+    AdaptiveHedgePolicy,
+    AdaptiveReissuePolicy,
+    BasicPolicy,
+    HedgedPolicy,
+    PCSPolicy,
+    REDPolicy,
+    ReissuePolicy,
+)
+from repro.scenarios import get_scenario
+from repro.service.nutch import NutchConfig
+from repro.sim.runner import ExperimentRunner, PolicyResult, RunnerConfig
+from repro.sim.sweep import (
+    ParallelSweepRunner,
+    SweepSpec,
+    point_cache_key,
+)
+
+#: Every registered routing behaviour, adaptive kernels included.
+ALL_KERNEL_POLICIES = [
+    BasicPolicy(),
+    REDPolicy(replicas=3),
+    REDPolicy(replicas=5),
+    ReissuePolicy(quantile=0.90),
+    HedgedPolicy(),
+    AdaptiveReissuePolicy(quantile=0.90),
+    AdaptiveHedgePolicy(),
+    PCSPolicy(),
+]
+
+
+def _nutch_config(arrival_rate=40.0, seed=3, **overrides):
+    kwargs = dict(
+        n_nodes=8,
+        arrival_rate=arrival_rate,
+        interval_s=8.0,
+        n_intervals=3,
+        warmup_intervals=1,
+        seed=seed,
+        nutch=NutchConfig(
+            n_search_groups=3, replicas_per_group=2,
+            n_segmenters=1, n_aggregators=1,
+        ),
+        n_profiling_conditions=6,
+    )
+    kwargs.update(overrides)
+    return RunnerConfig(**kwargs)
+
+
+def _branchy_config(**overrides):
+    kwargs = dict(
+        n_nodes=8, arrival_rate=40.0, interval_s=8.0, n_intervals=3,
+        warmup_intervals=1, seed=0, scale=1.0, n_profiling_conditions=6,
+    )
+    kwargs.update(overrides)
+    return get_scenario("branchy-api").runner_config(**kwargs)
+
+
+class TestEffectiveLoadIdentity:
+    """After ``setup``, every component's demand must equal the
+    descriptor's induced replica rate — one identity per kernel."""
+
+    @pytest.mark.parametrize(
+        "policy", ALL_KERNEL_POLICIES, ids=[p.name for p in ALL_KERNEL_POLICIES]
+    )
+    def test_component_load_matches_induced_replica_rate(self, policy):
+        cfg = _nutch_config()
+        state = ExperimentRunner(cfg).setup(policy)
+        induced = policy.induced_load()
+        topology = state.service.topology
+        for comp in state.service.components:
+            group = topology.stages[comp.stage_index].groups[comp.group_index]
+            expected = induced.replica_rate(
+                cfg.arrival_rate, group.participation, group.n_replicas
+            )
+            assert comp.load_rps == expected, comp.name
+
+    @pytest.mark.parametrize(
+        "policy", ALL_KERNEL_POLICIES, ids=[p.name for p in ALL_KERNEL_POLICIES]
+    )
+    def test_identity_holds_with_group_participation(self, policy):
+        cfg = _branchy_config()
+        state = ExperimentRunner(cfg).setup(policy)
+        topology = state.service.topology
+        induced = policy.induced_load()
+        for comp in state.service.components:
+            group = topology.stages[comp.stage_index].groups[comp.group_index]
+            expected = induced.replica_rate(
+                cfg.arrival_rate, group.participation, group.n_replicas
+            )
+            assert comp.load_rps == expected, comp.name
+
+
+class TestBranchyParticipationCap:
+    """The full-fan-out regression: on branchy-api's optional
+    2-replica recs groups (participation 0.5), a RED-5 sub-request can
+    execute at most twice — the legacy scalar would have billed five
+    copies to a group that cannot host them."""
+
+    def test_red5_recs_load_is_capped_and_participation_weighted(self):
+        cfg = _branchy_config()
+        state = ExperimentRunner(cfg).setup(REDPolicy(replicas=5))
+        recs = [c for c in state.service.components if c.name.startswith("recs-")]
+        assert len(recs) == 4  # 2 groups x 2 replicas at scale 1
+        for comp in recs:
+            # participation x capped copies x rate / replicas
+            assert comp.load_rps == 0.5 * 2.0 * cfg.arrival_rate / 2
+            # NOT the legacy full-fan-out accounting.
+            assert comp.load_rps != 0.5 * 5.0 * cfg.arrival_rate / 2
+
+    def test_optional_profile_stage_scales_by_participation(self):
+        cfg = _branchy_config()
+        state = ExperimentRunner(cfg).setup(BasicPolicy())
+        profile = [
+            c for c in state.service.components
+            if c.name.startswith("profile-")
+        ]
+        assert len(profile) == 3
+        for comp in profile:
+            assert comp.load_rps == 0.85 * cfg.arrival_rate / 3
+
+
+class TestRealizedVsPredictedDuplicates:
+    """Satellite: the measured duplicate rate must track the
+    ``InducedLoad`` prediction, across rates straddling the nutch
+    crossover region."""
+
+    def _run(self, policy, rate, seed=3):
+        cfg = _nutch_config(arrival_rate=rate, seed=seed,
+                            record_induced_load=True)
+        return ExperimentRunner(cfg).run(policy)
+
+    def _predicted_extra(self, policy, state_cfg=None):
+        """Sum over groups of participation x (group_multiplier - 1):
+        expected extra executions per request on the tiny nutch shape
+        (3 searching groups of 2, single-replica seg/agg groups)."""
+        induced = policy.induced_load()
+        cfg = state_cfg or _nutch_config()
+        state = ExperimentRunner(cfg).setup(BasicPolicy())
+        total = 0.0
+        for stage in state.service.topology.stages:
+            for group in stage.groups:
+                total += group.participation * (
+                    induced.group_multiplier(group.n_replicas) - 1.0
+                )
+        return total
+
+    def test_basic_records_zero_duplicates(self):
+        result = self._run(BasicPolicy(), 40.0)
+        assert result.per_interval_duplicate_load == [0.0, 0.0]
+        assert result.duplicate_load == 0.0
+
+    @pytest.mark.parametrize("rate", [20.0, 120.0])
+    def test_reissue_duplicates_match_quantile_at_any_load(self, rate):
+        # Percentile reissue backs up ~ (1 - q) of sub-requests per
+        # multi-replica group *by construction*, at light or heavy
+        # load — 3 groups x 0.1 here.  CI bound: 2x either way.
+        result = self._run(ReissuePolicy(quantile=0.90), rate)
+        predicted = self._predicted_extra(ReissuePolicy(quantile=0.90))
+        assert predicted == pytest.approx(3 * (1.0 - 0.90))
+        assert predicted / 2 < result.duplicate_load < predicted * 2
+
+    @pytest.mark.parametrize("rate", [20.0, 120.0])
+    def test_red_duplicates_bounded_by_capped_prediction(self, rate):
+        # The static bound assumes no cancellation succeeds; realized
+        # duplicates must stay below it and above zero (cancellation
+        # is imperfect but not absent).
+        result = self._run(REDPolicy(replicas=3), rate)
+        bound = self._predicted_extra(REDPolicy(replicas=3))
+        assert bound == pytest.approx(3 * 1.0)  # capped at 2 copies/group
+        assert 0.0 < result.duplicate_load <= bound
+
+    def test_adaptive_reissue_converges_to_same_fraction(self):
+        fixed = self._run(ReissuePolicy(quantile=0.90), 40.0)
+        adaptive = self._run(AdaptiveReissuePolicy(quantile=0.90), 40.0)
+        predicted = self._predicted_extra(ReissuePolicy(quantile=0.90))
+        assert predicted / 2 < adaptive.duplicate_load < predicted * 2
+        # Same declared induced load, same ballpark realized load.
+        assert adaptive.duplicate_load == pytest.approx(
+            fixed.duplicate_load, rel=0.5
+        )
+
+
+class TestAdaptiveVsFixedPaired:
+    """Adaptive kernels judged against their fixed counterparts on
+    shared seeds through the aggregate layer's paired statistics."""
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        spec = SweepSpec(
+            base=_nutch_config(),
+            policies=(
+                ReissuePolicy(quantile=0.90),
+                AdaptiveReissuePolicy(quantile=0.90),
+            ),
+            arrival_rates=(40.0,),
+            seeds=(0, 1, 2),
+        )
+        return ParallelSweepRunner(spec, workers=1).run().summary()
+
+    def test_paired_diff_is_finite_and_tight(self, summary):
+        diff = summary.paired_diff(
+            "ARI-90", "RI-90", 40.0, metrics=["overall_latency.mean"]
+        )["overall_latency.mean"]
+        assert diff.t_lo <= diff.mean <= diff.t_hi
+        # Shared seeds: the paired interval is tighter than the spread
+        # of either marginal, and the two policies stay within 50% of
+        # each other on this quiet grid.
+        a = summary.seed_mean("ARI-90", 40.0, "overall_latency.mean")
+        b = summary.seed_mean("RI-90", 40.0, "overall_latency.mean")
+        assert a == pytest.approx(b, rel=0.5)
+        assert diff.mean == pytest.approx(a - b)
+
+
+class TestDigestAndSerialisationStability:
+    """The recording knob must not move existing cache digests, and
+    the recorded series must round-trip only when present."""
+
+    def test_default_config_digest_unchanged_by_new_field(self):
+        cfg = _nutch_config()
+        key = point_cache_key(cfg, BasicPolicy())
+        # Explicit default == omitted default == same digest...
+        explicit = dataclasses.replace(cfg, record_induced_load=False)
+        assert point_cache_key(explicit, BasicPolicy()) == key
+        # ...and the canonical payload does not even mention the field,
+        # so pre-refactor caches keep validating.
+        from repro.sim.sweep import _canonical
+
+        assert "record_induced_load" not in _canonical(cfg)
+        # Turning recording on IS a different point.
+        recording = dataclasses.replace(cfg, record_induced_load=True)
+        assert point_cache_key(recording, BasicPolicy()) != key
+
+    def test_metrics_identical_with_and_without_recording(self):
+        # Recording is observational: the sample paths and every
+        # deterministic metric must be bit-identical either way.
+        plain = ExperimentRunner(_nutch_config()).run(
+            ReissuePolicy(quantile=0.90)
+        )
+        recorded = ExperimentRunner(
+            _nutch_config(record_induced_load=True)
+        ).run(ReissuePolicy(quantile=0.90))
+        got = recorded.metrics_dict()
+        series = got.pop("per_interval_duplicate_load")
+        assert got == plain.metrics_dict()
+        assert len(series) == 2  # the recorded extra, measured intervals
+        assert plain.duplicate_load is None
+        assert recorded.duplicate_load is not None
+
+    def test_serialised_only_when_recorded(self):
+        plain = ExperimentRunner(_nutch_config()).run(BasicPolicy())
+        recorded = ExperimentRunner(
+            _nutch_config(record_induced_load=True)
+        ).run(BasicPolicy())
+        assert "per_interval_duplicate_load" not in plain.to_dict()
+        assert "per_interval_duplicate_load" in recorded.to_dict()
+
+    def test_roundtrip_preserves_series(self):
+        recorded = ExperimentRunner(
+            _nutch_config(record_induced_load=True)
+        ).run(ReissuePolicy(quantile=0.90))
+        back = PolicyResult.from_dict(recorded.to_dict())
+        assert back.per_interval_duplicate_load == (
+            recorded.per_interval_duplicate_load
+        )
+        assert back.metrics_dict() == recorded.metrics_dict()
+        plain = ExperimentRunner(_nutch_config()).run(BasicPolicy())
+        assert PolicyResult.from_dict(
+            plain.to_dict()
+        ).per_interval_duplicate_load is None
+
+    def test_render_shows_duplicate_load_only_when_recorded(self):
+        plain = ExperimentRunner(_nutch_config()).run(BasicPolicy())
+        recorded = ExperimentRunner(
+            _nutch_config(record_induced_load=True)
+        ).run(ReissuePolicy(quantile=0.90))
+        assert "dup load" not in plain.render()
+        assert "dup load" in recorded.render()

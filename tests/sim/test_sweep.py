@@ -45,8 +45,7 @@ class ExplodingPolicy(Policy):
 
     name: str = "Exploding"
 
-    @property
-    def load_multiplier(self) -> float:
+    def induced_load(self):
         raise RuntimeError("deliberate sweep-point failure")
 
 
